@@ -1,0 +1,61 @@
+// Command pgbench regenerates the paper's tables and figures on the
+// synthetic substrate.
+//
+// Usage:
+//
+//	pgbench -exp all                 # every experiment, paper order
+//	pgbench -exp fig9,tab3           # a subset
+//	pgbench -exp list                # list experiments
+//	pgbench -scale 0.2 -seed 7       # quicker, differently seeded run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"packetgame/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment names, 'all', or 'list'")
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Float64("scale", 1.0, "workload scale in (0,1]; 1.0 = paper-scale")
+	)
+	flag.Parse()
+
+	if *exp == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *exp == "all" {
+		selected = experiments.Registry()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (try -exp list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Out: os.Stdout, Seed: *seed, Scale: *scale}
+	for _, e := range selected {
+		fmt.Printf("################ %s — %s ################\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

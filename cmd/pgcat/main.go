@@ -1,0 +1,125 @@
+// Command pgcat inspects PacketGame artifacts: PGV container files and
+// JSONL gating traces.
+//
+// Usage:
+//
+//	pgcat -pgv clip.pgv            # per-packet listing + summary
+//	pgcat -pgv clip.pgv -q         # summary only
+//	pgcat -trace gate.jsonl        # gating trace summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/container"
+	"packetgame/internal/stats"
+	"packetgame/internal/trace"
+)
+
+func main() {
+	var (
+		pgvPath   = flag.String("pgv", "", "PGV container file to inspect")
+		tracePath = flag.String("trace", "", "JSONL gating trace to summarize")
+		quiet     = flag.Bool("q", false, "summary only (no per-packet listing)")
+	)
+	flag.Parse()
+
+	switch {
+	case *pgvPath != "":
+		if err := catPGV(*pgvPath, *quiet); err != nil {
+			fatal(err)
+		}
+	case *tracePath != "":
+		if err := catTrace(*tracePath); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "pgcat: provide -pgv or -trace (see -h)")
+		os.Exit(2)
+	}
+}
+
+func catPGV(path string, quiet bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := container.NewReader(f)
+	if err != nil {
+		return err
+	}
+	hdr := r.Header()
+	fmt.Printf("%s: stream %d, codec %s, %d FPS, GOP %d\n",
+		path, hdr.StreamID, hdr.Codec, hdr.FPS, hdr.GOPSize)
+
+	var sizes []float64
+	counts := map[codec.PictureType]int{}
+	var totalBytes int64
+	n := 0
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Printf("%8d %6s %10dB pts=%dms gop=%d/%d\n",
+				p.Seq, p.Type, p.Size, p.PTS, p.GOPIndex, p.GOPSize)
+		}
+		sizes = append(sizes, float64(p.Size))
+		counts[p.Type]++
+		totalBytes += int64(p.Size)
+		n++
+	}
+	fmt.Printf("\n%d packets (%d I, %d P, %d B), %.2f MB on the wire\n",
+		n, counts[codec.PictureI], counts[codec.PictureP], counts[codec.PictureB],
+		float64(totalBytes)/1e6)
+	if n > 0 {
+		fmt.Printf("packet sizes: %s\n", stats.Summarize(sizes))
+		duration := float64(n) / float64(hdr.FPS)
+		fmt.Printf("duration %.1fs, mean bitrate %.0f kbit/s\n",
+			duration, float64(totalBytes)*8/duration/1000)
+	}
+	return nil
+}
+
+func catTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	s, err := trace.Summarize(trace.NewReader(f))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rounds, %d packets\n", path, s.Rounds, s.Packets)
+	fmt.Printf("  selected            %d (filter rate %.1f%%)\n", s.Selected, s.FilterRate*100)
+	fmt.Printf("  necessary           %d (precision %.1f%%)\n", s.Necessary, s.Precision*100)
+	fmt.Printf("  budget utilization  %.1f%%\n", s.BudgetUtilization*100)
+	if len(s.PerStreamSelected) > 0 {
+		ids := make([]int, 0, len(s.PerStreamSelected))
+		for id := range s.PerStreamSelected {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Println("  per-stream selections:")
+		for _, id := range ids {
+			fmt.Printf("    stream %4d: %d\n", id, s.PerStreamSelected[id])
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgcat:", err)
+	os.Exit(1)
+}

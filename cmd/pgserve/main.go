@@ -1,0 +1,73 @@
+// Command pgserve serves a synthetic camera fleet over PGSP/TCP, standing
+// in for an RTSP camera farm. Pair it with pggate.
+//
+// Usage:
+//
+//	pgserve -addr :9560 -streams 32 -realtime
+//	pgserve -addr :9560 -streams 8 -rounds 1000 -codec h265
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/stream"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:9560", "listen address")
+		streams  = flag.Int("streams", 16, "number of muxed camera streams")
+		rounds   = flag.Int("rounds", 0, "rounds per connection (0 = until disconnect)")
+		realtime = flag.Bool("realtime", false, "pace rounds at -fps")
+		fps      = flag.Int("fps", 25, "frame rate")
+		gop      = flag.Int("gop", 25, "GOP size")
+		codecStr = flag.String("codec", "h264", "codec: h264, h265, vp9, jpeg2000")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	c, err := codec.ParseCodec(*codecStr)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := stream.Serve(ln, stream.ServerConfig{
+		Rounds:   *rounds,
+		Realtime: *realtime,
+		FPS:      *fps,
+		NewStreams: func() []*codec.Stream {
+			fleet := make([]*codec.Stream, *streams)
+			for i := range fleet {
+				fleet[i] = codec.NewStream(
+					codec.SceneConfig{BaseActivity: 0.4, PersonRate: 0.3, AnomalyRate: 30, FPS: *fps},
+					codec.EncoderConfig{StreamID: i, Codec: c, GOPSize: *gop, FPS: *fps},
+					*seed+int64(i)*7919)
+			}
+			return fleet
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pgserve: serving %d %s streams on %s (realtime=%v)\n",
+		*streams, c, srv.Addr(), *realtime)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("pgserve: shutting down")
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command pgtrain trains PacketGame's contextual predictor offline on a
+// synthetic corpus and exports the binary runtime weight file the gate
+// loads at deployment (§6.1 workflow).
+//
+// Usage:
+//
+//	pgtrain -task PC -out pc.pgw
+//	pgtrain -task PC,AD -out multi.pgw        # multi-task heads
+//	pgtrain -task SR -rounds 8000 -epochs 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/dataset"
+	"packetgame/internal/infer"
+	"packetgame/internal/predictor"
+)
+
+func main() {
+	var (
+		taskNames = flag.String("task", "PC", "comma-separated tasks: PC, AD, SR, FD")
+		out       = flag.String("out", "predictor.pgw", "weight file to write")
+		streams   = flag.Int("streams", 24, "training fleet size")
+		rounds    = flag.Int("rounds", 5000, "rounds of training data per stream set")
+		window    = flag.Int("window", 5, "temporal window length")
+		epochs    = flag.Int("epochs", 40, "training epochs")
+		lr        = flag.Float64("lr", 0.003, "learning rate (RMSprop)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var tasks []infer.Task
+	for _, name := range strings.Split(*taskNames, ",") {
+		task, err := infer.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+
+	// Corpus: the first task picks the dataset family (multi-task training
+	// uses a shared fleet, like the paper's Campus1K PC+AD study).
+	corpus := corpusFor(tasks[0], *streams, *seed)
+	fmt.Printf("collecting %d rounds from %d streams for %s...\n", *rounds, *streams, *taskNames)
+	samples, err := dataset.Collect(corpus, tasks, *window, *rounds)
+	if err != nil {
+		fatal(err)
+	}
+	train := dataset.Balance(samples, 0, *seed)
+	fmt.Printf("%d samples (%d balanced), positive rate %.3f\n",
+		len(samples), len(train), dataset.PositiveRate(samples, 0))
+
+	cfg := predictor.DefaultConfig()
+	cfg.Window = *window
+	cfg.Tasks = len(tasks)
+	cfg.Seed = *seed
+	p, err := predictor.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	loss, err := p.Train(train, predictor.TrainOptions{
+		Epochs: *epochs, LR: *lr, Seed: *seed,
+		Progress: func(epoch int, loss float64) {
+			if epoch%5 == 0 || epoch == *epochs-1 {
+				fmt.Printf("epoch %3d  loss %.4f\n", epoch, loss)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	accs := p.Evaluate(train, 0.5)
+	fmt.Printf("final loss %.4f, train accuracy %v\n", loss, accs)
+	fmt.Printf("model: %d params, %d FLOPs/inference\n", p.NumParams(), p.FLOPs())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("weights written to %s\n", *out)
+}
+
+func corpusFor(task infer.Task, n int, seed int64) []*codec.Stream {
+	switch task.Name() {
+	case "SR":
+		return dataset.YTUGC(dataset.YTUGCConfig{Videos: n, Seed: seed})
+	case "FD":
+		return dataset.FireNet(dataset.FireNetConfig{Videos: n, Seed: seed})
+	default:
+		return dataset.Campus1K(dataset.Campus1KConfig{Cameras: n, Seed: seed})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgtrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module packetgame
+
+go 1.22

@@ -1,0 +1,229 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustEstimator(t *testing.T, m, w int) *TemporalEstimator {
+	t.Helper()
+	e, err := NewTemporalEstimator(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewTemporalEstimatorValidation(t *testing.T) {
+	if _, err := NewTemporalEstimator(0, 5); err == nil {
+		t.Error("m=0 must error")
+	}
+	if _, err := NewTemporalEstimator(5, 0); err == nil {
+		t.Error("w=0 must error")
+	}
+	e := mustEstimator(t, 3, 7)
+	if e.Streams() != 3 || e.Window() != 7 || e.Round() != 0 {
+		t.Errorf("fresh estimator: m=%d w=%d t=%d", e.Streams(), e.Window(), e.Round())
+	}
+}
+
+func TestPushLengthMismatch(t *testing.T) {
+	e := mustEstimator(t, 2, 3)
+	if err := e.Push([]bool{true}, []float64{1, 0}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestNeverSelectedOutranksZeroReward(t *testing.T) {
+	e := mustEstimator(t, 2, 5)
+	for i := 0; i < 10; i++ {
+		if err := e.Push([]bool{true, false}, []float64{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stream 1 was never selected: its bonus must dominate stream 0's,
+	// which is selected every round with zero reward.
+	if e.Estimate(1) <= e.Estimate(0) {
+		t.Errorf("never-selected stream (%v) must outrank zero-reward regular (%v)",
+			e.Estimate(1), e.Estimate(0))
+	}
+	if e.Bonus(1) > ExplorationCap {
+		t.Errorf("bonus %v exceeds cap", e.Bonus(1))
+	}
+}
+
+func TestBonusGrowsWithAge(t *testing.T) {
+	e := mustEstimator(t, 2, 5)
+	// Select stream 1 once, then starve it.
+	e.Push([]bool{false, true}, []float64{0, 0})
+	ages := []float64{}
+	for i := 0; i < 50; i++ {
+		e.Push([]bool{true, false}, []float64{0, 0})
+		ages = append(ages, e.Bonus(1))
+	}
+	for i := 1; i < len(ages); i++ {
+		if ages[i] < ages[i-1] {
+			t.Fatalf("bonus must be non-decreasing in age: %v then %v", ages[i-1], ages[i])
+		}
+	}
+	if ages[len(ages)-1] <= ages[0] {
+		t.Error("bonus must strictly grow over a long starvation")
+	}
+}
+
+func TestExploitationTracksSelectionMean(t *testing.T) {
+	e := mustEstimator(t, 1, 4)
+	rewards := []float64{1, 0, 1, 1}
+	for _, r := range rewards {
+		if err := e.Push([]bool{true}, []float64{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Exploit(0); got != 0.75 {
+		t.Errorf("Exploit = %v, want 0.75", got)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	e := mustEstimator(t, 1, 3)
+	// Rewards 1,1,1 then 0,0,0: after six pushes only zeros remain.
+	for _, r := range []float64{1, 1, 1, 0, 0, 0} {
+		if err := e.Push([]bool{true}, []float64{r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Exploit(0); got != 0 {
+		t.Errorf("after eviction Exploit = %v, want 0", got)
+	}
+	// Selected in the most recent round: age 0, window count 3.
+	want := ExplorationScale * math.Sqrt(math.Log(2)/4)
+	if bonus := e.Bonus(0); math.Abs(bonus-want) > 1e-12 {
+		t.Errorf("bonus = %v, want %v", bonus, want)
+	}
+}
+
+func TestUnselectedRoundsDoNotDiluteReward(t *testing.T) {
+	// The exploitation term is the per-selection mean: skipping rounds
+	// must not dilute a stream's observed reward rate (see the package
+	// comment for why this deviates from the paper's /w form).
+	e := mustEstimator(t, 1, 4)
+	e.Push([]bool{true}, []float64{1})
+	e.Push([]bool{false}, []float64{0})
+	e.Push([]bool{false}, []float64{0})
+	e.Push([]bool{true}, []float64{1})
+	if got := e.Exploit(0); got != 1 {
+		t.Errorf("Exploit = %v, want 1 (2 rewards over 2 selections)", got)
+	}
+	// Never-selected stream: no reward estimate.
+	e2 := mustEstimator(t, 1, 4)
+	e2.Push([]bool{false}, []float64{0})
+	if got := e2.Exploit(0); got != 0 {
+		t.Errorf("never-selected Exploit = %v, want 0", got)
+	}
+}
+
+func TestEstimatesBulk(t *testing.T) {
+	e := mustEstimator(t, 3, 2)
+	e.Push([]bool{true, false, true}, []float64{1, 0, 0})
+	got := e.Estimates(nil)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != e.Estimate(i) {
+			t.Errorf("bulk[%d] = %v, want %v", i, got[i], e.Estimate(i))
+		}
+	}
+	// Reuse path.
+	dst := make([]float64, 3)
+	if out := e.Estimates(dst); &out[0] != &dst[0] {
+		t.Error("Estimates should reuse the provided slice")
+	}
+}
+
+func TestExplorationFavorsRarelySelected(t *testing.T) {
+	// Two streams with identical reward when selected; one selected 10x
+	// more often. The rare one must carry a larger exploration bonus.
+	e := mustEstimator(t, 2, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		sel := []bool{true, rng.Intn(10) == 0}
+		e.Push(sel, []float64{0.5, 0.5})
+	}
+	bonus0 := e.Estimate(0) - e.Exploit(0)
+	bonus1 := e.Estimate(1) - e.Exploit(1)
+	if bonus1 <= bonus0 {
+		t.Errorf("rare stream bonus %v must exceed frequent stream bonus %v", bonus1, bonus0)
+	}
+}
+
+func TestTemporalEstimatorLearnsPersistentEvents(t *testing.T) {
+	// A stream whose necessity turns on for long stretches: the estimator
+	// should score it higher during stretches than in quiet periods.
+	e := mustEstimator(t, 1, 5)
+	// Quiet for 50 rounds.
+	for i := 0; i < 50; i++ {
+		e.Push([]bool{true}, []float64{0})
+	}
+	quiet := e.Estimate(0)
+	// Event for 50 rounds.
+	for i := 0; i < 50; i++ {
+		e.Push([]bool{true}, []float64{1})
+	}
+	busy := e.Estimate(0)
+	if busy <= quiet {
+		t.Errorf("busy estimate %v must exceed quiet estimate %v", busy, quiet)
+	}
+}
+
+func TestRegretMeter(t *testing.T) {
+	var r RegretMeter
+	r.Add(1, 0.4)
+	r.Add(1, 1)
+	r.Add(0.5, 0.9) // negative gap: the algorithm beat the comparator
+	if got := r.Total(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Total = %v, want 0.2", got)
+	}
+	if r.Rounds() != 3 {
+		t.Errorf("Rounds = %d", r.Rounds())
+	}
+	if len(r.History()) != 3 || r.History()[2] != r.Total() {
+		t.Errorf("History = %v", r.History())
+	}
+}
+
+func TestGrowthExponentSqrt(t *testing.T) {
+	// Synthetic √T regret must fit b ≈ 0.5.
+	var r RegretMeter
+	prev := 0.0
+	for t1 := 1; t1 <= 10000; t1++ {
+		c := math.Sqrt(float64(t1))
+		r.Add(c-prev, 0)
+		prev = c
+	}
+	if b := r.GrowthExponent(); math.Abs(b-0.5) > 0.05 {
+		t.Errorf("exponent = %v, want ~0.5", b)
+	}
+}
+
+func TestGrowthExponentLinear(t *testing.T) {
+	var r RegretMeter
+	for t1 := 0; t1 < 5000; t1++ {
+		r.Add(1, 0)
+	}
+	if b := r.GrowthExponent(); math.Abs(b-1) > 0.05 {
+		t.Errorf("exponent = %v, want ~1", b)
+	}
+}
+
+func TestGrowthExponentDegenerate(t *testing.T) {
+	var r RegretMeter
+	if b := r.GrowthExponent(); b != 0 {
+		t.Errorf("empty meter exponent = %v", b)
+	}
+	r.Add(1, 1) // zero regret
+	if b := r.GrowthExponent(); b != 0 {
+		t.Errorf("zero-regret exponent = %v", b)
+	}
+}

@@ -1,0 +1,120 @@
+package codec
+
+import (
+	"fmt"
+	"io"
+)
+
+// The bitstream format mirrors H.264 Annex-B: each packet is an access unit
+// introduced by a 4-byte start code, followed by a 9-byte unit header and the
+// escaped payload. Three-byte emulation-prevention (0x00 0x00 0x03) keeps
+// payload bytes from aliasing start codes, exactly as real codecs do.
+
+// StartCode is the 4-byte access-unit delimiter.
+var StartCode = []byte{0x00, 0x00, 0x00, 0x01}
+
+// UnitHeaderSize is the size of the unit header that follows a start code
+// (before escaping): codec/type byte, 4-byte seq, 2-byte GOP index,
+// 2-byte GOP size.
+const UnitHeaderSize = 9
+
+// EscapeEmulation returns data with emulation-prevention bytes inserted:
+// any 0x00 0x00 followed by a byte <= 0x03 gets a 0x03 inserted before that
+// byte. dst may be nil; the escaped bytes are appended to it.
+func EscapeEmulation(dst, data []byte) []byte {
+	zeros := 0
+	for _, b := range data {
+		if zeros >= 2 && b <= 0x03 {
+			dst = append(dst, 0x03)
+			zeros = 0
+		}
+		dst = append(dst, b)
+		if b == 0x00 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+	}
+	return dst
+}
+
+// UnescapeEmulation removes emulation-prevention bytes inserted by
+// EscapeEmulation. dst may be nil; the unescaped bytes are appended to it.
+func UnescapeEmulation(dst, data []byte) []byte {
+	zeros := 0
+	for i := 0; i < len(data); i++ {
+		b := data[i]
+		if zeros >= 2 && b == 0x03 && i+1 < len(data) && data[i+1] <= 0x03 {
+			zeros = 0
+			continue // drop the emulation-prevention byte
+		}
+		dst = append(dst, b)
+		if b == 0x00 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+	}
+	return dst
+}
+
+// BitstreamWriter serializes packets of a single elementary stream to an
+// io.Writer in the Annex-B-like format.
+type BitstreamWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewBitstreamWriter wraps w.
+func NewBitstreamWriter(w io.Writer) *BitstreamWriter {
+	return &BitstreamWriter{w: w}
+}
+
+// WritePacket emits one packet. If the packet carries fewer payload bytes
+// than its modeled Size (PayloadData=false encoders), the writer pads it to
+// Size with deterministic filler so on-wire sizes match the model.
+func (bw *BitstreamWriter) WritePacket(p *Packet) error {
+	body := p.Payload
+	if len(body) < p.Size {
+		padded := make([]byte, p.Size)
+		copy(padded, body)
+		fillPadding(padded[len(body):], p.Seq)
+		body = padded
+	}
+
+	bw.buf = bw.buf[:0]
+	bw.buf = append(bw.buf, StartCode...)
+
+	var hdr [UnitHeaderSize]byte
+	hdr[0] = byte(p.Codec)<<4 | byte(p.Type)
+	hdr[1] = byte(p.Seq >> 24)
+	hdr[2] = byte(p.Seq >> 16)
+	hdr[3] = byte(p.Seq >> 8)
+	hdr[4] = byte(p.Seq)
+	hdr[5] = byte(p.GOPIndex >> 8)
+	hdr[6] = byte(p.GOPIndex)
+	hdr[7] = byte(p.GOPSize >> 8)
+	hdr[8] = byte(p.GOPSize)
+
+	bw.buf = EscapeEmulation(bw.buf, hdr[:])
+	bw.buf = EscapeEmulation(bw.buf, body)
+
+	_, err := bw.w.Write(bw.buf)
+	return err
+}
+
+// DecodeUnitHeader parses an unescaped unit header.
+func DecodeUnitHeader(hdr []byte) (c Codec, t PictureType, seq int64, gopIndex, gopSize int, err error) {
+	if len(hdr) < UnitHeaderSize {
+		return 0, 0, 0, 0, 0, fmt.Errorf("codec: unit header too short: %d bytes", len(hdr))
+	}
+	c = Codec(hdr[0] >> 4)
+	t = PictureType(hdr[0] & 0x0f)
+	if t > PictureB {
+		return 0, 0, 0, 0, 0, fmt.Errorf("codec: invalid picture type %d", t)
+	}
+	seq = int64(hdr[1])<<24 | int64(hdr[2])<<16 | int64(hdr[3])<<8 | int64(hdr[4])
+	gopIndex = int(hdr[5])<<8 | int(hdr[6])
+	gopSize = int(hdr[7])<<8 | int(hdr[8])
+	return c, t, seq, gopIndex, gopSize, nil
+}

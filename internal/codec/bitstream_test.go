@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmulationEscapeRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		escaped := EscapeEmulation(nil, data)
+		back := UnescapeEmulation(nil, escaped)
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapePreventsStartCodes(t *testing.T) {
+	nasty := [][]byte{
+		{0, 0, 0, 1},
+		{0, 0, 1},
+		{0, 0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 3},
+		bytes.Repeat([]byte{0}, 64),
+	}
+	for _, data := range nasty {
+		escaped := EscapeEmulation(nil, data)
+		if bytes.Contains(escaped, []byte{0, 0, 0}) ||
+			bytes.Contains(escaped, []byte{0, 0, 1}) ||
+			bytes.Contains(escaped, []byte{0, 0, 2}) {
+			t.Errorf("escaped %v still contains a start-code prefix: %v", data, escaped)
+		}
+		if back := UnescapeEmulation(nil, escaped); !bytes.Equal(back, data) {
+			t.Errorf("round trip of %v = %v", data, back)
+		}
+	}
+}
+
+func TestEscapeLeavesCleanDataAlone(t *testing.T) {
+	data := []byte{1, 2, 3, 0, 5, 0, 6, 255}
+	if got := EscapeEmulation(nil, data); !bytes.Equal(got, data) {
+		t.Errorf("clean data was modified: %v", got)
+	}
+}
+
+func TestUnitHeaderRoundTrip(t *testing.T) {
+	p := &Packet{Codec: VP9, Type: PictureB, Seq: 70000, GOPIndex: 300, GOPSize: 301}
+	var buf bytes.Buffer
+	bw := NewBitstreamWriter(&buf)
+	p.Size = 256
+	if err := bw.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !bytes.HasPrefix(raw, StartCode) {
+		t.Fatal("stream must begin with a start code")
+	}
+	body := UnescapeEmulation(nil, raw[len(StartCode):])
+	c, typ, seq, gi, gs, err := DecodeUnitHeader(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != VP9 || typ != PictureB || seq != 70000 || gi != 300 || gs != 301 {
+		t.Errorf("header round trip: codec=%v type=%v seq=%d gop=%d/%d", c, typ, seq, gi, gs)
+	}
+	if got := len(body) - UnitHeaderSize; got != p.Size {
+		t.Errorf("body payload = %d bytes, want padded to Size=%d", got, p.Size)
+	}
+}
+
+func TestDecodeUnitHeaderErrors(t *testing.T) {
+	if _, _, _, _, _, err := DecodeUnitHeader([]byte{1, 2}); err == nil {
+		t.Error("short header must error")
+	}
+	bad := make([]byte, UnitHeaderSize)
+	bad[0] = 0x0f // picture type 15
+	if _, _, _, _, _, err := DecodeUnitHeader(bad); err == nil {
+		t.Error("invalid picture type must error")
+	}
+}
+
+func TestWritePacketPadsToModeledSize(t *testing.T) {
+	// Encoders with PayloadData=false carry only the scene header; the
+	// writer must pad the on-wire body to the modeled Size.
+	e := NewEncoder(EncoderConfig{GOPSize: 5}, 3)
+	p := e.Encode(Scene{Richness: 0.6, Motion: 0.4})
+	if len(p.Payload) >= p.Size {
+		t.Skip("payload unexpectedly full-size")
+	}
+	var buf bytes.Buffer
+	if err := NewBitstreamWriter(&buf).WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	body := UnescapeEmulation(nil, buf.Bytes()[len(StartCode):])
+	if got := len(body) - UnitHeaderSize; got != p.Size {
+		t.Errorf("on-wire size %d != modeled size %d", got, p.Size)
+	}
+	// The padded payload must still decode to the original scene.
+	s, err := DecodePayload(body[UnitHeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := DecodePayload(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != orig {
+		t.Errorf("scene corrupted by padding: %+v vs %+v", s, orig)
+	}
+}

@@ -1,0 +1,288 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Profile captures the size characteristics of one codec at a reference
+// bitrate. Values are bytes per packet for a 1080p25 stream at the reference
+// bitrate of 4 Mbps; actual sizes scale with the configured bitrate.
+type Profile struct {
+	// BaseI is the mean I-frame packet size at richness 0.5.
+	BaseI float64
+	// BaseP is the mean P-frame packet size at motion 0.5.
+	BaseP float64
+	// BRatio scales B-frame sizes relative to P-frames.
+	BRatio float64
+	// Sigma is the lognormal size-noise scale.
+	Sigma float64
+}
+
+// profiles holds the per-codec size profiles. H.265 and VP9 compress better
+// than H.264; JPEG2000 is intra-only with larger, flatter sizes (Fig 14a).
+var profiles = map[Codec]Profile{
+	H264:     {BaseI: 90_000, BaseP: 14_000, BRatio: 0.6, Sigma: 0.22},
+	H265:     {BaseI: 55_000, BaseP: 8_500, BRatio: 0.6, Sigma: 0.20},
+	VP9:      {BaseI: 65_000, BaseP: 10_000, BRatio: 0.6, Sigma: 0.21},
+	JPEG2000: {BaseI: 130_000, BaseP: 130_000, BRatio: 1.0, Sigma: 0.12},
+}
+
+// CodecProfile returns the size profile for a codec.
+func CodecProfile(c Codec) Profile { return profiles[c] }
+
+// ReferenceBitrate is the bitrate (bits/s) the profiles are calibrated at.
+const ReferenceBitrate = 4_000_000
+
+// EncoderConfig parameterizes a synthetic encoder.
+type EncoderConfig struct {
+	// StreamID is stamped on every emitted packet.
+	StreamID int
+	// Codec selects the size profile and GOP behaviour. Default H264.
+	Codec Codec
+	// FPS is the frame rate. Default 25.
+	FPS int
+	// GOPSize is the number of frames per GOP. Default 25. Intra-only
+	// codecs ignore it (every frame starts a GOP of size 1).
+	GOPSize int
+	// BFrames is the number of B-frames between consecutive references.
+	// Default 0. Ignored by intra-only codecs.
+	BFrames int
+	// GOPPhase shifts the GOP grid: the stream starts GOPPhase frames into
+	// its first GOP (mod GOPSize). Real camera fleets have unaligned GOPs;
+	// leaving every stream at phase 0 creates synchronized I-frame bursts
+	// that no real deployment sees. Default 0.
+	GOPPhase int
+	// Bitrate is the target bitrate in bits/s. Packet sizes scale linearly
+	// with it. Default ReferenceBitrate. At extreme-low bitrates the
+	// content signal in packet sizes collapses into the noise floor
+	// (§6.4 extreme case 1).
+	Bitrate int
+	// MinPacket is the floor packet size in bytes (container/NAL overhead
+	// plus the codec's minimum syntax). Default 600. At extreme-low
+	// bitrates most packets collapse to this floor, erasing the content
+	// signal from packet sizes (§6.4 extreme case 1).
+	MinPacket int
+	// PayloadData controls whether packets carry their full-size payload
+	// bytes. When false, packets carry only the encoded scene header
+	// (Size still reports the modeled size); this keeps large-scale
+	// simulations memory-light. Default false.
+	PayloadData bool
+}
+
+func (c *EncoderConfig) defaults() {
+	if c.FPS == 0 {
+		c.FPS = 25
+	}
+	if c.GOPSize == 0 {
+		c.GOPSize = 25
+	}
+	if c.Bitrate == 0 {
+		c.Bitrate = ReferenceBitrate
+	}
+	if c.MinPacket == 0 {
+		c.MinPacket = 600
+	}
+	if c.Codec.IntraOnly() {
+		c.GOPSize = 1
+		c.BFrames = 0
+	}
+	if c.GOPPhase < 0 {
+		c.GOPPhase = 0
+	}
+	c.GOPPhase %= c.GOPSize
+}
+
+// Encoder turns a sequence of Scenes into video Packets. It models the two
+// couplings the contextual predictor learns (§5.2): I-frame size reflects
+// frame richness, P/B-frame size reflects change against the reference.
+type Encoder struct {
+	cfg EncoderConfig
+	rng *rand.Rand
+
+	seq       int64
+	gopIndex  int
+	prevScene Scene
+	hasPrev   bool
+}
+
+// NewEncoder creates an encoder with the given config and noise seed.
+func NewEncoder(cfg EncoderConfig, seed int64) *Encoder {
+	cfg.defaults()
+	return &Encoder{cfg: cfg, rng: rand.New(rand.NewSource(seed)), gopIndex: cfg.GOPPhase}
+}
+
+// Config returns the encoder's effective configuration.
+func (e *Encoder) Config() EncoderConfig { return e.cfg }
+
+// pictureType returns the picture type for the current GOP index.
+func (e *Encoder) pictureType() PictureType {
+	if e.gopIndex == 0 {
+		return PictureI
+	}
+	if e.cfg.BFrames > 0 {
+		// Pattern after I: B..B P B..B P ... (BFrames B's between refs).
+		if (e.gopIndex-1)%(e.cfg.BFrames+1) < e.cfg.BFrames {
+			return PictureB
+		}
+	}
+	return PictureP
+}
+
+// sizeFor models the encoded size of a frame.
+func (e *Encoder) sizeFor(t PictureType, s Scene) int {
+	p := profiles[e.cfg.Codec]
+	scale := float64(e.cfg.Bitrate) / ReferenceBitrate
+	var mean float64
+	switch t {
+	case PictureI:
+		// Richness plus a little ambient texture from activity.
+		mean = p.BaseI * (0.35 + 1.1*s.Richness + 0.25*s.Activity)
+	case PictureP:
+		mean = p.BaseP * (0.15 + 2.2*s.Motion)
+	case PictureB:
+		mean = p.BaseP * p.BRatio * (0.15 + 2.2*s.Motion)
+	}
+	mean *= scale
+	// Lognormal multiplicative noise.
+	noise := math.Exp(e.rng.NormFloat64() * p.Sigma)
+	size := mean * noise
+	// The floor is NOT scaled by bitrate: at extreme-low bitrates every
+	// packet collapses to near the floor and the content signal vanishes.
+	if size < float64(e.cfg.MinPacket) {
+		size = float64(e.cfg.MinPacket) * math.Exp(e.rng.NormFloat64()*0.08)
+	}
+	return int(size)
+}
+
+// Encode consumes one scene and emits its packet.
+func (e *Encoder) Encode(s Scene) *Packet {
+	t := e.pictureType()
+	size := e.sizeFor(t, s)
+	pkt := &Packet{
+		StreamID: e.cfg.StreamID,
+		Seq:      e.seq,
+		PTS:      e.seq * 1000 / int64(e.cfg.FPS),
+		Type:     t,
+		Codec:    e.cfg.Codec,
+		Size:     size,
+		GOPIndex: e.gopIndex,
+		GOPSize:  e.cfg.GOPSize,
+	}
+	pkt.Payload = encodePayload(s, size, e.cfg.PayloadData)
+
+	e.seq++
+	e.gopIndex++
+	if e.gopIndex >= e.cfg.GOPSize {
+		e.gopIndex = 0
+	}
+	e.prevScene, e.hasPrev = s, true
+	return pkt
+}
+
+// payloadHeaderSize is the fixed size of the encoded scene header inside a
+// packet payload.
+const payloadHeaderSize = 2 + 8 + 8 + 8 + 4 + 1 + 8
+
+// payload flag bits.
+const (
+	flagAnomaly = 1 << iota
+	flagFire
+	flagQualityDrop
+)
+
+var payloadMagic = [2]byte{'S', 'C'}
+
+// encodePayload serializes the scene into the packet payload. When full is
+// true the payload is padded with deterministic filler bytes up to size so
+// the bitstream writer emits realistically sized packets.
+func encodePayload(s Scene, size int, full bool) []byte {
+	n := payloadHeaderSize
+	if full && size > n {
+		n = size
+	}
+	buf := make([]byte, n)
+	copy(buf[0:2], payloadMagic[:])
+	binary.BigEndian.PutUint64(buf[2:], uint64(s.Frame))
+	binary.BigEndian.PutUint64(buf[10:], math.Float64bits(s.Richness))
+	binary.BigEndian.PutUint64(buf[18:], math.Float64bits(s.Motion))
+	binary.BigEndian.PutUint32(buf[26:], uint32(s.PersonCount))
+	var flags byte
+	if s.Anomaly {
+		flags |= flagAnomaly
+	}
+	if s.Fire {
+		flags |= flagFire
+	}
+	if s.QualityDrop {
+		flags |= flagQualityDrop
+	}
+	buf[30] = flags
+	binary.BigEndian.PutUint64(buf[31:], math.Float64bits(s.Activity))
+	if full {
+		fillPadding(buf[payloadHeaderSize:], s.Frame)
+	}
+	return buf
+}
+
+// fillPadding writes pseudorandom (but deterministic) filler that never
+// contains a zero byte, so payloads cannot alias bitstream start codes.
+func fillPadding(p []byte, seed int64) {
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x%255) + 1
+	}
+}
+
+// DecodePayload recovers the scene from a packet payload. It is used by
+// internal/decode only; gating code must never call it.
+func DecodePayload(payload []byte) (Scene, error) {
+	if len(payload) < payloadHeaderSize {
+		return Scene{}, fmt.Errorf("codec: payload too short: %d bytes", len(payload))
+	}
+	if payload[0] != payloadMagic[0] || payload[1] != payloadMagic[1] {
+		return Scene{}, fmt.Errorf("codec: bad payload magic %q", payload[0:2])
+	}
+	s := Scene{
+		Frame:       int64(binary.BigEndian.Uint64(payload[2:])),
+		Richness:    math.Float64frombits(binary.BigEndian.Uint64(payload[10:])),
+		Motion:      math.Float64frombits(binary.BigEndian.Uint64(payload[18:])),
+		PersonCount: int(binary.BigEndian.Uint32(payload[26:])),
+	}
+	flags := payload[30]
+	s.Anomaly = flags&flagAnomaly != 0
+	s.Fire = flags&flagFire != 0
+	s.QualityDrop = flags&flagQualityDrop != 0
+	s.Activity = math.Float64frombits(binary.BigEndian.Uint64(payload[31:]))
+	return s, nil
+}
+
+// Stream couples a scene model with an encoder: a complete synthetic camera.
+type Stream struct {
+	Model   *SceneModel
+	Encoder *Encoder
+	// LastScene is the most recent ground-truth scene (for oracles and
+	// metrics; the gate must not read it).
+	LastScene Scene
+}
+
+// NewStream builds a camera from scene and encoder configs sharing a seed
+// namespace.
+func NewStream(sc SceneConfig, ec EncoderConfig, seed int64) *Stream {
+	return &Stream{
+		Model:   NewSceneModel(sc, seed),
+		Encoder: NewEncoder(ec, seed+1_000_003),
+	}
+}
+
+// Next produces the next packet of the stream.
+func (s *Stream) Next() *Packet {
+	sc := s.Model.Next()
+	s.LastScene = sc
+	return s.Encoder.Encode(sc)
+}

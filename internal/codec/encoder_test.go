@@ -1,0 +1,275 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderGOPPattern(t *testing.T) {
+	e := NewEncoder(EncoderConfig{GOPSize: 5}, 1)
+	want := []PictureType{PictureI, PictureP, PictureP, PictureP, PictureP,
+		PictureI, PictureP}
+	for i, w := range want {
+		p := e.Encode(Scene{Frame: int64(i)})
+		if p.Type != w {
+			t.Errorf("packet %d: type %v, want %v", i, p.Type, w)
+		}
+		if p.GOPIndex != i%5 {
+			t.Errorf("packet %d: GOPIndex %d, want %d", i, p.GOPIndex, i%5)
+		}
+	}
+}
+
+func TestEncoderBFramePattern(t *testing.T) {
+	e := NewEncoder(EncoderConfig{GOPSize: 7, BFrames: 2}, 1)
+	// I, then B B P B B P repeating within the GOP.
+	want := []PictureType{PictureI, PictureB, PictureB, PictureP,
+		PictureB, PictureB, PictureP, PictureI}
+	for i, w := range want {
+		p := e.Encode(Scene{})
+		if p.Type != w {
+			t.Errorf("packet %d: type %v, want %v", i, p.Type, w)
+		}
+	}
+}
+
+func TestEncoderIntraOnlyCodec(t *testing.T) {
+	e := NewEncoder(EncoderConfig{Codec: JPEG2000, GOPSize: 25, BFrames: 2}, 1)
+	for i := 0; i < 10; i++ {
+		p := e.Encode(Scene{})
+		if p.Type != PictureI {
+			t.Fatalf("packet %d: JPEG2000 must emit only I frames, got %v", i, p.Type)
+		}
+		if p.GOPSize != 1 {
+			t.Fatalf("packet %d: intra-only GOPSize = %d, want 1", i, p.GOPSize)
+		}
+	}
+}
+
+func TestEncoderSeqAndPTS(t *testing.T) {
+	e := NewEncoder(EncoderConfig{FPS: 25}, 1)
+	for i := int64(0); i < 50; i++ {
+		p := e.Encode(Scene{})
+		if p.Seq != i {
+			t.Fatalf("seq = %d, want %d", p.Seq, i)
+		}
+		if p.PTS != i*40 {
+			t.Fatalf("pts = %d, want %d", p.PTS, i*40)
+		}
+	}
+}
+
+// meanSizes encodes n frames of the given scene and returns mean size per type.
+func meanSizes(t *testing.T, cfg EncoderConfig, s Scene, n int) map[PictureType]float64 {
+	t.Helper()
+	e := NewEncoder(cfg, 99)
+	sum := map[PictureType]float64{}
+	cnt := map[PictureType]float64{}
+	for i := 0; i < n; i++ {
+		p := e.Encode(s)
+		sum[p.Type] += float64(p.Size)
+		cnt[p.Type]++
+	}
+	for k := range sum {
+		sum[k] /= cnt[k]
+	}
+	return sum
+}
+
+func TestSizeModelIVsPScale(t *testing.T) {
+	m := meanSizes(t, EncoderConfig{GOPSize: 10}, Scene{Richness: 0.5, Motion: 0.3}, 5000)
+	if m[PictureI] < 3*m[PictureP] {
+		t.Errorf("I frames should dwarf P frames: I=%.0f P=%.0f", m[PictureI], m[PictureP])
+	}
+}
+
+func TestSizeModelMotionDrivesPSize(t *testing.T) {
+	low := meanSizes(t, EncoderConfig{GOPSize: 10}, Scene{Motion: 0.05}, 3000)
+	high := meanSizes(t, EncoderConfig{GOPSize: 10}, Scene{Motion: 0.9}, 3000)
+	if high[PictureP] < 2*low[PictureP] {
+		t.Errorf("high-motion P frames should be much larger: low=%.0f high=%.0f",
+			low[PictureP], high[PictureP])
+	}
+	// But I-frame sizes should be nearly unaffected by motion.
+	ratio := high[PictureI] / low[PictureI]
+	if ratio > 1.5 || ratio < 0.67 {
+		t.Errorf("I size should not track motion: ratio=%.2f", ratio)
+	}
+}
+
+func TestSizeModelRichnessDrivesISize(t *testing.T) {
+	plain := meanSizes(t, EncoderConfig{GOPSize: 2}, Scene{Richness: 0.1}, 3000)
+	rich := meanSizes(t, EncoderConfig{GOPSize: 2}, Scene{Richness: 0.9}, 3000)
+	if rich[PictureI] < 1.5*plain[PictureI] {
+		t.Errorf("rich scenes need bigger I frames: plain=%.0f rich=%.0f",
+			plain[PictureI], rich[PictureI])
+	}
+}
+
+func TestSizeModelBitrateScaling(t *testing.T) {
+	s := Scene{Richness: 0.5, Motion: 0.5}
+	full := meanSizes(t, EncoderConfig{GOPSize: 10, Bitrate: 4_000_000}, s, 2000)
+	half := meanSizes(t, EncoderConfig{GOPSize: 10, Bitrate: 2_000_000}, s, 2000)
+	ratio := half[PictureP] / full[PictureP]
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("halving bitrate should roughly halve P sizes: ratio=%.2f", ratio)
+	}
+}
+
+func TestExtremeLowBitrateDestroysSignal(t *testing.T) {
+	// At 100 Kbps the size gap between quiet and busy frames should
+	// collapse versus the reference bitrate (extreme case 1, §6.4).
+	gap := func(bitrate int) float64 {
+		quiet := meanSizes(t, EncoderConfig{GOPSize: 25, Bitrate: bitrate}, Scene{Motion: 0.05}, 2000)
+		busy := meanSizes(t, EncoderConfig{GOPSize: 25, Bitrate: bitrate}, Scene{Motion: 0.9}, 2000)
+		return busy[PictureP] / quiet[PictureP]
+	}
+	if fullGap, lowGap := gap(4_000_000), gap(100_000); lowGap > (fullGap+1)/2 {
+		t.Errorf("low bitrate should collapse the motion-size gap: full=%.2f low=%.2f",
+			fullGap, lowGap)
+	}
+}
+
+func TestCodecProfilesOrdering(t *testing.T) {
+	s := Scene{Richness: 0.5, Motion: 0.4}
+	h264 := meanSizes(t, EncoderConfig{Codec: H264, GOPSize: 10}, s, 2000)
+	h265 := meanSizes(t, EncoderConfig{Codec: H265, GOPSize: 10}, s, 2000)
+	if h265[PictureP] >= h264[PictureP] || h265[PictureI] >= h264[PictureI] {
+		t.Errorf("H.265 should compress better than H.264: %v vs %v", h265, h264)
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	f := func(frame int64, richness, motion, activity float64, count uint8, anomaly, fire, drop bool) bool {
+		s := Scene{
+			Frame:    frame,
+			Richness: clamp01(richness), Motion: clamp01(motion),
+			Activity:    clamp01(activity),
+			PersonCount: int(count),
+			Anomaly:     anomaly, Fire: fire, QualityDrop: drop,
+		}
+		payload := encodePayload(s, 4096, true)
+		got, err := DecodePayload(payload)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return math.Abs(math.Mod(v, 1))
+}
+
+func TestDecodePayloadErrors(t *testing.T) {
+	if _, err := DecodePayload([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload must error")
+	}
+	bad := encodePayload(Scene{}, 64, true)
+	bad[0] = 'X'
+	if _, err := DecodePayload(bad); err == nil {
+		t.Error("bad magic must error")
+	}
+}
+
+func TestEncoderDeterminism(t *testing.T) {
+	mk := func() []int {
+		e := NewEncoder(EncoderConfig{GOPSize: 8}, 5)
+		var sizes []int
+		for i := 0; i < 100; i++ {
+			sizes = append(sizes, e.Encode(Scene{Richness: 0.4, Motion: 0.3}).Size)
+		}
+		return sizes
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d size diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStreamProducesPackets(t *testing.T) {
+	st := NewStream(SceneConfig{}, EncoderConfig{StreamID: 4, GOPSize: 25}, 123)
+	for i := int64(0); i < 60; i++ {
+		p := st.Next()
+		if p.StreamID != 4 || p.Seq != i {
+			t.Fatalf("packet %d: id=%d seq=%d", i, p.StreamID, p.Seq)
+		}
+		if p.Size <= 0 {
+			t.Fatalf("packet %d: nonpositive size %d", i, p.Size)
+		}
+		if st.LastScene.Frame != i {
+			t.Fatalf("LastScene.Frame = %d, want %d", st.LastScene.Frame, i)
+		}
+	}
+}
+
+func TestResidualFeature(t *testing.T) {
+	var r Residual
+	i := &Packet{Type: PictureI, Size: 1000}
+	p := &Packet{Type: PictureP, Size: 250}
+	if got := r.Observe(i); got != 1 {
+		t.Errorf("I residual = %v, want 1", got)
+	}
+	if got := r.Observe(p); got != 0.25 {
+		t.Errorf("P residual = %v, want 0.25", got)
+	}
+	// Before any I-frame, the packet itself is the reference.
+	var r2 Residual
+	if got := r2.Observe(p); got != 1 {
+		t.Errorf("first-P residual = %v, want 1", got)
+	}
+}
+
+func TestGOPPhaseShiftsKeyframes(t *testing.T) {
+	e := NewEncoder(EncoderConfig{GOPSize: 5, GOPPhase: 3}, 1)
+	// Phase 3 of a 5-GOP: two more predicted frames, then the I.
+	want := []PictureType{PictureP, PictureP, PictureI, PictureP, PictureP}
+	for i, w := range want {
+		if got := e.Encode(Scene{}).Type; got != w {
+			t.Errorf("packet %d: type %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestGOPPhaseNormalized(t *testing.T) {
+	// Phase ≥ GOPSize wraps; negative clamps to 0.
+	e := NewEncoder(EncoderConfig{GOPSize: 4, GOPPhase: 9}, 1)
+	if e.Config().GOPPhase != 1 {
+		t.Errorf("phase = %d, want 1", e.Config().GOPPhase)
+	}
+	e = NewEncoder(EncoderConfig{GOPSize: 4, GOPPhase: -2}, 1)
+	if e.Config().GOPPhase != 0 {
+		t.Errorf("negative phase = %d, want 0", e.Config().GOPPhase)
+	}
+}
+
+func TestFleetGOPPhasesSpreadKeyframes(t *testing.T) {
+	// A phased fleet must not emit all its I-frames in the same round.
+	const m, gop = 10, 25
+	streams := make([]*Stream, m)
+	for i := range streams {
+		streams[i] = NewStream(SceneConfig{},
+			EncoderConfig{StreamID: i, GOPSize: gop, GOPPhase: i * 7}, int64(i))
+	}
+	maxPerRound := 0
+	for r := 0; r < gop; r++ {
+		iFrames := 0
+		for _, st := range streams {
+			if st.Next().Type == PictureI {
+				iFrames++
+			}
+		}
+		if iFrames > maxPerRound {
+			maxPerRound = iFrames
+		}
+	}
+	if maxPerRound > 3 {
+		t.Errorf("keyframe burst of %d in one round; phases should spread them", maxPerRound)
+	}
+}

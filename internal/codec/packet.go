@@ -1,0 +1,118 @@
+// Package codec implements the synthetic video substrate PacketGame gates:
+// a scene model that evolves per-stream content over time, an encoder that
+// turns scene states into GOP-structured video packets with content-driven
+// packet sizes, per-codec size profiles, and an Annex-B-like bitstream
+// serialization with start codes and emulation-prevention bytes.
+//
+// The packet *metadata* (size, picture type, codec) is what the gate sees;
+// the packet *payload* carries the encoded scene state, which only a decoder
+// (internal/decode) may recover, mirroring how a real pipeline separates
+// parsed metadata from decoded pixels.
+package codec
+
+import "fmt"
+
+// PictureType identifies how a packet's frame was encoded.
+type PictureType uint8
+
+const (
+	// PictureI is an independent (intra-coded) frame: decodable by itself.
+	PictureI PictureType = iota
+	// PictureP is a predicted frame: depends on the previous reference
+	// (I or P) in its GOP.
+	PictureP
+	// PictureB is a bidirectionally predicted frame: depends on the previous
+	// reference and the next reference in its GOP.
+	PictureB
+)
+
+// String returns the conventional one-letter name of the picture type.
+func (p PictureType) String() string {
+	switch p {
+	case PictureI:
+		return "I"
+	case PictureP:
+		return "P"
+	case PictureB:
+		return "B"
+	default:
+		return fmt.Sprintf("PictureType(%d)", uint8(p))
+	}
+}
+
+// Independent reports whether the picture type can be decoded without
+// reference frames.
+func (p PictureType) Independent() bool { return p == PictureI }
+
+// Codec identifies the video codec that produced a stream.
+type Codec uint8
+
+const (
+	// H264 is the baseline codec profile (AVC).
+	H264 Codec = iota
+	// H265 compresses roughly 40% better than H264 (HEVC).
+	H265
+	// VP9 compresses roughly 30% better than H264.
+	VP9
+	// JPEG2000 is an intra-only codec: every frame is independent.
+	JPEG2000
+)
+
+var codecNames = [...]string{"h264", "h265", "vp9", "jpeg2000"}
+
+// String returns the lowercase codec name.
+func (c Codec) String() string {
+	if int(c) < len(codecNames) {
+		return codecNames[c]
+	}
+	return fmt.Sprintf("Codec(%d)", uint8(c))
+}
+
+// ParseCodec maps a codec name to its Codec value.
+func ParseCodec(name string) (Codec, error) {
+	for i, n := range codecNames {
+		if n == name {
+			return Codec(i), nil
+		}
+	}
+	return 0, fmt.Errorf("codec: unknown codec %q", name)
+}
+
+// IntraOnly reports whether the codec emits only independent frames.
+func (c Codec) IntraOnly() bool { return c == JPEG2000 }
+
+// Packet is one parsed video packet. Everything in this struct is metadata a
+// parser can recover without decoding; the gate makes its decision from these
+// fields alone (size and picture type, per the paper's feature vector x).
+type Packet struct {
+	// StreamID identifies the source stream within a session.
+	StreamID int
+	// Seq is the per-stream packet sequence number, starting at 0.
+	Seq int64
+	// PTS is the presentation timestamp in milliseconds since stream start.
+	PTS int64
+	// Type is the picture type (I/P/B).
+	Type PictureType
+	// Codec is the codec that produced the packet.
+	Codec Codec
+	// Size is the encoded payload size in bytes. This is the primary gating
+	// feature: it reflects frame richness for I-frames and content change
+	// for P/B-frames.
+	Size int
+	// GOPIndex is the packet's position within its GOP (0 = the I-frame).
+	GOPIndex int
+	// GOPSize is the length of the GOP this packet belongs to.
+	GOPSize int
+	// Payload is the encoded bitstream body (scene state + padding). The
+	// gate MUST NOT inspect it; only internal/decode may.
+	Payload []byte
+}
+
+// Keyframe reports whether the packet starts a GOP.
+func (p *Packet) Keyframe() bool { return p.GOPIndex == 0 }
+
+// String summarizes the packet metadata for logs and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("stream=%d seq=%d pts=%dms %s/%s size=%dB gop=%d/%d",
+		p.StreamID, p.Seq, p.PTS, p.Codec, p.Type, p.Size, p.GOPIndex, p.GOPSize)
+}

@@ -1,0 +1,89 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPictureTypeString(t *testing.T) {
+	cases := []struct {
+		pt   PictureType
+		want string
+	}{
+		{PictureI, "I"},
+		{PictureP, "P"},
+		{PictureB, "B"},
+		{PictureType(9), "PictureType(9)"},
+	}
+	for _, c := range cases {
+		if got := c.pt.String(); got != c.want {
+			t.Errorf("PictureType(%d).String() = %q, want %q", c.pt, got, c.want)
+		}
+	}
+}
+
+func TestPictureTypeIndependent(t *testing.T) {
+	if !PictureI.Independent() {
+		t.Error("I-frames must be independent")
+	}
+	if PictureP.Independent() || PictureB.Independent() {
+		t.Error("P/B-frames must not be independent")
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	for c, want := range map[Codec]string{
+		H264: "h264", H265: "h265", VP9: "vp9", JPEG2000: "jpeg2000",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Codec(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Codec(99).String(); got != "Codec(99)" {
+		t.Errorf("unknown codec string = %q", got)
+	}
+}
+
+func TestParseCodec(t *testing.T) {
+	for _, name := range []string{"h264", "h265", "vp9", "jpeg2000"} {
+		c, err := ParseCodec(name)
+		if err != nil {
+			t.Fatalf("ParseCodec(%q): %v", name, err)
+		}
+		if c.String() != name {
+			t.Errorf("ParseCodec(%q) round-trip = %q", name, c)
+		}
+	}
+	if _, err := ParseCodec("mpeg2"); err == nil {
+		t.Error("ParseCodec should reject unknown names")
+	}
+}
+
+func TestIntraOnly(t *testing.T) {
+	if !JPEG2000.IntraOnly() {
+		t.Error("JPEG2000 must be intra-only")
+	}
+	for _, c := range []Codec{H264, H265, VP9} {
+		if c.IntraOnly() {
+			t.Errorf("%v must not be intra-only", c)
+		}
+	}
+}
+
+func TestPacketKeyframeAndString(t *testing.T) {
+	p := &Packet{StreamID: 3, Seq: 7, PTS: 280, Type: PictureI, Codec: H265,
+		Size: 50_000, GOPIndex: 0, GOPSize: 25}
+	if !p.Keyframe() {
+		t.Error("GOPIndex 0 must be a keyframe")
+	}
+	p.GOPIndex = 1
+	if p.Keyframe() {
+		t.Error("GOPIndex 1 must not be a keyframe")
+	}
+	s := p.String()
+	for _, want := range []string{"stream=3", "seq=7", "h265", "50000B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Packet.String() = %q missing %q", s, want)
+		}
+	}
+}

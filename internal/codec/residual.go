@@ -1,0 +1,27 @@
+package codec
+
+// Residual estimates the frame-residual feature of prior work on selective
+// super-resolution (paper ref [52]): the per-frame prediction residual
+// approximated from packet sizes as the ratio of a predicted-frame packet's
+// size to the size of the most recent independent frame. Fig 3b of the paper
+// shows this handcrafted feature discriminates necessary packets poorly; the
+// Fig 3 benchmark reproduces that comparison against PacketGame's learned
+// representation.
+type Residual struct {
+	lastISize float64
+}
+
+// Observe folds one packet into the estimator and returns the residual
+// feature value for the packet. I-frames reset the reference size and report
+// a residual of 1. Before any I-frame is seen, the packet's own size is used
+// as the reference.
+func (r *Residual) Observe(p *Packet) float64 {
+	if p.Type == PictureI {
+		r.lastISize = float64(p.Size)
+		return 1
+	}
+	if r.lastISize <= 0 {
+		r.lastISize = float64(p.Size)
+	}
+	return float64(p.Size) / r.lastISize
+}

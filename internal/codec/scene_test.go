@@ -1,0 +1,197 @@
+package codec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDiurnalActivityShape(t *testing.T) {
+	night := DiurnalActivity(3)
+	morning := DiurnalActivity(8.5)
+	noon := DiurnalActivity(13)
+	evening := DiurnalActivity(17.5)
+	if morning <= night || evening <= night {
+		t.Errorf("peaks must exceed night: night=%.3f morning=%.3f evening=%.3f",
+			night, morning, evening)
+	}
+	if morning <= noon || evening <= noon {
+		t.Errorf("commute peaks must exceed midday plateau: noon=%.3f morning=%.3f evening=%.3f",
+			noon, morning, evening)
+	}
+}
+
+func TestDiurnalActivityBoundsAndPeriodicity(t *testing.T) {
+	f := func(h float64) bool {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			return true
+		}
+		a := DiurnalActivity(h)
+		if a < 0 || a > 1 {
+			return false
+		}
+		// 24h periodic.
+		return math.Abs(DiurnalActivity(h+24)-a) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSceneModelDeterminism(t *testing.T) {
+	cfg := SceneConfig{FireRate: 10, QualityDropRate: 10}
+	a := NewSceneModel(cfg, 42)
+	b := NewSceneModel(cfg, 42)
+	for i := 0; i < 500; i++ {
+		sa, sb := a.Next(), b.Next()
+		if sa != sb {
+			t.Fatalf("frame %d: same seed diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestSceneModelInvariants(t *testing.T) {
+	m := NewSceneModel(SceneConfig{FireRate: 40, QualityDropRate: 40, BaseActivity: 0.8}, 7)
+	for i := int64(0); i < 5000; i++ {
+		s := m.Next()
+		if s.Frame != i {
+			t.Fatalf("frame counter: got %d want %d", s.Frame, i)
+		}
+		if s.Motion < 0 || s.Motion > 1 {
+			t.Fatalf("motion out of range: %f", s.Motion)
+		}
+		if s.Activity < 0 || s.Activity > 1 {
+			t.Fatalf("activity out of range: %f", s.Activity)
+		}
+		if s.PersonCount < 0 {
+			t.Fatalf("negative person count: %d", s.PersonCount)
+		}
+	}
+}
+
+func TestSceneModelEventsOccurAndPersist(t *testing.T) {
+	// With high rates over a long run, every event type should occur, and
+	// events should persist across consecutive frames (temporal continuity
+	// is what the temporal estimator exploits).
+	m := NewSceneModel(SceneConfig{
+		BaseActivity: 0.9, AnomalyRate: 200, FireRate: 200, QualityDropRate: 200,
+	}, 11)
+	var sawAnomaly, sawFire, sawDrop bool
+	var anomalyRuns, anomalyFrames int
+	prevAnomaly := false
+	for i := 0; i < 25*3600; i++ {
+		s := m.Next()
+		sawAnomaly = sawAnomaly || s.Anomaly
+		sawFire = sawFire || s.Fire
+		sawDrop = sawDrop || s.QualityDrop
+		if s.Anomaly {
+			anomalyFrames++
+			if !prevAnomaly {
+				anomalyRuns++
+			}
+		}
+		prevAnomaly = s.Anomaly
+	}
+	if !sawAnomaly || !sawFire || !sawDrop {
+		t.Fatalf("events missing: anomaly=%v fire=%v drop=%v", sawAnomaly, sawFire, sawDrop)
+	}
+	if anomalyRuns == 0 || anomalyFrames/anomalyRuns < 25 {
+		t.Errorf("anomalies should persist ~20s: %d frames over %d runs",
+			anomalyFrames, anomalyRuns)
+	}
+}
+
+func TestSceneModelDiurnalModulatesLoad(t *testing.T) {
+	// A diurnal model starting at 03:00 should see far fewer people than
+	// one starting at 17:00.
+	countPeople := func(startHour float64) int {
+		m := NewSceneModel(SceneConfig{Diurnal: true, StartHour: startHour, PersonRate: 1}, 3)
+		total := 0
+		for i := 0; i < 25*600; i++ { // 10 simulated minutes
+			total += m.Next().PersonCount
+		}
+		return total
+	}
+	night, evening := countPeople(3), countPeople(17.5)
+	if evening < night*3 {
+		t.Errorf("evening load (%d) should dwarf night load (%d)", evening, night)
+	}
+}
+
+func TestMotionRespondsToEvents(t *testing.T) {
+	// Frames during fire should carry more motion than quiet frames.
+	m := NewSceneModel(SceneConfig{FireRate: 500, BaseActivity: 0.1, PersonRate: 0.001}, 5)
+	var fireSum, quietSum float64
+	var fireN, quietN int
+	for i := 0; i < 25*1200; i++ {
+		s := m.Next()
+		if s.Fire {
+			fireSum += s.Motion
+			fireN++
+		} else if s.PersonCount == 0 && !s.Anomaly {
+			quietSum += s.Motion
+			quietN++
+		}
+	}
+	if fireN == 0 || quietN == 0 {
+		t.Skip("not enough samples of both classes")
+	}
+	if fireSum/float64(fireN) <= quietSum/float64(quietN) {
+		t.Errorf("fire motion %.3f should exceed quiet motion %.3f",
+			fireSum/float64(fireN), quietSum/float64(quietN))
+	}
+}
+
+func TestTimeCompressAcceleratesDay(t *testing.T) {
+	// With TimeCompress=1440, one minute of frames spans a full day, so a
+	// diurnal model must traverse both night and peak activity levels.
+	m := NewSceneModel(SceneConfig{Diurnal: true, TimeCompress: 1440, StartHour: 0}, 5)
+	var lo, hi = 2.0, -1.0
+	for i := 0; i < 25*60; i++ {
+		s := m.Next()
+		if s.Activity < lo {
+			lo = s.Activity
+		}
+		if s.Activity > hi {
+			hi = s.Activity
+		}
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("compressed day shows too little activity range: [%v, %v]", lo, hi)
+	}
+}
+
+func TestTimeCompressLeavesEventDynamicsAlone(t *testing.T) {
+	// Compression accelerates only the diurnal clock; event durations keep
+	// their natural frame length.
+	frames := func(compress float64) int {
+		m := NewSceneModel(SceneConfig{
+			AnomalyRate: 600, AnomalyDuration: 40, TimeCompress: compress,
+			BaseActivity: 0.9,
+		}, 9)
+		total, runs := 0, 0
+		prev := false
+		for i := 0; i < 25*1200; i++ {
+			s := m.Next()
+			if s.Anomaly {
+				total++
+				if !prev {
+					runs++
+				}
+			}
+			prev = s.Anomaly
+		}
+		if runs == 0 {
+			return 0
+		}
+		return total / runs
+	}
+	normal, fast := frames(1), frames(10)
+	if fast == 0 || normal == 0 {
+		t.Skip("no anomalies sampled")
+	}
+	ratio := float64(fast) / float64(normal)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("event durations must not scale with clock compression: normal=%d fast=%d", normal, fast)
+	}
+}

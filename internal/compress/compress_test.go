@@ -1,0 +1,71 @@
+package compress
+
+import (
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+)
+
+func TestGraceDefaults(t *testing.T) {
+	g := Grace()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "Grace" {
+		t.Errorf("name = %q", g.Name)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Compressor{
+		{SizeRatio: 0, DecodeSpeedup: 1},
+		{SizeRatio: 1.5, DecodeSpeedup: 1},
+		{SizeRatio: 0.5, DecodeSpeedup: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d must fail validation", i)
+		}
+	}
+}
+
+func TestApplyShrinksSizeKeepsPayload(t *testing.T) {
+	g := Grace()
+	st := codec.NewStream(codec.SceneConfig{}, codec.EncoderConfig{GOPSize: 5}, 9)
+	p := st.Next()
+	orig := p.Size
+	g.Apply(p)
+	if p.Size >= orig {
+		t.Errorf("size %d not reduced from %d", p.Size, orig)
+	}
+	// Inference-relevant content survives.
+	s, err := codec.DecodePayload(p.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != st.LastScene {
+		t.Error("compression corrupted the scene payload")
+	}
+}
+
+func TestApplyFloorsAtOne(t *testing.T) {
+	c := Compressor{SizeRatio: 0.001, DecodeSpeedup: 1}
+	p := &codec.Packet{Size: 10}
+	c.Apply(p)
+	if p.Size < 1 {
+		t.Errorf("size = %d", p.Size)
+	}
+}
+
+func TestScaleCosts(t *testing.T) {
+	g := Grace()
+	scaled := g.ScaleCosts(decode.DefaultCosts)
+	if scaled.I >= decode.DefaultCosts.I || scaled.P >= decode.DefaultCosts.P || scaled.B >= decode.DefaultCosts.B {
+		t.Errorf("costs not reduced: %+v", scaled)
+	}
+	wantI := decode.DefaultCosts.I / g.DecodeSpeedup
+	if scaled.I != wantI {
+		t.Errorf("I = %v, want %v", scaled.I, wantI)
+	}
+}

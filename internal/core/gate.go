@@ -1,0 +1,385 @@
+// Package core implements the paper's primary contribution: the
+// multi-stream packet gating algorithm (Alg. 1). Each round the Gate takes
+// one parsed packet per stream, scores it with the temporal estimator (§5.1)
+// and the contextual predictor (§5.2), selects a budget-feasible subset with
+// the combinatorial optimizer (§5.3), and later consumes the redundancy
+// feedback of the decoded packets to update its state.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"packetgame/internal/bandit"
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+	"packetgame/internal/knapsack"
+	"packetgame/internal/predictor"
+	"packetgame/internal/trace"
+)
+
+// Config parameterizes a Gate.
+type Config struct {
+	// Streams is the number of concurrent streams m.
+	Streams int
+	// Window is the temporal window length w (default 5).
+	Window int
+	// Budget is the per-round decoding budget B in decode units. A budget
+	// below Costs.I starves every stream: no keyframe is ever affordable,
+	// and predicted frames owe their reference chains on top.
+	Budget float64
+	// Costs is the decode cost model (default decode.DefaultCosts).
+	Costs decode.CostModel
+	// Predictor is the trained contextual predictor. Nil yields the
+	// "Temporal" ablation: confidence comes from the estimator alone.
+	Predictor *predictor.Predictor
+	// TaskIndex selects the predictor output head (multi-task models).
+	// Set to AllTasks to gate on the maximum confidence across heads: a
+	// packet is worth decoding if any of the co-deployed models needs it
+	// (the smart-city multi-model deployment of §5.2).
+	TaskIndex int
+	// UseTemporal enables the temporal estimator. Disabling it (with a
+	// predictor present) yields the "Contextual" ablation of Table 3.
+	UseTemporal bool
+	// Explore adds the UCB exploration bonus to the final confidence,
+	// preserving the regret guarantee (§5.4). Defaults to the value of
+	// UseTemporal.
+	Explore *bool
+	// Selector is the combinatorial optimizer (default knapsack.Greedy).
+	Selector knapsack.Selector
+	// DependencyAware folds undecoded reference chains into packet costs
+	// (Fig 6). Disabling it is a design ablation: costs become the bare
+	// per-picture-type costs. Default true.
+	DependencyAware *bool
+	// OnlineLR enables online fine-tuning of the predictor from live
+	// redundancy feedback (the paper's stated future work, §5.2): every
+	// OnlineBatch feedback samples trigger one RMSprop step at this
+	// learning rate. 0 disables (the paper's frozen-weights deployment).
+	OnlineLR float64
+	// OnlineBatch is the minibatch size for online updates (default 64).
+	OnlineBatch int
+	// Trace, when non-nil, records every round's confidences, costs, and
+	// decisions as a JSON Lines audit trail (written at Feedback time,
+	// once redundancy outcomes are known).
+	Trace *trace.Writer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Streams <= 0 {
+		return c, fmt.Errorf("core: Streams must be positive, got %d", c.Streams)
+	}
+	if c.Budget <= 0 {
+		return c, fmt.Errorf("core: Budget must be positive, got %v", c.Budget)
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Costs == (decode.CostModel{}) {
+		c.Costs = decode.DefaultCosts
+	}
+	if c.Selector == nil {
+		c.Selector = &knapsack.Greedy{}
+	}
+	if c.Predictor == nil && !c.UseTemporal {
+		return c, fmt.Errorf("core: need a predictor, the temporal estimator, or both")
+	}
+	if c.Explore == nil {
+		e := c.UseTemporal
+		c.Explore = &e
+	}
+	if c.DependencyAware == nil {
+		d := true
+		c.DependencyAware = &d
+	}
+	if c.OnlineLR > 0 && c.Predictor == nil {
+		return c, fmt.Errorf("core: online learning requires a predictor")
+	}
+	if c.OnlineBatch == 0 {
+		c.OnlineBatch = 64
+	}
+	if c.Predictor != nil {
+		pc := c.Predictor.Config()
+		if pc.Window != c.Window {
+			return c, fmt.Errorf("core: predictor window %d != gate window %d", pc.Window, c.Window)
+		}
+		if c.TaskIndex != AllTasks && (c.TaskIndex < 0 || c.TaskIndex >= pc.Tasks) {
+			return c, fmt.Errorf("core: task index %d out of range for %d-task predictor", c.TaskIndex, pc.Tasks)
+		}
+		if c.TaskIndex == AllTasks && c.OnlineLR > 0 {
+			return c, fmt.Errorf("core: online learning needs a concrete TaskIndex, not AllTasks")
+		}
+	}
+	return c, nil
+}
+
+// AllTasks is a TaskIndex sentinel: aggregate confidence as the maximum
+// over all predictor heads.
+const AllTasks = -1
+
+// Stats aggregates a Gate's lifetime counters.
+type Stats struct {
+	Rounds    int64
+	Packets   int64 // non-idle packets observed
+	Decoded   int64 // packets selected for decoding
+	CostSpent float64
+}
+
+// Gate is the PacketGame plug-in between parser and decoder.
+type Gate struct {
+	cfg     Config
+	est     *bandit.TemporalEstimator
+	windows []*predictor.Window
+	tracker *decode.MultiTracker
+
+	// Round state.
+	pending  bool
+	selected []bool
+
+	// Scratch buffers.
+	items  []knapsack.Item
+	feats  []predictor.Features
+	active []int // stream index per feats entry
+	conf   []float64
+	reward []float64
+
+	// Pending trace record (Trace != nil).
+	pendingTrace *trace.Round
+
+	// Online learning (OnlineLR > 0).
+	trainer *predictor.Trainer
+	buffer  []predictor.Sample
+	// lastFeats maps stream index to the features used for this round's
+	// decision, retained (cloned) only when online learning is on.
+	lastFeats map[int]predictor.Features
+
+	stats Stats
+}
+
+// NewGate builds a gate from the config.
+func NewGate(cfg Config) (*Gate, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := &Gate{
+		cfg:      cfg,
+		windows:  make([]*predictor.Window, cfg.Streams),
+		tracker:  decode.NewMultiTracker(cfg.Streams, cfg.Costs),
+		selected: make([]bool, cfg.Streams),
+		items:    make([]knapsack.Item, cfg.Streams),
+		conf:     make([]float64, cfg.Streams),
+		reward:   make([]float64, cfg.Streams),
+	}
+	if cfg.UseTemporal || *cfg.Explore {
+		g.est, err = bandit.NewTemporalEstimator(cfg.Streams, cfg.Window)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range g.windows {
+		g.windows[i] = predictor.NewWindow(cfg.Window)
+	}
+	if cfg.OnlineLR > 0 {
+		g.trainer = predictor.NewTrainer(cfg.Predictor, cfg.OnlineLR)
+		g.lastFeats = make(map[int]predictor.Features)
+	}
+	return g, nil
+}
+
+// Config returns the gate's effective configuration.
+func (g *Gate) Config() Config { return g.cfg }
+
+// Stats returns the lifetime counters.
+func (g *Gate) Stats() Stats { return g.stats }
+
+// Decide runs one gating round. pkts holds one parsed packet per stream
+// (nil for streams with no packet this round) and must have length
+// Config.Streams. It returns the indices of the streams whose packets should
+// be decoded. Feedback must be called before the next Decide.
+func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
+	if g.pending {
+		return nil, fmt.Errorf("core: Decide called before Feedback for the previous round")
+	}
+	if len(pkts) != g.cfg.Streams {
+		return nil, fmt.Errorf("core: %d packets for %d streams", len(pkts), g.cfg.Streams)
+	}
+
+	// 1. Fold packet metadata into the per-stream feature windows.
+	g.feats = g.feats[:0]
+	g.active = g.active[:0]
+	for i, p := range pkts {
+		if p == nil {
+			continue
+		}
+		g.windows[i].Push(p)
+		g.stats.Packets++
+		g.active = append(g.active, i)
+	}
+
+	// 2. Confidence per stream: contextual predictor fused with the
+	// temporal estimate, plus the exploration bonus (Alg. 1 line 5-6).
+	for i := range g.conf {
+		g.conf[i] = 0
+	}
+	if g.cfg.Predictor != nil {
+		for _, i := range g.active {
+			temporal := 0.0
+			if g.cfg.UseTemporal {
+				temporal = g.est.Exploit(i)
+			}
+			g.feats = append(g.feats, g.windows[i].Features(temporal))
+		}
+		if len(g.feats) > 0 {
+			preds := g.cfg.Predictor.PredictBatch(g.feats)
+			for k, i := range g.active {
+				if g.cfg.TaskIndex == AllTasks {
+					best := 0.0
+					for _, v := range preds[k] {
+						if v > best {
+							best = v
+						}
+					}
+					g.conf[i] = best
+				} else {
+					g.conf[i] = preds[k][g.cfg.TaskIndex]
+				}
+			}
+		}
+		if g.trainer != nil {
+			clear(g.lastFeats)
+			for k, i := range g.active {
+				g.lastFeats[i] = g.feats[k].Clone()
+			}
+		}
+	} else {
+		for _, i := range g.active {
+			g.conf[i] = g.est.Exploit(i)
+		}
+	}
+	if *g.cfg.Explore {
+		for _, i := range g.active {
+			g.conf[i] += g.est.Bonus(i)
+		}
+	}
+
+	// 3. Dependency-inclusive costs (Fig 6).
+	var costs []float64
+	var err error
+	if *g.cfg.DependencyAware {
+		costs, err = g.tracker.Costs(pkts)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		costs = make([]float64, len(pkts))
+		for i, p := range pkts {
+			if p != nil {
+				costs[i] = g.cfg.Costs.Of(p.Type)
+			}
+		}
+	}
+
+	// 4. Combinatorial selection under the budget.
+	for i := range g.items {
+		g.items[i] = knapsack.Item{}
+		if pkts[i] != nil {
+			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: costs[i]}
+		}
+	}
+	sel := g.cfg.Selector.Select(g.items, g.cfg.Budget)
+
+	// 5. Commit decisions to the dependency tracker.
+	for i := range g.selected {
+		g.selected[i] = false
+	}
+	for _, i := range sel {
+		g.selected[i] = true
+		g.stats.Decoded++
+		g.stats.CostSpent += costs[i]
+	}
+	if err := g.tracker.Commit(pkts, g.selected); err != nil {
+		return nil, err
+	}
+	if g.cfg.Trace != nil {
+		rec := &trace.Round{T: g.stats.Rounds, Budget: g.cfg.Budget}
+		for _, i := range g.active {
+			d := trace.Decision{
+				Stream:     i,
+				Type:       pkts[i].Type.String(),
+				Size:       pkts[i].Size,
+				Confidence: g.conf[i],
+				Cost:       costs[i],
+				Selected:   g.selected[i],
+			}
+			if g.selected[i] {
+				rec.Spent += costs[i]
+			}
+			rec.Decisions = append(rec.Decisions, d)
+		}
+		g.pendingTrace = rec
+	}
+	g.stats.Rounds++
+	g.pending = true
+	return sel, nil
+}
+
+// Confidence returns the last computed confidence for stream i (diagnostic).
+func (g *Gate) Confidence(i int) float64 { return g.conf[i] }
+
+// Feedback closes the round opened by Decide: necessary[i] is the redundancy
+// feedback for stream selected[i] (aligned with Decide's return value).
+func (g *Gate) Feedback(selected []int, necessary []bool) error {
+	if !g.pending {
+		return fmt.Errorf("core: Feedback without a pending round")
+	}
+	if len(selected) != len(necessary) {
+		return fmt.Errorf("core: %d selections with %d feedback values", len(selected), len(necessary))
+	}
+	g.pending = false
+	if g.est == nil {
+		return nil
+	}
+	for i := range g.reward {
+		g.reward[i] = 0
+	}
+	for k, i := range selected {
+		if i < 0 || i >= g.cfg.Streams {
+			return fmt.Errorf("core: feedback for invalid stream %d", i)
+		}
+		if necessary[k] {
+			g.reward[i] = 1
+		}
+		if g.trainer != nil {
+			if f, ok := g.lastFeats[i]; ok {
+				labels := make([]float64, g.cfg.Predictor.Config().Tasks)
+				for t := range labels {
+					labels[t] = math.NaN() // only this gate's head gets a label
+				}
+				labels[g.cfg.TaskIndex] = g.reward[i]
+				g.buffer = append(g.buffer, predictor.Sample{F: f, Labels: labels})
+			}
+		}
+	}
+	if g.trainer != nil && len(g.buffer) >= g.cfg.OnlineBatch {
+		if _, err := g.trainer.Step(g.buffer); err != nil {
+			return err
+		}
+		g.buffer = g.buffer[:0]
+	}
+	if g.pendingTrace != nil {
+		nec := map[int]bool{}
+		for k, i := range selected {
+			nec[i] = necessary[k]
+		}
+		for d := range g.pendingTrace.Decisions {
+			if g.pendingTrace.Decisions[d].Selected {
+				g.pendingTrace.Decisions[d].Necessary = nec[g.pendingTrace.Decisions[d].Stream]
+			}
+		}
+		if err := g.cfg.Trace.Write(*g.pendingTrace); err != nil {
+			return err
+		}
+		g.pendingTrace = nil
+	}
+	return g.est.Push(g.selected, g.reward)
+}

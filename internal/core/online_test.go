@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+	"packetgame/internal/predictor"
+)
+
+func TestOnlineLearningRequiresPredictor(t *testing.T) {
+	_, err := NewGate(Config{Streams: 2, Budget: 5, UseTemporal: true, OnlineLR: 0.001})
+	if err == nil {
+		t.Error("online learning without a predictor must error")
+	}
+}
+
+// TestOnlineLearningAdaptsFromScratch starts from an untrained predictor and
+// lets the gate fine-tune it online from its own redundancy feedback; the
+// online gate must end up beating an identically-initialized frozen gate.
+func TestOnlineLearningAdaptsFromScratch(t *testing.T) {
+	const m, rounds, budget = 16, 4000, 4.0
+	mkStreams := func() []*codec.Stream {
+		streams := make([]*codec.Stream, m)
+		for i := range streams {
+			sc := codec.SceneConfig{BaseActivity: 0.05, PersonRate: 0.02}
+			if i%2 == 0 {
+				sc = codec.SceneConfig{BaseActivity: 0.9, PersonRate: 1.0, PersonStay: 4}
+			}
+			streams[i] = codec.NewStream(sc, codec.EncoderConfig{StreamID: i, GOPSize: 25},
+				int64(i)*311)
+		}
+		return streams
+	}
+	run := func(online bool) Result {
+		p, err := predictor.New(predictor.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Streams: m, Budget: budget, Predictor: p, UseTemporal: true}
+		if online {
+			cfg.OnlineLR = 0.002
+			cfg.OnlineBatch = 128
+		}
+		gate, err := NewGate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSimulation(mkStreams(), infer.PersonCounting{}, decode.DefaultCosts)
+		sim.SetDecider(gate)
+		res, err := sim.Run(rounds, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	frozen := run(false)
+	online := run(true)
+	t.Logf("frozen %.4f vs online %.4f balanced accuracy", frozen.BalancedAccuracy, online.BalancedAccuracy)
+	if online.BalancedAccuracy < frozen.BalancedAccuracy-0.02 {
+		t.Errorf("online learning hurt: %.4f vs frozen %.4f",
+			online.BalancedAccuracy, frozen.BalancedAccuracy)
+	}
+}
+
+func TestTrainerStepReducesLoss(t *testing.T) {
+	p, err := predictor.New(predictor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := predictor.NewTrainer(p, 0.01)
+	// A separable batch: positives have large recent P sizes.
+	mk := func(pos bool) predictor.Sample {
+		f := predictor.Features{ISizes: make([]float64, 5), PSizes: make([]float64, 5)}
+		for i := range f.PSizes {
+			if pos {
+				f.PSizes[i] = 0.8
+			} else {
+				f.PSizes[i] = 0.2
+			}
+		}
+		f.Pict[1] = 1
+		label := 0.0
+		if pos {
+			label = 1
+		}
+		return predictor.Sample{F: f, Labels: []float64{label}}
+	}
+	batch := []predictor.Sample{mk(true), mk(false), mk(true), mk(false)}
+	first, err := tr.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 200; i++ {
+		last, err = tr.Step(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %.4f last %.4f", first, last)
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	p, err := predictor.New(predictor.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := predictor.NewTrainer(p, 0)
+	if _, err := tr.Step(nil); err == nil {
+		t.Error("empty batch must error")
+	}
+	bad := predictor.Sample{
+		F:      predictor.Features{ISizes: make([]float64, 5), PSizes: make([]float64, 5)},
+		Labels: []float64{1, 0}, // two labels for one head
+	}
+	if _, err := tr.Step([]predictor.Sample{bad}); err == nil {
+		t.Error("label-count mismatch must error")
+	}
+}
+
+func TestAllTasksAggregation(t *testing.T) {
+	pcfg := predictor.DefaultConfig()
+	pcfg.Tasks = 2
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGate(Config{Streams: 4, Budget: 8, Predictor: p, TaskIndex: AllTasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := mkStreams(4, 3)
+	for r := 0; r < 30; r++ {
+		pkts := make([]*codec.Packet, 4)
+		for i, st := range streams {
+			pkts[i] = st.Next()
+		}
+		sel, err := g.Decide(pkts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The aggregated confidence must be at least either head's value.
+		if err := g.Feedback(sel, make([]bool, len(sel))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Stats().Decoded == 0 {
+		t.Error("multi-task gate decoded nothing")
+	}
+	// Online learning cannot target all heads at once.
+	if _, err := NewGate(Config{Streams: 2, Budget: 5, Predictor: p, TaskIndex: AllTasks, OnlineLR: 0.01}); err == nil {
+		t.Error("AllTasks + online learning must error")
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+	"packetgame/internal/knapsack"
+)
+
+func TestProbeDisabledByDefault(t *testing.T) {
+	sim := NewSimulation(mkStreams(4, 1), infer.AnomalyDetection{}, decode.DefaultCosts)
+	g, err := NewGate(Config{Streams: 4, Budget: 3, UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetDecider(g)
+	res, err := sim.Run(50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbedRecall != -1 || res.ProbeRounds != 0 {
+		t.Errorf("probe stats without probing: %v / %d", res.ProbedRecall, res.ProbeRounds)
+	}
+}
+
+func TestProbeCountsRounds(t *testing.T) {
+	sim := NewSimulation(mkStreams(4, 2), infer.AnomalyDetection{}, decode.DefaultCosts)
+	g, err := NewGate(Config{Streams: 4, Budget: 3, UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetDecider(g)
+	sim.SetProbeEvery(10)
+	res, err := sim.Run(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbeRounds != 10 {
+		t.Errorf("probe rounds = %d, want 10", res.ProbeRounds)
+	}
+	if res.ProbedRecall < 0 || res.ProbedRecall > 1 {
+		t.Errorf("probed recall = %v", res.ProbedRecall)
+	}
+}
+
+func TestProbeRecallPerfectWithUnlimitedBudget(t *testing.T) {
+	// With budget to decode everything, recall must be 1: every necessary
+	// packet is decoded.
+	sim := NewSimulation(mkStreams(4, 3), infer.PersonCounting{}, decode.DefaultCosts)
+	sim.SetDecider(NewBaselineGate(4, decode.DefaultCosts, &knapsack.Greedy{}, nil, 1e9))
+	sim.SetProbeEvery(5)
+	res, err := sim.Run(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProbedRecall != 1 {
+		t.Errorf("recall with unlimited budget = %v, want 1", res.ProbedRecall)
+	}
+}
+
+func TestProbeOracleOutperformsRandomRecall(t *testing.T) {
+	run := func(mk func(sim *Simulation) Decider) float64 {
+		sim := NewSimulation(mkStreams(12, 4), infer.AnomalyDetection{}, decode.DefaultCosts)
+		sim.SetDecider(mk(sim))
+		sim.SetProbeEvery(3)
+		res, err := sim.Run(900, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ProbedRecall
+	}
+	oracle := run(func(sim *Simulation) Decider {
+		return NewBaselineGate(12, decode.DefaultCosts, &knapsack.Greedy{}, sim.OracleValues, 4)
+	})
+	random := run(func(sim *Simulation) Decider {
+		return NewBaselineGate(12, decode.DefaultCosts, knapsack.NewRandom(1), nil, 4)
+	})
+	if oracle <= random {
+		t.Errorf("oracle recall %.3f must beat random %.3f", oracle, random)
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+)
+
+// Simulation drives the full round-based ingest loop of the paper's
+// formalization (§4.1): per round, one packet arrives per stream, the
+// Decider gates them, selected packets are decoded and inferred, monitors
+// produce redundancy feedback, and the feedback closes the round.
+type Simulation struct {
+	streams []*codec.Stream
+	decider Decider
+	task    infer.Task
+	fleet   *infer.Fleet
+	dec     *decode.Decoder
+	// truth tracker: charges the real dependency-inclusive decode cost of
+	// every selection, independent of what the policy believed it would
+	// cost. Mispricing policies (the dependency-blind ablation) therefore
+	// show their true spend in Result.CostSpent.
+	costs    *decode.MultiTracker
+	trueCost float64
+
+	pkts  []*codec.Packet
+	truth []codec.Scene
+	vals  []float64
+
+	// Fast-slow path probing (§4.1): every probeEvery rounds the slow path
+	// virtually decodes everything to measure how many necessary packets
+	// the gate actually selected (online recall estimation, the LiveNet-
+	// style complement to the selective feedback).
+	probeEvery  int
+	probeNeeded int64
+	probeCaught int64
+	probeRounds int64
+}
+
+// NewSimulation wires streams and a task; set the policy with SetDecider
+// before Run (this two-step construction lets oracle baselines close over
+// the simulation's ground truth via OracleValues).
+func NewSimulation(streams []*codec.Stream, task infer.Task, cm decode.CostModel) *Simulation {
+	return &Simulation{
+		streams: streams,
+		task:    task,
+		fleet:   infer.NewFleet(task, len(streams)),
+		dec:     decode.NewDecoder(cm),
+		costs:   decode.NewMultiTracker(len(streams), cm),
+		pkts:    make([]*codec.Packet, len(streams)),
+		truth:   make([]codec.Scene, len(streams)),
+		vals:    make([]float64, len(streams)),
+	}
+}
+
+// SetDecider installs the gating policy.
+func (s *Simulation) SetDecider(d Decider) { s.decider = d }
+
+// SetProbeEvery enables the fast-slow path recall probe: every n rounds the
+// slow path evaluates all streams against ground truth to estimate the
+// gate's recall of necessary packets. 0 disables probing.
+func (s *Simulation) SetProbeEvery(n int) { s.probeEvery = n }
+
+// Fleet exposes the per-stream monitors.
+func (s *Simulation) Fleet() *infer.Fleet { return s.fleet }
+
+// Task returns the simulated inference task.
+func (s *Simulation) Task() infer.Task { return s.task }
+
+// OracleValues is a ValueFunc that scores each packet 1 if decoding it now
+// would be a necessary inference given the stream's currently emitted
+// result, and a small epsilon otherwise. Plugged into a BaselineGate with
+// the greedy selector, it is the clairvoyant "Optimal" policy.
+func (s *Simulation) OracleValues(pkts []*codec.Packet) []float64 {
+	for i := range s.vals {
+		s.vals[i] = 0
+		if pkts[i] == nil {
+			continue
+		}
+		cur := s.task.ResultOf(s.truth[i])
+		prev, started := s.fleet.Stream(i).Emitted()
+		if !started || s.task.Necessary(prev, cur) {
+			s.vals[i] = 1
+		} else {
+			s.vals[i] = 1e-6
+		}
+	}
+	return s.vals
+}
+
+// Result summarizes a simulation run. SegmentAccuracy entries are balanced
+// accuracies per time segment.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int64
+	// Packets counts packets observed; Decoded counts packets decoded.
+	Packets, Decoded int64
+	// NecessaryDecoded counts decoded packets whose inference was
+	// necessary (the paper's objective, Eq. 1).
+	NecessaryDecoded int64
+	// CostSpent is the total decode cost in decode units, including the
+	// reference chains of packets whose dependencies were skipped (Fig 6):
+	// the true spend, whatever costs the policy assumed.
+	CostSpent float64
+	// Accuracy is the mean emitted-result accuracy across streams.
+	Accuracy float64
+	// BalancedAccuracy averages accuracy over event-positive and
+	// event-negative rounds, so rare-event tasks cannot score well by
+	// never decoding (the 90%-target experiments use this).
+	BalancedAccuracy float64
+	// FilterRate is 1 − Decoded/Packets.
+	FilterRate float64
+	// SegmentAccuracy holds per-time-segment accuracy when Run was asked
+	// for segments (Fig 10).
+	SegmentAccuracy []float64
+	// ProbedRecall is the slow path's estimate of the fraction of
+	// necessary packets the gate decoded, over the probed rounds
+	// (-1 when probing is off or nothing was necessary).
+	ProbedRecall float64
+	// ProbeRounds counts the rounds the slow path evaluated.
+	ProbeRounds int64
+}
+
+// Run executes the given number of rounds, optionally splitting accuracy
+// accounting into segments (pass 0 for none).
+func (s *Simulation) Run(rounds, segments int) (Result, error) {
+	if s.decider == nil {
+		return Result{}, fmt.Errorf("core: simulation has no decider")
+	}
+	if rounds <= 0 {
+		return Result{}, fmt.Errorf("core: rounds must be positive, got %d", rounds)
+	}
+	var res Result
+	var segNR, segNC, segPR, segPC int64
+	segEvery := 0
+	if segments > 0 {
+		segEvery = rounds / segments
+		if segEvery == 0 {
+			segEvery = 1
+		}
+	}
+	var necessary []bool
+	for t := 0; t < rounds; t++ {
+		for i, st := range s.streams {
+			s.pkts[i] = st.Next()
+			s.truth[i] = st.LastScene
+		}
+		// Slow-path probe: evaluate necessity for every stream before the
+		// decisions are applied.
+		probing := s.probeEvery > 0 && t%s.probeEvery == 0
+		var probeNeed []bool
+		if probing {
+			probeNeed = make([]bool, len(s.streams))
+			for i := range s.streams {
+				cur := s.task.ResultOf(s.truth[i])
+				prev, started := s.fleet.Stream(i).Emitted()
+				probeNeed[i] = !started || s.task.Necessary(prev, cur)
+			}
+		}
+		sel, err := s.decider.Decide(s.pkts)
+		if err != nil {
+			return res, fmt.Errorf("core: round %d: %w", t, err)
+		}
+		necessary = necessary[:0]
+		isSel := make(map[int]bool, len(sel))
+		selFlags := make([]bool, len(s.streams))
+		for _, i := range sel {
+			selFlags[i] = true
+		}
+		trueCosts, err := s.costs.Costs(s.pkts)
+		if err != nil {
+			return res, fmt.Errorf("core: round %d cost tracking: %w", t, err)
+		}
+		for _, i := range sel {
+			s.trueCost += trueCosts[i]
+		}
+		if err := s.costs.Commit(s.pkts, selFlags); err != nil {
+			return res, fmt.Errorf("core: round %d cost tracking: %w", t, err)
+		}
+		for _, i := range sel {
+			isSel[i] = true
+			frame, err := s.dec.Decode(s.pkts[i])
+			if err != nil {
+				return res, fmt.Errorf("core: round %d stream %d: %w", t, i, err)
+			}
+			nec := s.fleet.Stream(i).ObserveDecoded(s.truth[i], frame.Scene)
+			necessary = append(necessary, nec)
+			if nec {
+				res.NecessaryDecoded++
+			}
+		}
+		for i := range s.streams {
+			if !isSel[i] {
+				s.fleet.Stream(i).ObserveSkipped(s.truth[i])
+			}
+		}
+		if probing {
+			s.probeRounds++
+			for i, need := range probeNeed {
+				if need {
+					s.probeNeeded++
+					if isSel[i] {
+						s.probeCaught++
+					}
+				}
+			}
+		}
+		if err := s.decider.Feedback(sel, necessary); err != nil {
+			return res, fmt.Errorf("core: round %d feedback: %w", t, err)
+		}
+		res.Rounds++
+		res.Packets += int64(len(s.streams))
+		res.Decoded += int64(len(sel))
+
+		if segEvery > 0 && (t+1)%segEvery == 0 {
+			nr, nc, pr, pc := s.fleet.ClassTotals()
+			dnr, dnc, dpr, dpc := nr-segNR, nc-segNC, pr-segPR, pc-segPC
+			segNR, segNC, segPR, segPC = nr, nc, pr, pc
+			var sum float64
+			classes := 0
+			if dnr > 0 {
+				sum += float64(dnc) / float64(dnr)
+				classes++
+			}
+			if dpr > 0 {
+				sum += float64(dpc) / float64(dpr)
+				classes++
+			}
+			if classes > 0 {
+				res.SegmentAccuracy = append(res.SegmentAccuracy, sum/float64(classes))
+			}
+		}
+	}
+	res.CostSpent = s.trueCost
+	res.Accuracy = s.fleet.Accuracy()
+	res.BalancedAccuracy = s.fleet.BalancedAccuracy()
+	if res.Packets > 0 {
+		res.FilterRate = 1 - float64(res.Decoded)/float64(res.Packets)
+	}
+	res.ProbedRecall = -1
+	res.ProbeRounds = s.probeRounds
+	if s.probeNeeded > 0 {
+		res.ProbedRecall = float64(s.probeCaught) / float64(s.probeNeeded)
+	}
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/infer"
+)
+
+func TestCampus1KDefaults(t *testing.T) {
+	streams := Campus1K(Campus1KConfig{Seed: 1})
+	if len(streams) != 1108 {
+		t.Fatalf("cameras = %d, want 1108", len(streams))
+	}
+	p := streams[0].Next()
+	if p.Codec != codec.H265 {
+		t.Errorf("campus codec = %v, want h265", p.Codec)
+	}
+	if p.StreamID != 0 {
+		t.Errorf("stream id = %d", p.StreamID)
+	}
+}
+
+func TestCampus1KDiurnalLoad(t *testing.T) {
+	// A small fleet started at night vs at evening peak: the peak fleet
+	// must see far more people.
+	count := func(startHour float64) int {
+		streams := Campus1K(Campus1KConfig{Cameras: 20, Seed: 2, StartHour: startHour})
+		total := 0
+		for _, st := range streams {
+			for i := 0; i < 25*120; i++ {
+				st.Next()
+				total += st.LastScene.PersonCount
+			}
+		}
+		return total
+	}
+	night, evening := count(3), count(17.5)
+	if evening < night*2 {
+		t.Errorf("evening load (%d) should dwarf night load (%d)", evening, night)
+	}
+}
+
+func TestYTUGCDefaults(t *testing.T) {
+	streams := YTUGC(YTUGCConfig{Seed: 3})
+	if len(streams) != 1179 {
+		t.Fatalf("videos = %d, want 1179", len(streams))
+	}
+	if got := streams[0].Next().Codec; got != codec.H264 {
+		t.Errorf("codec = %v, want h264", got)
+	}
+	// Quality drops must actually occur on most clips.
+	drops := 0
+	for _, st := range streams[:30] {
+		for i := 0; i < 25*240; i++ {
+			st.Next()
+			if st.LastScene.QualityDrop {
+				drops++
+				break
+			}
+		}
+	}
+	if drops < 20 {
+		t.Errorf("only %d/30 clips showed quality drops", drops)
+	}
+}
+
+func TestYTUGCCodecOverride(t *testing.T) {
+	streams := YTUGC(YTUGCConfig{Videos: 3, Seed: 4, Codec: codec.VP9})
+	if got := streams[0].Next().Codec; got != codec.VP9 {
+		t.Errorf("codec = %v, want vp9", got)
+	}
+}
+
+func TestFireNetFireDistribution(t *testing.T) {
+	streams := FireNet(FireNetConfig{Seed: 5})
+	if len(streams) != 64 {
+		t.Fatalf("videos = %d, want 64", len(streams))
+	}
+	fire := 0
+	for _, st := range streams {
+		for i := 0; i < 25*300; i++ {
+			st.Next()
+			if st.LastScene.Fire {
+				fire++
+				break
+			}
+		}
+	}
+	// 47 of 64 carry fire segments; a long window should light up most.
+	if fire < 30 || fire > 47 {
+		t.Errorf("%d/64 clips showed fire, want roughly 47", fire)
+	}
+}
+
+func TestCollectShapesAndLabels(t *testing.T) {
+	streams := Campus1K(Campus1KConfig{Cameras: 3, Seed: 6})
+	tasks := []infer.Task{infer.PersonCounting{}, infer.AnomalyDetection{}}
+	samples, err := Collect(streams, tasks, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3*40 {
+		t.Fatalf("samples = %d, want 120", len(samples))
+	}
+	for i, s := range samples {
+		if len(s.Labels) != 2 {
+			t.Fatalf("sample %d labels = %v", i, s.Labels)
+		}
+		if len(s.F.ISizes) != 5 || len(s.F.PSizes) != 5 {
+			t.Fatalf("sample %d window sizes wrong", i)
+		}
+		if s.F.Temporal < 0 || s.F.Temporal > 1 {
+			t.Fatalf("sample %d temporal = %v", i, s.F.Temporal)
+		}
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	if _, err := Collect(nil, []infer.Task{infer.PersonCounting{}}, 5, 10); err == nil {
+		t.Error("no streams must error")
+	}
+	streams := Campus1K(Campus1KConfig{Cameras: 1, Seed: 1})
+	if _, err := Collect(streams, nil, 5, 10); err == nil {
+		t.Error("no tasks must error")
+	}
+	if _, err := Collect(streams, []infer.Task{infer.PersonCounting{}}, 0, 10); err == nil {
+		t.Error("zero window must error")
+	}
+}
+
+func TestBalanceProducesOneToOne(t *testing.T) {
+	streams := Campus1K(Campus1KConfig{Cameras: 5, Seed: 7})
+	samples, err := Collect(streams, []infer.Task{infer.PersonCounting{}}, 5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := Balance(samples, 0, 1)
+	if len(bal) == 0 {
+		t.Fatal("balanced set is empty")
+	}
+	rate := PositiveRate(bal, 0)
+	if math.Abs(rate-0.5) > 1e-9 {
+		t.Errorf("balanced positive rate = %v, want 0.5", rate)
+	}
+	if len(bal)%2 != 0 {
+		t.Errorf("balanced size %d must be even", len(bal))
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	streams := Campus1K(Campus1KConfig{Cameras: 2, Seed: 8})
+	samples, err := Collect(streams, []infer.Task{infer.PersonCounting{}}, 5, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := Split(samples, 0.8, 1)
+	if len(train)+len(test) != len(samples) {
+		t.Errorf("split loses samples: %d+%d != %d", len(train), len(test), len(samples))
+	}
+	want := int(0.8 * float64(len(samples)))
+	if len(train) != want {
+		t.Errorf("train = %d, want %d", len(train), want)
+	}
+}
+
+func TestLabelsExtraction(t *testing.T) {
+	streams := Campus1K(Campus1KConfig{Cameras: 1, Seed: 9})
+	samples, err := Collect(streams, []infer.Task{infer.PersonCounting{}}, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := Labels(samples, 0)
+	if len(labels) != len(samples) {
+		t.Fatalf("labels = %d", len(labels))
+	}
+	// First round is always necessary (no prior result).
+	if !labels[0] {
+		t.Error("first sample must be necessary")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Campus1K(Campus1KConfig{Cameras: 4, Seed: 10})
+	b := Campus1K(Campus1KConfig{Cameras: 4, Seed: 10})
+	for i := 0; i < 100; i++ {
+		for s := range a {
+			pa, pb := a[s].Next(), b[s].Next()
+			if pa.Size != pb.Size || pa.Type != pb.Type {
+				t.Fatalf("stream %d packet %d diverged", s, i)
+			}
+		}
+	}
+}

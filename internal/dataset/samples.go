@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/infer"
+	"packetgame/internal/predictor"
+)
+
+// Collect runs the given streams for `rounds` rounds and produces one
+// labeled training sample per packet: the multi-view features (with the
+// idealized temporal view computed from the full feedback history, as
+// offline training has every frame decoded) and the necessity label for
+// each task (§6.1 offline training protocol).
+func Collect(streams []*codec.Stream, tasks []infer.Task, window, rounds int) ([]predictor.Sample, error) {
+	if len(streams) == 0 || len(tasks) == 0 {
+		return nil, fmt.Errorf("dataset: need streams and tasks")
+	}
+	if window <= 0 || rounds <= 0 {
+		return nil, fmt.Errorf("dataset: window and rounds must be positive")
+	}
+	type streamState struct {
+		win     *predictor.Window
+		prev    []infer.Result // per task
+		started []bool
+		// history ring of labels for the temporal view
+		hist [][]float64
+		pos  int
+	}
+	states := make([]*streamState, len(streams))
+	for i := range states {
+		st := &streamState{
+			win:     predictor.NewWindow(window),
+			prev:    make([]infer.Result, len(tasks)),
+			started: make([]bool, len(tasks)),
+			hist:    make([][]float64, len(tasks)),
+		}
+		for ti := range tasks {
+			st.hist[ti] = make([]float64, window)
+		}
+		states[i] = st
+	}
+	var samples []predictor.Sample
+	for t := 0; t < rounds; t++ {
+		for si, stream := range streams {
+			p := stream.Next()
+			truth := stream.LastScene
+			st := states[si]
+			st.win.Push(p)
+			// Temporal view: mean of the last w labels of task 0 (the
+			// estimator's exploitation term under decode-everything).
+			temporal := mean(st.hist[0])
+			f := st.win.Features(temporal).Clone()
+			labels := make([]float64, len(tasks))
+			for ti, task := range tasks {
+				cur := task.ResultOf(truth)
+				necessary := !st.started[ti] || task.Necessary(st.prev[ti], cur)
+				st.prev[ti], st.started[ti] = cur, true
+				if necessary {
+					labels[ti] = 1
+				}
+				st.hist[ti][st.pos%window] = labels[ti]
+			}
+			st.pos++
+			samples = append(samples, predictor.Sample{F: f, Labels: labels})
+		}
+	}
+	return samples, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Balance subsamples to a 1:1 positive:negative ratio on task ti, the
+// paper's offline evaluation protocol (§6.3).
+func Balance(samples []predictor.Sample, ti int, seed int64) []predictor.Sample {
+	var pos, neg []predictor.Sample
+	for _, s := range samples {
+		if ti >= len(s.Labels) || math.IsNaN(s.Labels[ti]) {
+			continue
+		}
+		if s.Labels[ti] >= 0.5 {
+			pos = append(pos, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	n := len(pos)
+	if len(neg) < n {
+		n = len(neg)
+	}
+	rng := rand.New(rand.NewSource(seed + 613))
+	rng.Shuffle(len(pos), func(a, b int) { pos[a], pos[b] = pos[b], pos[a] })
+	rng.Shuffle(len(neg), func(a, b int) { neg[a], neg[b] = neg[b], neg[a] })
+	out := append(append(make([]predictor.Sample, 0, 2*n), pos[:n]...), neg[:n]...)
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}
+
+// Split divides samples into train and test partitions; frac is the train
+// fraction (the paper uses 0.8).
+func Split(samples []predictor.Sample, frac float64, seed int64) (train, test []predictor.Sample) {
+	idx := rand.New(rand.NewSource(seed + 271)).Perm(len(samples))
+	cut := int(frac * float64(len(samples)))
+	for k, i := range idx {
+		if k < cut {
+			train = append(train, samples[i])
+		} else {
+			test = append(test, samples[i])
+		}
+	}
+	return train, test
+}
+
+// Labels extracts the boolean necessity labels of task ti.
+func Labels(samples []predictor.Sample, ti int) []bool {
+	out := make([]bool, len(samples))
+	for i, s := range samples {
+		out[i] = s.Labels[ti] >= 0.5
+	}
+	return out
+}
+
+// PositiveRate returns the fraction of positive labels on task ti.
+func PositiveRate(samples []predictor.Sample, ti int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range samples {
+		if s.Labels[ti] >= 0.5 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}

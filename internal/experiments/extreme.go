@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"packetgame/internal/codec"
+	"packetgame/internal/dataset"
+	"packetgame/internal/infer"
+	"packetgame/internal/predictor"
+)
+
+// Extreme reproduces the two §6.4 stress cases. (1) Extreme-low bitrate:
+// packet sizes collapse to the floor and the contextual size views become
+// near-random, while the temporal estimator is unaffected — the hybrid
+// design survives. (2) Extreme-large GOP (300): the independent-frame view
+// refreshes rarely, but the predicted-frame view and the temporal estimator
+// keep PacketGame robust.
+func Extreme(o Options) error {
+	o = o.withDefaults()
+	// Anomaly detection carries both a metadata signal (anomalies perturb
+	// motion, hence P sizes) and a strong temporal signal (anomalies
+	// persist), so the hybrid design's division of labor is visible in
+	// both stress cases.
+	task := infer.AnomalyDetection{}
+
+	collect := func(bitrate, gop int, seed int64, rounds int) ([]predictor.Sample, error) {
+		m := o.scaled(16, 6)
+		streams := make([]*codec.Stream, m)
+		for i := range streams {
+			streams[i] = codec.NewStream(codec.SceneConfig{
+				BaseActivity: 0.5, PersonRate: 0.3,
+				AnomalyRate: 90, AnomalyDuration: 20,
+			}, codec.EncoderConfig{
+				StreamID: i, GOPSize: gop, Bitrate: bitrate, GOPPhase: i * 7,
+			}, seed+int64(i)*7919)
+		}
+		return dataset.Collect(streams, []infer.Task{task}, 5, rounds)
+	}
+
+	evalCase := func(name string, bitrate, gop int) error {
+		trainRaw, err := collect(bitrate, gop, o.Seed+61, o.scaled(5000, 800))
+		if err != nil {
+			return err
+		}
+		testRaw, err := collect(bitrate, gop, o.Seed+62, o.scaled(2500, 400))
+		if err != nil {
+			return err
+		}
+		train := dataset.Balance(trainRaw, 0, o.Seed+63)
+		test := dataset.Balance(testRaw, 0, o.Seed+64)
+		epochs := o.scaled(35, 10)
+
+		ctxCfg := predictor.DefaultConfig()
+		ctxCfg.UseTemporal = false
+		ctx, err := trainPredictor(ctxCfg, train, epochs, o.Seed+65)
+		if err != nil {
+			return err
+		}
+		pg, err := trainPredictor(predictor.DefaultConfig(), train, epochs, o.Seed+66)
+		if err != nil {
+			return err
+		}
+		// Temporal-only accuracy at its best threshold (the windowed
+		// feedback mean is a score, not a calibrated probability).
+		tempAcc := 0.0
+		for th := 0.0; th <= 1.0; th += 0.2 {
+			correct := 0
+			for _, s := range test {
+				if (s.F.Temporal > th) == (s.Labels[0] >= 0.5) {
+					correct++
+				}
+			}
+			if acc := float64(correct) / float64(len(test)); acc > tempAcc {
+				tempAcc = acc
+			}
+		}
+		o.printf("%-22s %12.3f %12.3f %12.3f\n", name,
+			ctx.Evaluate(test, 0.5)[0], tempAcc, pg.Evaluate(test, 0.5)[0])
+		return nil
+	}
+
+	o.printf("=== §6.4 extreme cases (AD, balanced test accuracy) ===\n")
+	o.printf("%-22s %12s %12s %12s\n", "case", "contextual", "temporal", "packetgame")
+	if err := evalCase("baseline (4Mbps, GOP25)", 0, 25); err != nil {
+		return err
+	}
+	if err := evalCase("bitrate 100K", 100_000, 25); err != nil {
+		return err
+	}
+	if err := evalCase("GOP 300", 0, 300); err != nil {
+		return err
+	}
+	o.printf("(paper: at 100K the size views degrade toward chance while the temporal\n")
+	o.printf(" estimator holds; at GOP 300 the I-view stales but PacketGame stays robust)\n")
+	return nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"packetgame/internal/infer"
+	"packetgame/internal/predictor"
+)
+
+// Fig12 reproduces the training-size sensitivity study: test accuracy of
+// the contextual predictor and the full PacketGame model as the training
+// set shrinks to 1% of the data. Accuracy rises with training size and only
+// the 1% extreme fails to learn.
+func Fig12(o Options) error {
+	o = o.withDefaults()
+	ratios := []float64{0.01, 0.1, 0.2, 0.5, 0.8}
+	o.printf("=== Fig 12: test accuracy vs training-set ratio ===\n")
+	for _, task := range infer.AllTasks() {
+		td, err := collectTaskData(task, o, o.scaled(20, 6), o.scaled(5000, 800))
+		if err != nil {
+			return err
+		}
+		o.printf("--- task %s ---\n", task.Name())
+		o.printf("%8s %14s %14s\n", "ratio", "contextual", "packetgame")
+		for _, ratio := range ratios {
+			n := int(float64(len(td.train)) * ratio)
+			if n < 2 {
+				n = 2
+			}
+			train := td.train[:n]
+			epochs := o.scaled(35, 10)
+
+			ctxCfg := predictor.DefaultConfig()
+			ctxCfg.UseTemporal = false
+			ctx, err := trainPredictor(ctxCfg, train, epochs, o.Seed+31)
+			if err != nil {
+				return err
+			}
+			pg, err := trainPredictor(predictor.DefaultConfig(), train, epochs, o.Seed+32)
+			if err != nil {
+				return err
+			}
+			o.printf("%8.2f %14.3f %14.3f\n", ratio,
+				ctx.Evaluate(td.test, 0.5)[0], pg.Evaluate(td.test, 0.5)[0])
+		}
+	}
+	return nil
+}

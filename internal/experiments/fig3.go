@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"packetgame/internal/codec"
+	"packetgame/internal/dataset"
+	"packetgame/internal/infer"
+	"packetgame/internal/metrics"
+	"packetgame/internal/predictor"
+)
+
+// Fig3 reproduces the packet-representation motivation: (a) packet sizes
+// carry a temporal, non-linear person signal; (b) the handcrafted residual
+// feature discriminates necessity poorly (paper: 6.1% TPR at 10% FPR)
+// while PacketGame's learned representation does well (76.6%).
+func Fig3(o Options) error {
+	o = o.withDefaults()
+
+	// (a) One busy PC clip: packet index, size, person-present.
+	o.printf("=== Fig 3a: packet sizes of a person-counting clip ===\n")
+	st := codec.NewStream(codec.SceneConfig{BaseActivity: 0.5, PersonRate: 0.3},
+		codec.EncoderConfig{GOPSize: 25}, o.Seed+5)
+	o.printf("%8s %6s %10s %8s %10s\n", "packet", "type", "size(B)", "person", "residual")
+	var res codec.Residual
+	clip := o.scaled(450, 100)
+	for i := 0; i < clip; i++ {
+		p := st.Next()
+		r := res.Observe(p)
+		person := 0
+		if st.LastScene.PersonCount > 0 {
+			person = 1
+		}
+		if i%10 == 0 { // decimate for readable output
+			o.printf("%8d %6s %10d %8d %10.3f\n", i, p.Type, p.Size, person, r)
+		}
+	}
+
+	// (b) Discriminability: residual feature vs trained PacketGame scores
+	// on balanced PC necessity labels. The contextual-only ablation is
+	// shown too: the temporal view quantizes scores into ties that hurt
+	// the strict low-FPR operating point this metric probes.
+	o.printf("\n=== Fig 3b: TPR at 10%% FPR (necessity discrimination) ===\n")
+	td, err := collectTaskData(infer.PersonCounting{}, o, o.scaled(24, 8), o.scaled(6000, 1200))
+	if err != nil {
+		return err
+	}
+	p, err := trainPredictor(predictor.DefaultConfig(), td.train, o.scaled(50, 25), o.Seed)
+	if err != nil {
+		return err
+	}
+	ctxCfg := predictor.DefaultConfig()
+	ctxCfg.UseTemporal = false
+	ctx, err := trainPredictor(ctxCfg, td.train, o.scaled(50, 25), o.Seed+1)
+	if err != nil {
+		return err
+	}
+	pgScores := sampleScores(p, td.test)
+	ctxScores := sampleScores(ctx, td.test)
+
+	// Residual scores for the same test set: approximate the residual from
+	// the P-size view (last P size over last I size), the estimator of
+	// paper ref [52].
+	resScores := make([]float64, len(td.test))
+	for i, s := range td.test {
+		iSize := s.F.ISizes[len(s.F.ISizes)-1]
+		pSize := s.F.PSizes[len(s.F.PSizes)-1]
+		if iSize <= 0 {
+			resScores[i] = 1
+		} else {
+			resScores[i] = pSize / iSize
+		}
+	}
+	labels := dataset.Labels(td.test, 0)
+	pgTPR, err := metrics.TPRAtFPR(pgScores, labels, 0.10)
+	if err != nil {
+		return err
+	}
+	ctxTPR, err := metrics.TPRAtFPR(ctxScores, labels, 0.10)
+	if err != nil {
+		return err
+	}
+	resTPR, err := metrics.TPRAtFPR(resScores, labels, 0.10)
+	if err != nil {
+		return err
+	}
+	o.printf("%-22s %10s %10s\n", "method", "TPR@10%FPR", "paper")
+	o.printf("%-22s %10.3f %10s\n", "residual feature", resTPR, "0.061")
+	o.printf("%-22s %10.3f %10s\n", "Contextual only", ctxTPR, "-")
+	o.printf("%-22s %10.3f %10s\n", "PacketGame", pgTPR, "0.766")
+	o.printf("(note: on this substrate P-frame sizes are residual-driven by construction,\n")
+	o.printf(" so the residual baseline is far stronger than on real video)\n")
+	return nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"packetgame/internal/dataset"
+	"packetgame/internal/infer"
+	"packetgame/internal/metrics"
+	"packetgame/internal/predictor"
+)
+
+// offlineMethods computes the Fig 9 score sets for one task's test split:
+// random, temporal-only, contextual-only, and full PacketGame.
+type offlineResult struct {
+	task    string
+	curves  map[string][]metrics.CurvePoint
+	atNinty map[string]float64 // filtering rate at 90% accuracy
+}
+
+// offlineEval trains the ablated predictors for a task and sweeps the
+// threshold curves. Training-set ratio scales the train split (Fig 12
+// reuses this with ratios < 1).
+func offlineEval(o Options, task infer.Task, trainRatio float64) (offlineResult, error) {
+	td, err := collectTaskData(task, o, o.scaled(20, 6), o.scaled(5000, 800))
+	if err != nil {
+		return offlineResult{}, err
+	}
+	train := td.train
+	if trainRatio < 1 {
+		n := int(float64(len(train)) * trainRatio)
+		if n < 2 {
+			n = 2
+		}
+		train = train[:n]
+	}
+	epochs := o.scaled(40, 10)
+
+	ctxCfg := predictor.DefaultConfig()
+	ctxCfg.UseTemporal = false
+	ctx, err := trainPredictor(ctxCfg, train, epochs, o.Seed+1)
+	if err != nil {
+		return offlineResult{}, err
+	}
+	pg, err := trainPredictor(predictor.DefaultConfig(), train, epochs, o.Seed+2)
+	if err != nil {
+		return offlineResult{}, err
+	}
+
+	labels := dataset.Labels(td.test, 0)
+	rng := rand.New(rand.NewSource(o.Seed + 3))
+	randScores := make([]float64, len(td.test))
+	for i := range randScores {
+		randScores[i] = rng.Float64()
+	}
+	scoreSets := map[string][]float64{
+		"Random":     randScores,
+		"Temporal":   temporalScores(td.test),
+		"Contextual": sampleScores(ctx, td.test),
+		"PacketGame": sampleScores(pg, td.test),
+	}
+	res := offlineResult{
+		task:    task.Name(),
+		curves:  map[string][]metrics.CurvePoint{},
+		atNinty: map[string]float64{},
+	}
+	for name, scores := range scoreSets {
+		curve, err := metrics.Curve(scores, labels)
+		if err != nil {
+			return offlineResult{}, err
+		}
+		res.curves[name] = curve
+		if r, ok := metrics.FilterRateAt(curve, 0.9); ok {
+			res.atNinty[name] = r
+		}
+	}
+	return res, nil
+}
+
+// offlineMethodOrder fixes the report ordering.
+var offlineMethodOrder = []string{"Random", "Temporal", "Contextual", "PacketGame"}
+
+// Fig9 reproduces the offline filtering-rate vs accuracy curves for the
+// four tasks under the 1:1 balanced protocol (optimal: a = 1−max(r−0.5,0),
+// so the optimal filtering rate at 90%% accuracy is 60%).
+func Fig9(o Options) error {
+	o = o.withDefaults()
+	paperAt90 := map[string]string{"PC": "0.518", "AD": "0.565", "SR": "0.577", "FD": "0.539"}
+	for _, task := range infer.AllTasks() {
+		res, err := offlineEval(o, task, 1)
+		if err != nil {
+			return err
+		}
+		o.printf("=== Fig 9 (%s): filtering rate at target accuracy ===\n", res.task)
+		o.printf("%-12s %8s %8s %8s\n", "method", "@95%", "@90%", "@80%")
+		for _, name := range offlineMethodOrder {
+			curve := res.curves[name]
+			r95, _ := metrics.FilterRateAt(curve, 0.95)
+			r90, _ := metrics.FilterRateAt(curve, 0.90)
+			r80, _ := metrics.FilterRateAt(curve, 0.80)
+			o.printf("%-12s %8.3f %8.3f %8.3f\n", name, r95, r90, r80)
+		}
+		o.printf("%-12s %8s %8.3f %8s   (paper PacketGame @90%%: %s; optimal: 0.600)\n\n",
+			"Optimal", "-", 0.6, "-", paperAt90[res.task])
+	}
+	return nil
+}

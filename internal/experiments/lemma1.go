@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"packetgame/internal/decode"
+	"packetgame/internal/knapsack"
+)
+
+// Lemma1 validates the optimizer's approximation guarantee empirically:
+// on random video-shaped instances, greedy value / fractional-optimal value
+// never falls below 1 − c/B.
+func Lemma1(o Options) error {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed + 81))
+	costs := []float64{decode.DefaultCosts.I, decode.DefaultCosts.P, decode.DefaultCosts.B}
+	trials := o.scaled(2000, 200)
+
+	greedy := &knapsack.GreedyPrefix{}
+	fill := &knapsack.Greedy{}
+	worst, worstBound := 1.0, 1.0
+	var sumRatio float64
+	n := 0
+	for trial := 0; trial < trials; trial++ {
+		items := make([]knapsack.Item, 4+rng.Intn(28))
+		for i := range items {
+			items[i] = knapsack.Item{Value: rng.Float64(), Cost: costs[rng.Intn(len(costs))]}
+		}
+		budget := 3 + rng.Float64()*20
+		opt := knapsack.FractionalOPT(items, budget)
+		if opt <= 0 {
+			continue
+		}
+		vg := knapsack.TotalValue(items, greedy.Select(items, budget))
+		vf := knapsack.TotalValue(items, fill.Select(items, budget))
+		ratio := vg / opt
+		bound := 1 - knapsack.MaxCost(items)/budget
+		if ratio < worst {
+			worst, worstBound = ratio, bound
+		}
+		sumRatio += vf / opt
+		n++
+	}
+	o.printf("=== Lemma 1: greedy approximation on %d random instances ===\n", n)
+	o.printf("worst prefix-greedy ratio: %.4f (its 1-c/B bound: %.4f)\n", worst, worstBound)
+	o.printf("mean fill-greedy ratio:    %.4f\n", sumRatio/float64(n))
+	o.printf("(the paper notes c/B is typically < 0.05 in deployment, i.e. ≥95%% of optimal)\n")
+	return nil
+}

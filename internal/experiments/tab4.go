@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/filter"
+	"packetgame/internal/predictor"
+)
+
+// Tab4 reproduces the plug-in overhead table: FLOPs and per-frame latency
+// of PacketGame's contextual predictor versus MobileNetV1, the InFi filter,
+// and the Reducto filter. The paper's headline: PacketGame needs ~5K FLOPs
+// (0.004% of MobileNetV1) and ~7µs per frame on an edge CPU.
+func Tab4(o Options) error {
+	o = o.withDefaults()
+	p, err := predictor.New(predictor.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	f := predictor.Features{
+		ISizes: make([]float64, 5), PSizes: make([]float64, 5), Temporal: 0.4,
+	}
+	f.Pict[1] = 1
+	// Warm up, then time single-frame predictions.
+	for i := 0; i < 100; i++ {
+		p.Predict(f)
+	}
+	n := o.scaled(20000, 2000)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p.Predict(f)
+	}
+	pgLatency := time.Since(start) / time.Duration(n)
+
+	inFi := filter.NewInFi(o.Seed)
+	scene := codec.Scene{Motion: 0.4, Richness: 0.5}
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		inFi.Score(scene)
+	}
+	inFiLatency := time.Since(start) / time.Duration(n)
+
+	reducto := filter.NewReducto(0.4, 0, o.Seed)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		reducto.Pass(scene)
+	}
+	reductoLatency := time.Since(start) / time.Duration(n)
+
+	const mobileNetFLOPs = 1_137_000_000 // MobileNetV1, paper Tab 4
+	o.printf("=== Tab 4: plug-in overheads per frame ===\n")
+	o.printf("%-14s %14s %14s %22s\n", "model", "FLOPs", "latency", "paper (FLOPs, edge)")
+	o.printf("%-14s %14d %14s %22s\n", "MobileNetV1", int64(mobileNetFLOPs), "n/a", "1137M, 4ms")
+	o.printf("%-14s %14s %14v %22s\n", "InFi (sim)", "~351M real", inFiLatency, "351M, 0.8ms")
+	o.printf("%-14s %14s %14v %22s\n", "Reducto (sim)", "n/a", reductoLatency, "n/a, 0.9ms")
+	o.printf("%-14s %14d %14v %22s\n", "PacketGame", p.FLOPs(), pgLatency, "5K, 7µs")
+	o.printf("PacketGame FLOPs fraction of MobileNetV1: %.5f%% (paper: 0.004%%)\n",
+		float64(p.FLOPs())/mobileNetFLOPs*100)
+	o.printf("predictor parameters: %d\n", p.NumParams())
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package filter models the frame-filtering baselines the paper compares
+// against: Reducto-style on-camera filtering on low-level frame-difference
+// features, and InFi-style learned on-server filtering on decoded frames.
+// Both operate on (decoded or camera-local) frame content — unlike packet
+// gating they cannot run before the decoder on the server.
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/nn"
+)
+
+// FrameFilter decides whether a frame proceeds to inference.
+type FrameFilter interface {
+	// Name identifies the filter in reports.
+	Name() string
+	// Pass reports whether the frame should be inferred.
+	Pass(s codec.Scene) bool
+	// Throughput is the standalone filter throughput in FPS (Fig 2a/Tab 4).
+	Throughput() float64
+}
+
+// Reducto is the on-camera filter: it thresholds a low-level frame
+// difference feature (here the scene's motion plus sensor noise, standing in
+// for Reducto's pixel/area features) and only ships frames above the
+// threshold. It adapts per segment by scaling its threshold toward a target
+// pass rate, a cheap stand-in for Reducto's profiling server.
+type Reducto struct {
+	threshold float64
+	rng       *rand.Rand
+
+	// Adaptation state.
+	targetPass float64
+	passed     int
+	seen       int
+}
+
+// NewReducto creates a filter with the given initial difference threshold.
+// targetPass, if positive, enables per-segment threshold adaptation toward
+// that pass rate.
+func NewReducto(threshold, targetPass float64, seed int64) *Reducto {
+	return &Reducto{threshold: threshold, targetPass: targetPass,
+		rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements FrameFilter.
+func (r *Reducto) Name() string { return "Reducto" }
+
+// Throughput implements FrameFilter: ~0.9 ms per frame on the edge (Tab 4).
+func (r *Reducto) Throughput() float64 { return 1111 }
+
+// Threshold returns the current adaptive threshold.
+func (r *Reducto) Threshold() float64 { return r.threshold }
+
+// adaptEvery is the segment length (frames) between threshold updates.
+const adaptEvery = 250
+
+// Pass implements FrameFilter.
+func (r *Reducto) Pass(s codec.Scene) bool {
+	diff := s.Motion + r.rng.NormFloat64()*0.03
+	pass := diff > r.threshold
+	if r.targetPass > 0 {
+		r.seen++
+		if pass {
+			r.passed++
+		}
+		if r.seen >= adaptEvery {
+			rate := float64(r.passed) / float64(r.seen)
+			// Nudge the threshold toward the target pass rate.
+			if rate > r.targetPass {
+				r.threshold *= 1.15
+			} else if rate < r.targetPass*0.8 {
+				r.threshold *= 0.9
+			}
+			r.passed, r.seen = 0, 0
+		}
+	}
+	return pass
+}
+
+// InFi is the learned on-server filter: a small MLP over decoded-frame
+// features trained end-to-end on necessity labels, mirroring InFi-Skip's
+// learnable input filter.
+type InFi struct {
+	model     *nn.Sequential
+	threshold float64
+}
+
+// InFiSample is one training example for the InFi filter.
+type InFiSample struct {
+	Scene     codec.Scene
+	Necessary bool
+}
+
+// NewInFi creates an untrained filter with decision threshold 0.5.
+func NewInFi(seed int64) *InFi {
+	rng := rand.New(rand.NewSource(seed + 41))
+	return &InFi{
+		threshold: 0.5,
+		model: nn.NewSequential("infi",
+			nn.NewDense("infi.fc1", len(frameFeatures(codec.Scene{})), 32, rng),
+			nn.NewReLU("infi.relu1"),
+			nn.NewDense("infi.fc2", 32, 1, rng),
+			nn.NewSigmoid("infi.out"),
+		),
+	}
+}
+
+// frameFeatures embeds a decoded frame for the filter. InFi sees pixels;
+// our stand-in sees the scene fields a lightweight CNN could extract.
+func frameFeatures(s codec.Scene) []float64 {
+	count := float64(s.PersonCount)
+	if count > 10 {
+		count = 10
+	}
+	return []float64{s.Motion, s.Richness, count / 10, s.Activity}
+}
+
+// Name implements FrameFilter.
+func (f *InFi) Name() string { return "InFi" }
+
+// Throughput implements FrameFilter: 3569.4 FPS on the edge (Fig 2a).
+func (f *InFi) Throughput() float64 { return 3569.4 }
+
+// SetThreshold adjusts the decision threshold (higher = more filtering).
+func (f *InFi) SetThreshold(t float64) { f.threshold = t }
+
+// Score returns the filter confidence for a frame.
+func (f *InFi) Score(s codec.Scene) float64 {
+	feat := frameFeatures(s)
+	x := nn.FromSlice(feat, 1, len(feat))
+	return f.model.Forward(x).Data[0]
+}
+
+// Pass implements FrameFilter.
+func (f *InFi) Pass(s codec.Scene) bool { return f.Score(s) >= f.threshold }
+
+// Train fits the filter on labeled frames.
+func (f *InFi) Train(samples []InFiSample, epochs int, lr float64, seed int64) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("filter: no training samples")
+	}
+	if epochs <= 0 {
+		epochs = 30
+	}
+	if lr <= 0 {
+		lr = 0.005
+	}
+	opt := nn.NewRMSprop(lr)
+	rng := rand.New(rand.NewSource(seed + 97))
+	idx := rng.Perm(len(samples))
+	const batchSize = 256
+	dim := len(frameFeatures(codec.Scene{}))
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += batchSize {
+			end := start + batchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			x := nn.NewTensor(end-start, dim)
+			y := nn.NewTensor(end-start, 1)
+			for bi, si := range idx[start:end] {
+				copy(x.Data[bi*dim:(bi+1)*dim], frameFeatures(samples[si].Scene))
+				if samples[si].Necessary {
+					y.Data[bi] = 1
+				}
+			}
+			pred := f.model.Forward(x)
+			_, grad := nn.BCE(pred, y)
+			nn.ZeroGrads(f.model.Params())
+			f.model.Backward(grad)
+			opt.Step(f.model.Params())
+		}
+	}
+	return nil
+}

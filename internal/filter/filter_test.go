@@ -1,0 +1,125 @@
+package filter
+
+import (
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+func TestReductoThresholding(t *testing.T) {
+	r := NewReducto(0.5, 0, 1)
+	pass, block := 0, 0
+	for i := 0; i < 1000; i++ {
+		if r.Pass(codec.Scene{Motion: 0.9}) {
+			pass++
+		}
+		if !r.Pass(codec.Scene{Motion: 0.1}) {
+			block++
+		}
+	}
+	if pass < 950 {
+		t.Errorf("high-motion pass rate %d/1000", pass)
+	}
+	if block < 950 {
+		t.Errorf("low-motion block rate %d/1000", block)
+	}
+}
+
+func TestReductoAdaptsTowardTargetPassRate(t *testing.T) {
+	// Start with a threshold that passes everything; adaptation should
+	// raise it until roughly the target pass rate holds.
+	r := NewReducto(0.01, 0.3, 2)
+	st := codec.NewSceneModel(codec.SceneConfig{BaseActivity: 0.6, PersonRate: 0.5}, 3)
+	var passed, seen int
+	for i := 0; i < 25_000; i++ {
+		s := st.Next()
+		if r.Pass(s) {
+			passed++
+		}
+		seen++
+	}
+	if r.Threshold() <= 0.01 {
+		t.Errorf("threshold never adapted: %v", r.Threshold())
+	}
+	// Late-window pass rate should be near the target.
+	passed, seen = 0, 0
+	for i := 0; i < 5000; i++ {
+		if r.Pass(st.Next()) {
+			passed++
+		}
+		seen++
+	}
+	rate := float64(passed) / float64(seen)
+	if rate > 0.6 {
+		t.Errorf("adapted pass rate %.2f still far above target 0.3", rate)
+	}
+}
+
+func TestReductoName(t *testing.T) {
+	r := NewReducto(0.5, 0, 1)
+	if r.Name() != "Reducto" || r.Throughput() <= 0 {
+		t.Errorf("identity: %s %v", r.Name(), r.Throughput())
+	}
+}
+
+func TestInFiLearnsNecessity(t *testing.T) {
+	// Necessity driven by motion: InFi must learn to pass busy frames.
+	model := codec.NewSceneModel(codec.SceneConfig{BaseActivity: 0.7, PersonRate: 0.6}, 4)
+	var samples []InFiSample
+	for i := 0; i < 6000; i++ {
+		s := model.Next()
+		samples = append(samples, InFiSample{Scene: s, Necessary: s.Motion > 0.35})
+	}
+	f := NewInFi(5)
+	if err := f.Train(samples, 25, 0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	eval := codec.NewSceneModel(codec.SceneConfig{BaseActivity: 0.7, PersonRate: 0.6}, 6)
+	for i := 0; i < 2000; i++ {
+		s := eval.Next()
+		if f.Pass(s) == (s.Motion > 0.35) {
+			correct++
+		}
+		total++
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("InFi accuracy %.3f, want ≥0.9", acc)
+	}
+}
+
+func TestInFiTrainValidation(t *testing.T) {
+	f := NewInFi(1)
+	if err := f.Train(nil, 10, 0.01, 1); err == nil {
+		t.Error("empty training set must error")
+	}
+}
+
+func TestInFiThreshold(t *testing.T) {
+	f := NewInFi(2)
+	s := codec.Scene{Motion: 0.5}
+	f.SetThreshold(0)
+	if !f.Pass(s) {
+		t.Error("threshold 0 must pass everything")
+	}
+	f.SetThreshold(1.1)
+	if f.Pass(s) {
+		t.Error("threshold >1 must block everything")
+	}
+	if f.Name() != "InFi" || f.Throughput() != 3569.4 {
+		t.Errorf("identity: %s %v", f.Name(), f.Throughput())
+	}
+	if sc := f.Score(s); sc <= 0 || sc >= 1 {
+		t.Errorf("score %v outside (0,1)", sc)
+	}
+}
+
+func TestFrameFilterInterfaceCompliance(t *testing.T) {
+	var filters = []FrameFilter{NewReducto(0.5, 0, 1), NewInFi(1)}
+	for _, f := range filters {
+		if f.Name() == "" || f.Throughput() <= 0 {
+			t.Errorf("bad filter identity: %q %v", f.Name(), f.Throughput())
+		}
+	}
+}

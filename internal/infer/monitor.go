@@ -1,0 +1,198 @@
+package infer
+
+import "packetgame/internal/codec"
+
+// Monitor tracks the emitted (possibly stale) inference result of one stream
+// under gating, producing redundancy feedback for decoded frames and
+// accuracy samples against ground truth.
+//
+// When a packet is gated away, the stream's previously emitted result stands;
+// the round counts as accurate only if that stale result still matches the
+// ground-truth result of the live scene. Rounds are additionally split by
+// the ground truth's event class (Task.Positive) so balanced accuracy can
+// weigh rare events properly: a policy that never decodes scores ~0.5
+// balanced accuracy on a rare-event task instead of ~1.0 plain accuracy.
+type Monitor struct {
+	task    Task
+	emitted Result
+	started bool
+
+	rounds  [2]int64 // [negative, positive] ground-truth rounds
+	correct [2]int64
+	decoded int64
+	reward  int64 // decoded frames that were necessary
+}
+
+// NewMonitor creates a monitor for one stream running the given task.
+func NewMonitor(task Task) *Monitor { return &Monitor{task: task} }
+
+// Task returns the monitored task.
+func (m *Monitor) Task() Task { return m.task }
+
+// ObserveDecoded folds in a round whose packet was decoded and inferred.
+// truth is the ground-truth scene of the round (used for accuracy);
+// observed is the scene recovered by the decoder (normally identical).
+// It returns the redundancy feedback: true if the inference was necessary.
+func (m *Monitor) ObserveDecoded(truth, observed codec.Scene) bool {
+	cur := m.task.ResultOf(observed)
+	necessary := m.task.Necessary(m.emitted, cur) || !m.started
+	m.emitted = cur
+	m.started = true
+	m.decoded++
+	if necessary {
+		m.reward++
+	}
+	m.score(truth)
+	return necessary
+}
+
+// ObserveSkipped folds in a round whose packet was gated away.
+func (m *Monitor) ObserveSkipped(truth codec.Scene) {
+	m.score(truth)
+}
+
+func (m *Monitor) score(truth codec.Scene) {
+	want := m.task.ResultOf(truth)
+	cls := 0
+	if m.task.Positive(want) {
+		cls = 1
+	}
+	m.rounds[cls]++
+	ok := false
+	if m.started {
+		ok = m.task.Same(m.emitted, want)
+	} else {
+		// Nothing emitted yet; the zero result is correct only if the
+		// ground truth is the zero result too.
+		ok = m.task.Same(Result{}, want)
+	}
+	if ok {
+		m.correct[cls]++
+	}
+}
+
+// Emitted returns the currently emitted result.
+func (m *Monitor) Emitted() (Result, bool) { return m.emitted, m.started }
+
+// Accuracy returns the fraction of rounds whose emitted result matched
+// ground truth.
+func (m *Monitor) Accuracy() float64 {
+	total := m.rounds[0] + m.rounds[1]
+	if total == 0 {
+		return 1
+	}
+	return float64(m.correct[0]+m.correct[1]) / float64(total)
+}
+
+// BalancedAccuracy averages the per-class accuracies, counting only classes
+// the stream actually exhibited.
+func (m *Monitor) BalancedAccuracy() float64 {
+	var sum float64
+	n := 0
+	for c := 0; c < 2; c++ {
+		if m.rounds[c] > 0 {
+			sum += float64(m.correct[c]) / float64(m.rounds[c])
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// Stats returns the raw counters: observed rounds, accurate rounds, decoded
+// frames, and necessary decodes.
+func (m *Monitor) Stats() (rounds, correct, decoded, necessary int64) {
+	return m.rounds[0] + m.rounds[1], m.correct[0] + m.correct[1], m.decoded, m.reward
+}
+
+// ClassStats returns the per-class counters: (negRounds, negCorrect,
+// posRounds, posCorrect).
+func (m *Monitor) ClassStats() (nr, nc, pr, pc int64) {
+	return m.rounds[0], m.correct[0], m.rounds[1], m.correct[1]
+}
+
+// Fleet is a set of per-stream monitors for one task.
+type Fleet struct {
+	task     Task
+	monitors []*Monitor
+}
+
+// NewFleet creates m monitors.
+func NewFleet(task Task, m int) *Fleet {
+	f := &Fleet{task: task, monitors: make([]*Monitor, m)}
+	for i := range f.monitors {
+		f.monitors[i] = NewMonitor(task)
+	}
+	return f
+}
+
+// Stream returns stream i's monitor.
+func (f *Fleet) Stream(i int) *Monitor { return f.monitors[i] }
+
+// Len returns the number of streams.
+func (f *Fleet) Len() int { return len(f.monitors) }
+
+// Accuracy returns the mean plain accuracy across streams.
+func (f *Fleet) Accuracy() float64 {
+	if len(f.monitors) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, m := range f.monitors {
+		sum += m.Accuracy()
+	}
+	return sum / float64(len(f.monitors))
+}
+
+// BalancedAccuracy pools the class counters across the fleet and averages
+// the two class accuracies.
+func (f *Fleet) BalancedAccuracy() float64 {
+	var nr, nc, pr, pc int64
+	for _, m := range f.monitors {
+		a, b, c, d := m.ClassStats()
+		nr += a
+		nc += b
+		pr += c
+		pc += d
+	}
+	var sum float64
+	n := 0
+	if nr > 0 {
+		sum += float64(nc) / float64(nr)
+		n++
+	}
+	if pr > 0 {
+		sum += float64(pc) / float64(pr)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// Totals aggregates raw counters across streams.
+func (f *Fleet) Totals() (rounds, correct, decoded, necessary int64) {
+	for _, m := range f.monitors {
+		r, c, d, n := m.Stats()
+		rounds += r
+		correct += c
+		decoded += d
+		necessary += n
+	}
+	return
+}
+
+// ClassTotals aggregates the class-split counters across streams.
+func (f *Fleet) ClassTotals() (nr, nc, pr, pc int64) {
+	for _, m := range f.monitors {
+		a, b, c, d := m.ClassStats()
+		nr += a
+		nc += b
+		pr += c
+		pc += d
+	}
+	return
+}

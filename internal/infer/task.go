@@ -1,0 +1,205 @@
+// Package infer simulates the downstream inference stage: the four
+// evaluation tasks of the paper (person counting, anomaly detection,
+// super-resolution, fire detection), their redundancy feedback, and the
+// per-stream monitors that track stale results when packets are gated away.
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+)
+
+// Result is one inference output. Count is meaningful for counting tasks,
+// Label for detection/classification tasks.
+type Result struct {
+	Count int
+	Label bool
+}
+
+// Task is a simulated inference model over decoded frames. Implementations
+// are pure functions of the scene (optionally with observation noise), so
+// oracles can compute ground truth without paying decode cost.
+type Task interface {
+	// Name returns the task's short name (PC, AD, SR, FD).
+	Name() string
+	// ResultOf computes the inference result for a scene.
+	ResultOf(s codec.Scene) Result
+	// Same reports whether two results are equivalent for accuracy and
+	// redundancy purposes.
+	Same(a, b Result) bool
+	// Necessary reports the redundancy feedback (§5.1): true means the
+	// inference on cur was necessary (reward 1), given the previously
+	// emitted result prev.
+	Necessary(prev, cur Result) bool
+	// BaseFPS is the throughput of the unaccelerated reference model in
+	// frames per second (used by the Fig 2 / Tab 5 concurrency math).
+	BaseFPS() float64
+	// Positive reports whether a result belongs to the event-positive
+	// class (people in view, anomaly, quality drop, fire). Balanced
+	// accuracy weighs positive- and negative-class rounds equally, so
+	// rare-event workloads cannot score well by never decoding.
+	Positive(r Result) bool
+}
+
+// Infer runs a task on a decoded frame.
+func Infer(t Task, f decode.Frame) Result { return t.ResultOf(f.Scene) }
+
+// PersonCounting (PC) counts visible people; an inference is necessary when
+// the count changed versus the latest emitted one (paper §3.2).
+type PersonCounting struct {
+	// Noise, if non-nil, perturbs counts by ±1 with probability P.
+	Noise *Noise
+}
+
+// Name implements Task.
+func (PersonCounting) Name() string { return "PC" }
+
+// ResultOf implements Task.
+func (t PersonCounting) ResultOf(s codec.Scene) Result {
+	c := s.PersonCount
+	if t.Noise.flip() {
+		if t.Noise.rng.Intn(2) == 0 && c > 0 {
+			c--
+		} else {
+			c++
+		}
+	}
+	return Result{Count: c}
+}
+
+// Same implements Task.
+func (PersonCounting) Same(a, b Result) bool { return a.Count == b.Count }
+
+// Necessary implements Task.
+func (t PersonCounting) Necessary(prev, cur Result) bool { return !t.Same(prev, cur) }
+
+// BaseFPS implements Task: YOLOX at 27.7 FPS (Fig 2a).
+func (PersonCounting) BaseFPS() float64 { return 27.7 }
+
+// Positive implements Task.
+func (PersonCounting) Positive(r Result) bool { return r.Count > 0 }
+
+// AnomalyDetection (AD) classifies frames as normal/abnormal; abnormal frames
+// are necessary (the paper's running feedback example, §4.1).
+type AnomalyDetection struct {
+	Noise *Noise
+}
+
+// Name implements Task.
+func (AnomalyDetection) Name() string { return "AD" }
+
+// ResultOf implements Task.
+func (t AnomalyDetection) ResultOf(s codec.Scene) Result {
+	return Result{Label: s.Anomaly != t.Noise.flip()}
+}
+
+// Same implements Task.
+func (AnomalyDetection) Same(a, b Result) bool { return a.Label == b.Label }
+
+// Necessary implements Task: an abnormal result is necessary, and so is the
+// transition back to normal (the emitted state must be corrected).
+func (t AnomalyDetection) Necessary(prev, cur Result) bool {
+	return cur.Label || prev.Label != cur.Label
+}
+
+// BaseFPS implements Task: pose-based action classification, ~31 FPS.
+func (AnomalyDetection) BaseFPS() float64 { return 31 }
+
+// Positive implements Task.
+func (AnomalyDetection) Positive(r Result) bool { return r.Label }
+
+// SuperResolution (SR) enhances quality-degraded live frames; frames inside
+// a bandwidth-induced quality drop are necessary.
+type SuperResolution struct {
+	Noise *Noise
+}
+
+// Name implements Task.
+func (SuperResolution) Name() string { return "SR" }
+
+// ResultOf implements Task.
+func (t SuperResolution) ResultOf(s codec.Scene) Result {
+	return Result{Label: s.QualityDrop != t.Noise.flip()}
+}
+
+// Same implements Task.
+func (SuperResolution) Same(a, b Result) bool { return a.Label == b.Label }
+
+// Necessary implements Task.
+func (t SuperResolution) Necessary(prev, cur Result) bool {
+	return cur.Label || prev.Label != cur.Label
+}
+
+// BaseFPS implements Task: neural super-resolution, ~11 FPS.
+func (SuperResolution) BaseFPS() float64 { return 11 }
+
+// Positive implements Task.
+func (SuperResolution) Positive(r Result) bool { return r.Label }
+
+// FireDetection (FD) detects visible fire on mobile footage; fire frames are
+// necessary.
+type FireDetection struct {
+	Noise *Noise
+}
+
+// Name implements Task.
+func (FireDetection) Name() string { return "FD" }
+
+// ResultOf implements Task.
+func (t FireDetection) ResultOf(s codec.Scene) Result {
+	return Result{Label: s.Fire != t.Noise.flip()}
+}
+
+// Same implements Task.
+func (FireDetection) Same(a, b Result) bool { return a.Label == b.Label }
+
+// Necessary implements Task.
+func (t FireDetection) Necessary(prev, cur Result) bool {
+	return cur.Label || prev.Label != cur.Label
+}
+
+// BaseFPS implements Task: lightweight FireNet classifier, ~52 FPS.
+func (FireDetection) BaseFPS() float64 { return 52 }
+
+// Positive implements Task.
+func (FireDetection) Positive(r Result) bool { return r.Label }
+
+// Noise injects observation errors into a task with probability P.
+type Noise struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewNoise creates a noise source.
+func NewNoise(p float64, seed int64) *Noise {
+	return &Noise{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// flip reports whether this observation should be corrupted. A nil Noise
+// never flips.
+func (n *Noise) flip() bool {
+	return n != nil && n.P > 0 && n.rng.Float64() < n.P
+}
+
+// ByName returns the noiseless task with the given short name.
+func ByName(name string) (Task, error) {
+	switch name {
+	case "PC", "pc":
+		return PersonCounting{}, nil
+	case "AD", "ad":
+		return AnomalyDetection{}, nil
+	case "SR", "sr":
+		return SuperResolution{}, nil
+	case "FD", "fd":
+		return FireDetection{}, nil
+	}
+	return nil, fmt.Errorf("infer: unknown task %q", name)
+}
+
+// AllTasks returns the four evaluation tasks, noiseless.
+func AllTasks() []Task {
+	return []Task{PersonCounting{}, AnomalyDetection{}, SuperResolution{}, FireDetection{}}
+}

@@ -1,0 +1,296 @@
+package infer
+
+import (
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+)
+
+func TestTaskNames(t *testing.T) {
+	want := map[string]bool{"PC": true, "AD": true, "SR": true, "FD": true}
+	for _, task := range AllTasks() {
+		if !want[task.Name()] {
+			t.Errorf("unexpected task %q", task.Name())
+		}
+		delete(want, task.Name())
+	}
+	if len(want) != 0 {
+		t.Errorf("missing tasks: %v", want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"PC", "pc", "AD", "ad", "SR", "sr", "FD", "fd"} {
+		task, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if task == nil {
+			t.Fatalf("ByName(%q) returned nil task", name)
+		}
+	}
+	if _, err := ByName("OCR"); err == nil {
+		t.Error("unknown task must error")
+	}
+}
+
+func TestPersonCounting(t *testing.T) {
+	task := PersonCounting{}
+	r := task.ResultOf(codec.Scene{PersonCount: 3})
+	if r.Count != 3 {
+		t.Errorf("count = %d, want 3", r.Count)
+	}
+	if task.Necessary(Result{Count: 3}, Result{Count: 3}) {
+		t.Error("same count must be redundant")
+	}
+	if !task.Necessary(Result{Count: 3}, Result{Count: 4}) {
+		t.Error("changed count must be necessary")
+	}
+	if !task.Same(Result{Count: 2}, Result{Count: 2}) || task.Same(Result{Count: 2}, Result{Count: 1}) {
+		t.Error("Same must compare counts")
+	}
+}
+
+func TestLabelTasks(t *testing.T) {
+	cases := []struct {
+		task  Task
+		scene codec.Scene
+	}{
+		{AnomalyDetection{}, codec.Scene{Anomaly: true}},
+		{SuperResolution{}, codec.Scene{QualityDrop: true}},
+		{FireDetection{}, codec.Scene{Fire: true}},
+	}
+	for _, c := range cases {
+		pos := c.task.ResultOf(c.scene)
+		neg := c.task.ResultOf(codec.Scene{})
+		if !pos.Label || neg.Label {
+			t.Errorf("%s: labels pos=%v neg=%v", c.task.Name(), pos.Label, neg.Label)
+		}
+		// A positive result is always necessary.
+		if !c.task.Necessary(pos, pos) {
+			t.Errorf("%s: persisting positive must stay necessary", c.task.Name())
+		}
+		// The transition back to negative is necessary once.
+		if !c.task.Necessary(pos, neg) {
+			t.Errorf("%s: positive→negative transition must be necessary", c.task.Name())
+		}
+		// Steady negative is redundant.
+		if c.task.Necessary(neg, neg) {
+			t.Errorf("%s: steady negative must be redundant", c.task.Name())
+		}
+	}
+}
+
+func TestBaseFPSPositive(t *testing.T) {
+	for _, task := range AllTasks() {
+		if task.BaseFPS() <= 0 {
+			t.Errorf("%s: BaseFPS = %v", task.Name(), task.BaseFPS())
+		}
+	}
+}
+
+func TestNoiseFlipsAtConfiguredRate(t *testing.T) {
+	n := NewNoise(0.3, 7)
+	flips := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if n.flip() {
+			flips++
+		}
+	}
+	rate := float64(flips) / trials
+	if rate < 0.28 || rate > 0.32 {
+		t.Errorf("flip rate = %.3f, want ~0.30", rate)
+	}
+	var nilNoise *Noise
+	if nilNoise.flip() {
+		t.Error("nil noise must never flip")
+	}
+}
+
+func TestNoisyCountStaysNonNegative(t *testing.T) {
+	task := PersonCounting{Noise: NewNoise(1, 3)}
+	for i := 0; i < 1000; i++ {
+		if r := task.ResultOf(codec.Scene{PersonCount: 0}); r.Count < 0 {
+			t.Fatal("noisy count went negative")
+		}
+	}
+}
+
+func TestInferHelper(t *testing.T) {
+	f := decode.Frame{Scene: codec.Scene{PersonCount: 5}}
+	if r := Infer(PersonCounting{}, f); r.Count != 5 {
+		t.Errorf("Infer = %+v", r)
+	}
+}
+
+func TestMonitorPerfectDecodingIsAccurate(t *testing.T) {
+	m := NewMonitor(PersonCounting{})
+	model := codec.NewSceneModel(codec.SceneConfig{BaseActivity: 0.7}, 3)
+	for i := 0; i < 2000; i++ {
+		s := model.Next()
+		m.ObserveDecoded(s, s)
+	}
+	if acc := m.Accuracy(); acc != 1 {
+		t.Errorf("decode-everything accuracy = %v, want 1", acc)
+	}
+}
+
+func TestMonitorStalenessCostsAccuracy(t *testing.T) {
+	// Skip every round after the first; accuracy must fall below 1 once
+	// the count changes.
+	m := NewMonitor(PersonCounting{})
+	m.ObserveDecoded(codec.Scene{PersonCount: 0}, codec.Scene{PersonCount: 0})
+	for i := 0; i < 10; i++ {
+		m.ObserveSkipped(codec.Scene{PersonCount: 2})
+	}
+	rounds, correct, decoded, _ := m.Stats()
+	if rounds != 11 || decoded != 1 {
+		t.Fatalf("rounds=%d decoded=%d", rounds, decoded)
+	}
+	if correct != 1 {
+		t.Errorf("correct = %d, want 1 (only the decoded round)", correct)
+	}
+}
+
+func TestMonitorFeedbackSemantics(t *testing.T) {
+	m := NewMonitor(PersonCounting{})
+	// First decode is always necessary (nothing emitted before).
+	if !m.ObserveDecoded(codec.Scene{PersonCount: 0}, codec.Scene{PersonCount: 0}) {
+		t.Error("first decode must be necessary")
+	}
+	if m.ObserveDecoded(codec.Scene{PersonCount: 0}, codec.Scene{PersonCount: 0}) {
+		t.Error("unchanged count must be redundant")
+	}
+	if !m.ObserveDecoded(codec.Scene{PersonCount: 1}, codec.Scene{PersonCount: 1}) {
+		t.Error("changed count must be necessary")
+	}
+}
+
+func TestMonitorZeroStartAccuracy(t *testing.T) {
+	// Before anything is decoded, the implicit zero result is correct for
+	// zero-truth rounds only.
+	m := NewMonitor(PersonCounting{})
+	m.ObserveSkipped(codec.Scene{PersonCount: 0})
+	m.ObserveSkipped(codec.Scene{PersonCount: 2})
+	rounds, correct, _, _ := m.Stats()
+	if rounds != 2 || correct != 1 {
+		t.Errorf("rounds=%d correct=%d, want 2/1", rounds, correct)
+	}
+}
+
+func TestMonitorEmitted(t *testing.T) {
+	m := NewMonitor(AnomalyDetection{})
+	if _, ok := m.Emitted(); ok {
+		t.Error("nothing emitted yet")
+	}
+	m.ObserveDecoded(codec.Scene{Anomaly: true}, codec.Scene{Anomaly: true})
+	r, ok := m.Emitted()
+	if !ok || !r.Label {
+		t.Errorf("emitted = %+v ok=%v", r, ok)
+	}
+}
+
+func TestFleetAggregation(t *testing.T) {
+	f := NewFleet(FireDetection{}, 3)
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	f.Stream(0).ObserveDecoded(codec.Scene{Fire: true}, codec.Scene{Fire: true})
+	f.Stream(1).ObserveSkipped(codec.Scene{Fire: true}) // stale zero → wrong
+	f.Stream(2).ObserveSkipped(codec.Scene{})           // zero truth → right
+	rounds, correct, decoded, necessary := f.Totals()
+	if rounds != 3 || correct != 2 || decoded != 1 || necessary != 1 {
+		t.Errorf("totals = %d %d %d %d", rounds, correct, decoded, necessary)
+	}
+	want := (1.0 + 0.0 + 1.0) / 3
+	if acc := f.Accuracy(); acc != want {
+		t.Errorf("fleet accuracy = %v, want %v", acc, want)
+	}
+}
+
+func TestEmptyFleetAndMonitorDefaults(t *testing.T) {
+	if acc := NewFleet(PersonCounting{}, 0).Accuracy(); acc != 1 {
+		t.Errorf("empty fleet accuracy = %v", acc)
+	}
+	if acc := NewMonitor(PersonCounting{}).Accuracy(); acc != 1 {
+		t.Errorf("fresh monitor accuracy = %v", acc)
+	}
+}
+
+func TestPositiveClassification(t *testing.T) {
+	if (PersonCounting{}).Positive(Result{Count: 0}) {
+		t.Error("empty view must be negative")
+	}
+	if !(PersonCounting{}).Positive(Result{Count: 2}) {
+		t.Error("occupied view must be positive")
+	}
+	for _, task := range []Task{AnomalyDetection{}, SuperResolution{}, FireDetection{}} {
+		if task.Positive(Result{Label: false}) || !task.Positive(Result{Label: true}) {
+			t.Errorf("%s: Positive must follow the label", task.Name())
+		}
+	}
+}
+
+func TestMonitorBalancedAccuracy(t *testing.T) {
+	m := NewMonitor(AnomalyDetection{})
+	// 9 correct quiet rounds, 1 missed anomaly round: plain accuracy 0.9,
+	// balanced 0.5.
+	m.ObserveDecoded(codec.Scene{}, codec.Scene{})
+	for i := 0; i < 8; i++ {
+		m.ObserveSkipped(codec.Scene{})
+	}
+	m.ObserveSkipped(codec.Scene{Anomaly: true})
+	if acc := m.Accuracy(); acc != 0.9 {
+		t.Errorf("plain accuracy = %v, want 0.9", acc)
+	}
+	if bal := m.BalancedAccuracy(); bal != 0.5 {
+		t.Errorf("balanced accuracy = %v, want 0.5", bal)
+	}
+	nr, nc, pr, pc := m.ClassStats()
+	if nr != 9 || nc != 9 || pr != 1 || pc != 0 {
+		t.Errorf("class stats = %d/%d %d/%d", nc, nr, pc, pr)
+	}
+}
+
+func TestMonitorBalancedSingleClass(t *testing.T) {
+	// Only negative rounds: balanced equals the negative-class accuracy.
+	m := NewMonitor(FireDetection{})
+	m.ObserveDecoded(codec.Scene{}, codec.Scene{})
+	m.ObserveSkipped(codec.Scene{})
+	if bal := m.BalancedAccuracy(); bal != 1 {
+		t.Errorf("single-class balanced = %v", bal)
+	}
+	if bal := NewMonitor(FireDetection{}).BalancedAccuracy(); bal != 1 {
+		t.Errorf("fresh monitor balanced = %v", bal)
+	}
+}
+
+func TestFleetBalancedAccuracyPoolsClasses(t *testing.T) {
+	f := NewFleet(FireDetection{}, 2)
+	// Stream 0: one correct negative round. Stream 1: one missed positive.
+	f.Stream(0).ObserveDecoded(codec.Scene{}, codec.Scene{})
+	f.Stream(1).ObserveSkipped(codec.Scene{Fire: true})
+	if bal := f.BalancedAccuracy(); bal != 0.5 {
+		t.Errorf("fleet balanced = %v, want 0.5", bal)
+	}
+	nr, nc, pr, pc := f.ClassTotals()
+	if nr != 1 || nc != 1 || pr != 1 || pc != 0 {
+		t.Errorf("class totals = %d/%d %d/%d", nc, nr, pc, pr)
+	}
+	if bal := NewFleet(FireDetection{}, 0).BalancedAccuracy(); bal != 1 {
+		t.Errorf("empty fleet balanced = %v", bal)
+	}
+}
+
+func TestNoisyLabelTask(t *testing.T) {
+	task := AnomalyDetection{Noise: NewNoise(1, 5)}
+	// With flip probability 1, the label always inverts.
+	if task.ResultOf(codec.Scene{Anomaly: true}).Label {
+		t.Error("noise P=1 must flip the label")
+	}
+	if !task.ResultOf(codec.Scene{}).Label {
+		t.Error("noise P=1 must flip the negative label too")
+	}
+}

@@ -1,0 +1,222 @@
+// Package metrics implements the evaluation metrics of the paper: offline
+// filtering-rate vs inference-accuracy curves (Fig 9), ROC points (Fig 3b),
+// and the end-to-end concurrency arithmetic behind Fig 2b and Table 5.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CurvePoint is one point of the offline trade-off curve.
+type CurvePoint struct {
+	Threshold  float64
+	FilterRate float64
+	Accuracy   float64
+}
+
+// Curve sweeps the confidence threshold over scored samples and reports the
+// filtering rate and inference accuracy at each threshold. labels[i] is true
+// when sample i is necessary. Accuracy follows the paper's offline notion:
+// a = 1 − (filtered necessary)/N, so filtering only redundant samples keeps
+// accuracy at 1.
+func Curve(scores []float64, labels []bool) ([]CurvePoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d scores for %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("metrics: empty sample set")
+	}
+	type sample struct {
+		score     float64
+		necessary bool
+	}
+	ss := make([]sample, len(scores))
+	for i := range scores {
+		ss[i] = sample{scores[i], labels[i]}
+	}
+	sort.Slice(ss, func(a, b int) bool { return ss[a].score < ss[b].score })
+
+	n := float64(len(ss))
+	points := make([]CurvePoint, 0, len(ss)+1)
+	// Threshold below the minimum: nothing filtered.
+	points = append(points, CurvePoint{Threshold: 0, FilterRate: 0, Accuracy: 1})
+	filteredNecessary := 0
+	for i, s := range ss {
+		if s.necessary {
+			filteredNecessary++
+		}
+		points = append(points, CurvePoint{
+			Threshold:  s.score,
+			FilterRate: float64(i+1) / n,
+			Accuracy:   1 - float64(filteredNecessary)/n,
+		})
+	}
+	return points, nil
+}
+
+// OptimalCurve returns the clairvoyant trade-off a = 1 − max(r − TN, 0) for
+// the given true-negative (redundant) ratio, sampled at the given rates.
+func OptimalCurve(tnRatio float64, rates []float64) []CurvePoint {
+	points := make([]CurvePoint, len(rates))
+	for i, r := range rates {
+		points[i] = CurvePoint{FilterRate: r, Accuracy: 1 - math.Max(r-tnRatio, 0)}
+	}
+	return points
+}
+
+// FilterRateAt returns the maximal filtering rate on the curve whose
+// accuracy is at least target, and whether any point qualifies.
+func FilterRateAt(points []CurvePoint, target float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, p := range points {
+		if p.Accuracy >= target && p.FilterRate >= best {
+			best, ok = p.FilterRate, true
+		}
+	}
+	return best, ok
+}
+
+// AUC integrates accuracy over filtering rate by the trapezoid rule —
+// a single-number summary of a Fig 9 curve (1.0 = filter everything free).
+func AUC(points []CurvePoint) float64 {
+	ps := append([]CurvePoint(nil), points...)
+	sort.Slice(ps, func(a, b int) bool { return ps[a].FilterRate < ps[b].FilterRate })
+	var auc float64
+	for i := 1; i < len(ps); i++ {
+		dx := ps[i].FilterRate - ps[i-1].FilterRate
+		auc += dx * (ps[i].Accuracy + ps[i-1].Accuracy) / 2
+	}
+	return auc
+}
+
+// FilterRateAtRecall returns the largest filtering rate whose kept set
+// still contains at least minRecall of the necessary samples — the deployed
+// (unbalanced) notion of "preserving 90% accuracy" used by Tab 5: skip as
+// much as possible while decoding ≥ minRecall of what matters.
+func FilterRateAtRecall(scores []float64, labels []bool, minRecall float64) (float64, error) {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return 0, fmt.Errorf("metrics: bad inputs: %d scores, %d labels", len(scores), len(labels))
+	}
+	type sample struct {
+		score float64
+		pos   bool
+	}
+	ss := make([]sample, len(scores))
+	npos := 0
+	for i := range scores {
+		ss[i] = sample{scores[i], labels[i]}
+		if labels[i] {
+			npos++
+		}
+	}
+	if npos == 0 {
+		return 0, fmt.Errorf("metrics: no necessary samples")
+	}
+	// Filter from the lowest score upward until recall would drop below
+	// the target.
+	sort.Slice(ss, func(a, b int) bool { return ss[a].score < ss[b].score })
+	kept := npos
+	best := 0.0
+	for i, s := range ss {
+		if s.pos {
+			kept--
+		}
+		if float64(kept)/float64(npos) < minRecall {
+			break
+		}
+		best = float64(i+1) / float64(len(ss))
+	}
+	return best, nil
+}
+
+// TPRAtFPR computes the true-positive rate achievable at the given maximal
+// false-positive rate (the Fig 3b comparison: residual features reach 6.1%
+// TPR at 10% FPR where PacketGame reaches 76.6%). Higher scores must mean
+// "more likely positive".
+func TPRAtFPR(scores []float64, labels []bool, maxFPR float64) (float64, error) {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return 0, fmt.Errorf("metrics: bad inputs: %d scores, %d labels", len(scores), len(labels))
+	}
+	type sample struct {
+		score float64
+		pos   bool
+	}
+	ss := make([]sample, len(scores))
+	var npos, nneg int
+	for i := range scores {
+		ss[i] = sample{scores[i], labels[i]}
+		if labels[i] {
+			npos++
+		} else {
+			nneg++
+		}
+	}
+	if npos == 0 || nneg == 0 {
+		return 0, fmt.Errorf("metrics: need both classes (%d pos, %d neg)", npos, nneg)
+	}
+	// Sweep thresholds from high to low; keep the best TPR within the FPR cap.
+	sort.Slice(ss, func(a, b int) bool { return ss[a].score > ss[b].score })
+	var tp, fp int
+	best := 0.0
+	for i := 0; i < len(ss); {
+		j := i
+		for j < len(ss) && ss[j].score == ss[i].score {
+			if ss[j].pos {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		i = j
+		if float64(fp)/float64(nneg) <= maxFPR {
+			if tpr := float64(tp) / float64(npos); tpr > best {
+				best = tpr
+			}
+		}
+	}
+	return best, nil
+}
+
+// Module is one pipeline stage for concurrency accounting: its standalone
+// throughput in frames per second and the fraction of each stream's frames
+// it must process (1.0 for a decoder without gating, 1−filterRate for an
+// inference model behind a filter, …).
+type Module struct {
+	Name       string
+	Throughput float64
+	Load       float64
+}
+
+// Concurrency returns how many streams of the given FPS the pipeline
+// sustains and which module is the bottleneck (Fig 2b): the minimum over
+// modules of throughput/(fps·load).
+func Concurrency(streamFPS float64, modules []Module) (int, string, error) {
+	if streamFPS <= 0 {
+		return 0, "", fmt.Errorf("metrics: streamFPS must be positive")
+	}
+	if len(modules) == 0 {
+		return 0, "", fmt.Errorf("metrics: no modules")
+	}
+	best := math.Inf(1)
+	name := ""
+	for _, m := range modules {
+		if m.Load <= 0 {
+			continue // module sees no traffic: never a bottleneck
+		}
+		c := m.Throughput / (streamFPS * m.Load)
+		if c < best {
+			best, name = c, m.Name
+		}
+	}
+	if math.IsInf(best, 1) {
+		return math.MaxInt32, "none", nil
+	}
+	n := int(best)
+	if n < 0 {
+		n = 0
+	}
+	return n, name, nil
+}

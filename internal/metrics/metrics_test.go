@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurvePerfectScores(t *testing.T) {
+	// Scores perfectly separate necessity: filtering up to the negative
+	// fraction costs no accuracy.
+	scores := []float64{0.1, 0.2, 0.9, 0.95}
+	labels := []bool{false, false, true, true}
+	points, err := Curve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At filter rate 0.5 (both negatives filtered) accuracy is still 1.
+	for _, p := range points {
+		if p.FilterRate == 0.5 && p.Accuracy != 1 {
+			t.Errorf("perfect scores: accuracy at r=0.5 is %v", p.Accuracy)
+		}
+		if p.FilterRate == 1 && p.Accuracy != 0.5 {
+			t.Errorf("full filtering accuracy = %v, want 0.5", p.Accuracy)
+		}
+	}
+}
+
+func TestCurveRandomScoresDegrade(t *testing.T) {
+	// Anti-correlated scores: filtering removes necessary samples first.
+	scores := []float64{0.9, 0.8, 0.1, 0.2}
+	labels := []bool{false, false, true, true}
+	points, err := Curve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.FilterRate == 0.5 && p.Accuracy != 0.5 {
+			t.Errorf("anti-correlated: accuracy at r=0.5 is %v, want 0.5", p.Accuracy)
+		}
+	}
+}
+
+func TestCurveValidation(t *testing.T) {
+	if _, err := Curve([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Curve(nil, nil); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestOptimalCurve(t *testing.T) {
+	points := OptimalCurve(0.6, []float64{0, 0.3, 0.6, 0.8, 1})
+	want := []float64{1, 1, 1, 0.8, 0.6}
+	for i, p := range points {
+		if math.Abs(p.Accuracy-want[i]) > 1e-12 {
+			t.Errorf("optimal a(r=%v) = %v, want %v", p.FilterRate, p.Accuracy, want[i])
+		}
+	}
+}
+
+func TestFilterRateAt(t *testing.T) {
+	points := []CurvePoint{
+		{FilterRate: 0.2, Accuracy: 1},
+		{FilterRate: 0.5, Accuracy: 0.95},
+		{FilterRate: 0.7, Accuracy: 0.9},
+		{FilterRate: 0.9, Accuracy: 0.6},
+	}
+	r, ok := FilterRateAt(points, 0.9)
+	if !ok || r != 0.7 {
+		t.Errorf("FilterRateAt(0.9) = %v,%v, want 0.7,true", r, ok)
+	}
+	if _, ok := FilterRateAt(points, 1.1); ok {
+		t.Error("unreachable target must report !ok")
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Flat accuracy 1 over [0,1] integrates to 1.
+	points := []CurvePoint{{FilterRate: 0, Accuracy: 1}, {FilterRate: 1, Accuracy: 1}}
+	if auc := AUC(points); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// Linear decay from 1 to 0 integrates to 0.5, regardless of order.
+	points = []CurvePoint{{FilterRate: 1, Accuracy: 0}, {FilterRate: 0, Accuracy: 1}}
+	if auc := AUC(points); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestTPRAtFPR(t *testing.T) {
+	// Perfect separation: TPR 1 at any FPR.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	tpr, err := TPRAtFPR(scores, labels, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpr != 1 {
+		t.Errorf("perfect TPR = %v", tpr)
+	}
+	// Inverted scores: at FPR 0 we can catch nothing.
+	tpr, err = TPRAtFPR([]float64{0.1, 0.2, 0.8, 0.9}, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpr != 0 {
+		t.Errorf("inverted TPR = %v, want 0", tpr)
+	}
+}
+
+func TestTPRAtFPRValidation(t *testing.T) {
+	if _, err := TPRAtFPR([]float64{1}, []bool{true}, 0.1); err == nil {
+		t.Error("single-class input must error")
+	}
+	if _, err := TPRAtFPR(nil, nil, 0.1); err == nil {
+		t.Error("empty input must error")
+	}
+}
+
+func TestConcurrencyBottleneck(t *testing.T) {
+	// The paper's Fig 2b numbers: 25FPS streams; decoder 870 FPS (load 1),
+	// filter 3569 FPS (load 1), inference 753.9 FPS with 99% filtered
+	// (load 0.01). Decoder should bottleneck at 34-35 streams.
+	mods := []Module{
+		{Name: "decode", Throughput: 870, Load: 1},
+		{Name: "filter", Throughput: 3569.4, Load: 1},
+		{Name: "infer", Throughput: 753.9, Load: 0.01},
+	}
+	n, bottleneck, err := Concurrency(25, mods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bottleneck != "decode" {
+		t.Errorf("bottleneck = %s, want decode", bottleneck)
+	}
+	if n < 33 || n > 35 {
+		t.Errorf("concurrency = %d, want ~34", n)
+	}
+}
+
+func TestConcurrencyZeroLoadModules(t *testing.T) {
+	n, name, err := Concurrency(25, []Module{{Name: "x", Throughput: 100, Load: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "none" || n != math.MaxInt32 {
+		t.Errorf("zero-load pipeline: %d %s", n, name)
+	}
+}
+
+func TestConcurrencyValidation(t *testing.T) {
+	if _, _, err := Concurrency(0, []Module{{Throughput: 1, Load: 1}}); err == nil {
+		t.Error("zero FPS must error")
+	}
+	if _, _, err := Concurrency(25, nil); err == nil {
+		t.Error("no modules must error")
+	}
+}

@@ -1,0 +1,454 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is one differentiable network stage. Forward must be called before
+// Backward; Backward accumulates parameter gradients and returns the
+// gradient with respect to the layer input.
+type Layer interface {
+	// Name identifies the layer (used in weight files).
+	Name() string
+	// Forward computes the layer output for a batched input.
+	Forward(x *Tensor) *Tensor
+	// Backward propagates the output gradient, accumulating parameter
+	// gradients, and returns the input gradient.
+	Backward(grad *Tensor) *Tensor
+	// Params returns the trainable parameters (may be empty).
+	Params() []*Param
+	// OutShape maps a per-example input shape to the output shape.
+	OutShape(in []int) []int
+	// FLOPs counts floating-point operations per example for the given
+	// per-example input shape.
+	FLOPs(in []int) int64
+}
+
+// Conv1D is a 1-D convolution with valid padding and stride 1.
+// Input [N, C, L] → output [N, F, L-K+1].
+type Conv1D struct {
+	name    string
+	in, out int // channels
+	k       int // kernel width
+	w       *Param
+	b       *Param
+
+	x  *Tensor // saved input
+	y  *Tensor // reusable output buffer
+	dx *Tensor // reusable input-gradient buffer
+}
+
+// NewConv1D creates a Conv1D layer with He-uniform initialization.
+func NewConv1D(name string, inChannels, outChannels, kernel int, rng *rand.Rand) *Conv1D {
+	c := &Conv1D{
+		name: name,
+		in:   inChannels, out: outChannels, k: kernel,
+		w: newParam(name+".w", outChannels, inChannels, kernel),
+		b: newParam(name+".b", outChannels),
+	}
+	c.w.initUniform(rng, inChannels*kernel)
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv1D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape implements Layer.
+func (c *Conv1D) OutShape(in []int) []int {
+	if len(in) != 2 || in[0] != c.in || in[1] < c.k {
+		panic(fmt.Sprintf("nn: conv1d %s: bad input shape %v (in=%d k=%d)", c.name, in, c.in, c.k))
+	}
+	return []int{c.out, in[1] - c.k + 1}
+}
+
+// FLOPs implements Layer: 2·C·K multiply-adds per output element plus bias.
+func (c *Conv1D) FLOPs(in []int) int64 {
+	outL := int64(in[1] - c.k + 1)
+	return outL * int64(c.out) * (2*int64(c.in)*int64(c.k) + 1)
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *Tensor) *Tensor {
+	n, ch, l := x.Shape[0], x.Shape[1], x.Shape[2]
+	if ch != c.in || l < c.k {
+		panic(fmt.Sprintf("nn: conv1d %s: input shape %v", c.name, x.Shape))
+	}
+	outL := l - c.k + 1
+	c.y = ensure(c.y, n, c.out, outL)
+	y := c.y
+	c.x = x
+	w, b := c.w.W.Data, c.b.W.Data
+	for bi := 0; bi < n; bi++ {
+		xoff := bi * ch * l
+		yoff := bi * c.out * outL
+		for f := 0; f < c.out; f++ {
+			wf := w[f*c.in*c.k : (f+1)*c.in*c.k]
+			for ol := 0; ol < outL; ol++ {
+				sum := b[f]
+				for ci := 0; ci < ch; ci++ {
+					xrow := xoff + ci*l + ol
+					wrow := ci * c.k
+					for kk := 0; kk < c.k; kk++ {
+						sum += wf[wrow+kk] * x.Data[xrow+kk]
+					}
+				}
+				y.Data[yoff+f*outL+ol] = sum
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(grad *Tensor) *Tensor {
+	x := c.x
+	n, ch, l := x.Shape[0], x.Shape[1], x.Shape[2]
+	outL := l - c.k + 1
+	c.dx = ensure(c.dx, n, ch, l)
+	dx := c.dx
+	dx.Zero()
+	w := c.w.W.Data
+	gw, gb := c.w.G.Data, c.b.G.Data
+	for bi := 0; bi < n; bi++ {
+		xoff := bi * ch * l
+		goff := bi * c.out * outL
+		for f := 0; f < c.out; f++ {
+			wf := w[f*c.in*c.k : (f+1)*c.in*c.k]
+			gwf := gw[f*c.in*c.k : (f+1)*c.in*c.k]
+			for ol := 0; ol < outL; ol++ {
+				g := grad.Data[goff+f*outL+ol]
+				if g == 0 {
+					continue
+				}
+				gb[f] += g
+				for ci := 0; ci < ch; ci++ {
+					xrow := xoff + ci*l + ol
+					wrow := ci * c.k
+					for kk := 0; kk < c.k; kk++ {
+						gwf[wrow+kk] += g * x.Data[xrow+kk]
+						dx.Data[xrow+kk] += g * wf[wrow+kk]
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Dense is a fully connected layer: input [N, in] → output [N, out].
+type Dense struct {
+	name    string
+	in, out int
+	w       *Param
+	b       *Param
+
+	x  *Tensor
+	y  *Tensor
+	dx *Tensor
+}
+
+// NewDense creates a Dense layer with He-uniform initialization.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		name: name, in: in, out: out,
+		w: newParam(name+".w", out, in),
+		b: newParam(name+".b", out),
+	}
+	d.w.initUniform(rng, in)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int {
+	if len(in) != 1 || in[0] != d.in {
+		panic(fmt.Sprintf("nn: dense %s: bad input shape %v (in=%d)", d.name, in, d.in))
+	}
+	return []int{d.out}
+}
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs(in []int) int64 {
+	return int64(d.out) * (2*int64(d.in) + 1)
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	n := x.Shape[0]
+	if x.Shape[1] != d.in {
+		panic(fmt.Sprintf("nn: dense %s: input shape %v", d.name, x.Shape))
+	}
+	d.x = x
+	d.y = ensure(d.y, n, d.out)
+	y := d.y
+	w, b := d.w.W.Data, d.b.W.Data
+	for bi := 0; bi < n; bi++ {
+		xr := x.Data[bi*d.in : (bi+1)*d.in]
+		yr := y.Data[bi*d.out : (bi+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			sum := b[o]
+			wr := w[o*d.in : (o+1)*d.in]
+			for i, xv := range xr {
+				sum += wr[i] * xv
+			}
+			yr[o] = sum
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	n := grad.Shape[0]
+	d.dx = ensure(d.dx, n, d.in)
+	dx := d.dx
+	dx.Zero()
+	w := d.w.W.Data
+	gw, gb := d.w.G.Data, d.b.G.Data
+	for bi := 0; bi < n; bi++ {
+		xr := d.x.Data[bi*d.in : (bi+1)*d.in]
+		gr := grad.Data[bi*d.out : (bi+1)*d.out]
+		dxr := dx.Data[bi*d.in : (bi+1)*d.in]
+		for o := 0; o < d.out; o++ {
+			g := gr[o]
+			if g == 0 {
+				continue
+			}
+			gb[o] += g
+			wr := w[o*d.in : (o+1)*d.in]
+			gwr := gw[o*d.in : (o+1)*d.in]
+			for i := range xr {
+				gwr[i] += g * xr[i]
+				dxr[i] += g * wr[i]
+			}
+		}
+	}
+	return dx
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	name string
+	mask []bool
+	y    *Tensor
+	dx   *Tensor
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// FLOPs implements Layer.
+func (r *ReLU) FLOPs(in []int) int64 {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	r.y = ensure(r.y, x.Shape...)
+	y := r.y
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range x.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			y.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	r.dx = ensure(r.dx, grad.Shape...)
+	dx := r.dx
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	name string
+	y    *Tensor
+	dx   *Tensor
+}
+
+// NewSigmoid creates a Sigmoid layer.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return s.name }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (s *Sigmoid) OutShape(in []int) []int { return in }
+
+// FLOPs implements Layer: ~4 ops per element.
+func (s *Sigmoid) FLOPs(in []int) int64 {
+	n := int64(1)
+	for _, d := range in {
+		n *= int64(d)
+	}
+	return 4 * n
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Tensor) *Tensor {
+	s.y = ensure(s.y, x.Shape...)
+	for i, v := range x.Data {
+		s.y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	return s.y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
+	s.dx = ensure(s.dx, grad.Shape...)
+	for i, g := range grad.Data {
+		yv := s.y.Data[i]
+		s.dx.Data[i] = g * yv * (1 - yv)
+	}
+	return s.dx
+}
+
+// GlobalMaxPool1D reduces [N, C, L] → [N, C] by max over the length axis,
+// the paper's embedding-block pooling (§5.2).
+type GlobalMaxPool1D struct {
+	name   string
+	argmax []int
+	inL    int
+	y      *Tensor
+	dx     *Tensor
+}
+
+// NewGlobalMaxPool1D creates the pooling layer.
+func NewGlobalMaxPool1D(name string) *GlobalMaxPool1D { return &GlobalMaxPool1D{name: name} }
+
+// Name implements Layer.
+func (g *GlobalMaxPool1D) Name() string { return g.name }
+
+// Params implements Layer.
+func (g *GlobalMaxPool1D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalMaxPool1D) OutShape(in []int) []int {
+	if len(in) != 2 {
+		panic(fmt.Sprintf("nn: %s: bad input shape %v", g.name, in))
+	}
+	return []int{in[0]}
+}
+
+// FLOPs implements Layer.
+func (g *GlobalMaxPool1D) FLOPs(in []int) int64 { return int64(in[0]) * int64(in[1]) }
+
+// Forward implements Layer.
+func (g *GlobalMaxPool1D) Forward(x *Tensor) *Tensor {
+	n, c, l := x.Shape[0], x.Shape[1], x.Shape[2]
+	g.inL = l
+	g.y = ensure(g.y, n, c)
+	y := g.y
+	if cap(g.argmax) < n*c {
+		g.argmax = make([]int, n*c)
+	}
+	g.argmax = g.argmax[:n*c]
+	for bi := 0; bi < n; bi++ {
+		for ci := 0; ci < c; ci++ {
+			row := x.Data[(bi*c+ci)*l : (bi*c+ci+1)*l]
+			best, bestAt := row[0], 0
+			for j, v := range row[1:] {
+				if v > best {
+					best, bestAt = v, j+1
+				}
+			}
+			y.Data[bi*c+ci] = best
+			g.argmax[bi*c+ci] = bestAt
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (g *GlobalMaxPool1D) Backward(grad *Tensor) *Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	g.dx = ensure(g.dx, n, c, g.inL)
+	dx := g.dx
+	dx.Zero()
+	for i, at := range g.argmax {
+		dx.Data[i*g.inL+at] = grad.Data[i]
+	}
+	return dx
+}
+
+// Flatten reshapes [N, d1, d2, ...] → [N, d1·d2·...].
+type Flatten struct {
+	name string
+	in   []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return f.name }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs(in []int) int64 { return 0 }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.in = append(f.in[:0], x.Shape...)
+	n := x.Shape[0]
+	return FromSlice(x.Data, n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	return FromSlice(grad.Data, f.in...)
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// bceEps clamps predictions away from 0/1 for numerical stability.
+const bceEps = 1e-7
+
+// BCE computes the mean binary cross-entropy loss between predictions in
+// (0,1) and binary (or soft, 0-1 normalized) targets, along with the loss
+// gradient with respect to the predictions. Shapes must match; the loss is
+// averaged over every element, matching the paper's per-task normalization
+// (§5.2). Entries with target NaN are masked out (multi-task training where
+// a sample carries labels for only some heads).
+func BCE(pred, target *Tensor) (float64, *Tensor) {
+	if !SameShape(pred, target) {
+		panic(fmt.Sprintf("nn: BCE shape mismatch %v vs %v", pred.Shape, target.Shape))
+	}
+	grad := NewTensor(pred.Shape...)
+	var loss float64
+	n := 0
+	for i, y := range pred.Data {
+		r := target.Data[i]
+		if math.IsNaN(r) {
+			continue
+		}
+		if y < bceEps {
+			y = bceEps
+		} else if y > 1-bceEps {
+			y = 1 - bceEps
+		}
+		loss += -(r*math.Log(y) + (1-r)*math.Log(1-y))
+		grad.Data[i] = (y - r) / (y * (1 - y))
+		n++
+	}
+	if n == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(n)
+	for i := range grad.Data {
+		grad.Data[i] *= inv
+	}
+	return loss * inv, grad
+}
+
+// MSE computes mean squared error and its gradient.
+func MSE(pred, target *Tensor) (float64, *Tensor) {
+	if !SameShape(pred, target) {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %v vs %v", pred.Shape, target.Shape))
+	}
+	grad := NewTensor(pred.Shape...)
+	var loss float64
+	for i, y := range pred.Data {
+		d := y - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d
+	}
+	inv := 1 / float64(len(pred.Data))
+	for i := range grad.Data {
+		grad.Data[i] *= inv
+	}
+	return loss * inv, grad
+}

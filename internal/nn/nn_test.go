@@ -1,0 +1,346 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3)
+	if x.Len() != 6 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatalf("shape bookkeeping wrong: %+v", x)
+	}
+	x.Set(5, 1, 2)
+	if x.At(1, 2) != 5 {
+		t.Error("At/Set round trip failed")
+	}
+	c := x.Clone()
+	c.Set(9, 0, 0)
+	if x.At(0, 0) == 9 {
+		t.Error("Clone must not alias")
+	}
+	x.Zero()
+	if x.At(1, 2) != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestTensorPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("bad shape", func() { NewTensor(0) })
+	expectPanic("bad FromSlice", func() { FromSlice([]float64{1, 2}, 3) })
+	x := NewTensor(2, 2)
+	expectPanic("bad index count", func() { x.At(1) })
+	expectPanic("out of range", func() { x.At(2, 0) })
+}
+
+func TestSameShape(t *testing.T) {
+	if !SameShape(NewTensor(2, 3), NewTensor(2, 3)) {
+		t.Error("equal shapes reported different")
+	}
+	if SameShape(NewTensor(2, 3), NewTensor(3, 2)) || SameShape(NewTensor(2), NewTensor(2, 1)) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+// scalarLoss runs a forward pass and returns 0.5·Σy² — a simple scalar whose
+// gradient w.r.t. y is y itself.
+func scalarLoss(l Layer, x *Tensor) float64 {
+	y := l.Forward(x)
+	var s float64
+	for _, v := range y.Data {
+		s += 0.5 * v * v
+	}
+	return s
+}
+
+// checkGradients verifies analytic gradients against central differences for
+// both the input and every parameter of the layer.
+func checkGradients(t *testing.T, l Layer, x *Tensor, tol float64) {
+	t.Helper()
+	// Analytic pass.
+	y := l.Forward(x)
+	ZeroGrads(l.Params())
+	dx := l.Backward(y.Clone()) // dLoss/dy = y for the 0.5·Σy² loss
+
+	const h = 1e-5
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := scalarLoss(l, x)
+		x.Data[i] = orig - h
+		lm := scalarLoss(l, x)
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("%s: input grad [%d]: analytic %v vs numeric %v", l.Name(), i, dx.Data[i], num)
+		}
+	}
+	// Restore saved-forward state then re-run analytic backward for params.
+	y = l.Forward(x)
+	ZeroGrads(l.Params())
+	l.Backward(y.Clone())
+	for _, p := range l.Params() {
+		for i := range p.W.Data {
+			orig := p.W.Data[i]
+			p.W.Data[i] = orig + h
+			lp := scalarLoss(l, x)
+			p.W.Data[i] = orig - h
+			lm := scalarLoss(l, x)
+			p.W.Data[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-p.G.Data[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("%s: param %s grad [%d]: analytic %v vs numeric %v",
+					l.Name(), p.Name, i, p.G.Data[i], num)
+			}
+		}
+	}
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	x := NewTensor(shape...)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv1D("conv", 2, 3, 3, rng)
+	checkGradients(t, l, randTensor(rng, 2, 2, 7), 1e-6)
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewDense("fc", 4, 3, rng)
+	checkGradients(t, l, randTensor(rng, 3, 4), 1e-6)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewReLU("relu")
+	x := randTensor(rng, 2, 5)
+	// Keep values away from the kink for finite differences.
+	for i := range x.Data {
+		if math.Abs(x.Data[i]) < 0.05 {
+			x.Data[i] = 0.5
+		}
+	}
+	checkGradients(t, l, x, 1e-6)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewSigmoid("sig")
+	checkGradients(t, l, randTensor(rng, 2, 4), 1e-5)
+}
+
+func TestGlobalMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := NewGlobalMaxPool1D("pool")
+	x := randTensor(rng, 2, 3, 6)
+	// Perturbations must not change the argmax: spread the values.
+	for i := range x.Data {
+		x.Data[i] *= 10
+	}
+	checkGradients(t, l, x, 1e-6)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l := NewSequential("tower",
+		NewConv1D("c1", 1, 4, 3, rng),
+		NewReLU("r1"),
+		NewConv1D("c2", 4, 4, 3, rng),
+		NewReLU("r2"),
+		NewGlobalMaxPool1D("pool"),
+		NewDense("fc", 4, 2, rng),
+		NewSigmoid("out"),
+	)
+	x := randTensor(rng, 2, 1, 9)
+	for i := range x.Data {
+		x.Data[i] *= 3
+	}
+	checkGradients(t, l, x, 1e-4)
+}
+
+func TestOutShapeAndFLOPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seq := NewSequential("t",
+		NewConv1D("c1", 1, 32, 3, rng),
+		NewReLU("r"),
+		NewGlobalMaxPool1D("p"),
+		NewDense("d", 32, 1, rng),
+		NewSigmoid("s"),
+	)
+	out := seq.OutShape([]int{1, 5})
+	if len(out) != 1 || out[0] != 1 {
+		t.Fatalf("OutShape = %v", out)
+	}
+	// Forward shape must agree with OutShape.
+	y := seq.Forward(randTensor(rng, 4, 1, 5))
+	if y.Shape[0] != 4 || y.Shape[1] != 1 {
+		t.Fatalf("forward shape = %v", y.Shape)
+	}
+	if f := seq.FLOPs([]int{1, 5}); f <= 0 {
+		t.Errorf("FLOPs = %d", f)
+	}
+	// Conv FLOPs: outL=3, F=32, (2·1·3+1)=7 → 3·32·7 = 672.
+	if f := NewConv1D("c", 1, 32, 3, rng).FLOPs([]int{1, 5}); f != 672 {
+		t.Errorf("conv FLOPs = %d, want 672", f)
+	}
+	// Dense FLOPs: 1·(2·32+1) = 65.
+	if f := NewDense("d", 32, 1, rng).FLOPs([]int{32}); f != 65 {
+		t.Errorf("dense FLOPs = %d, want 65", f)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	seq := NewSequential("t", NewConv1D("c", 1, 2, 3, rng), NewDense("d", 2, 1, rng))
+	// Conv: 2·1·3 + 2 = 8; Dense: 1·2 + 1 = 3.
+	if n := NumParams(seq.Params()); n != 11 {
+		t.Errorf("NumParams = %d, want 11", n)
+	}
+}
+
+func TestBCELossAndGrad(t *testing.T) {
+	pred := FromSlice([]float64{0.9, 0.1}, 2, 1)
+	target := FromSlice([]float64{1, 0}, 2, 1)
+	loss, grad := BCE(pred, target)
+	want := -(math.Log(0.9) + math.Log(0.9)) / 2
+	if math.Abs(loss-want) > 1e-9 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	// dL/dy for y=0.9,r=1: (y-r)/(y(1-y))/n = (-0.1)/(0.09)/2.
+	if math.Abs(grad.Data[0]-(-0.1/0.09/2)) > 1e-9 {
+		t.Errorf("grad[0] = %v", grad.Data[0])
+	}
+}
+
+func TestBCEMasksNaNTargets(t *testing.T) {
+	pred := FromSlice([]float64{0.9, 0.5}, 1, 2)
+	target := FromSlice([]float64{1, math.NaN()}, 1, 2)
+	loss, grad := BCE(pred, target)
+	if grad.Data[1] != 0 {
+		t.Errorf("masked grad = %v, want 0", grad.Data[1])
+	}
+	want := -math.Log(0.9)
+	if math.Abs(loss-want) > 1e-9 {
+		t.Errorf("masked loss = %v, want %v", loss, want)
+	}
+	// All-masked batch must not divide by zero.
+	allNaN := FromSlice([]float64{math.NaN(), math.NaN()}, 1, 2)
+	if l, _ := BCE(pred, allNaN); l != 0 {
+		t.Errorf("all-masked loss = %v", l)
+	}
+}
+
+func TestBCEClampsExtremes(t *testing.T) {
+	pred := FromSlice([]float64{0, 1}, 2, 1)
+	target := FromSlice([]float64{1, 0}, 2, 1)
+	loss, grad := BCE(pred, target)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Errorf("loss not clamped: %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsInf(g, 0) || math.IsNaN(g) {
+			t.Errorf("grad not clamped: %v", grad.Data)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := FromSlice([]float64{1, 2}, 2, 1)
+	target := FromSlice([]float64{0, 2}, 2, 1)
+	loss, grad := MSE(pred, target)
+	if math.Abs(loss-0.5) > 1e-12 {
+		t.Errorf("loss = %v, want 0.5", loss)
+	}
+	if grad.Data[0] != 1 || grad.Data[1] != 0 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+}
+
+// TestTrainingLearnsXORLike trains a tiny net on a nonlinear binary problem
+// and requires near-perfect accuracy: end-to-end proof that forward,
+// backward, loss, and RMSprop compose correctly.
+func TestTrainingLearnsXORLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	model := NewSequential("xor",
+		NewDense("h1", 2, 16, rng),
+		NewReLU("r1"),
+		NewDense("h2", 16, 1, rng),
+		NewSigmoid("out"),
+	)
+	opt := NewRMSprop(0.01)
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	ys := []float64{0, 1, 1, 0}
+	x := NewTensor(4, 2)
+	yt := NewTensor(4, 1)
+	for i := range xs {
+		copy(x.Data[i*2:], xs[i])
+		yt.Data[i] = ys[i]
+	}
+	for epoch := 0; epoch < 2000; epoch++ {
+		pred := model.Forward(x)
+		_, grad := BCE(pred, yt)
+		ZeroGrads(model.Params())
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	pred := model.Forward(x)
+	for i, want := range ys {
+		got := pred.Data[i]
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("xor(%v) = %.3f, want %v", xs[i], got, want)
+		}
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	p := newParam("w", 2)
+	p.W.Data[0], p.W.Data[1] = 1, 2
+	p.G.Data[0], p.G.Data[1] = 0.5, -0.5
+	(&SGD{LR: 0.1}).Step([]*Param{p})
+	if math.Abs(p.W.Data[0]-0.95) > 1e-12 || math.Abs(p.W.Data[1]-2.05) > 1e-12 {
+		t.Errorf("SGD step wrong: %v", p.W.Data)
+	}
+}
+
+func TestRMSpropConvergesOnQuadratic(t *testing.T) {
+	// Minimize (w-3)² by gradient steps.
+	p := newParam("w", 1)
+	opt := NewRMSprop(0.05)
+	for i := 0; i < 2000; i++ {
+		p.G.Data[0] = 2 * (p.W.Data[0] - 3)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(p.W.Data[0]-3) > 0.05 {
+		t.Errorf("w = %v, want ~3", p.W.Data[0])
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := NewFlatten("flat")
+	x := randTensor(rng, 2, 3, 4)
+	y := f.Forward(x)
+	if y.Shape[0] != 2 || y.Shape[1] != 12 {
+		t.Fatalf("flatten shape = %v", y.Shape)
+	}
+	back := f.Backward(y)
+	if !SameShape(back, x) {
+		t.Errorf("backward shape = %v", back.Shape)
+	}
+}

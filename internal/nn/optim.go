@@ -1,0 +1,59 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and is expected to be followed by ZeroGrads.
+	Step(params []*Param)
+}
+
+// RMSprop is the optimizer the paper trains the contextual predictor with
+// (§6.1, learning rate 0.001).
+type RMSprop struct {
+	// LR is the learning rate. Default 0.001.
+	LR float64
+	// Rho is the moving-average decay. Default 0.9.
+	Rho float64
+	// Eps stabilizes the division. Default 1e-8.
+	Eps float64
+
+	cache map[*Param][]float64
+}
+
+// NewRMSprop creates an RMSprop optimizer with the paper's defaults.
+func NewRMSprop(lr float64) *RMSprop {
+	if lr == 0 {
+		lr = 0.001
+	}
+	return &RMSprop{LR: lr, Rho: 0.9, Eps: 1e-8, cache: map[*Param][]float64{}}
+}
+
+// Step implements Optimizer.
+func (o *RMSprop) Step(params []*Param) {
+	for _, p := range params {
+		c, ok := o.cache[p]
+		if !ok {
+			c = make([]float64, p.W.Len())
+			o.cache[p] = c
+		}
+		for i, g := range p.G.Data {
+			c[i] = o.Rho*c[i] + (1-o.Rho)*g*g
+			p.W.Data[i] -= o.LR * g / (math.Sqrt(c[i]) + o.Eps)
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent (used in tests and ablations).
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i, g := range p.G.Data {
+			p.W.Data[i] -= o.LR * g
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+// Sequential chains layers into one differentiable block.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential creates a named layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the contained layers.
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *Tensor) *Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *Tensor) *Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// FLOPs implements Layer, threading the shape through the chain.
+func (s *Sequential) FLOPs(in []int) int64 {
+	var total int64
+	for _, l := range s.layers {
+		total += l.FLOPs(in)
+		in = l.OutShape(in)
+	}
+	return total
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight files are the "binary runtime file" of the paper's deployment
+// workflow (§5.2): the predictor is trained offline, its weights exported,
+// and the frozen file loaded for real-time gating.
+//
+// Format (big-endian):
+//
+//	magic "PGW1"
+//	uint32 param count
+//	per param: uint16 name length, name bytes,
+//	           uint8 ndim, ndim × uint32 dims,
+//	           dims-product × float64 bits
+var weightMagic = [4]byte{'P', 'G', 'W', '1'}
+
+// SaveParams writes the parameter values to w.
+func SaveParams(w io.Writer, params []*Param) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(weightMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if len(p.Name) > 65535 {
+			return fmt.Errorf("nn: parameter name too long: %d bytes", len(p.Name))
+		}
+		if err := binary.Write(bw, binary.BigEndian, uint16(len(p.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return err
+		}
+		if len(p.W.Shape) > 255 {
+			return fmt.Errorf("nn: parameter %s has %d dims", p.Name, len(p.W.Shape))
+		}
+		if err := bw.WriteByte(byte(len(p.W.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.W.Shape {
+			if err := binary.Write(bw, binary.BigEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range p.W.Data {
+			if err := binary.Write(bw, binary.BigEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadParams reads parameter values from r into params. Names, order, and
+// shapes must match what was saved; gradients are untouched.
+func LoadParams(r io.Reader, params []*Param) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != weightMagic {
+		return fmt.Errorf("nn: bad weight file magic %q", magic[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.BigEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: weight file has %d params, model has %d", count, len(params))
+	}
+	for _, p := range params {
+		var nameLen uint16
+		if err := binary.Read(br, binary.BigEndian, &nameLen); err != nil {
+			return err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return err
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: weight file param %q, model expects %q", name, p.Name)
+		}
+		ndim, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		if int(ndim) != len(p.W.Shape) {
+			return fmt.Errorf("nn: param %s: %d dims in file, %d in model", p.Name, ndim, len(p.W.Shape))
+		}
+		for i := 0; i < int(ndim); i++ {
+			var d uint32
+			if err := binary.Read(br, binary.BigEndian, &d); err != nil {
+				return err
+			}
+			if int(d) != p.W.Shape[i] {
+				return fmt.Errorf("nn: param %s: dim %d is %d in file, %d in model", p.Name, i, d, p.W.Shape[i])
+			}
+		}
+		for i := range p.W.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.BigEndian, &bits); err != nil {
+				return err
+			}
+			p.W.Data[i] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func buildModel(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential("m",
+		NewConv1D("c1", 1, 4, 2, rng),
+		NewReLU("r"),
+		NewGlobalMaxPool1D("p"),
+		NewDense("d", 4, 1, rng),
+		NewSigmoid("s"),
+	)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := buildModel(1)
+	dst := buildModel(2) // different init
+
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(&buf, dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Same weights → same outputs.
+	x := randTensor(rand.New(rand.NewSource(3)), 2, 1, 6)
+	ya, yb := src.Forward(x), dst.Forward(x)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatalf("output %d differs after load: %v vs %v", i, ya.Data[i], yb.Data[i])
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	m := buildModel(1)
+	err := LoadParams(strings.NewReader("NOPE????????"), m.Params())
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want magic error", err)
+	}
+}
+
+func TestLoadRejectsParamCountMismatch(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildModel(1)
+	if err := LoadParams(&buf, dst.Params()[:2]); err == nil {
+		t.Error("param count mismatch must error")
+	}
+}
+
+func TestLoadRejectsNameMismatch(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := buildModel(1)
+	dst.Params()[0].Name = "other"
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Error("name mismatch must error")
+	}
+}
+
+func TestLoadRejectsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewDense("d", 3, 2, rng)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewDense("d", 2, 2, rng) // wrong input width
+	if err := LoadParams(&buf, dst.Params()); err == nil {
+		t.Error("shape mismatch must error")
+	}
+}
+
+func TestLoadTruncatedFile(t *testing.T) {
+	src := buildModel(1)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src.Params()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dst := buildModel(1)
+	if err := LoadParams(bytes.NewReader(raw[:len(raw)/2]), dst.Params()); err == nil {
+		t.Error("truncated file must error")
+	}
+}

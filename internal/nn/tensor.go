@@ -1,0 +1,153 @@
+// Package nn is a small, dependency-free neural network library sufficient
+// to train and deploy PacketGame's contextual predictor (§5.2): tensors,
+// Conv1D / Dense / GlobalMaxPool / ReLU / Sigmoid layers with full
+// backpropagation, binary cross-entropy loss, the RMSprop optimizer the
+// paper uses, analytic FLOP counting, and binary weight (de)serialization
+// for the train-offline / deploy-frozen workflow of §6.1.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major float64 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: invalid dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data with the given shape, validating the element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("nn: %d elements for shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero resets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the element at the given multi-index (row-major).
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set writes the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("nn: %d indices for shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("nn: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Param is one trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *Tensor
+	G    *Tensor
+}
+
+// newParam allocates a parameter and its gradient.
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: NewTensor(shape...), G: NewTensor(shape...)}
+}
+
+// initUniform fills W with He-style uniform noise scaled by fanIn.
+func (p *Param) initUniform(rng *rand.Rand, fanIn int) {
+	limit := math.Sqrt(6.0 / float64(fanIn))
+	for i := range p.W.Data {
+		p.W.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ensure returns t if it matches the shape, otherwise a fresh tensor.
+// Layers use it to reuse output buffers across forward passes: the training
+// loop always runs backward immediately after forward, so overwriting the
+// previous pass's buffers is safe and removes steady-state allocation from
+// the hot gating path.
+func ensure(t *Tensor, shape ...int) *Tensor {
+	if t != nil && len(t.Shape) == len(shape) {
+		same := true
+		for i := range shape {
+			if t.Shape[i] != shape[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	return NewTensor(shape...)
+}
+
+// NumParams sums the element counts of a parameter list.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Len()
+	}
+	return n
+}
+
+// ZeroGrads clears the gradients of all parameters.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.G.Zero()
+	}
+}

@@ -1,0 +1,72 @@
+package parser
+
+import (
+	"bytes"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+// FuzzParser drives the incremental parser with arbitrary bytes split at an
+// arbitrary boundary; it must never panic, and anything it parses from a
+// well-formed prefix must be internally consistent.
+func FuzzParser(f *testing.F) {
+	// Seed corpus: a real two-packet stream, noise, and boundary cases.
+	var buf bytes.Buffer
+	bw := codec.NewBitstreamWriter(&buf)
+	st := codec.NewStream(codec.SceneConfig{}, codec.EncoderConfig{GOPSize: 2}, 7)
+	for i := 0; i < 2; i++ {
+		if err := bw.WritePacket(st.Next()); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(buf.Bytes(), 1)
+	f.Add([]byte{}, 0)
+	f.Add(codec.StartCode, 2)
+	f.Add(append(append([]byte{}, codec.StartCode...), 0x0f, 1, 2, 3, 4, 5, 6, 7, 8), 3)
+	f.Add(bytes.Repeat([]byte{0}, 64), 5)
+
+	f.Fuzz(func(t *testing.T, data []byte, split int) {
+		p := New(Options{MaxUnit: 1 << 16})
+		if split < 0 {
+			split = 0
+		}
+		if split > len(data) {
+			split = len(data)
+		}
+		if _, err := p.Feed(data[:split]); err != nil {
+			return
+		}
+		if _, err := p.Feed(data[split:]); err != nil {
+			return
+		}
+		if _, err := p.Flush(); err != nil {
+			return
+		}
+		for pkt := p.Next(); pkt != nil; pkt = p.Next() {
+			if pkt.Size < 0 || pkt.GOPIndex < 0 || pkt.GOPSize < 0 {
+				t.Fatalf("inconsistent packet: %+v", pkt)
+			}
+		}
+	})
+}
+
+// FuzzEmulationRoundTrip checks escape/unescape is a lossless pair for any
+// payload.
+func FuzzEmulationRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{0, 0, 3, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		escaped := codec.EscapeEmulation(nil, data)
+		if bytes.Contains(escaped, []byte{0, 0, 0}) ||
+			bytes.Contains(escaped, []byte{0, 0, 1}) ||
+			bytes.Contains(escaped, []byte{0, 0, 2}) {
+			t.Fatalf("escaped output contains a start-code prefix: %v", escaped)
+		}
+		back := codec.UnescapeEmulation(nil, escaped)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch: %v -> %v -> %v", data, escaped, back)
+		}
+	})
+}

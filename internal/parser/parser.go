@@ -1,0 +1,225 @@
+// Package parser recovers video packet metadata from raw bitstream bytes,
+// mirroring FFmpeg's av_parser_parse2 workflow the paper builds on (§6.1):
+// bytes go in (in arbitrary chunk sizes), parsed packets with size and
+// picture type come out, without any decoding.
+package parser
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"packetgame/internal/codec"
+)
+
+// ErrCorrupt reports a malformed access unit in the bitstream.
+var ErrCorrupt = errors.New("parser: corrupt bitstream")
+
+// Options configures a Parser.
+type Options struct {
+	// StreamID is stamped on every parsed packet. Elementary streams carry
+	// no stream identity; the mux/container supplies it.
+	StreamID int
+	// FPS reconstructs packet PTS from sequence numbers. Default 25.
+	FPS int
+	// KeepPayload retains the (unescaped) payload bytes on parsed packets
+	// so a downstream decoder can decode them. Gating-only consumers can
+	// leave it false to avoid the copy.
+	KeepPayload bool
+	// MaxUnit caps the size of one access unit in bytes to bound memory on
+	// corrupt input. Default 16 MiB.
+	MaxUnit int
+}
+
+func (o *Options) defaults() {
+	if o.FPS == 0 {
+		o.FPS = 25
+	}
+	if o.MaxUnit == 0 {
+		o.MaxUnit = 16 << 20
+	}
+}
+
+// Parser is an incremental bitstream parser. Feed it byte chunks of any size
+// with Feed; complete packets become available via Next. Call Flush at end of
+// stream to emit the trailing unit.
+type Parser struct {
+	opts Options
+	buf  []byte // undelivered bytes, always beginning at a start code once synced
+	out  []*codec.Packet
+	body []byte // reusable unescape scratch
+	n    int64  // packets parsed
+
+	synced bool
+}
+
+// New creates a parser.
+func New(opts Options) *Parser {
+	opts.defaults()
+	return &Parser{opts: opts}
+}
+
+// Count returns the number of packets parsed so far.
+func (p *Parser) Count() int64 { return p.n }
+
+// Feed appends a chunk of bitstream bytes and parses any access units that
+// are now complete. It returns the number of packets made available.
+func (p *Parser) Feed(data []byte) (int, error) {
+	p.buf = append(p.buf, data...)
+	return p.drain(false)
+}
+
+// Flush parses the final, unterminated access unit after the input ends.
+func (p *Parser) Flush() (int, error) {
+	return p.drain(true)
+}
+
+// Next returns the next parsed packet, or nil if none is buffered.
+func (p *Parser) Next() *codec.Packet {
+	if len(p.out) == 0 {
+		return nil
+	}
+	pkt := p.out[0]
+	copy(p.out, p.out[1:])
+	p.out = p.out[:len(p.out)-1]
+	return pkt
+}
+
+// drain extracts all complete units from buf. With eof, the trailing bytes
+// form the final unit.
+func (p *Parser) drain(eof bool) (int, error) {
+	emitted := 0
+	for {
+		if !p.synced {
+			i := bytes.Index(p.buf, codec.StartCode)
+			if i < 0 {
+				// No start code yet; keep a tail in case one straddles
+				// the chunk boundary.
+				if len(p.buf) > len(codec.StartCode) {
+					p.buf = p.buf[len(p.buf)-len(codec.StartCode)+1:]
+				}
+				return emitted, nil
+			}
+			p.buf = p.buf[i+len(codec.StartCode):]
+			p.synced = true
+		}
+		// Find the next start code; everything before it is one unit.
+		end := bytes.Index(p.buf, codec.StartCode)
+		if end < 0 {
+			if len(p.buf) > p.opts.MaxUnit {
+				p.reset()
+				return emitted, fmt.Errorf("%w: access unit exceeds %d bytes", ErrCorrupt, p.opts.MaxUnit)
+			}
+			if !eof {
+				return emitted, nil
+			}
+			if len(p.buf) == 0 {
+				return emitted, nil
+			}
+			end = len(p.buf)
+		}
+		unit := p.buf[:end]
+		if end == len(p.buf) {
+			p.buf = p.buf[:0]
+			p.synced = false
+		} else {
+			p.buf = p.buf[end+len(codec.StartCode):]
+		}
+		pkt, err := p.parseUnit(unit)
+		if err != nil {
+			return emitted, err
+		}
+		p.out = append(p.out, pkt)
+		emitted++
+	}
+}
+
+func (p *Parser) reset() {
+	p.buf = p.buf[:0]
+	p.synced = false
+}
+
+// parseUnit unescapes one access unit and builds the packet metadata.
+func (p *Parser) parseUnit(unit []byte) (*codec.Packet, error) {
+	p.body = codec.UnescapeEmulation(p.body[:0], unit)
+	c, t, seq, gopIndex, gopSize, err := codec.DecodeUnitHeader(p.body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	pkt := &codec.Packet{
+		StreamID: p.opts.StreamID,
+		Seq:      seq,
+		PTS:      seq * 1000 / int64(p.opts.FPS),
+		Type:     t,
+		Codec:    c,
+		Size:     len(p.body) - codec.UnitHeaderSize,
+		GOPIndex: gopIndex,
+		GOPSize:  gopSize,
+	}
+	if p.opts.KeepPayload {
+		pkt.Payload = append([]byte(nil), p.body[codec.UnitHeaderSize:]...)
+	}
+	p.n++
+	return pkt, nil
+}
+
+// Reader wraps a Parser around an io.Reader for pull-style parsing.
+type Reader struct {
+	p   *Parser
+	r   io.Reader
+	buf [4096]byte
+	eof bool
+}
+
+// NewReader creates a pull parser over r.
+func NewReader(r io.Reader, opts Options) *Reader {
+	return &Reader{p: New(opts), r: r}
+}
+
+// Next returns the next packet, or io.EOF when the stream is exhausted.
+func (pr *Reader) Next() (*codec.Packet, error) {
+	for {
+		if pkt := pr.p.Next(); pkt != nil {
+			return pkt, nil
+		}
+		if pr.eof {
+			return nil, io.EOF
+		}
+		n, err := pr.r.Read(pr.buf[:])
+		if n > 0 {
+			if _, perr := pr.p.Feed(pr.buf[:n]); perr != nil {
+				return nil, perr
+			}
+		}
+		if err == io.EOF {
+			pr.eof = true
+			if _, perr := pr.p.Flush(); perr != nil {
+				return nil, perr
+			}
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ParseAll parses a complete in-memory bitstream.
+func ParseAll(data []byte, opts Options) ([]*codec.Packet, error) {
+	p := New(opts)
+	if _, err := p.Feed(data); err != nil {
+		return nil, err
+	}
+	if _, err := p.Flush(); err != nil {
+		return nil, err
+	}
+	var pkts []*codec.Packet
+	for {
+		pkt := p.Next()
+		if pkt == nil {
+			return pkts, nil
+		}
+		pkts = append(pkts, pkt)
+	}
+}

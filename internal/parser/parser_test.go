@@ -1,0 +1,274 @@
+package parser
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+// encodeStream renders n packets of a synthetic stream to bitstream bytes,
+// returning both the bytes and the original packets.
+func encodeStream(t *testing.T, n int, cfg codec.EncoderConfig) ([]byte, []*codec.Packet) {
+	t.Helper()
+	st := codec.NewStream(codec.SceneConfig{}, cfg, 77)
+	var buf bytes.Buffer
+	bw := codec.NewBitstreamWriter(&buf)
+	var pkts []*codec.Packet
+	for i := 0; i < n; i++ {
+		p := st.Next()
+		if err := bw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	return buf.Bytes(), pkts
+}
+
+func samePacketMeta(a, b *codec.Packet) bool {
+	return a.Seq == b.Seq && a.Type == b.Type && a.Codec == b.Codec &&
+		a.Size == b.Size && a.GOPIndex == b.GOPIndex && a.GOPSize == b.GOPSize
+}
+
+func TestParseAllRoundTrip(t *testing.T) {
+	raw, want := encodeStream(t, 60, codec.EncoderConfig{GOPSize: 12, BFrames: 2})
+	got, err := ParseAll(raw, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d packets, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !samePacketMeta(got[i], want[i]) {
+			t.Errorf("packet %d: got %v want %v", i, got[i], want[i])
+		}
+		if got[i].PTS != want[i].PTS {
+			t.Errorf("packet %d PTS: got %d want %d", i, got[i].PTS, want[i].PTS)
+		}
+	}
+}
+
+func TestParserChunkBoundaryIndependence(t *testing.T) {
+	raw, want := encodeStream(t, 40, codec.EncoderConfig{GOPSize: 8})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		p := New(Options{})
+		var got []*codec.Packet
+		for off := 0; off < len(raw); {
+			n := 1 + rng.Intn(700)
+			if off+n > len(raw) {
+				n = len(raw) - off
+			}
+			if _, err := p.Feed(raw[off : off+n]); err != nil {
+				t.Fatal(err)
+			}
+			off += n
+			for pkt := p.Next(); pkt != nil; pkt = p.Next() {
+				got = append(got, pkt)
+			}
+		}
+		if _, err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for pkt := p.Next(); pkt != nil; pkt = p.Next() {
+			got = append(got, pkt)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: parsed %d packets, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if !samePacketMeta(got[i], want[i]) {
+				t.Fatalf("trial %d packet %d: got %v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParserKeepPayloadDecodes(t *testing.T) {
+	st := codec.NewStream(codec.SceneConfig{BaseActivity: 0.6}, codec.EncoderConfig{GOPSize: 5}, 9)
+	var buf bytes.Buffer
+	bw := codec.NewBitstreamWriter(&buf)
+	var scenes []codec.Scene
+	for i := 0; i < 25; i++ {
+		p := st.Next()
+		scenes = append(scenes, st.LastScene)
+		if err := bw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ParseAll(buf.Bytes(), Options{KeepPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pkt := range got {
+		s, err := codec.DecodePayload(pkt.Payload)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if s != scenes[i] {
+			t.Errorf("packet %d: scene %+v, want %+v", i, s, scenes[i])
+		}
+	}
+}
+
+func TestParserSkipsGarbagePrefix(t *testing.T) {
+	raw, want := encodeStream(t, 5, codec.EncoderConfig{GOPSize: 5})
+	dirty := append([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x00}, raw...)
+	got, err := ParseAll(dirty, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d packets, want %d", len(got), len(want))
+	}
+}
+
+func TestParserStreamIDAndFPS(t *testing.T) {
+	raw, _ := encodeStream(t, 3, codec.EncoderConfig{GOPSize: 3, FPS: 10})
+	got, err := ParseAll(raw, Options{StreamID: 42, FPS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2].StreamID != 42 {
+		t.Errorf("StreamID = %d, want 42", got[2].StreamID)
+	}
+	if got[2].PTS != 200 {
+		t.Errorf("PTS = %d, want 200 (seq 2 at 10fps)", got[2].PTS)
+	}
+}
+
+func TestParserCorruptHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(codec.StartCode)
+	buf.Write([]byte{0x0f, 1, 2, 3, 4, 5, 6, 7, 8}) // picture type 15: invalid
+	_, err := ParseAll(buf.Bytes(), Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParserMaxUnitGuard(t *testing.T) {
+	p := New(Options{MaxUnit: 128})
+	if _, err := p.Feed(codec.StartCode); err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0xaa}, 512)
+	if _, err := p.Feed(junk); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt for oversized unit", err)
+	}
+}
+
+func TestReaderPullParsing(t *testing.T) {
+	raw, want := encodeStream(t, 30, codec.EncoderConfig{GOPSize: 10})
+	pr := NewReader(bytes.NewReader(raw), Options{})
+	var got []*codec.Packet
+	for {
+		pkt, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pkt)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d packets, want %d", len(got), len(want))
+	}
+	if _, err := pr.Next(); err != io.EOF {
+		t.Errorf("after EOF, err = %v, want io.EOF", err)
+	}
+}
+
+func TestParserCount(t *testing.T) {
+	raw, _ := encodeStream(t, 12, codec.EncoderConfig{GOPSize: 4})
+	p := New(Options{})
+	if _, err := p.Feed(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count() != 12 {
+		t.Errorf("Count = %d, want 12", p.Count())
+	}
+}
+
+func TestParserEmptyInput(t *testing.T) {
+	got, err := ParseAll(nil, Options{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty input: %d packets, err %v", len(got), err)
+	}
+}
+
+// TestParserNeverPanicsOnGarbage feeds random byte soup (seeded) in random
+// chunk sizes: the parser must never panic — every outcome is either parsed
+// packets or a clean error.
+func TestParserNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		p := New(Options{MaxUnit: 1 << 16})
+		n := 1 + rng.Intn(4096)
+		data := make([]byte, n)
+		// Mix pure noise with start-code fragments to stress resync.
+		rng.Read(data)
+		for i := 0; i+4 < len(data); i += 97 {
+			copy(data[i:], codec.StartCode)
+		}
+		for off := 0; off < len(data); {
+			c := 1 + rng.Intn(512)
+			if off+c > len(data) {
+				c = len(data) - off
+			}
+			if _, err := p.Feed(data[off : off+c]); err != nil {
+				break // clean error: acceptable
+			}
+			off += c
+		}
+		_, _ = p.Flush()
+		for pkt := p.Next(); pkt != nil; pkt = p.Next() {
+			if pkt.Size < 0 {
+				t.Fatalf("trial %d: negative size", trial)
+			}
+		}
+	}
+}
+
+// TestParserRecoversAfterCorruptUnit verifies the stream can resynchronize
+// on the next start code after an oversized (corrupt) unit was rejected.
+func TestParserRecoversAfterCorruptUnit(t *testing.T) {
+	p := New(Options{MaxUnit: 256})
+	if _, err := p.Feed(codec.StartCode); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Feed(bytes.Repeat([]byte{0x55}, 1024)); err == nil {
+		t.Fatal("oversized unit must error")
+	}
+	// A small valid unit afterwards must parse.
+	var buf bytes.Buffer
+	bw := codec.NewBitstreamWriter(&buf)
+	small := &codec.Packet{Type: codec.PictureI, GOPSize: 5, Size: 64}
+	if err := bw.WritePacket(small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Feed(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for pkt := p.Next(); pkt != nil; pkt = p.Next() {
+		if pkt.Size != 64 {
+			t.Errorf("recovered packet size = %d", pkt.Size)
+		}
+		got++
+	}
+	if got != 1 {
+		t.Errorf("recovered %d packets, want 1", got)
+	}
+}

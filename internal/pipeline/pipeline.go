@@ -1,0 +1,202 @@
+// Package pipeline assembles the end-to-end concurrent video inference
+// pipeline of Fig 1 with PacketGame plugged between parser and decoder:
+// a round source (local fleet, PGSP network client, or PGV files) feeds the
+// gate; selected packets are decoded on a worker pool; decoded frames pass
+// an optional frame filter and the inference task; redundancy feedback
+// closes the loop.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/core"
+	"packetgame/internal/decode"
+	"packetgame/internal/filter"
+	"packetgame/internal/infer"
+)
+
+// RoundSource yields one round of packets per call: a slice indexed by
+// stream ID (nil entries = idle). It returns io.EOF when exhausted.
+type RoundSource interface {
+	NextRound() ([]*codec.Packet, error)
+	// Truth returns the ground-truth scene for stream i's current-round
+	// packet and whether ground truth is available (network sources
+	// cannot know the content of packets that were never decoded).
+	Truth(i int) (codec.Scene, bool)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Source supplies rounds.
+	Source RoundSource
+	// Gate is the gating policy (a *core.Gate or baseline).
+	Gate core.Decider
+	// Task is the inference workload.
+	Task infer.Task
+	// Costs is the decode cost model (default decode.DefaultCosts).
+	Costs decode.CostModel
+	// Workers is the decode worker count (default 4).
+	Workers int
+	// BurnNanosPerUnit makes decoding burn CPU per cost unit (wall-clock
+	// realism for concurrency benchmarks; 0 disables).
+	BurnNanosPerUnit int64
+	// Filter optionally drops decoded frames before inference (the
+	// on-server frame filter stage; nil disables).
+	Filter filter.FrameFilter
+}
+
+// Report summarizes an Engine run.
+type Report struct {
+	Rounds   int64
+	Packets  int64
+	Decoded  int64
+	Filtered int64 // decoded frames dropped by the frame filter
+	Inferred int64
+	// NecessaryDecoded counts decoded frames whose inference was necessary.
+	NecessaryDecoded int64
+	// Accuracy is the mean emitted-result accuracy over rounds with ground
+	// truth (−1 when the source provides no truth).
+	Accuracy float64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// DecodedFPS is Decoded/Elapsed.
+	DecodedFPS float64
+	// GateFilterRate is 1 − Decoded/Packets.
+	GateFilterRate float64
+}
+
+// Engine runs the pipeline.
+type Engine struct {
+	cfg      Config
+	fleet    *infer.Fleet
+	sawTruth bool
+}
+
+// New creates an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Source == nil || cfg.Gate == nil || cfg.Task == nil {
+		return nil, errors.New("pipeline: Source, Gate, and Task are required")
+	}
+	if cfg.Costs == (decode.CostModel{}) {
+		cfg.Costs = decode.DefaultCosts
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Run processes up to maxRounds rounds (0 = until the source ends).
+func (e *Engine) Run(maxRounds int) (Report, error) {
+	var rep Report
+	start := time.Now()
+
+	var decoder interface {
+		Decode(*codec.Packet) (decode.Frame, error)
+	}
+	if e.cfg.BurnNanosPerUnit > 0 {
+		decoder = decode.NewBurnDecoder(e.cfg.Costs, e.cfg.BurnNanosPerUnit)
+	} else {
+		decoder = decode.NewDecoder(e.cfg.Costs)
+	}
+
+	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
+		pkts, err := e.cfg.Source.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rep, fmt.Errorf("pipeline: source: %w", err)
+		}
+		if e.fleet == nil {
+			e.fleet = infer.NewFleet(e.cfg.Task, len(pkts))
+		}
+		sel, err := e.cfg.Gate.Decide(pkts)
+		if err != nil {
+			return rep, fmt.Errorf("pipeline: gate: %w", err)
+		}
+
+		// Decode selected packets in parallel.
+		frames := make([]decode.Frame, len(sel))
+		errs := make([]error, len(sel))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.cfg.Workers)
+		for k, i := range sel {
+			wg.Add(1)
+			go func(k, i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				frames[k], errs[k] = decoder.Decode(pkts[i])
+			}(k, i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return rep, fmt.Errorf("pipeline: decode: %w", err)
+			}
+		}
+
+		// Filter + inference + feedback, sequential (cheap relative to
+		// decode; the fleet monitors are not concurrency-safe).
+		necessary := make([]bool, len(sel))
+		isSel := make(map[int]bool, len(sel))
+		for k, i := range sel {
+			isSel[i] = true
+			scene := frames[k].Scene
+			truth, ok := e.cfg.Source.Truth(i)
+			if ok {
+				e.sawTruth = true
+			} else {
+				truth = scene // the decoded content is the best truth we have
+			}
+			if e.cfg.Filter != nil && !e.cfg.Filter.Pass(scene) {
+				rep.Filtered++
+				// A filtered frame is treated as redundant feedback: the
+				// filter judged its content unchanged.
+				e.fleet.Stream(i).ObserveSkipped(truth)
+				continue
+			}
+			necessary[k] = e.fleet.Stream(i).ObserveDecoded(truth, scene)
+			rep.Inferred++
+			if necessary[k] {
+				rep.NecessaryDecoded++
+			}
+		}
+		for i, p := range pkts {
+			if p == nil || isSel[i] {
+				continue
+			}
+			if truth, ok := e.cfg.Source.Truth(i); ok {
+				e.sawTruth = true
+				e.fleet.Stream(i).ObserveSkipped(truth)
+			}
+			rep.Packets++
+		}
+		rep.Packets += int64(len(sel))
+		rep.Decoded += int64(len(sel))
+		rep.Rounds++
+		if err := e.cfg.Gate.Feedback(sel, necessary); err != nil {
+			return rep, fmt.Errorf("pipeline: feedback: %w", err)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.DecodedFPS = float64(rep.Decoded) / rep.Elapsed.Seconds()
+	}
+	if rep.Packets > 0 {
+		rep.GateFilterRate = 1 - float64(rep.Decoded)/float64(rep.Packets)
+	}
+	rep.Accuracy = -1
+	if e.fleet != nil && e.sawTruth {
+		if r, _, _, _ := e.fleet.Totals(); r > 0 {
+			rep.Accuracy = e.fleet.Accuracy()
+		}
+	}
+	return rep, nil
+}

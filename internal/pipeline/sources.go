@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/container"
+	"packetgame/internal/stream"
+)
+
+// LocalSource feeds rounds from an in-process camera fleet and retains
+// ground truth for accuracy accounting.
+type LocalSource struct {
+	streams []*codec.Stream
+	rounds  int
+	done    int
+	pkts    []*codec.Packet
+	truth   []codec.Scene
+}
+
+// NewLocalSource wraps a fleet; rounds caps the run (0 = unlimited).
+func NewLocalSource(streams []*codec.Stream, rounds int) *LocalSource {
+	return &LocalSource{
+		streams: streams,
+		rounds:  rounds,
+		pkts:    make([]*codec.Packet, len(streams)),
+		truth:   make([]codec.Scene, len(streams)),
+	}
+}
+
+// NextRound implements RoundSource.
+func (s *LocalSource) NextRound() ([]*codec.Packet, error) {
+	if s.rounds > 0 && s.done >= s.rounds {
+		return nil, io.EOF
+	}
+	for i, st := range s.streams {
+		s.pkts[i] = st.Next()
+		s.truth[i] = st.LastScene
+	}
+	s.done++
+	return s.pkts, nil
+}
+
+// Truth implements RoundSource.
+func (s *LocalSource) Truth(i int) (codec.Scene, bool) { return s.truth[i], true }
+
+// NetSource adapts a PGSP client into a RoundSource. Ground truth is not
+// available over the network.
+type NetSource struct {
+	client *stream.Client
+}
+
+// NewNetSource wraps a connected PGSP client.
+func NewNetSource(c *stream.Client) *NetSource { return &NetSource{client: c} }
+
+// NextRound implements RoundSource.
+func (s *NetSource) NextRound() ([]*codec.Packet, error) { return s.client.NextRound() }
+
+// Truth implements RoundSource: network sources have none.
+func (s *NetSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }
+
+// FileSource feeds rounds by zipping several PGV container readers: one
+// packet per file per round — the offline-video ingest path.
+type FileSource struct {
+	readers []*container.Reader
+	pkts    []*codec.Packet
+	eof     []bool
+}
+
+// NewFileSource wraps PGV readers. Stream IDs are reassigned to the reader
+// index so the round slice is dense.
+func NewFileSource(readers []*container.Reader) (*FileSource, error) {
+	if len(readers) == 0 {
+		return nil, fmt.Errorf("pipeline: no readers")
+	}
+	return &FileSource{
+		readers: readers,
+		pkts:    make([]*codec.Packet, len(readers)),
+		eof:     make([]bool, len(readers)),
+	}, nil
+}
+
+// NextRound implements RoundSource.
+func (s *FileSource) NextRound() ([]*codec.Packet, error) {
+	alive := false
+	for i, r := range s.readers {
+		s.pkts[i] = nil
+		if s.eof[i] {
+			continue
+		}
+		p, err := r.Next()
+		if err == io.EOF {
+			s.eof[i] = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.StreamID = i
+		s.pkts[i] = p
+		alive = true
+	}
+	if !alive {
+		return nil, io.EOF
+	}
+	return s.pkts, nil
+}
+
+// Truth implements RoundSource: container files carry no side-channel truth.
+func (s *FileSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }

@@ -1,0 +1,107 @@
+// Package predictor implements PacketGame's contextual predictor (§5.2): a
+// multi-view neural network over packet metadata. View #1 embeds the packet
+// sizes of independent (I) frames, view #2 the sizes of predicted (P/B)
+// frames, and view #3 fuses the temporal estimator's output; the current
+// picture type joins the fusion as a one-hot vector (Fig 7).
+package predictor
+
+import (
+	"math"
+
+	"packetgame/internal/codec"
+)
+
+// NormalizeSize maps a packet size in bytes to a stable (0,1)-ish feature
+// via log scaling; video packet sizes span several orders of magnitude.
+// The affine range is tuned so that typical P-frame sizes (1-100 KB) spread
+// across the middle of the range, keeping gradients well-scaled.
+func NormalizeSize(size int) float64 {
+	if size <= 0 {
+		return 0
+	}
+	v := (math.Log1p(float64(size)) - 5) / 9
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Features is one gating decision's input: the two size views, the temporal
+// estimate, and the current packet's picture type.
+type Features struct {
+	// ISizes holds the normalized sizes of the w most recent independent
+	// frames, oldest first.
+	ISizes []float64
+	// PSizes holds the normalized sizes of the w most recent predicted
+	// (P/B) frames, oldest first.
+	PSizes []float64
+	// Temporal is the temporal estimator's exploitation output for the
+	// stream (the metadata-feedback fusion view).
+	Temporal float64
+	// Pict is the one-hot picture type of the current packet (I, P, B).
+	Pict [3]float64
+}
+
+// Window maintains the per-stream sliding feature window. Push each parsed
+// packet (the current one included) before asking for Features.
+type Window struct {
+	w      int
+	iSizes []float64
+	pSizes []float64
+	last   codec.PictureType
+}
+
+// NewWindow creates a feature window of length w.
+func NewWindow(w int) *Window {
+	if w < 1 {
+		w = 1
+	}
+	return &Window{
+		w:      w,
+		iSizes: make([]float64, w),
+		pSizes: make([]float64, w),
+	}
+}
+
+// W returns the window length.
+func (fw *Window) W() int { return fw.w }
+
+// Push folds one parsed packet into the window.
+func (fw *Window) Push(p *codec.Packet) {
+	v := NormalizeSize(p.Size)
+	if p.Type == codec.PictureI {
+		shiftIn(fw.iSizes, v)
+	} else {
+		shiftIn(fw.pSizes, v)
+	}
+	fw.last = p.Type
+}
+
+func shiftIn(s []float64, v float64) {
+	copy(s, s[1:])
+	s[len(s)-1] = v
+}
+
+// Features builds the input features using the given temporal estimate.
+// The returned slices alias the window's buffers; callers that retain them
+// across Push calls must copy.
+func (fw *Window) Features(temporal float64) Features {
+	f := Features{
+		ISizes:   fw.iSizes,
+		PSizes:   fw.pSizes,
+		Temporal: temporal,
+	}
+	f.Pict[int(fw.last)] = 1
+	return f
+}
+
+// Clone returns an independent copy of the features (for dataset assembly).
+func (f Features) Clone() Features {
+	c := f
+	c.ISizes = append([]float64(nil), f.ISizes...)
+	c.PSizes = append([]float64(nil), f.PSizes...)
+	return c
+}

@@ -1,0 +1,247 @@
+package predictor
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"packetgame/internal/nn"
+)
+
+// Config parameterizes the contextual predictor. Zero values take the
+// paper's defaults (§6.1): window 5, 2 conv layers of 32 units, 128 dense
+// units, single task.
+type Config struct {
+	// Window is the temporal window length w.
+	Window int
+	// ConvUnits is the number of filters per conv layer.
+	ConvUnits int
+	// ConvLayers is the number of Conv1D+ReLU blocks per view tower.
+	ConvLayers int
+	// DenseUnits is the width of the fusion layer.
+	DenseUnits int
+	// Tasks is the number of output heads (multi-task extension, §5.2).
+	Tasks int
+	// UseIView / UsePView enable the two size views. The paper drops a
+	// size view for intra-only codecs (Fig 14) and studies each alone in
+	// ablations.
+	UseIView, UsePView bool
+	// UseTemporal fuses the temporal estimator output (view #3). Disabling
+	// it yields the "Contextual" ablation of Table 3.
+	UseTemporal bool
+	// Seed initializes the weights.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.ConvUnits == 0 {
+		c.ConvUnits = 32
+	}
+	if c.ConvLayers == 0 {
+		c.ConvLayers = 2
+	}
+	if c.DenseUnits == 0 {
+		c.DenseUnits = 128
+	}
+	if c.Tasks == 0 {
+		c.Tasks = 1
+	}
+	return c
+}
+
+// DefaultConfig returns the paper's hyper-parameters with both size views
+// and the temporal fusion enabled.
+func DefaultConfig() Config {
+	return Config{UseIView: true, UsePView: true, UseTemporal: true}.withDefaults()
+}
+
+// Predictor is the multi-view contextual predictor.
+type Predictor struct {
+	cfg Config
+
+	iTower *nn.Sequential // view #1 embedding
+	pTower *nn.Sequential // view #2 embedding
+	head   *nn.Sequential // fusion dense layers + sigmoid
+
+	fusedDim int
+
+	// Scratch buffers for the zero-allocation single-sample fast path.
+	x1, xp, fused *nn.Tensor
+}
+
+// New builds a predictor from the config.
+func New(cfg Config) (*Predictor, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.UseIView && !cfg.UsePView && !cfg.UseTemporal {
+		return nil, fmt.Errorf("predictor: at least one view must be enabled")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	p := &Predictor{cfg: cfg}
+
+	buildTower := func(name string) *nn.Sequential {
+		var layers []nn.Layer
+		l := cfg.Window
+		in := 1
+		for i := 0; i < cfg.ConvLayers; i++ {
+			k := 3
+			if k > l {
+				k = l
+			}
+			layers = append(layers,
+				nn.NewConv1D(fmt.Sprintf("%s.conv%d", name, i), in, cfg.ConvUnits, k, rng),
+				nn.NewReLU(fmt.Sprintf("%s.relu%d", name, i)))
+			l = l - k + 1
+			in = cfg.ConvUnits
+		}
+		layers = append(layers, nn.NewGlobalMaxPool1D(name+".pool"))
+		return nn.NewSequential(name, layers...)
+	}
+
+	fused := 3 // picture-type one-hot always joins the fusion
+	if cfg.UseIView {
+		p.iTower = buildTower("iview")
+		fused += cfg.ConvUnits
+	}
+	if cfg.UsePView {
+		p.pTower = buildTower("pview")
+		fused += cfg.ConvUnits
+	}
+	if cfg.UseTemporal {
+		fused++
+	}
+	p.fusedDim = fused
+	p.head = nn.NewSequential("head",
+		nn.NewDense("head.fc1", fused, cfg.DenseUnits, rng),
+		nn.NewReLU("head.relu"),
+		nn.NewDense("head.out", cfg.DenseUnits, cfg.Tasks, rng),
+		nn.NewSigmoid("head.sigmoid"),
+	)
+	return p, nil
+}
+
+// Config returns the effective configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Params returns all trainable parameters.
+func (p *Predictor) Params() []*nn.Param {
+	var ps []*nn.Param
+	if p.iTower != nil {
+		ps = append(ps, p.iTower.Params()...)
+	}
+	if p.pTower != nil {
+		ps = append(ps, p.pTower.Params()...)
+	}
+	return append(ps, p.head.Params()...)
+}
+
+// NumParams returns the trainable parameter count.
+func (p *Predictor) NumParams() int { return nn.NumParams(p.Params()) }
+
+// FLOPs returns floating-point operations per single-sample inference,
+// the paper's Tab 4 overhead metric.
+func (p *Predictor) FLOPs() int64 {
+	var f int64
+	if p.iTower != nil {
+		f += p.iTower.FLOPs([]int{1, p.cfg.Window})
+	}
+	if p.pTower != nil {
+		f += p.pTower.FLOPs([]int{1, p.cfg.Window})
+	}
+	return f + p.head.FLOPs([]int{p.fusedDim})
+}
+
+// forwardBatch runs the full forward pass for a batch of features and
+// returns the [N, Tasks] prediction tensor. When train is true the
+// intermediate activations are retained for backwardBatch.
+func (p *Predictor) forwardBatch(batch []Features) *nn.Tensor {
+	n := len(batch)
+	w := p.cfg.Window
+	var iOut, pOut *nn.Tensor
+	if p.iTower != nil {
+		xi := nn.NewTensor(n, 1, w)
+		for bi, f := range batch {
+			copy(xi.Data[bi*w:(bi+1)*w], f.ISizes)
+		}
+		iOut = p.iTower.Forward(xi)
+	}
+	if p.pTower != nil {
+		xp := nn.NewTensor(n, 1, w)
+		for bi, f := range batch {
+			copy(xp.Data[bi*w:(bi+1)*w], f.PSizes)
+		}
+		pOut = p.pTower.Forward(xp)
+	}
+	fused := nn.NewTensor(n, p.fusedDim)
+	for bi, f := range batch {
+		off := bi * p.fusedDim
+		if iOut != nil {
+			copy(fused.Data[off:off+p.cfg.ConvUnits], iOut.Data[bi*p.cfg.ConvUnits:(bi+1)*p.cfg.ConvUnits])
+			off += p.cfg.ConvUnits
+		}
+		if pOut != nil {
+			copy(fused.Data[off:off+p.cfg.ConvUnits], pOut.Data[bi*p.cfg.ConvUnits:(bi+1)*p.cfg.ConvUnits])
+			off += p.cfg.ConvUnits
+		}
+		if p.cfg.UseTemporal {
+			fused.Data[off] = f.Temporal
+			off++
+		}
+		fused.Data[off] = f.Pict[0]
+		fused.Data[off+1] = f.Pict[1]
+		fused.Data[off+2] = f.Pict[2]
+	}
+	return p.head.Forward(fused)
+}
+
+// backwardBatch propagates the loss gradient through head and towers.
+// It must follow a forwardBatch with the same batch size.
+func (p *Predictor) backwardBatch(n int, grad *nn.Tensor) {
+	gFused := p.head.Backward(grad)
+	cu := p.cfg.ConvUnits
+	off := 0
+	if p.iTower != nil {
+		gi := nn.NewTensor(n, cu)
+		for bi := 0; bi < n; bi++ {
+			copy(gi.Data[bi*cu:(bi+1)*cu], gFused.Data[bi*p.fusedDim+off:bi*p.fusedDim+off+cu])
+		}
+		p.iTower.Backward(gi)
+		off += cu
+	}
+	if p.pTower != nil {
+		gp := nn.NewTensor(n, cu)
+		for bi := 0; bi < n; bi++ {
+			copy(gp.Data[bi*cu:(bi+1)*cu], gFused.Data[bi*p.fusedDim+off:bi*p.fusedDim+off+cu])
+		}
+		p.pTower.Backward(gp)
+	}
+	// Temporal and picture-type inputs are leaves: their gradients stop.
+}
+
+// Predict returns the gating confidences (one per task) for a single
+// feature vector. The returned slice aliases an internal buffer that is
+// overwritten by the next forward pass: copy it if you need to retain it.
+// Not safe for concurrent use; use PredictBatch for bulk evaluation.
+func (p *Predictor) Predict(f Features) []float64 {
+	out := p.forwardBatch([]Features{f})
+	return out.Data[:p.cfg.Tasks]
+}
+
+// PredictBatch returns an [N][Tasks] confidence matrix.
+func (p *Predictor) PredictBatch(batch []Features) [][]float64 {
+	out := p.forwardBatch(batch)
+	res := make([][]float64, len(batch))
+	for i := range res {
+		res[i] = append([]float64(nil), out.Data[i*p.cfg.Tasks:(i+1)*p.cfg.Tasks]...)
+	}
+	return res
+}
+
+// Save writes the predictor weights as a binary runtime file.
+func (p *Predictor) Save(w io.Writer) error { return nn.SaveParams(w, p.Params()) }
+
+// Load restores weights produced by Save on an identically configured
+// predictor.
+func (p *Predictor) Load(r io.Reader) error { return nn.LoadParams(r, p.Params()) }

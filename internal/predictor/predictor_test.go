@@ -1,0 +1,384 @@
+package predictor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+func TestNormalizeSize(t *testing.T) {
+	if NormalizeSize(0) != 0 || NormalizeSize(-5) != 0 {
+		t.Error("nonpositive sizes must map to 0")
+	}
+	small, big := NormalizeSize(500), NormalizeSize(500_000)
+	if !(0 < small && small < big && big < 1.0) {
+		t.Errorf("ordering violated: small=%v big=%v", small, big)
+	}
+}
+
+func TestWindowPushAndFeatures(t *testing.T) {
+	w := NewWindow(3)
+	if w.W() != 3 {
+		t.Fatalf("W = %d", w.W())
+	}
+	w.Push(&codec.Packet{Type: codec.PictureI, Size: 1000})
+	w.Push(&codec.Packet{Type: codec.PictureP, Size: 100})
+	w.Push(&codec.Packet{Type: codec.PictureP, Size: 200})
+	f := w.Features(0.7)
+	if f.Temporal != 0.7 {
+		t.Errorf("temporal = %v", f.Temporal)
+	}
+	// Last pushed was P: one-hot must mark P.
+	if f.Pict != [3]float64{0, 1, 0} {
+		t.Errorf("pict = %v", f.Pict)
+	}
+	// I view: only one I seen, at the end.
+	if f.ISizes[0] != 0 || f.ISizes[1] != 0 || f.ISizes[2] != NormalizeSize(1000) {
+		t.Errorf("ISizes = %v", f.ISizes)
+	}
+	// P view: two Ps, most recent last.
+	if f.PSizes[1] != NormalizeSize(100) || f.PSizes[2] != NormalizeSize(200) {
+		t.Errorf("PSizes = %v", f.PSizes)
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(2)
+	for _, size := range []int{10, 20, 30} {
+		w.Push(&codec.Packet{Type: codec.PictureP, Size: size})
+	}
+	f := w.Features(0)
+	if f.PSizes[0] != NormalizeSize(20) || f.PSizes[1] != NormalizeSize(30) {
+		t.Errorf("PSizes = %v, want sizes 20,30", f.PSizes)
+	}
+}
+
+func TestWindowMinLength(t *testing.T) {
+	if NewWindow(0).W() != 1 {
+		t.Error("window must clamp to 1")
+	}
+}
+
+func TestFeaturesClone(t *testing.T) {
+	w := NewWindow(2)
+	w.Push(&codec.Packet{Type: codec.PictureI, Size: 100})
+	f := w.Features(0).Clone()
+	w.Push(&codec.Packet{Type: codec.PictureI, Size: 900})
+	if f.ISizes[1] != NormalizeSize(100) {
+		t.Error("Clone must not alias the window buffers")
+	}
+}
+
+func TestNewValidatesViews(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("all views disabled must error")
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Window != 5 || cfg.ConvUnits != 32 || cfg.ConvLayers != 2 ||
+		cfg.DenseUnits != 128 || cfg.Tasks != 1 {
+		t.Errorf("default config = %+v", cfg)
+	}
+	if !cfg.UseIView || !cfg.UsePView || !cfg.UseTemporal {
+		t.Error("default config must enable all three views")
+	}
+}
+
+func TestPredictShapeAndRange(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Features{ISizes: make([]float64, 5), PSizes: make([]float64, 5), Temporal: 0.3}
+	f.Pict[1] = 1
+	out := p.Predict(f)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	if out[0] <= 0 || out[0] >= 1 {
+		t.Errorf("confidence %v outside (0,1)", out[0])
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	mk := func() Features {
+		f := Features{ISizes: make([]float64, 5), PSizes: make([]float64, 5), Temporal: rng.Float64()}
+		for i := range f.ISizes {
+			f.ISizes[i] = rng.Float64()
+			f.PSizes[i] = rng.Float64()
+		}
+		f.Pict[rng.Intn(3)] = 1
+		return f
+	}
+	fs := []Features{mk(), mk(), mk()}
+	batch := p.PredictBatch(fs)
+	for i, f := range fs {
+		single := p.Predict(f)
+		if math.Abs(batch[i][0]-single[0]) > 1e-12 {
+			t.Errorf("sample %d: batch %v vs single %v", i, batch[i][0], single[0])
+		}
+	}
+}
+
+// synthSamples builds a learnable dataset: the label is 1 when the recent
+// P-sizes are large (content change), matching the encoder's size coupling.
+func synthSamples(n, w int, tasks int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([]Sample, n)
+	for i := range samples {
+		f := Features{ISizes: make([]float64, w), PSizes: make([]float64, w)}
+		positive := rng.Intn(2) == 1
+		for j := 0; j < w; j++ {
+			f.ISizes[j] = 0.55 + rng.NormFloat64()*0.03
+			if positive {
+				f.PSizes[j] = 0.52 + rng.NormFloat64()*0.02
+			} else {
+				f.PSizes[j] = 0.38 + rng.NormFloat64()*0.02
+			}
+		}
+		f.Pict[1] = 1
+		f.Temporal = 0.5
+		labels := make([]float64, tasks)
+		for ti := range labels {
+			if positive {
+				labels[ti] = 1
+			}
+		}
+		samples[i] = Sample{F: f, Labels: labels}
+	}
+	return samples
+}
+
+func TestTrainingLearnsSizeSignal(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := synthSamples(2000, 5, 1, 1)
+	test := synthSamples(500, 5, 1, 2)
+	if _, err := p.Train(train, TrainOptions{Epochs: 30, BatchSize: 256, LR: 0.005}); err != nil {
+		t.Fatal(err)
+	}
+	acc := p.Evaluate(test, 0.5)[0]
+	if acc < 0.95 {
+		t.Errorf("test accuracy = %.3f, want ≥0.95 on a separable problem", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(nil, TrainOptions{}); err == nil {
+		t.Error("empty training set must error")
+	}
+	bad := synthSamples(1, 5, 2, 1) // 2 labels for a 1-task model
+	if _, err := p.Train(bad, TrainOptions{}); err == nil {
+		t.Error("label-count mismatch must error")
+	}
+	shortWin := synthSamples(1, 3, 1, 1)
+	if _, err := p.Train(shortWin, TrainOptions{}); err == nil {
+		t.Error("feature-window mismatch must error")
+	}
+}
+
+func TestMultiTaskHeads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tasks = 2
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := synthSamples(1500, 5, 2, 3)
+	// Mask task 1 on half the samples: multi-domain training.
+	for i := range train {
+		if i%2 == 0 {
+			train[i].Labels[1] = math.NaN()
+		}
+	}
+	if _, err := p.Train(train, TrainOptions{Epochs: 25, BatchSize: 256, LR: 0.005}); err != nil {
+		t.Fatal(err)
+	}
+	test := synthSamples(400, 5, 2, 4)
+	accs := p.Evaluate(test, 0.5)
+	if len(accs) != 2 {
+		t.Fatalf("accs = %v", accs)
+	}
+	for ti, acc := range accs {
+		if acc < 0.9 {
+			t.Errorf("task %d accuracy = %.3f, want ≥0.9", ti, acc)
+		}
+	}
+}
+
+func TestViewAblations(t *testing.T) {
+	// A P-view-only and an I-view-only model must build and run; the
+	// P-only model should learn the (P-size driven) synthetic signal,
+	// the I-only model should not beat chance by much.
+	mk := func(iView, pView bool) float64 {
+		cfg := DefaultConfig()
+		cfg.UseIView, cfg.UsePView = iView, pView
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Train(synthSamples(1500, 5, 1, 5), TrainOptions{Epochs: 20, BatchSize: 256, LR: 0.005}); err != nil {
+			t.Fatal(err)
+		}
+		return p.Evaluate(synthSamples(400, 5, 1, 6), 0.5)[0]
+	}
+	pOnly := mk(false, true)
+	iOnly := mk(true, false)
+	if pOnly < 0.85 {
+		t.Errorf("P-view-only accuracy = %.3f, want ≥0.85", pOnly)
+	}
+	if iOnly > pOnly {
+		t.Errorf("I-view-only (%.3f) should not beat P-view-only (%.3f) on a P-size signal", iOnly, pOnly)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(synthSamples(500, 5, 1, 7), TrainOptions{Epochs: 5, BatchSize: 128}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99 // different init; load must overwrite
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f := synthSamples(1, 5, 1, 8)[0].F
+	if got, want := b.Predict(f)[0], a.Predict(f)[0]; got != want {
+		t.Errorf("loaded model predicts %v, original %v", got, want)
+	}
+}
+
+func TestFLOPsAndParamsScaleWithWindow(t *testing.T) {
+	mk := func(w int) (*Predictor, error) {
+		cfg := DefaultConfig()
+		cfg.Window = w
+		return New(cfg)
+	}
+	p5, err := mk(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p25, err := mk(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p5.FLOPs() <= 0 || p25.FLOPs() <= p5.FLOPs() {
+		t.Errorf("FLOPs: w5=%d w25=%d", p5.FLOPs(), p25.FLOPs())
+	}
+	if p5.NumParams() <= 0 {
+		t.Errorf("NumParams = %d", p5.NumParams())
+	}
+	// Tiny windows must still build (kernel clamps to window).
+	for _, w := range []int{1, 2} {
+		if _, err := mk(w); err != nil {
+			t.Errorf("window %d: %v", w, err)
+		}
+	}
+}
+
+func TestScores(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := synthSamples(100, 5, 1, 9)
+	scores := p.Scores(samples, 0)
+	if len(scores) != 100 {
+		t.Fatalf("scores len = %d", len(scores))
+	}
+	for _, s := range scores {
+		if s <= 0 || s >= 1 {
+			t.Fatalf("score %v outside (0,1)", s)
+		}
+	}
+}
+
+// TestEndToEndStreamLearning trains on a real synthetic camera stream with
+// person-counting necessity labels and checks the predictor beats chance by
+// a solid margin — the core claim behind Fig 9.
+func TestEndToEndStreamLearning(t *testing.T) {
+	task := struct{ necessary func(prev, cur int) bool }{func(prev, cur int) bool { return prev != cur }}
+	collect := func(seed int64, n int) []Sample {
+		st := codec.NewStream(codec.SceneConfig{BaseActivity: 0.6, PersonRate: 0.5},
+			codec.EncoderConfig{GOPSize: 25}, seed)
+		w := NewWindow(5)
+		var samples []Sample
+		prev := 0
+		for i := 0; i < n; i++ {
+			p := st.Next()
+			w.Push(p)
+			label := 0.0
+			if task.necessary(prev, st.LastScene.PersonCount) {
+				label = 1
+			}
+			prev = st.LastScene.PersonCount
+			samples = append(samples, Sample{F: w.Features(0).Clone(), Labels: []float64{label}})
+		}
+		return samples
+	}
+	train := balance(collect(100, 60000), 0)
+	test := balance(collect(200, 30000), 1)
+	cfg := DefaultConfig()
+	cfg.UseTemporal = false // pure contextual: harder
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(train, TrainOptions{Epochs: 60, BatchSize: 256, LR: 0.003}); err != nil {
+		t.Fatal(err)
+	}
+	acc := p.Evaluate(test, 0.5)[0]
+	if acc < 0.8 {
+		t.Errorf("stream accuracy = %.3f, want ≥0.8 (chance = 0.5)", acc)
+	}
+}
+
+// balance subsamples to a 1:1 positive:negative ratio (the paper's offline
+// protocol) with a deterministic order.
+func balance(samples []Sample, seed int64) []Sample {
+	var pos, neg []Sample
+	for _, s := range samples {
+		if s.Labels[0] >= 0.5 {
+			pos = append(pos, s)
+		} else {
+			neg = append(neg, s)
+		}
+	}
+	n := len(pos)
+	if len(neg) < n {
+		n = len(neg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pos), func(a, b int) { pos[a], pos[b] = pos[b], pos[a] })
+	rng.Shuffle(len(neg), func(a, b int) { neg[a], neg[b] = neg[b], neg[a] })
+	out := append(append([]Sample(nil), pos[:n]...), neg[:n]...)
+	rng.Shuffle(len(out), func(a, b int) { out[a], out[b] = out[b], out[a] })
+	return out
+}

@@ -1,0 +1,159 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"packetgame/internal/nn"
+)
+
+// Sample is one training example: features plus one 0-1 normalized
+// redundancy label per task head. Use math.NaN() for task heads this sample
+// carries no label for (multi-task training across domains).
+type Sample struct {
+	F      Features
+	Labels []float64
+}
+
+// TrainOptions configures offline training (§6.1 defaults: RMSprop,
+// batch 2048, learning rate 0.001).
+type TrainOptions struct {
+	Epochs    int     // default 20
+	BatchSize int     // default 2048
+	LR        float64 // default 0.001
+	Seed      int64   // shuffle seed
+	// Progress, if non-nil, receives (epoch, meanLoss) after each epoch.
+	Progress func(epoch int, loss float64)
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 2048
+	}
+	if o.LR == 0 {
+		o.LR = 0.001
+	}
+	return o
+}
+
+// Train fits the predictor on samples with binary cross-entropy and RMSprop.
+// It returns the final epoch's mean loss.
+func (p *Predictor) Train(samples []Sample, opts TrainOptions) (float64, error) {
+	opts = opts.withDefaults()
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("predictor: no training samples")
+	}
+	for i, s := range samples {
+		if len(s.Labels) != p.cfg.Tasks {
+			return 0, fmt.Errorf("predictor: sample %d has %d labels, model has %d tasks",
+				i, len(s.Labels), p.cfg.Tasks)
+		}
+		if len(s.F.ISizes) != p.cfg.Window || len(s.F.PSizes) != p.cfg.Window {
+			return 0, fmt.Errorf("predictor: sample %d feature window %d/%d, model window %d",
+				i, len(s.F.ISizes), len(s.F.PSizes), p.cfg.Window)
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 104729))
+	opt := nn.NewRMSprop(opts.LR)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	batch := make([]Features, 0, opts.BatchSize)
+	var lastLoss float64
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start < len(idx); start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch = batch[:0]
+			target := nn.NewTensor(end-start, p.cfg.Tasks)
+			for bi, si := range idx[start:end] {
+				batch = append(batch, samples[si].F)
+				copy(target.Data[bi*p.cfg.Tasks:(bi+1)*p.cfg.Tasks], samples[si].Labels)
+			}
+			pred := p.forwardBatch(batch)
+			loss, grad := nn.BCE(pred, target)
+			nn.ZeroGrads(p.Params())
+			p.backwardBatch(len(batch), grad)
+			opt.Step(p.Params())
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if opts.Progress != nil {
+			opts.Progress(epoch, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+// Evaluate returns the per-task classification accuracy of the predictor on
+// samples at the given confidence threshold. NaN labels are skipped.
+func (p *Predictor) Evaluate(samples []Sample, threshold float64) []float64 {
+	correct := make([]float64, p.cfg.Tasks)
+	total := make([]float64, p.cfg.Tasks)
+	const chunk = 4096
+	for start := 0; start < len(samples); start += chunk {
+		end := start + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		batch := make([]Features, 0, end-start)
+		for _, s := range samples[start:end] {
+			batch = append(batch, s.F)
+		}
+		out := p.forwardBatch(batch)
+		for bi, s := range samples[start:end] {
+			for ti := 0; ti < p.cfg.Tasks; ti++ {
+				r := s.Labels[ti]
+				if math.IsNaN(r) {
+					continue
+				}
+				pred := out.Data[bi*p.cfg.Tasks+ti] >= threshold
+				want := r >= 0.5
+				if pred == want {
+					correct[ti]++
+				}
+				total[ti]++
+			}
+		}
+	}
+	acc := make([]float64, p.cfg.Tasks)
+	for ti := range acc {
+		if total[ti] > 0 {
+			acc[ti] = correct[ti] / total[ti]
+		}
+	}
+	return acc
+}
+
+// Scores returns the task-ti confidence for every sample (for ROC and
+// threshold-sweep analysis).
+func (p *Predictor) Scores(samples []Sample, ti int) []float64 {
+	scores := make([]float64, 0, len(samples))
+	const chunk = 4096
+	for start := 0; start < len(samples); start += chunk {
+		end := start + chunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		batch := make([]Features, 0, end-start)
+		for _, s := range samples[start:end] {
+			batch = append(batch, s.F)
+		}
+		out := p.forwardBatch(batch)
+		for bi := range batch {
+			scores = append(scores, out.Data[bi*p.cfg.Tasks+ti])
+		}
+	}
+	return scores
+}

@@ -1,0 +1,47 @@
+package predictor
+
+import (
+	"fmt"
+
+	"packetgame/internal/nn"
+)
+
+// Trainer performs incremental (online) parameter updates on a predictor,
+// keeping RMSprop state across steps. The paper trains offline and deploys
+// frozen weights, listing online optimization as future work (§5.2); this
+// trainer implements that extension so the gate can keep adapting to
+// content drift from its own redundancy feedback.
+type Trainer struct {
+	p   *Predictor
+	opt *nn.RMSprop
+}
+
+// NewTrainer creates a trainer with the given learning rate (0 = paper
+// default 0.001).
+func NewTrainer(p *Predictor, lr float64) *Trainer {
+	return &Trainer{p: p, opt: nn.NewRMSprop(lr)}
+}
+
+// Step applies one gradient update on a minibatch and returns its loss.
+func (t *Trainer) Step(batch []Sample) (float64, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("predictor: empty online batch")
+	}
+	tasks := t.p.cfg.Tasks
+	feats := make([]Features, len(batch))
+	target := nn.NewTensor(len(batch), tasks)
+	for i, s := range batch {
+		if len(s.Labels) != tasks {
+			return 0, fmt.Errorf("predictor: online sample %d has %d labels, model has %d tasks",
+				i, len(s.Labels), tasks)
+		}
+		feats[i] = s.F
+		copy(target.Data[i*tasks:(i+1)*tasks], s.Labels)
+	}
+	pred := t.p.forwardBatch(feats)
+	loss, grad := nn.BCE(pred, target)
+	nn.ZeroGrads(t.p.Params())
+	t.p.backwardBatch(len(batch), grad)
+	t.opt.Step(t.p.Params())
+	return loss, nil
+}

@@ -1,0 +1,169 @@
+// Package stats provides the small statistical toolkit the benchmarks use:
+// summaries, histograms, and text rendering of distributions and curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Summary holds the usual descriptive statistics.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P10, P90         float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N: len(xs), Mean: Mean(xs), Std: Std(xs),
+		Min: Quantile(xs, 0), Median: Quantile(xs, 0.5), Max: Quantile(xs, 1),
+		P10: Quantile(xs, 0.1), P90: Quantile(xs, 0.9),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p10=%.4g med=%.4g p90=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P10, s.Median, s.P90, s.Max)
+}
+
+// Histogram is a fixed-range equal-width histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given range and bucket count.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if !(lo < hi) || buckets <= 0 {
+		return nil, fmt.Errorf("stats: invalid histogram [%v,%v) x%d", lo, hi, buckets)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets)}, nil
+}
+
+// Add folds a value into the histogram.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of added values.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of values in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BucketCenter returns the midpoint of bucket i.
+func (h *Histogram) BucketCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Render draws the histogram as ASCII rows ("center  count  bar").
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&b, "%12.4g %7d %s\n", h.BucketCenter(i), c, bar)
+	}
+	return b.String()
+}
+
+// Series renders (x, y) pairs as aligned text columns — the benchmark
+// harness's "figure" output format.
+func Series(xName, yName string, xs, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%16s %16s\n", xName, yName)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%16.6g %16.6g\n", xs[i], ys[i])
+	}
+	return b.String()
+}

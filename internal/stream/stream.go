@@ -1,0 +1,311 @@
+// Package stream implements PGSP, the PacketGame stream protocol: a
+// length-prefixed TCP protocol that muxes the encoded packets of many
+// cameras toward an analytics server, standing in for the RTSP ingest of
+// the paper's online use case. A Server paces synthetic camera fleets in
+// rounds; a Client demuxes packets (round-aligned) into the parser/gate.
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/container"
+)
+
+// protocol constants.
+var handshakeMagic = [4]byte{'P', 'G', 'S', 'P'}
+
+const protocolVersion = 1
+
+// StreamInfo describes one muxed stream in the handshake.
+type StreamInfo struct {
+	Codec   codec.Codec
+	FPS     int
+	GOPSize int
+}
+
+// ServerConfig parameterizes a PGSP server.
+type ServerConfig struct {
+	// NewStreams builds a fresh camera fleet for each accepted connection
+	// (streams are stateful, so connections cannot share them).
+	NewStreams func() []*codec.Stream
+	// Rounds is the number of rounds to send per connection (0 = until the
+	// client disconnects).
+	Rounds int
+	// Realtime paces rounds at FPS (default: as fast as possible).
+	Realtime bool
+	// FPS is the pacing rate (default 25).
+	FPS int
+}
+
+// Server serves synthetic camera fleets over TCP.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts serving on ln. It returns immediately; Close stops it.
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	if cfg.NewStreams == nil {
+		return nil, errors.New("stream: ServerConfig.NewStreams is required")
+	}
+	if cfg.FPS == 0 {
+		cfg.FPS = 25
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn streams rounds to one client until done or write error.
+func (s *Server) serveConn(conn net.Conn) error {
+	streams := s.cfg.NewStreams()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := writeHandshake(bw, streams); err != nil {
+		return err
+	}
+	interval := time.Second / time.Duration(s.cfg.FPS)
+	var buf []byte
+	next := time.Now()
+	for round := int64(0); s.cfg.Rounds == 0 || round < int64(s.cfg.Rounds); round++ {
+		for i, st := range streams {
+			p := st.Next()
+			buf = buf[:0]
+			buf = container.MarshalPacket(buf, p)
+			var hdr [16]byte
+			binary.BigEndian.PutUint64(hdr[0:], uint64(round))
+			binary.BigEndian.PutUint32(hdr[8:], uint32(i))
+			binary.BigEndian.PutUint32(hdr[12:], uint32(len(buf)))
+			if _, err := bw.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if s.cfg.Realtime {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHandshake(w *bufio.Writer, streams []*codec.Stream) error {
+	if _, err := w.Write(handshakeMagic[:]); err != nil {
+		return err
+	}
+	if err := w.WriteByte(protocolVersion); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(streams)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	for _, st := range streams {
+		cfg := st.Encoder.Config()
+		var meta [5]byte
+		meta[0] = byte(cfg.Codec)
+		binary.BigEndian.PutUint16(meta[1:], uint16(cfg.FPS))
+		binary.BigEndian.PutUint16(meta[3:], uint16(cfg.GOPSize))
+		if _, err := w.Write(meta[:]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// Client consumes a PGSP session.
+type Client struct {
+	conn  net.Conn
+	br    *bufio.Reader
+	infos []StreamInfo
+
+	// lookahead for round grouping
+	pending      *codec.Packet
+	pendingRound int64
+	havePending  bool
+	round        int64
+	eof          bool
+}
+
+// Dial connects to a PGSP server and performs the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	var magic [5]byte
+	if _, err := io.ReadFull(c.br, magic[:]); err != nil {
+		return fmt.Errorf("stream: handshake: %w", err)
+	}
+	if [4]byte(magic[:4]) != handshakeMagic {
+		return fmt.Errorf("stream: bad handshake magic %q", magic[:4])
+	}
+	if magic[4] != protocolVersion {
+		return fmt.Errorf("stream: unsupported protocol version %d", magic[4])
+	}
+	var nbuf [4]byte
+	if _, err := io.ReadFull(c.br, nbuf[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(nbuf[:])
+	if n == 0 || n > 1<<20 {
+		return fmt.Errorf("stream: implausible stream count %d", n)
+	}
+	c.infos = make([]StreamInfo, n)
+	for i := range c.infos {
+		var meta [5]byte
+		if _, err := io.ReadFull(c.br, meta[:]); err != nil {
+			return err
+		}
+		c.infos[i] = StreamInfo{
+			Codec:   codec.Codec(meta[0]),
+			FPS:     int(binary.BigEndian.Uint16(meta[1:])),
+			GOPSize: int(binary.BigEndian.Uint16(meta[3:])),
+		}
+	}
+	return nil
+}
+
+// Streams returns the per-stream metadata from the handshake.
+func (c *Client) Streams() []StreamInfo { return c.infos }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// next reads one message from the wire.
+func (c *Client) next() (*codec.Packet, int64, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, err
+	}
+	round := int64(binary.BigEndian.Uint64(hdr[0:]))
+	id := int(binary.BigEndian.Uint32(hdr[8:]))
+	n := binary.BigEndian.Uint32(hdr[12:])
+	if n > 64<<20 {
+		return nil, 0, fmt.Errorf("stream: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, 0, err
+	}
+	p, used, err := container.UnmarshalPacket(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if used != int(n) {
+		return nil, 0, fmt.Errorf("stream: message has trailing bytes")
+	}
+	if id < 0 || id >= len(c.infos) {
+		return nil, 0, fmt.Errorf("stream: message for unknown stream %d", id)
+	}
+	p.StreamID = id
+	p.Codec = c.infos[id].Codec
+	return p, round, nil
+}
+
+// Next returns the next packet in arrival order along with its round index.
+// It returns io.EOF when the server is done.
+func (c *Client) Next() (*codec.Packet, int64, error) {
+	if c.havePending {
+		c.havePending = false
+		return c.pending, c.pendingRound, nil
+	}
+	return c.next()
+}
+
+// NextRound gathers one full round: a slice indexed by stream ID with nil
+// entries for streams that sent nothing this round. It returns io.EOF once
+// the stream ends and all buffered rounds are drained.
+func (c *Client) NextRound() ([]*codec.Packet, error) {
+	round := make([]*codec.Packet, len(c.infos))
+	got := 0
+	for {
+		if c.eof {
+			if got > 0 {
+				return round, nil
+			}
+			return nil, io.EOF
+		}
+		p, r, err := c.Next()
+		if err == io.EOF {
+			c.eof = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if got == 0 {
+			c.round = r
+		} else if r != c.round {
+			// Start of the next round: stash and return the current one.
+			c.pending, c.pendingRound, c.havePending = p, r, true
+			return round, nil
+		}
+		if round[p.StreamID] != nil {
+			return nil, fmt.Errorf("stream: duplicate packet for stream %d in round %d", p.StreamID, r)
+		}
+		round[p.StreamID] = p
+		got++
+	}
+}

@@ -1,0 +1,239 @@
+package stream
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+func mkFactory(m int, seed int64) func() []*codec.Stream {
+	return func() []*codec.Stream {
+		streams := make([]*codec.Stream, m)
+		for i := range streams {
+			streams[i] = codec.NewStream(
+				codec.SceneConfig{BaseActivity: 0.5},
+				codec.EncoderConfig{StreamID: i, Codec: codec.H265, GOPSize: 10},
+				seed+int64(i))
+		}
+		return streams
+	}
+}
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestServeValidation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Serve(ln, ServerConfig{}); err == nil {
+		t.Error("missing NewStreams must error")
+	}
+}
+
+func TestHandshakeMetadata(t *testing.T) {
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(3, 1), Rounds: 1})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	infos := c.Streams()
+	if len(infos) != 3 {
+		t.Fatalf("streams = %d", len(infos))
+	}
+	for i, info := range infos {
+		if info.Codec != codec.H265 || info.FPS != 25 || info.GOPSize != 10 {
+			t.Errorf("stream %d info = %+v", i, info)
+		}
+	}
+}
+
+func TestPacketsArriveInRoundOrder(t *testing.T) {
+	const m, rounds = 4, 20
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(m, 2), Rounds: rounds})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	count := 0
+	lastRound := int64(-1)
+	for {
+		p, r, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < lastRound {
+			t.Fatalf("round went backwards: %d after %d", r, lastRound)
+		}
+		lastRound = r
+		if p.StreamID < 0 || p.StreamID >= m {
+			t.Fatalf("bad stream id %d", p.StreamID)
+		}
+		if p.Size <= 0 {
+			t.Fatalf("packet size %d", p.Size)
+		}
+		count++
+	}
+	if count != m*rounds {
+		t.Errorf("received %d packets, want %d", count, m*rounds)
+	}
+}
+
+func TestNextRoundGroups(t *testing.T) {
+	const m, rounds = 5, 12
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(m, 3), Rounds: rounds})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	seen := 0
+	for {
+		round, err := c.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(round) != m {
+			t.Fatalf("round slice length %d", len(round))
+		}
+		for i, p := range round {
+			if p == nil {
+				t.Fatalf("round %d missing stream %d", seen, i)
+			}
+			if p.StreamID != i {
+				t.Fatalf("slot %d holds stream %d", i, p.StreamID)
+			}
+			if p.Seq != int64(seen) {
+				t.Fatalf("round %d stream %d has seq %d", seen, i, p.Seq)
+			}
+		}
+		seen++
+	}
+	if seen != rounds {
+		t.Errorf("rounds = %d, want %d", seen, rounds)
+	}
+}
+
+func TestPayloadsDecodeAfterTransport(t *testing.T) {
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(2, 4), Rounds: 5})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for {
+		p, _, err := c.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := codec.DecodePayload(p.Payload); err != nil {
+			t.Fatalf("payload corrupted in transit: %v", err)
+		}
+	}
+}
+
+func TestMultipleClientsGetIndependentFleets(t *testing.T) {
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(2, 5), Rounds: 3})
+	read := func() []int {
+		c, err := Dial(srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var sizes []int
+		for {
+			p, _, err := c.Next()
+			if err == io.EOF {
+				return sizes
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes = append(sizes, p.Size)
+		}
+	}
+	a, b := read(), read()
+	if len(a) != len(b) || len(a) != 6 {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("clients saw different fleets at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRealtimePacing(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		NewStreams: mkFactory(1, 6), Rounds: 5, Realtime: true, FPS: 100,
+	})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	n := 0
+	for {
+		if _, _, err := c.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	// 5 rounds at 100 FPS ≈ 40ms minimum (first round is unpaced).
+	if n != 5 {
+		t.Fatalf("packets = %d", n)
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("realtime pacing too fast: %v", elapsed)
+	}
+}
+
+func TestDialRejectsNonPGSP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 200 OK\r\n\r\n"))
+		conn.Close()
+	}()
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Error("bad handshake must error")
+	}
+}

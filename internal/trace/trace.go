@@ -1,0 +1,146 @@
+// Package trace records gating decisions as JSON Lines for offline
+// analysis: one record per round with the per-stream confidences, costs, and
+// selections, plus a summarizer that turns a trace back into aggregate
+// statistics. Production deployments use this to audit what the gate chose
+// and why.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Decision is one stream's state within a round record.
+type Decision struct {
+	// Stream is the stream index.
+	Stream int `json:"stream"`
+	// Type is the picture type ("I", "P", "B").
+	Type string `json:"type"`
+	// Size is the packet size in bytes.
+	Size int `json:"size"`
+	// Confidence is the gate's selection confidence.
+	Confidence float64 `json:"conf"`
+	// Cost is the dependency-inclusive decode cost.
+	Cost float64 `json:"cost"`
+	// Selected reports whether the packet was decoded.
+	Selected bool `json:"selected"`
+	// Necessary is the redundancy feedback (only meaningful when
+	// Selected; false otherwise).
+	Necessary bool `json:"necessary,omitempty"`
+}
+
+// Round is one trace record.
+type Round struct {
+	// T is the round index.
+	T int64 `json:"t"`
+	// Budget is the round's decode budget.
+	Budget float64 `json:"budget"`
+	// Spent is the decode cost actually spent.
+	Spent float64 `json:"spent"`
+	// Decisions holds the per-stream entries (idle streams omitted).
+	Decisions []Decision `json:"decisions"`
+}
+
+// Writer streams rounds as JSON Lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one round record.
+func (w *Writer) Write(r Round) error {
+	if err := w.enc.Encode(r); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Rounds returns the number of records written.
+func (w *Writer) Rounds() int64 { return w.n }
+
+// Flush flushes buffered records.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams rounds back from a JSON Lines trace.
+type Reader struct {
+	dec *json.Decoder
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(r)}
+}
+
+// Next returns the next record, or io.EOF.
+func (r *Reader) Next() (Round, error) {
+	var rec Round
+	if err := r.dec.Decode(&rec); err != nil {
+		return Round{}, err
+	}
+	return rec, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Rounds    int64
+	Packets   int64
+	Selected  int64
+	Necessary int64
+	// BudgetUtilization is mean spent/budget over rounds.
+	BudgetUtilization float64
+	// FilterRate is 1 − Selected/Packets.
+	FilterRate float64
+	// Precision is Necessary/Selected (how many decodes paid off).
+	Precision float64
+	// PerStreamSelected counts selections per stream index.
+	PerStreamSelected map[int]int64
+}
+
+// Summarize consumes a trace and aggregates it.
+func Summarize(r *Reader) (Summary, error) {
+	s := Summary{PerStreamSelected: map[int]int64{}}
+	var utilSum float64
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return s, fmt.Errorf("trace: record %d: %w", s.Rounds, err)
+		}
+		s.Rounds++
+		if rec.Budget > 0 {
+			utilSum += rec.Spent / rec.Budget
+		}
+		for _, d := range rec.Decisions {
+			s.Packets++
+			if d.Selected {
+				s.Selected++
+				s.PerStreamSelected[d.Stream]++
+				if d.Necessary {
+					s.Necessary++
+				}
+			}
+		}
+	}
+	if s.Rounds > 0 {
+		s.BudgetUtilization = utilSum / float64(s.Rounds)
+	}
+	if s.Packets > 0 {
+		s.FilterRate = 1 - float64(s.Selected)/float64(s.Packets)
+	}
+	if s.Selected > 0 {
+		s.Precision = float64(s.Necessary) / float64(s.Selected)
+	}
+	return s, nil
+}

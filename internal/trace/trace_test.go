@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rounds := []Round{
+		{T: 0, Budget: 5, Spent: 3.9, Decisions: []Decision{
+			{Stream: 0, Type: "I", Size: 90000, Confidence: 0.9, Cost: 2.9, Selected: true, Necessary: true},
+			{Stream: 1, Type: "P", Size: 4000, Confidence: 0.2, Cost: 1, Selected: true},
+			{Stream: 2, Type: "P", Size: 3000, Confidence: 0.1, Cost: 1},
+		}},
+		{T: 1, Budget: 5, Spent: 1, Decisions: []Decision{
+			{Stream: 2, Type: "P", Size: 3100, Confidence: 0.6, Cost: 2, Selected: true, Necessary: true},
+		}},
+	}
+	for _, r := range rounds {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Rounds() != 2 {
+		t.Errorf("Rounds = %d", w.Rounds())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range rounds {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.T != want.T || got.Budget != want.Budget || len(got.Decisions) != len(want.Decisions) {
+			t.Errorf("record %d: %+v", i, got)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Round{T: 0, Budget: 4, Spent: 4, Decisions: []Decision{
+		{Stream: 0, Selected: true, Necessary: true},
+		{Stream: 1, Selected: true},
+		{Stream: 2},
+		{Stream: 3},
+	}})
+	w.Write(Round{T: 1, Budget: 4, Spent: 2, Decisions: []Decision{
+		{Stream: 0, Selected: true, Necessary: true},
+		{Stream: 1},
+	}})
+	w.Flush()
+
+	s, err := Summarize(NewReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 2 || s.Packets != 6 || s.Selected != 3 || s.Necessary != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.FilterRate != 0.5 {
+		t.Errorf("filter rate = %v", s.FilterRate)
+	}
+	if s.BudgetUtilization != 0.75 {
+		t.Errorf("budget utilization = %v", s.BudgetUtilization)
+	}
+	if s.Precision != 2.0/3 {
+		t.Errorf("precision = %v", s.Precision)
+	}
+	if s.PerStreamSelected[0] != 2 || s.PerStreamSelected[1] != 1 {
+		t.Errorf("per-stream = %v", s.PerStreamSelected)
+	}
+}
+
+func TestSummarizeCorruptTrace(t *testing.T) {
+	r := NewReader(strings.NewReader("{\"t\":0}\nnot json\n"))
+	if _, err := Summarize(r); err == nil {
+		t.Error("corrupt trace must error")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s, err := Summarize(NewReader(strings.NewReader("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != 0 || s.FilterRate != 0 || s.Precision != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
