@@ -1,0 +1,35 @@
+# Verification entry points. `make verify` is the tier-1 gate: build, unit
+# tests, and the full race-detector sweep (the staged pipeline engine and
+# the sharded gate are concurrent code; -race is not optional for them).
+
+GO ?= go
+
+.PHONY: build test race verify fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the minutes-long experiment smoke harness (already covered
+# unraced by `make test`) while keeping every concurrency test in the sweep;
+# the race detector is ~10x, so the full harness would blow the go test
+# timeout on small hosts.
+race:
+	$(GO) test -race -short -timeout 20m ./...
+
+verify: build test race
+
+# Short fuzzing sessions for the bitstream parser and the PGV demuxer.
+# Seed corpora always run as part of `make test`; this digs deeper.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/parser -fuzz FuzzParser -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/parser -fuzz FuzzEmulationRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/container -fuzz FuzzReader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/container -fuzz FuzzUnmarshalPacket -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test ./internal/pipeline -run NONE -bench BenchmarkEngineRounds -benchtime 2s
+	$(GO) test . -run NONE -bench . -benchtime 1s

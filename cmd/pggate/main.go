@@ -20,6 +20,7 @@ import (
 	"packetgame/internal/decode"
 	"packetgame/internal/infer"
 	"packetgame/internal/knapsack"
+	"packetgame/internal/metrics"
 	"packetgame/internal/pipeline"
 	"packetgame/internal/predictor"
 	"packetgame/internal/stream"
@@ -27,16 +28,22 @@ import (
 
 func main() {
 	var (
-		connect  = flag.String("connect", "", "PGSP server address (empty = local synthetic fleet)")
-		streams  = flag.Int("streams", 16, "local fleet size (ignored with -connect)")
-		rounds   = flag.Int("rounds", 2000, "rounds to process (0 = until source ends)")
-		budget   = flag.Float64("budget", 8, "decode budget per round (P-frame units)")
-		taskName = flag.String("task", "PC", "inference task: PC, AD, SR, FD")
-		weights  = flag.String("weights", "", "predictor weight file from pgtrain (empty = temporal only)")
-		window   = flag.Int("window", 5, "temporal window length")
-		policy   = flag.String("policy", "packetgame", "packetgame, roundrobin, or random")
-		workers  = flag.Int("workers", 4, "decode workers")
-		seed     = flag.Int64("seed", 1, "random seed")
+		connect   = flag.String("connect", "", "PGSP server address (empty = local synthetic fleet)")
+		streams   = flag.Int("streams", 16, "local fleet size (ignored with -connect)")
+		rounds    = flag.Int("rounds", 2000, "rounds to process (0 = until source ends)")
+		budget    = flag.Float64("budget", 8, "decode budget per round (P-frame units)")
+		taskName  = flag.String("task", "PC", "inference task: PC, AD, SR, FD")
+		weights   = flag.String("weights", "", "predictor weight file from pgtrain (empty = temporal only)")
+		window    = flag.Int("window", 5, "temporal window length")
+		policy    = flag.String("policy", "packetgame", "packetgame, roundrobin, or random")
+		workers   = flag.Int("workers", 4, "decode workers")
+		seed      = flag.Int64("seed", 1, "random seed")
+		pipelined = flag.Bool("pipelined", false, "overlap rounds through the staged engine")
+		inflight  = flag.Int("inflight", 1, "feedback lag k: rounds in flight (pipelined) / ack deferral (sequential)")
+		fresh     = flag.Bool("fresh", false, "apply feedback on round completion instead of the deterministic lag schedule (pipelined only)")
+		shards    = flag.Int("shards", 0, "gate state shards (0 = default)")
+		burn      = flag.Int64("burn", 0, "CPU nanoseconds burned per decode-cost unit (software decoder model)")
+		latency   = flag.Int64("latency", 0, "wall-clock nanoseconds per decode-cost unit (offloaded decoder model)")
 	)
 	flag.Parse()
 
@@ -77,7 +84,7 @@ func main() {
 	case "random":
 		gate = core.NewBaselineGate(m, decode.DefaultCosts, knapsack.NewRandom(*seed), nil, *budget)
 	case "packetgame":
-		cfg := core.Config{Streams: m, Window: *window, Budget: *budget, UseTemporal: true}
+		cfg := core.Config{Streams: m, Window: *window, Budget: *budget, UseTemporal: true, Shards: *shards}
 		if *weights != "" {
 			pcfg := predictor.DefaultConfig()
 			pcfg.Window = *window
@@ -106,8 +113,12 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
+	stages := &metrics.StageSet{}
 	eng, err := pipeline.New(pipeline.Config{
 		Source: src, Gate: gate, Task: task, Workers: *workers,
+		Pipelined: *pipelined, MaxInFlight: *inflight, FreshFeedback: *fresh,
+		BurnNanosPerUnit: *burn, LatencyNanosPerUnit: *latency,
+		Stages: stages,
 	})
 	if err != nil {
 		fatal(err)
@@ -128,6 +139,26 @@ func main() {
 		fmt.Printf("  accuracy          n/a (no ground truth over the network)\n")
 	}
 	fmt.Printf("  wall time         %v (%.0f decoded FPS)\n", rep.Elapsed.Round(1e6), rep.DecodedFPS)
+	mode := "sequential"
+	if *pipelined {
+		mode = "pipelined"
+	}
+	k := *inflight
+	if k < 1 {
+		k = 1 // the engine normalizes MaxInFlight 0 to 1
+	}
+	fmt.Printf("  engine            %s (in-flight %d)\n", mode, k)
+	for _, st := range []struct {
+		name string
+		s    metrics.StageSnapshot
+	}{
+		{"gate", stages.Gate.Snapshot()},
+		{"decode", stages.Decode.Snapshot()},
+		{"infer", stages.Infer.Snapshot()},
+	} {
+		fmt.Printf("  stage %-8s    %d rounds, mean %.2fms, max depth %d\n",
+			st.name, st.s.Done, st.s.MeanNanos()/1e6, st.s.MaxDepth)
+	}
 }
 
 func fatal(err error) {

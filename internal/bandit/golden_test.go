@@ -1,0 +1,133 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveEstimate recomputes μ̂ᵢ from the raw selection/reward history by
+// literally evaluating the documented formula over the last w rounds —
+// no ring buffers, no running aggregates. It is the independent reference
+// the estimator is frozen against.
+//
+//	μ̂ᵢ = rewardSum_{w,i}/T_{w,i} + min(cap, s·sqrt(ln(2+ageᵢ)/(1+T_{w,i})))
+func naiveEstimate(sel [][]bool, r [][]float64, w, i int) float64 {
+	t := len(sel)
+	lo := t - w
+	if lo < 0 {
+		lo = 0
+	}
+	count := 0
+	sum := 0.0
+	for j := lo; j < t; j++ {
+		if sel[j][i] {
+			count++
+			sum += r[j][i]
+		}
+	}
+	exploit := 0.0
+	if count > 0 {
+		exploit = sum / float64(count)
+	}
+	last := int64(0) // 1-based round of last selection, over the full history
+	for j := 0; j < t; j++ {
+		if sel[j][i] {
+			last = int64(j + 1)
+		}
+	}
+	age := float64(int64(t) - last)
+	bonus := ExplorationScale * math.Sqrt(math.Log(2+age)/float64(1+count))
+	if bonus > ExplorationCap {
+		bonus = ExplorationCap
+	}
+	return exploit + bonus
+}
+
+// TestTemporalEstimatorGoldenValues pins the estimator to hand-computed
+// values of the §5.1 formula on a fixed reward sequence, so refactors of
+// the feedback path cannot silently drift the UCB math.
+func TestTemporalEstimatorGoldenValues(t *testing.T) {
+	e, err := NewTemporalEstimator(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(sel []bool, r []float64) {
+		t.Helper()
+		if err := e.Push(sel, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push([]bool{true, true, false}, []float64{1, 0, 0})
+	push([]bool{true, false, false}, []float64{0, 0, 0})
+
+	// After round 2 (window holds rounds 1-2, t=2):
+	//  s0: T=2, sum=1 → exploit 1/2; age 0 → bonus 0.35·sqrt(ln2/3)
+	//  s1: T=1, sum=0 → exploit 0;   age 1 → bonus 0.35·sqrt(ln3/2)
+	//  s2: T=0        → exploit 0;   age 2 → bonus 0.35·sqrt(ln4/1)
+	golden2 := []float64{
+		0.5 + 0.16823646,
+		0.0 + 0.25940317,
+		0.0 + 0.41209351,
+	}
+	for i, want := range golden2 {
+		if got := e.Estimate(i); math.Abs(got-want) > 1e-7 {
+			t.Errorf("round 2, stream %d: μ̂ = %.8f, want %.8f", i, got, want)
+		}
+	}
+
+	push([]bool{false, true, false}, []float64{0, 1, 0})
+	push([]bool{true, false, false}, []float64{1, 0, 0})
+	push([]bool{false, false, false}, []float64{0, 0, 0})
+
+	// After round 5 (window holds rounds 3-5: round 1-2 evicted, t=5):
+	//  s0: T=1 (round 4), sum=1 → exploit 1; age 1 → bonus 0.35·sqrt(ln3/2)
+	//  s1: T=1 (round 3), sum=1 → exploit 1; age 2 → bonus 0.35·sqrt(ln4/2)
+	//  s2: T=0, never selected  → exploit 0; age 5 → bonus 0.35·sqrt(ln7/1)
+	golden5 := []float64{
+		1.0 + 0.25940317,
+		1.0 + 0.29139408,
+		0.0 + 0.48823558,
+	}
+	for i, want := range golden5 {
+		if got := e.Estimate(i); math.Abs(got-want) > 1e-7 {
+			t.Errorf("round 5, stream %d: μ̂ = %.8f, want %.8f", i, got, want)
+		}
+	}
+}
+
+// TestTemporalEstimatorMatchesNaiveRecomputation drives the estimator over
+// a long deterministic sequence and checks every round's estimate for every
+// stream against the from-scratch recomputation of the formula, exercising
+// ring-buffer eviction, idle rounds, and the age term together.
+func TestTemporalEstimatorMatchesNaiveRecomputation(t *testing.T) {
+	const m, w, rounds = 7, 5, 200
+	e, err := NewTemporalEstimator(m, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var histSel [][]bool
+	var histR [][]float64
+	// Deterministic pseudo-random schedule: stream i is selected on round
+	// j when (j*7+i*13)%5 < 2, with reward 1 when (j+i)%3 == 0.
+	for j := 0; j < rounds; j++ {
+		sel := make([]bool, m)
+		r := make([]float64, m)
+		for i := 0; i < m; i++ {
+			sel[i] = (j*7+i*13)%5 < 2
+			if sel[i] && (j+i)%3 == 0 {
+				r[i] = 1
+			}
+		}
+		if err := e.Push(sel, r); err != nil {
+			t.Fatal(err)
+		}
+		histSel = append(histSel, sel)
+		histR = append(histR, r)
+		for i := 0; i < m; i++ {
+			want := naiveEstimate(histSel, histR, w, i)
+			if got := e.Estimate(i); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("round %d, stream %d: μ̂ = %v, naive recompute = %v", j+1, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+// validPGV builds a well-formed PGV file to seed the fuzz corpus.
+func validPGV(tb testing.TB, n int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{FPS: 25, GOPSize: 5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st := codec.NewStream(codec.SceneConfig{}, codec.EncoderConfig{GOPSize: 5}, 7)
+	for i := 0; i < n; i++ {
+		if err := w.WritePacket(st.Next()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReader feeds arbitrary bytes to the PGV demuxer: truncated, corrupt,
+// or adversarial inputs must surface as errors, never as panics or runaway
+// allocations.
+func FuzzReader(f *testing.F) {
+	valid := validPGV(f, 3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // truncated mid-record
+	f.Add(valid[:14])                     // header only
+	f.Add([]byte{})                       // empty
+	f.Add([]byte("PGV1"))                 // magic only
+	f.Add([]byte("PGV0garbagegarbage"))   // wrong magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // absurd record lengths
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff // corrupt first record header
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1<<16; i++ {
+			if _, err := r.Next(); err != nil {
+				return // io.EOF or a decode error: both acceptable
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalPacket exercises the record codec directly: any input must
+// either round out to a packet or error, without panicking.
+func FuzzUnmarshalPacket(f *testing.F) {
+	st := codec.NewStream(codec.SceneConfig{}, codec.EncoderConfig{GOPSize: 5}, 11)
+	rec := MarshalPacket(nil, st.Next())
+	f.Add(rec)
+	f.Add(rec[:len(rec)-1])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, n, err := UnmarshalPacket(data)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil packet without error")
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+	})
+}

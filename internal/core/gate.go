@@ -9,8 +9,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
-	"packetgame/internal/bandit"
 	"packetgame/internal/codec"
 	"packetgame/internal/decode"
 	"packetgame/internal/knapsack"
@@ -58,6 +58,19 @@ type Config struct {
 	OnlineLR float64
 	// OnlineBatch is the minibatch size for online updates (default 64).
 	OnlineBatch int
+	// Shards partitions the per-stream gate state (temporal counters,
+	// predictor context windows, dependency trackers) into independently
+	// locked shards keyed by stream ID, so redundancy feedback from
+	// completed rounds lands without serializing against admission of new
+	// rounds. Purely a concurrency knob: decisions are identical for any
+	// shard count. Default min(8, Streams).
+	Shards int
+	// MaxPending is the number of decided-but-unacked rounds the gate
+	// tolerates before Decide fails. The default 1 enforces the paper's
+	// strict Decide/Feedback alternation; the pipelined engine raises it
+	// to its in-flight round bound. Feedback always acks the oldest
+	// pending round, so UCB windows never observe out-of-order rewards.
+	MaxPending int
 	// Trace, when non-nil, records every round's confidences, costs, and
 	// decisions as a JSON Lines audit trail (written at Feedback time,
 	// once redundancy outcomes are known).
@@ -97,6 +110,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.OnlineBatch == 0 {
 		c.OnlineBatch = 64
 	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("core: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.Shards > c.Streams {
+		c.Shards = c.Streams
+	}
+	if c.MaxPending < 0 {
+		return c, fmt.Errorf("core: MaxPending must be non-negative, got %d", c.MaxPending)
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 1
+	}
 	if c.Predictor != nil {
 		pc := c.Predictor.Config()
 		if pc.Window != c.Window {
@@ -124,33 +152,59 @@ type Stats struct {
 	CostSpent float64
 }
 
-// Gate is the PacketGame plug-in between parser and decoder.
-type Gate struct {
-	cfg     Config
-	est     *bandit.TemporalEstimator
-	windows []*predictor.Window
-	tracker *decode.MultiTracker
+// pendingRound is one decided round awaiting its redundancy feedback.
+type pendingRound struct {
+	sel      []int  // decode set, as returned by Decide
+	selBools []bool // per-stream selection flags
+	trace    *trace.Round
+	// feats maps stream index to the features used for the decision,
+	// retained (cloned) only when online learning is on.
+	feats map[int]predictor.Features
+}
 
-	// Round state.
-	pending  bool
+// Gate is the PacketGame plug-in between parser and decoder.
+//
+// Concurrency: the Gate is safe for concurrent use. Decide calls serialize
+// against each other, Feedback calls serialize against each other, and a
+// Decide may run concurrently with a Feedback — the per-stream state they
+// share (the temporal estimator counters) is sharded behind per-shard locks
+// (Config.Shards), so feedback lands without stalling admission. Feedback
+// acks pending rounds strictly in decision order (FIFO), which keeps the
+// UCB reward windows ordered even when rounds complete out of order
+// downstream. Up to Config.MaxPending rounds may be awaiting feedback.
+type Gate struct {
+	cfg Config
+
+	// decideMu serializes Decide and guards the decision scratch buffers,
+	// the predictor forward pass, and the online trainer's weight updates.
+	decideMu sync.Mutex
+	// ackMu serializes Feedback and guards the reward scratch.
+	ackMu sync.Mutex
+	// pendMu guards the pending-round FIFO, lifetime stats, the trace
+	// writer, and the online-sample buffer. Innermost lock.
+	pendMu sync.Mutex
+
+	shards *streamShards
+
+	pending    []pendingRound
+	maxPending int
+
+	// Decision scratch (decideMu).
+	items    []knapsack.Item
+	feats    []predictor.Features
+	active   []int // stream index per feats entry
+	conf     []float64
+	costs    []float64
+	temporal []float64
+	bonus    []float64
 	selected []bool
 
-	// Scratch buffers.
-	items  []knapsack.Item
-	feats  []predictor.Features
-	active []int // stream index per feats entry
-	conf   []float64
+	// Feedback scratch (ackMu).
 	reward []float64
 
-	// Pending trace record (Trace != nil).
-	pendingTrace *trace.Round
-
-	// Online learning (OnlineLR > 0).
+	// Online learning (OnlineLR > 0). Weight updates take decideMu.
 	trainer *predictor.Trainer
 	buffer  []predictor.Sample
-	// lastFeats maps stream index to the features used for this round's
-	// decision, retained (cloned) only when online learning is on.
-	lastFeats map[int]predictor.Features
 
 	stats Stats
 }
@@ -161,27 +215,25 @@ func NewGate(cfg Config) (*Gate, error) {
 	if err != nil {
 		return nil, err
 	}
+	needEst := cfg.UseTemporal || *cfg.Explore
+	shards, err := newStreamShards(cfg.Streams, cfg.Shards, cfg.Window, needEst, cfg.Costs)
+	if err != nil {
+		return nil, err
+	}
 	g := &Gate{
-		cfg:      cfg,
-		windows:  make([]*predictor.Window, cfg.Streams),
-		tracker:  decode.NewMultiTracker(cfg.Streams, cfg.Costs),
-		selected: make([]bool, cfg.Streams),
-		items:    make([]knapsack.Item, cfg.Streams),
-		conf:     make([]float64, cfg.Streams),
-		reward:   make([]float64, cfg.Streams),
-	}
-	if cfg.UseTemporal || *cfg.Explore {
-		g.est, err = bandit.NewTemporalEstimator(cfg.Streams, cfg.Window)
-		if err != nil {
-			return nil, err
-		}
-	}
-	for i := range g.windows {
-		g.windows[i] = predictor.NewWindow(cfg.Window)
+		cfg:        cfg,
+		shards:     shards,
+		maxPending: cfg.MaxPending,
+		items:      make([]knapsack.Item, cfg.Streams),
+		conf:       make([]float64, cfg.Streams),
+		costs:      make([]float64, cfg.Streams),
+		temporal:   make([]float64, cfg.Streams),
+		bonus:      make([]float64, cfg.Streams),
+		selected:   make([]bool, cfg.Streams),
+		reward:     make([]float64, cfg.Streams),
 	}
 	if cfg.OnlineLR > 0 {
 		g.trainer = predictor.NewTrainer(cfg.Predictor, cfg.OnlineLR)
-		g.lastFeats = make(map[int]predictor.Features)
 	}
 	return g, nil
 }
@@ -190,44 +242,98 @@ func NewGate(cfg Config) (*Gate, error) {
 func (g *Gate) Config() Config { return g.cfg }
 
 // Stats returns the lifetime counters.
-func (g *Gate) Stats() Stats { return g.stats }
+func (g *Gate) Stats() Stats {
+	g.pendMu.Lock()
+	defer g.pendMu.Unlock()
+	return g.stats
+}
+
+// Pending returns the number of decided rounds still awaiting feedback.
+func (g *Gate) Pending() int {
+	g.pendMu.Lock()
+	defer g.pendMu.Unlock()
+	return len(g.pending)
+}
+
+// SetMaxPending raises (or lowers, min 1) the decided-but-unacked round
+// bound. The pipelined engine calls this with its MaxInFlight depth.
+func (g *Gate) SetMaxPending(k int) {
+	if k < 1 {
+		k = 1
+	}
+	g.pendMu.Lock()
+	g.maxPending = k
+	g.pendMu.Unlock()
+}
 
 // Decide runs one gating round. pkts holds one parsed packet per stream
 // (nil for streams with no packet this round) and must have length
 // Config.Streams. It returns the indices of the streams whose packets should
-// be decoded. Feedback must be called before the next Decide.
+// be decoded. At most MaxPending rounds may be outstanding: with the default
+// of 1, Feedback must be called before the next Decide.
 func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
-	if g.pending {
-		return nil, fmt.Errorf("core: Decide called before Feedback for the previous round")
-	}
+	g.decideMu.Lock()
+	defer g.decideMu.Unlock()
 	if len(pkts) != g.cfg.Streams {
 		return nil, fmt.Errorf("core: %d packets for %d streams", len(pkts), g.cfg.Streams)
 	}
+	g.pendMu.Lock()
+	if len(g.pending) >= g.maxPending {
+		n := len(g.pending)
+		g.pendMu.Unlock()
+		return nil, fmt.Errorf("core: Decide called with %d unacked rounds (MaxPending %d): Feedback must close the oldest round first", n, g.maxPending)
+	}
+	g.pendMu.Unlock()
 
-	// 1. Fold packet metadata into the per-stream feature windows.
-	g.feats = g.feats[:0]
+	// 1. Fold packet metadata into the per-stream feature windows and read
+	// the sharded per-stream state (temporal estimate, exploration bonus,
+	// dependency-inclusive cost), one shard lock at a time.
 	g.active = g.active[:0]
 	for i, p := range pkts {
 		if p == nil {
 			continue
 		}
-		g.windows[i].Push(p)
-		g.stats.Packets++
 		g.active = append(g.active, i)
+	}
+	for i := range g.conf {
+		g.conf[i] = 0
+		g.costs[i] = 0
+		g.temporal[i] = 0
+		g.bonus[i] = 0
+	}
+	depAware := *g.cfg.DependencyAware
+	for _, sh := range g.shards.shards {
+		sh.mu.Lock()
+		for li, i := range sh.ids {
+			p := pkts[i]
+			if p == nil {
+				continue
+			}
+			sh.windows[li].Push(p)
+			if sh.est != nil {
+				g.temporal[i] = sh.est.Exploit(li)
+				g.bonus[i] = sh.est.Bonus(li)
+			}
+			if depAware {
+				g.costs[i] = sh.trackers[li].Cost(p)
+			} else {
+				g.costs[i] = g.cfg.Costs.Of(p.Type)
+			}
+		}
+		sh.mu.Unlock()
 	}
 
 	// 2. Confidence per stream: contextual predictor fused with the
 	// temporal estimate, plus the exploration bonus (Alg. 1 line 5-6).
-	for i := range g.conf {
-		g.conf[i] = 0
-	}
+	var roundFeats map[int]predictor.Features
 	if g.cfg.Predictor != nil {
+		g.feats = g.feats[:0]
 		for _, i := range g.active {
-			temporal := 0.0
+			t := 0.0
 			if g.cfg.UseTemporal {
-				temporal = g.est.Exploit(i)
+				t = g.temporal[i]
 			}
-			g.feats = append(g.feats, g.windows[i].Features(temporal))
+			g.feats = append(g.feats, g.shards.window(i).Features(t))
 		}
 		if len(g.feats) > 0 {
 			preds := g.cfg.Predictor.PredictBatch(g.feats)
@@ -246,98 +352,109 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 			}
 		}
 		if g.trainer != nil {
-			clear(g.lastFeats)
+			roundFeats = make(map[int]predictor.Features, len(g.active))
 			for k, i := range g.active {
-				g.lastFeats[i] = g.feats[k].Clone()
+				roundFeats[i] = g.feats[k].Clone()
 			}
 		}
 	} else {
 		for _, i := range g.active {
-			g.conf[i] = g.est.Exploit(i)
+			g.conf[i] = g.temporal[i]
 		}
 	}
 	if *g.cfg.Explore {
 		for _, i := range g.active {
-			g.conf[i] += g.est.Bonus(i)
+			g.conf[i] += g.bonus[i]
 		}
 	}
 
-	// 3. Dependency-inclusive costs (Fig 6).
-	var costs []float64
-	var err error
-	if *g.cfg.DependencyAware {
-		costs, err = g.tracker.Costs(pkts)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		costs = make([]float64, len(pkts))
-		for i, p := range pkts {
-			if p != nil {
-				costs[i] = g.cfg.Costs.Of(p.Type)
-			}
-		}
-	}
-
-	// 4. Combinatorial selection under the budget.
+	// 3. Combinatorial selection under the budget.
 	for i := range g.items {
 		g.items[i] = knapsack.Item{}
 		if pkts[i] != nil {
-			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: costs[i]}
+			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
 		}
 	}
 	sel := g.cfg.Selector.Select(g.items, g.cfg.Budget)
 
-	// 5. Commit decisions to the dependency tracker.
+	// 4. Commit decisions to the dependency trackers, shard by shard.
 	for i := range g.selected {
 		g.selected[i] = false
 	}
 	for _, i := range sel {
 		g.selected[i] = true
-		g.stats.Decoded++
-		g.stats.CostSpent += costs[i]
 	}
-	if err := g.tracker.Commit(pkts, g.selected); err != nil {
-		return nil, err
+	for _, sh := range g.shards.shards {
+		sh.mu.Lock()
+		for li, i := range sh.ids {
+			if pkts[i] != nil {
+				sh.trackers[li].Commit(pkts[i], g.selected[i])
+			}
+		}
+		sh.mu.Unlock()
 	}
+
+	// 5. Enqueue the round on the feedback FIFO and update counters.
+	pr := pendingRound{
+		sel:      append([]int(nil), sel...),
+		selBools: append([]bool(nil), g.selected...),
+		feats:    roundFeats,
+	}
+	var spent float64
+	for _, i := range sel {
+		spent += g.costs[i]
+	}
+	g.pendMu.Lock()
 	if g.cfg.Trace != nil {
-		rec := &trace.Round{T: g.stats.Rounds, Budget: g.cfg.Budget}
+		rec := &trace.Round{T: g.stats.Rounds, Budget: g.cfg.Budget, Spent: spent}
 		for _, i := range g.active {
-			d := trace.Decision{
+			rec.Decisions = append(rec.Decisions, trace.Decision{
 				Stream:     i,
 				Type:       pkts[i].Type.String(),
 				Size:       pkts[i].Size,
 				Confidence: g.conf[i],
-				Cost:       costs[i],
+				Cost:       g.costs[i],
 				Selected:   g.selected[i],
-			}
-			if g.selected[i] {
-				rec.Spent += costs[i]
-			}
-			rec.Decisions = append(rec.Decisions, d)
+			})
 		}
-		g.pendingTrace = rec
+		pr.trace = rec
 	}
 	g.stats.Rounds++
-	g.pending = true
+	g.stats.Packets += int64(len(g.active))
+	g.stats.Decoded += int64(len(sel))
+	g.stats.CostSpent += spent
+	g.pending = append(g.pending, pr)
+	g.pendMu.Unlock()
 	return sel, nil
 }
 
 // Confidence returns the last computed confidence for stream i (diagnostic).
-func (g *Gate) Confidence(i int) float64 { return g.conf[i] }
+func (g *Gate) Confidence(i int) float64 {
+	g.decideMu.Lock()
+	defer g.decideMu.Unlock()
+	return g.conf[i]
+}
 
-// Feedback closes the round opened by Decide: necessary[i] is the redundancy
-// feedback for stream selected[i] (aligned with Decide's return value).
+// Feedback acks the oldest pending round: necessary[k] is the redundancy
+// feedback for stream selected[k] (aligned with that round's Decide return
+// value). Rounds must be acked in decision order; the gate verifies the ack
+// against the queued round so out-of-order or mismatched feedback fails fast
+// instead of corrupting the UCB reward windows.
 func (g *Gate) Feedback(selected []int, necessary []bool) error {
-	if !g.pending {
+	g.ackMu.Lock()
+	defer g.ackMu.Unlock()
+	g.pendMu.Lock()
+	if len(g.pending) == 0 {
+		g.pendMu.Unlock()
 		return fmt.Errorf("core: Feedback without a pending round")
 	}
+	pr := g.pending[0]
+	g.pendMu.Unlock()
 	if len(selected) != len(necessary) {
 		return fmt.Errorf("core: %d selections with %d feedback values", len(selected), len(necessary))
 	}
-	g.pending = false
-	if g.est == nil {
-		return nil
+	if len(selected) != len(pr.sel) {
+		return fmt.Errorf("core: feedback for %d selections, pending round selected %d", len(selected), len(pr.sel))
 	}
 	for i := range g.reward {
 		g.reward[i] = 0
@@ -346,40 +463,68 @@ func (g *Gate) Feedback(selected []int, necessary []bool) error {
 		if i < 0 || i >= g.cfg.Streams {
 			return fmt.Errorf("core: feedback for invalid stream %d", i)
 		}
+		if !pr.selBools[i] {
+			return fmt.Errorf("core: feedback for stream %d, which the pending round did not select", i)
+		}
 		if necessary[k] {
 			g.reward[i] = 1
 		}
-		if g.trainer != nil {
-			if f, ok := g.lastFeats[i]; ok {
-				labels := make([]float64, g.cfg.Predictor.Config().Tasks)
-				for t := range labels {
-					labels[t] = math.NaN() // only this gate's head gets a label
-				}
-				labels[g.cfg.TaskIndex] = g.reward[i]
-				g.buffer = append(g.buffer, predictor.Sample{F: f, Labels: labels})
+	}
+
+	// Push the round into every shard's estimator. Shard locks are taken
+	// one at a time, so a concurrent Decide proceeds on the other shards.
+	if err := g.shards.push(pr.selBools, g.reward); err != nil {
+		return err
+	}
+
+	// Online fine-tuning: weight updates share decideMu with the forward
+	// pass so training never races a concurrent prediction.
+	if g.trainer != nil {
+		g.decideMu.Lock()
+		for k, i := range selected {
+			f, ok := pr.feats[i]
+			if !ok {
+				continue
 			}
+			labels := make([]float64, g.cfg.Predictor.Config().Tasks)
+			for t := range labels {
+				labels[t] = math.NaN() // only this gate's head gets a label
+			}
+			r := 0.0
+			if necessary[k] {
+				r = 1
+			}
+			labels[g.cfg.TaskIndex] = r
+			g.buffer = append(g.buffer, predictor.Sample{F: f, Labels: labels})
+		}
+		var stepErr error
+		if len(g.buffer) >= g.cfg.OnlineBatch {
+			_, stepErr = g.trainer.Step(g.buffer)
+			g.buffer = g.buffer[:0]
+		}
+		g.decideMu.Unlock()
+		if stepErr != nil {
+			return stepErr
 		}
 	}
-	if g.trainer != nil && len(g.buffer) >= g.cfg.OnlineBatch {
-		if _, err := g.trainer.Step(g.buffer); err != nil {
-			return err
-		}
-		g.buffer = g.buffer[:0]
-	}
-	if g.pendingTrace != nil {
+
+	// Retire the round: write its trace record and pop the FIFO.
+	g.pendMu.Lock()
+	defer g.pendMu.Unlock()
+	if pr.trace != nil {
 		nec := map[int]bool{}
 		for k, i := range selected {
 			nec[i] = necessary[k]
 		}
-		for d := range g.pendingTrace.Decisions {
-			if g.pendingTrace.Decisions[d].Selected {
-				g.pendingTrace.Decisions[d].Necessary = nec[g.pendingTrace.Decisions[d].Stream]
+		for d := range pr.trace.Decisions {
+			if pr.trace.Decisions[d].Selected {
+				pr.trace.Decisions[d].Necessary = nec[pr.trace.Decisions[d].Stream]
 			}
 		}
-		if err := g.cfg.Trace.Write(*g.pendingTrace); err != nil {
+		if err := g.cfg.Trace.Write(*pr.trace); err != nil {
 			return err
 		}
-		g.pendingTrace = nil
 	}
-	return g.est.Push(g.selected, g.reward)
+	g.pending = g.pending[1:]
+	return nil
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sync"
+
+	"packetgame/internal/bandit"
+	"packetgame/internal/decode"
+	"packetgame/internal/predictor"
+)
+
+// streamShard holds the per-stream gate state of one shard: the temporal
+// estimator counters, the predictor context windows, and the decoding
+// dependency trackers of every stream whose ID hashes to this shard
+// (stream i lives in shard i mod S, at local index i div S).
+//
+// Each shard carries its own lock so redundancy feedback for completed
+// rounds (which mutates the estimator) can land while a new round is being
+// admitted on other shards, instead of serializing on one gate-wide mutex.
+// The estimators stay mathematically identical to a single unsharded one:
+// every Feedback pushes one round into every shard, so all shard clocks
+// advance in lockstep, and the per-stream UCB terms only read the stream's
+// own counters plus the shard clock.
+type streamShard struct {
+	mu sync.Mutex
+
+	// ids maps local index -> global stream ID.
+	ids []int
+	// est is the shard's slice of the temporal estimator (nil when neither
+	// the temporal term nor the exploration bonus is enabled).
+	est *bandit.TemporalEstimator
+	// windows are the contextual predictor's per-stream feature windows.
+	windows []*predictor.Window
+	// trackers are the per-stream GOP dependency trackers (Fig 6).
+	trackers []*decode.Tracker
+
+	// Push scratch, guarded by mu.
+	sel    []bool
+	reward []float64
+}
+
+// streamShards is the sharded per-stream state container keyed by stream ID.
+type streamShards struct {
+	shards []*streamShard
+	n      int // stream count
+}
+
+// newStreamShards partitions m streams over s shards and allocates their
+// per-stream state. needEst controls whether temporal estimators are built.
+func newStreamShards(m, s, window int, needEst bool, cm decode.CostModel) (*streamShards, error) {
+	if s < 1 {
+		s = 1
+	}
+	if s > m {
+		s = m
+	}
+	ss := &streamShards{shards: make([]*streamShard, s), n: m}
+	for k := range ss.shards {
+		ss.shards[k] = &streamShard{}
+	}
+	for i := 0; i < m; i++ {
+		sh := ss.shards[i%s]
+		sh.ids = append(sh.ids, i)
+	}
+	for _, sh := range ss.shards {
+		local := len(sh.ids)
+		sh.windows = make([]*predictor.Window, local)
+		sh.trackers = make([]*decode.Tracker, local)
+		sh.sel = make([]bool, local)
+		sh.reward = make([]float64, local)
+		for li := range sh.windows {
+			sh.windows[li] = predictor.NewWindow(window)
+			sh.trackers[li] = decode.NewTracker(cm)
+		}
+		if needEst && local > 0 {
+			est, err := bandit.NewTemporalEstimator(local, window)
+			if err != nil {
+				return nil, err
+			}
+			sh.est = est
+		}
+	}
+	return ss, nil
+}
+
+// shardOf returns the shard holding stream i and i's local index within it.
+func (ss *streamShards) shardOf(i int) (*streamShard, int) {
+	s := len(ss.shards)
+	return ss.shards[i%s], i / s
+}
+
+// window returns stream i's feature window. Windows are only touched by
+// Decide, which the gate serializes, so no shard lock is needed here.
+func (ss *streamShards) window(i int) *predictor.Window {
+	sh, li := ss.shardOf(i)
+	return sh.windows[li]
+}
+
+// push records one completed round into every shard's estimator: selBools
+// and rewards are indexed by global stream ID. Shards are locked one at a
+// time, so a concurrent Decide only ever contends on a single shard.
+func (ss *streamShards) push(selBools []bool, rewards []float64) error {
+	for _, sh := range ss.shards {
+		if sh.est == nil {
+			continue
+		}
+		sh.mu.Lock()
+		for li, i := range sh.ids {
+			sh.sel[li] = selBools[i]
+			sh.reward[li] = rewards[i]
+		}
+		err := sh.est.Push(sh.sel, sh.reward)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

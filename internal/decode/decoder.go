@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"packetgame/internal/codec"
 )
@@ -81,6 +82,33 @@ func (b *BurnDecoder) Decode(p *codec.Packet) (Frame, error) {
 		return f, err
 	}
 	burn(int64(b.cm.Of(p.Type) * float64(b.NanosPerUnit)))
+	return f, nil
+}
+
+// LatencyDecoder wraps a Decoder and additionally sleeps wall-clock time
+// proportional to the decode cost, modelling decode offloaded to dedicated
+// hardware (GPU/ASIC decode sessions): each request occupies a session for
+// its service time but burns no host CPU. Unlike BurnDecoder, concurrent
+// decodes overlap even on a single host core, so it is the right model for
+// measuring pipeline overlap on machines with few cores.
+type LatencyDecoder struct {
+	*Decoder
+	// NanosPerUnit is the wall-clock service time per decode-cost unit.
+	NanosPerUnit int64
+}
+
+// NewLatencyDecoder creates a fixed-service-time decoder.
+func NewLatencyDecoder(cm CostModel, nanosPerUnit int64) *LatencyDecoder {
+	return &LatencyDecoder{Decoder: NewDecoder(cm), NanosPerUnit: nanosPerUnit}
+}
+
+// Decode decodes p, holding a decode session for cost-proportional time.
+func (l *LatencyDecoder) Decode(p *codec.Packet) (Frame, error) {
+	f, err := l.Decoder.Decode(p)
+	if err != nil {
+		return f, err
+	}
+	time.Sleep(time.Duration(l.cm.Of(p.Type) * float64(l.NanosPerUnit)))
 	return f, nil
 }
 

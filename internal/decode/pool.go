@@ -72,3 +72,77 @@ func (p *Pool) Errs() <-chan error { return p.errs }
 
 // Close stops accepting work. Frames closes after in-flight work drains.
 func (p *Pool) Close() { close(p.in) }
+
+// Job is one tagged decode request: the packet plus its position in the
+// round it belongs to, so completions can be reassembled per round even
+// when the pool finishes them out of order.
+type Job struct {
+	Round int64
+	Slot  int // index into the round's selection, not the stream ID
+	Pkt   *codec.Packet
+}
+
+// Completion is the outcome of one Job. Exactly one Completion is emitted
+// per submitted Job; Err is non-nil when the decode failed (Frame is then
+// zero).
+type Completion struct {
+	Round int64
+	Slot  int
+	Frame Frame
+	Err   error
+}
+
+// TaggedPool decodes tagged jobs on a fixed set of worker goroutines and
+// reports every completion — success or failure — on a single channel. It
+// is the staged pipeline engine's decode stage: unlike Pool, nothing is
+// dropped, so a downstream collector can account for every packet of every
+// in-flight round and ack rounds in order.
+type TaggedPool struct {
+	in      chan Job
+	out     chan Completion
+	wg      sync.WaitGroup
+	decoder interface {
+		Decode(*codec.Packet) (Frame, error)
+	}
+}
+
+// NewTaggedPool starts workers goroutines decoding via d.
+func NewTaggedPool(d interface {
+	Decode(*codec.Packet) (Frame, error)
+}, workers int) *TaggedPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &TaggedPool{
+		in:      make(chan Job, workers*2),
+		out:     make(chan Completion, workers*2),
+		decoder: d,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	go func() {
+		p.wg.Wait()
+		close(p.out)
+	}()
+	return p
+}
+
+func (p *TaggedPool) worker() {
+	defer p.wg.Done()
+	for j := range p.in {
+		f, err := p.decoder.Decode(j.Pkt)
+		p.out <- Completion{Round: j.Round, Slot: j.Slot, Frame: f, Err: err}
+	}
+}
+
+// Submit queues a job. It must not be called after Close.
+func (p *TaggedPool) Submit(j Job) { p.in <- j }
+
+// Completions returns the completion channel. It closes once Close has been
+// called and all in-flight jobs have drained.
+func (p *TaggedPool) Completions() <-chan Completion { return p.out }
+
+// Close stops accepting work.
+func (p *TaggedPool) Close() { close(p.in) }

@@ -1,0 +1,107 @@
+package metrics
+
+import "sync/atomic"
+
+// Stage tracks one pipeline stage's queue depth and service latency with
+// lock-free counters, cheap enough to leave on in production.
+type Stage struct {
+	enqueued atomic.Int64 // items admitted to the stage
+	done     atomic.Int64 // items the stage finished
+	nanos    atomic.Int64 // total service nanoseconds
+	maxDepth atomic.Int64 // high-water mark of enqueued-done
+}
+
+// Enter records an item entering the stage and updates the depth high-water
+// mark.
+func (s *Stage) Enter() {
+	e := s.enqueued.Add(1)
+	depth := e - s.done.Load()
+	for {
+		max := s.maxDepth.Load()
+		if depth <= max || s.maxDepth.CompareAndSwap(max, depth) {
+			return
+		}
+	}
+}
+
+// Exit records an item leaving the stage after nanos of service time.
+func (s *Stage) Exit(nanos int64) {
+	s.done.Add(1)
+	s.nanos.Add(nanos)
+}
+
+// StageSnapshot is a consistent-enough point-in-time read of a Stage.
+type StageSnapshot struct {
+	Enqueued int64
+	Done     int64
+	Depth    int64 // currently in the stage
+	MaxDepth int64
+	Nanos    int64 // total service time
+}
+
+// Snapshot reads the stage counters.
+func (s *Stage) Snapshot() StageSnapshot {
+	e := s.enqueued.Load()
+	d := s.done.Load()
+	return StageSnapshot{
+		Enqueued: e,
+		Done:     d,
+		Depth:    e - d,
+		MaxDepth: s.maxDepth.Load(),
+		Nanos:    s.nanos.Load(),
+	}
+}
+
+// MeanNanos is the mean service time per completed item.
+func (s StageSnapshot) MeanNanos() float64 {
+	if s.Done == 0 {
+		return 0
+	}
+	return float64(s.Nanos) / float64(s.Done)
+}
+
+// StageSet groups the staged engine's three stages. A nil *StageSet is
+// valid and records nothing, so instrumentation can be left unwired.
+type StageSet struct {
+	Gate   Stage // admission: NextRound + Decide
+	Decode Stage // rounds in the decode pool
+	Infer  Stage // rounds in filter/infer + feedback
+}
+
+// GateStage returns the gate stage, or nil for a nil set.
+func (ss *StageSet) GateStage() *Stage {
+	if ss == nil {
+		return nil
+	}
+	return &ss.Gate
+}
+
+// DecodeStage returns the decode stage, or nil for a nil set.
+func (ss *StageSet) DecodeStage() *Stage {
+	if ss == nil {
+		return nil
+	}
+	return &ss.Decode
+}
+
+// InferStage returns the infer stage, or nil for a nil set.
+func (ss *StageSet) InferStage() *Stage {
+	if ss == nil {
+		return nil
+	}
+	return &ss.Infer
+}
+
+// StageEnter records entry on a possibly-nil stage.
+func StageEnter(s *Stage) {
+	if s != nil {
+		s.Enter()
+	}
+}
+
+// StageExit records exit on a possibly-nil stage.
+func StageExit(s *Stage, nanos int64) {
+	if s != nil {
+		s.Exit(nanos)
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStageCountersAndDepth(t *testing.T) {
+	var s Stage
+	s.Enter()
+	s.Enter()
+	s.Enter()
+	s.Exit(100)
+	s.Exit(300)
+	snap := s.Snapshot()
+	if snap.Enqueued != 3 || snap.Done != 2 || snap.Depth != 1 {
+		t.Errorf("snapshot %+v, want enqueued 3, done 2, depth 1", snap)
+	}
+	if snap.MaxDepth != 3 {
+		t.Errorf("max depth %d, want 3", snap.MaxDepth)
+	}
+	if snap.Nanos != 400 {
+		t.Errorf("nanos %d, want 400", snap.Nanos)
+	}
+	if got := snap.MeanNanos(); got != 200 {
+		t.Errorf("mean nanos %v, want 200", got)
+	}
+	if (StageSnapshot{}).MeanNanos() != 0 {
+		t.Error("empty snapshot mean must be 0")
+	}
+}
+
+func TestStageNilSafety(t *testing.T) {
+	var ss *StageSet
+	// All of these must be no-ops on a nil set.
+	StageEnter(ss.GateStage())
+	StageExit(ss.DecodeStage(), 5)
+	StageEnter(ss.InferStage())
+
+	set := &StageSet{}
+	StageEnter(set.GateStage())
+	StageExit(set.GateStage(), 7)
+	if snap := set.Gate.Snapshot(); snap.Done != 1 || snap.Nanos != 7 {
+		t.Errorf("gate snapshot %+v", snap)
+	}
+}
+
+// TestStageConcurrent hammers one stage from many goroutines; under -race
+// this validates the lock-free counters, and the final snapshot must
+// balance exactly.
+func TestStageConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	var s Stage
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Enter()
+				s.Exit(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Enqueued != workers*perWorker || snap.Done != workers*perWorker || snap.Depth != 0 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.MaxDepth < 1 || snap.MaxDepth > workers {
+		t.Errorf("max depth %d outside [1, %d]", snap.MaxDepth, workers)
+	}
+}

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"testing"
+
+	"packetgame/internal/core"
+	"packetgame/internal/infer"
+)
+
+// runForDecisions runs a freshly built engine over a seeded fleet and
+// returns every round's decode set plus the final report. The fleet, gate,
+// and source are rebuilt identically each call, so any divergence between
+// two calls comes from the engine mode under test.
+func runForDecisions(t *testing.T, pipelined, fresh bool, k, workers, m, rounds int, budget float64, seed int64) ([][]int, Report, core.Stats) {
+	t.Helper()
+	g, err := core.NewGate(core.Config{Streams: m, Budget: budget, UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions [][]int
+	eng, err := New(Config{
+		Source:        NewLocalSource(mkFleet(m, seed), rounds),
+		Gate:          g,
+		Task:          infer.PersonCounting{},
+		Workers:       workers,
+		MaxInFlight:   k,
+		Pipelined:     pipelined,
+		FreshFeedback: fresh,
+		OnRound: func(round int64, sel []int) {
+			if int64(len(decisions)) != round {
+				t.Errorf("OnRound out of order: got round %d after %d rounds", round, len(decisions))
+			}
+			decisions = append(decisions, sel)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decisions, rep, g.Stats()
+}
+
+// stripTiming zeroes a report's wall-clock-dependent fields so the
+// remaining counters can be compared exactly.
+func stripTiming(rep Report) Report {
+	rep.Elapsed = 0
+	rep.DecodedFPS = 0
+	return rep
+}
+
+func compareRuns(t *testing.T, name string, selA, selB [][]int, repA, repB Report, stA, stB core.Stats) {
+	t.Helper()
+	if len(selA) != len(selB) {
+		t.Fatalf("%s: %d vs %d rounds of decisions", name, len(selA), len(selB))
+	}
+	for r := range selA {
+		a, b := selA[r], selB[r]
+		if len(a) != len(b) {
+			t.Fatalf("%s: round %d decode sets differ: %v vs %v", name, r, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("%s: round %d decode sets differ: %v vs %v", name, r, a, b)
+			}
+		}
+	}
+	if ra, rb := stripTiming(repA), stripTiming(repB); ra != rb {
+		t.Errorf("%s: reports differ:\n  a: %+v\n  b: %+v", name, ra, rb)
+	}
+	if stA != stB {
+		t.Errorf("%s: gate stats differ:\n  a: %+v\n  b: %+v", name, stA, stB)
+	}
+}
+
+// TestPipelinedMatchesSequentialDecisions is the determinism regression
+// test: at equal feedback lag k, the sequential (reference) engine and the
+// pipelined engine must produce bit-identical per-round decode sets, final
+// report counters, and gate statistics on a seeded fleet — for the strict
+// k=1 schedule, a deeper k=3 schedule, and a stress-scale configuration.
+func TestPipelinedMatchesSequentialDecisions(t *testing.T) {
+	cases := []struct {
+		name       string
+		k, workers int
+		m, rounds  int
+		budget     float64
+		seed       int64
+	}{
+		{name: "k1", k: 1, workers: 4, m: 16, rounds: 120, budget: 6, seed: 21},
+		{name: "k3", k: 3, workers: 7, m: 24, rounds: 150, budget: 9, seed: 22},
+		{name: "k4-wide", k: 4, workers: 8, m: 64, rounds: 100, budget: 20, seed: 23},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			selSeq, repSeq, stSeq := runForDecisions(t, false, false, tc.k, tc.workers, tc.m, tc.rounds, tc.budget, tc.seed)
+			selPipe, repPipe, stPipe := runForDecisions(t, true, false, tc.k, tc.workers, tc.m, tc.rounds, tc.budget, tc.seed)
+			if int64(len(selSeq)) != repSeq.Rounds || repSeq.Rounds != int64(tc.rounds) {
+				t.Fatalf("sequential ran %d rounds (OnRound saw %d), want %d", repSeq.Rounds, len(selSeq), tc.rounds)
+			}
+			compareRuns(t, tc.name, selSeq, selPipe, repSeq, repPipe, stSeq, stPipe)
+		})
+	}
+}
+
+// TestSequentialLagOneMatchesSeedSchedule pins the generalized lag-k
+// sequential engine at k=1 against the default configuration (MaxInFlight
+// unset), which is the seed engine's strict Decide/Feedback alternation.
+func TestSequentialLagOneMatchesSeedSchedule(t *testing.T) {
+	selDefault, repDefault, stDefault := runForDecisions(t, false, false, 0, 4, 12, 100, 5, 31)
+	selK1, repK1, stK1 := runForDecisions(t, false, false, 1, 4, 12, 100, 5, 31)
+	compareRuns(t, "default-vs-k1", selDefault, selK1, repDefault, repK1, stDefault, stK1)
+}
+
+// TestFreshFeedbackRunCompletes checks the timing-dependent feedback mode
+// end to end: same round count and packet accounting, valid report, no
+// deadlock — decision equality is deliberately not asserted.
+func TestFreshFeedbackRunCompletes(t *testing.T) {
+	const m, rounds = 24, 150
+	sel, rep, _ := runForDecisions(t, true, true, 4, 8, m, rounds, 9, 41)
+	if rep.Rounds != rounds || int64(len(sel)) != rep.Rounds {
+		t.Fatalf("rounds = %d (OnRound saw %d), want %d", rep.Rounds, len(sel), rounds)
+	}
+	if rep.Packets != int64(m*rounds) {
+		t.Errorf("packets = %d, want %d", rep.Packets, m*rounds)
+	}
+	if rep.Decoded == 0 || rep.Inferred != rep.Decoded {
+		t.Errorf("decoded = %d, inferred = %d", rep.Decoded, rep.Inferred)
+	}
+}

@@ -4,6 +4,20 @@
 // gate; selected packets are decoded on a worker pool; decoded frames pass
 // an optional frame filter and the inference task; redundancy feedback
 // closes the loop.
+//
+// The engine runs in one of two modes with identical decision semantics:
+//
+//   - sequential (default): rounds execute one after another in the calling
+//     goroutine, with decode fanned out per round;
+//   - pipelined (Config.Pipelined): rounds flow through gate → decode →
+//     filter/infer as channel-connected stages, so round t+1 is gated and
+//     queued while round t is still decoding.
+//
+// Both modes honor the same feedback-lag schedule: with MaxInFlight = k,
+// the decision for round t observes redundancy feedback through round t−k.
+// The sequential engine applies that schedule inline (it is the reference
+// implementation); the pipelined engine realizes it concurrently. At k = 1
+// both reduce to the strict Decide/Feedback alternation of the paper.
 package pipeline
 
 import (
@@ -18,6 +32,7 @@ import (
 	"packetgame/internal/decode"
 	"packetgame/internal/filter"
 	"packetgame/internal/infer"
+	"packetgame/internal/metrics"
 )
 
 // RoundSource yields one round of packets per call: a slice indexed by
@@ -43,11 +58,38 @@ type Config struct {
 	// Workers is the decode worker count (default 4).
 	Workers int
 	// BurnNanosPerUnit makes decoding burn CPU per cost unit (wall-clock
-	// realism for concurrency benchmarks; 0 disables).
+	// realism for concurrency benchmarks on multi-core hosts; 0 disables).
 	BurnNanosPerUnit int64
+	// LatencyNanosPerUnit makes decoding hold a decode session for
+	// cost-proportional wall-clock time without burning CPU, modelling
+	// offloaded hardware decoders (0 disables; exclusive with
+	// BurnNanosPerUnit).
+	LatencyNanosPerUnit int64
 	// Filter optionally drops decoded frames before inference (the
 	// on-server frame filter stage; nil disables).
 	Filter filter.FrameFilter
+	// MaxInFlight is the feedback lag k: the number of rounds that may be
+	// decided but not yet acked, and the pipelined engine's in-flight
+	// round bound. Decide(t) observes feedback through round t−k in both
+	// engines, so sequential and pipelined runs of the same k make
+	// identical decisions. 0 defaults to 1 (strict alternation).
+	MaxInFlight int
+	// Pipelined selects the concurrent staged engine.
+	Pipelined bool
+	// FreshFeedback (pipelined only) applies each round's redundancy
+	// feedback the moment the round completes, instead of deferring it to
+	// the gate stage's deterministic lag-k schedule. Decisions become
+	// timing-dependent (feedback may land earlier than the schedule
+	// promises, never later than needed) in exchange for the freshest
+	// possible UCB state. Feedback is still applied in strict round order.
+	FreshFeedback bool
+	// OnRound, when non-nil, is invoked synchronously after every gating
+	// decision with the round number and the selected stream indices.
+	// Both engines call it from the deciding goroutine in round order.
+	OnRound func(round int64, selected []int)
+	// Stages, when non-nil, receives per-stage queue-depth and latency
+	// counters for the gate, decode, and infer stages.
+	Stages *metrics.StageSet
 }
 
 // Report summarizes an Engine run.
@@ -88,102 +130,52 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
+	if cfg.BurnNanosPerUnit > 0 && cfg.LatencyNanosPerUnit > 0 {
+		return nil, errors.New("pipeline: BurnNanosPerUnit and LatencyNanosPerUnit are exclusive decode models")
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("pipeline: MaxInFlight must be non-negative, got %d", cfg.MaxInFlight)
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 1
+	}
+	if cfg.FreshFeedback && !cfg.Pipelined {
+		return nil, errors.New("pipeline: FreshFeedback requires Pipelined")
+	}
 	return &Engine{cfg: cfg}, nil
+}
+
+// newDecoder builds the configured decode model.
+func (e *Engine) newDecoder() interface {
+	Decode(*codec.Packet) (decode.Frame, error)
+} {
+	switch {
+	case e.cfg.BurnNanosPerUnit > 0:
+		return decode.NewBurnDecoder(e.cfg.Costs, e.cfg.BurnNanosPerUnit)
+	case e.cfg.LatencyNanosPerUnit > 0:
+		return decode.NewLatencyDecoder(e.cfg.Costs, e.cfg.LatencyNanosPerUnit)
+	default:
+		return decode.NewDecoder(e.cfg.Costs)
+	}
+}
+
+// raiseGatePending lifts the gate's pending-round bound to the engine's
+// feedback lag, when the gate supports multi-pending operation.
+func (e *Engine) raiseGatePending() {
+	if g, ok := e.cfg.Gate.(interface{ SetMaxPending(int) }); ok && e.cfg.MaxInFlight > 1 {
+		g.SetMaxPending(e.cfg.MaxInFlight)
+	}
 }
 
 // Run processes up to maxRounds rounds (0 = until the source ends).
 func (e *Engine) Run(maxRounds int) (Report, error) {
-	var rep Report
 	start := time.Now()
-
-	var decoder interface {
-		Decode(*codec.Packet) (decode.Frame, error)
-	}
-	if e.cfg.BurnNanosPerUnit > 0 {
-		decoder = decode.NewBurnDecoder(e.cfg.Costs, e.cfg.BurnNanosPerUnit)
+	var rep Report
+	var err error
+	if e.cfg.Pipelined {
+		rep, err = e.runPipelined(maxRounds)
 	} else {
-		decoder = decode.NewDecoder(e.cfg.Costs)
-	}
-
-	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
-		pkts, err := e.cfg.Source.NextRound()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return rep, fmt.Errorf("pipeline: source: %w", err)
-		}
-		if e.fleet == nil {
-			e.fleet = infer.NewFleet(e.cfg.Task, len(pkts))
-		}
-		sel, err := e.cfg.Gate.Decide(pkts)
-		if err != nil {
-			return rep, fmt.Errorf("pipeline: gate: %w", err)
-		}
-
-		// Decode selected packets in parallel.
-		frames := make([]decode.Frame, len(sel))
-		errs := make([]error, len(sel))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.cfg.Workers)
-		for k, i := range sel {
-			wg.Add(1)
-			go func(k, i int) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				frames[k], errs[k] = decoder.Decode(pkts[i])
-			}(k, i)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return rep, fmt.Errorf("pipeline: decode: %w", err)
-			}
-		}
-
-		// Filter + inference + feedback, sequential (cheap relative to
-		// decode; the fleet monitors are not concurrency-safe).
-		necessary := make([]bool, len(sel))
-		isSel := make(map[int]bool, len(sel))
-		for k, i := range sel {
-			isSel[i] = true
-			scene := frames[k].Scene
-			truth, ok := e.cfg.Source.Truth(i)
-			if ok {
-				e.sawTruth = true
-			} else {
-				truth = scene // the decoded content is the best truth we have
-			}
-			if e.cfg.Filter != nil && !e.cfg.Filter.Pass(scene) {
-				rep.Filtered++
-				// A filtered frame is treated as redundant feedback: the
-				// filter judged its content unchanged.
-				e.fleet.Stream(i).ObserveSkipped(truth)
-				continue
-			}
-			necessary[k] = e.fleet.Stream(i).ObserveDecoded(truth, scene)
-			rep.Inferred++
-			if necessary[k] {
-				rep.NecessaryDecoded++
-			}
-		}
-		for i, p := range pkts {
-			if p == nil || isSel[i] {
-				continue
-			}
-			if truth, ok := e.cfg.Source.Truth(i); ok {
-				e.sawTruth = true
-				e.fleet.Stream(i).ObserveSkipped(truth)
-			}
-			rep.Packets++
-		}
-		rep.Packets += int64(len(sel))
-		rep.Decoded += int64(len(sel))
-		rep.Rounds++
-		if err := e.cfg.Gate.Feedback(sel, necessary); err != nil {
-			return rep, fmt.Errorf("pipeline: feedback: %w", err)
-		}
+		rep, err = e.runSequential(maxRounds)
 	}
 	rep.Elapsed = time.Since(start)
 	if rep.Elapsed > 0 {
@@ -198,5 +190,141 @@ func (e *Engine) Run(maxRounds int) (Report, error) {
 			rep.Accuracy = e.fleet.Accuracy()
 		}
 	}
+	return rep, err
+}
+
+// pendingAck is one settled round whose feedback the lag schedule has not
+// yet released to the gate.
+type pendingAck struct {
+	sel       []int
+	necessary []bool
+}
+
+// runSequential executes rounds one at a time in the calling goroutine,
+// deferring each round's feedback by the lag k. It is the reference
+// implementation of the engine's decision semantics.
+func (e *Engine) runSequential(maxRounds int) (Report, error) {
+	var rep Report
+	decoder := e.newDecoder()
+	e.raiseGatePending()
+	k := e.cfg.MaxInFlight
+	var acks []pendingAck
+
+	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
+		pkts, err := e.cfg.Source.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rep, fmt.Errorf("pipeline: source: %w", err)
+		}
+		if e.fleet == nil {
+			e.fleet = infer.NewFleet(e.cfg.Task, len(pkts))
+		}
+		// Release feedback due under the lag schedule: Decide(t) must
+		// observe rounds 0..t−k.
+		for len(acks) >= k {
+			a := acks[0]
+			acks = acks[1:]
+			if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+				return rep, fmt.Errorf("pipeline: feedback: %w", err)
+			}
+		}
+
+		metrics.StageEnter(e.cfg.Stages.GateStage())
+		t0 := time.Now()
+		sel, err := e.cfg.Gate.Decide(pkts)
+		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
+		if err != nil {
+			return rep, fmt.Errorf("pipeline: gate: %w", err)
+		}
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(int64(rounds), append([]int(nil), sel...))
+		}
+
+		// Decode selected packets in parallel.
+		metrics.StageEnter(e.cfg.Stages.DecodeStage())
+		t1 := time.Now()
+		frames := make([]decode.Frame, len(sel))
+		errs := make([]error, len(sel))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.cfg.Workers)
+		for k, i := range sel {
+			wg.Add(1)
+			go func(k, i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				frames[k], errs[k] = decoder.Decode(pkts[i])
+			}(k, i)
+		}
+		wg.Wait()
+		metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(t1).Nanoseconds())
+		for _, err := range errs {
+			if err != nil {
+				return rep, fmt.Errorf("pipeline: decode: %w", err)
+			}
+		}
+
+		// Filter + inference + accounting, sequential (cheap relative to
+		// decode; the fleet monitors are not concurrency-safe).
+		metrics.StageEnter(e.cfg.Stages.InferStage())
+		t2 := time.Now()
+		necessary := e.settleRound(&rep, pkts, sel, frames, e.cfg.Source.Truth)
+		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t2).Nanoseconds())
+		acks = append(acks, pendingAck{sel: sel, necessary: necessary})
+	}
+	for len(acks) > 0 {
+		a := acks[0]
+		acks = acks[1:]
+		if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+			return rep, fmt.Errorf("pipeline: feedback: %w", err)
+		}
+	}
 	return rep, nil
+}
+
+// settleRound applies the frame filter, inference, and report accounting
+// for one decoded round. frames[k] holds the decoded frame for stream
+// sel[k]; truth reads the (possibly captured) ground truth for a stream.
+// It returns the per-selection redundancy feedback.
+func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, truth func(int) (codec.Scene, bool)) []bool {
+	necessary := make([]bool, len(sel))
+	isSel := make(map[int]bool, len(sel))
+	for k, i := range sel {
+		isSel[i] = true
+		scene := frames[k].Scene
+		t, ok := truth(i)
+		if ok {
+			e.sawTruth = true
+		} else {
+			t = scene // the decoded content is the best truth we have
+		}
+		if e.cfg.Filter != nil && !e.cfg.Filter.Pass(scene) {
+			rep.Filtered++
+			// A filtered frame is treated as redundant feedback: the
+			// filter judged its content unchanged.
+			e.fleet.Stream(i).ObserveSkipped(t)
+			continue
+		}
+		necessary[k] = e.fleet.Stream(i).ObserveDecoded(t, scene)
+		rep.Inferred++
+		if necessary[k] {
+			rep.NecessaryDecoded++
+		}
+	}
+	for i, p := range pkts {
+		if p == nil || isSel[i] {
+			continue
+		}
+		if t, ok := truth(i); ok {
+			e.sawTruth = true
+			e.fleet.Stream(i).ObserveSkipped(t)
+		}
+		rep.Packets++
+	}
+	rep.Packets += int64(len(sel))
+	rep.Decoded += int64(len(sel))
+	rep.Rounds++
+	return necessary
 }

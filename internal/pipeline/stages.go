@@ -1,0 +1,290 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+	"packetgame/internal/metrics"
+)
+
+// The pipelined engine splits a round's lifecycle across three actors:
+//
+//	gate loop (caller's goroutine)
+//	    NextRound → Decide → publish roundWork → submit decode jobs,
+//	    and apply due feedback under the lag-k schedule;
+//	decode pool (Workers goroutines)
+//	    decode tagged jobs, emit completions in any order;
+//	collector (one goroutine)
+//	    reassemble completions per round, settle rounds strictly in round
+//	    order (filter/infer/accounting), and ack each settled round.
+//
+// Feedback ordering: every settled round produces exactly one ack, and the
+// collector settles rounds in ascending round order, so acks reach the gate
+// in decision order — the UCB reward windows never observe out-of-order
+// rewards. In the default deterministic mode the acks travel back to the
+// gate loop, which applies Feedback only when the lag schedule demands it
+// (before Decide(t), rounds ≤ t−k are acked). With FreshFeedback the
+// collector applies Feedback itself the moment a round settles, giving the
+// estimator the freshest state at the cost of timing-dependent decisions.
+//
+// Liveness: acks and tokens are buffered beyond the in-flight bound, so the
+// collector never blocks sending; the collector therefore always drains
+// pool completions, so the pool never blocks; rounds with decode errors are
+// still acked (with the error attached), so the gate loop's drain always
+// terminates.
+
+// truthVal is ground truth captured at gate time, so settling a round later
+// does not race the source's per-round truth state.
+type truthVal struct {
+	scene codec.Scene
+	ok    bool
+}
+
+// roundWork is one in-flight round: the gate's decision plus everything the
+// collector needs to settle it.
+type roundWork struct {
+	round    int64
+	pkts     []*codec.Packet
+	truth    []truthVal
+	sel      []int
+	enqueued time.Time
+}
+
+// roundAck is one settled round's redundancy feedback, traveling from the
+// collector back to the gate loop.
+type roundAck struct {
+	sel       []int
+	necessary []bool
+	err       error
+}
+
+// runPipelined executes rounds through the staged engine with up to
+// MaxInFlight rounds overlapping.
+func (e *Engine) runPipelined(maxRounds int) (Report, error) {
+	k := e.cfg.MaxInFlight
+	e.raiseGatePending()
+	pool := decode.NewTaggedPool(e.newDecoder(), e.cfg.Workers)
+	fresh := e.cfg.FreshFeedback
+
+	roundsCh := make(chan *roundWork, k+2)
+	acks := make(chan roundAck, k+2)
+	tokens := make(chan struct{}, k)
+	for i := 0; i < k; i++ {
+		tokens <- struct{}{}
+	}
+	c := &collector{
+		engine: e,
+		comps:  pool.Completions(),
+		rounds: roundsCh,
+		acks:   acks,
+		tokens: tokens,
+		fresh:  fresh,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.run()
+	}()
+
+	var runErr error
+	inflight := 0
+	applyDue := func(min int) {
+		for inflight > min && runErr == nil {
+			a := <-acks
+			inflight--
+			if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+				runErr = fmt.Errorf("pipeline: feedback: %w", err)
+			} else if a.err != nil {
+				runErr = fmt.Errorf("pipeline: decode: %w", a.err)
+			}
+		}
+	}
+
+	for next := int64(0); maxRounds == 0 || next < int64(maxRounds); next++ {
+		pkts, err := e.cfg.Source.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			runErr = fmt.Errorf("pipeline: source: %w", err)
+			break
+		}
+		// Admission control: at most k rounds in flight. Deterministic
+		// mode applies the feedback of rounds ≤ next−k here, on the
+		// deciding goroutine; fresh mode just takes an in-flight token
+		// (the collector applied feedback already).
+		if fresh {
+			<-tokens
+		} else {
+			applyDue(k - 1)
+			if runErr != nil {
+				break
+			}
+		}
+
+		// The source may reuse its packet and truth storage each round,
+		// so copy the round and capture truth before overlapping with
+		// the next NextRound call.
+		cp := append([]*codec.Packet(nil), pkts...)
+		truth := make([]truthVal, len(pkts))
+		for i, p := range cp {
+			if p == nil {
+				continue
+			}
+			s, ok := e.cfg.Source.Truth(i)
+			truth[i] = truthVal{scene: s, ok: ok}
+		}
+
+		metrics.StageEnter(e.cfg.Stages.GateStage())
+		t0 := time.Now()
+		sel, err := e.cfg.Gate.Decide(cp)
+		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
+		if err != nil {
+			runErr = fmt.Errorf("pipeline: gate: %w", err)
+			if fresh {
+				tokens <- struct{}{} // round never entered flight
+			}
+			break
+		}
+		if e.cfg.OnRound != nil {
+			e.cfg.OnRound(next, append([]int(nil), sel...))
+		}
+
+		rw := &roundWork{round: next, pkts: cp, truth: truth, sel: sel, enqueued: time.Now()}
+		metrics.StageEnter(e.cfg.Stages.DecodeStage())
+		roundsCh <- rw
+		for slot, i := range sel {
+			pool.Submit(decode.Job{Round: next, Slot: slot, Pkt: cp[i]})
+		}
+		inflight++
+	}
+
+	// Shutdown: stop the stages, then drain outstanding acks in order.
+	pool.Close()
+	close(roundsCh)
+	if !fresh {
+		applyDue(0)
+		for inflight > 0 { // error path: drain without applying
+			<-acks
+			inflight--
+		}
+	}
+	<-done
+	if runErr == nil {
+		runErr = c.err
+	}
+	return c.rep, runErr
+}
+
+// pendingCollect accumulates one round's completions until it can settle.
+type pendingCollect struct {
+	work  *roundWork
+	comps []decode.Completion
+}
+
+func (p *pendingCollect) ready() bool {
+	return p.work != nil && len(p.comps) == len(p.work.sel)
+}
+
+// collector reassembles decode completions into rounds and settles them
+// strictly in round order. It is the sole owner of the inference fleet and
+// the run report while the pipeline is live.
+type collector struct {
+	engine *Engine
+	comps  <-chan decode.Completion
+	rounds <-chan *roundWork
+	acks   chan<- roundAck
+	tokens chan<- struct{}
+	fresh  bool
+
+	rep Report
+	err error
+}
+
+func (c *collector) run() {
+	pending := map[int64]*pendingCollect{}
+	next := int64(0)
+	roundsCh, comps := c.rounds, c.comps
+	get := func(round int64) *pendingCollect {
+		st := pending[round]
+		if st == nil {
+			st = &pendingCollect{}
+			pending[round] = st
+		}
+		return st
+	}
+	for roundsCh != nil || comps != nil {
+		select {
+		case rw, ok := <-roundsCh:
+			if !ok {
+				roundsCh = nil
+				break
+			}
+			get(rw.round).work = rw
+		case comp, ok := <-comps:
+			if !ok {
+				comps = nil
+				break
+			}
+			st := get(comp.Round)
+			st.comps = append(st.comps, comp)
+		}
+		for {
+			st := pending[next]
+			if st == nil || !st.ready() {
+				break
+			}
+			delete(pending, next)
+			next++
+			c.settle(st)
+		}
+	}
+}
+
+// settle runs filter/infer/accounting for one fully decoded round and acks
+// it. Rounds with decode errors are not settled but are still acked, so the
+// gate loop's drain always terminates.
+func (c *collector) settle(st *pendingCollect) {
+	e := c.engine
+	rw := st.work
+	metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(rw.enqueued).Nanoseconds())
+	if e.fleet == nil {
+		e.fleet = infer.NewFleet(e.cfg.Task, len(rw.pkts))
+	}
+	frames := make([]decode.Frame, len(rw.sel))
+	necessary := make([]bool, len(rw.sel))
+	var decodeErr error
+	for _, comp := range st.comps {
+		if comp.Err != nil {
+			if decodeErr == nil {
+				decodeErr = comp.Err
+			}
+			continue
+		}
+		frames[comp.Slot] = comp.Frame
+	}
+	if decodeErr == nil {
+		metrics.StageEnter(e.cfg.Stages.InferStage())
+		t0 := time.Now()
+		necessary = e.settleRound(&c.rep, rw.pkts, rw.sel, frames, func(i int) (codec.Scene, bool) {
+			return rw.truth[i].scene, rw.truth[i].ok
+		})
+		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t0).Nanoseconds())
+	}
+	a := roundAck{sel: rw.sel, necessary: necessary, err: decodeErr}
+	if c.fresh {
+		if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil && c.err == nil {
+			c.err = fmt.Errorf("pipeline: feedback: %w", err)
+		}
+		if a.err != nil && c.err == nil {
+			c.err = fmt.Errorf("pipeline: decode: %w", a.err)
+		}
+		c.tokens <- struct{}{}
+	} else {
+		c.acks <- a
+	}
+}
