@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify fuzz bench
+.PHONY: build test race verify vet fuzz bench chaos
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,10 @@ test:
 race:
 	$(GO) test -race -short -timeout 20m ./...
 
-verify: build test race
+vet:
+	$(GO) vet ./...
+
+verify: build vet test race
 
 # Short fuzzing sessions for the bitstream parser and the PGV demuxer.
 # Seed corpora always run as part of `make test`; this digs deeper.
@@ -29,6 +32,13 @@ fuzz:
 	$(GO) test ./internal/parser -fuzz FuzzEmulationRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -fuzz FuzzReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -fuzz FuzzUnmarshalPacket -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream -fuzz FuzzPGSPFrame -fuzztime $(FUZZTIME)
+
+# The chaos experiment under the race detector: deterministic fault
+# injection, circuit-breaker quarantine, and the self-healing PGSP ingest,
+# all exercised concurrently through the pipelined engine.
+chaos:
+	$(GO) run -race ./cmd/pgbench -exp chaos
 
 bench:
 	$(GO) test ./internal/pipeline -run NONE -bench BenchmarkEngineRounds -benchtime 2s

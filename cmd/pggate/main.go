@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"packetgame/internal/codec"
 	"packetgame/internal/core"
 	"packetgame/internal/decode"
+	"packetgame/internal/fault"
 	"packetgame/internal/infer"
 	"packetgame/internal/knapsack"
 	"packetgame/internal/metrics"
@@ -44,6 +46,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "gate state shards (0 = default)")
 		burn      = flag.Int64("burn", 0, "CPU nanoseconds burned per decode-cost unit (software decoder model)")
 		latency   = flag.Int64("latency", 0, "wall-clock nanoseconds per decode-cost unit (offloaded decoder model)")
+		faults    = flag.String("faults", "", "fault profile: none, light, chaos, heavy, or key=value list (arms circuit breakers)")
 	)
 	flag.Parse()
 
@@ -52,17 +55,38 @@ func main() {
 		fatal(err)
 	}
 
-	// Source.
-	var src pipeline.RoundSource
-	m := *streams
-	if *connect != "" {
-		client, err := stream.Dial(*connect)
+	// Faults. A named (or custom) profile injects deterministic faults at the
+	// packet source, the decoder, and — with -connect — the transport, and
+	// arms the gate's per-stream circuit breakers.
+	var inj *fault.Injector
+	if *faults != "" {
+		prof, err := fault.ParseProfile(*faults, *seed)
 		if err != nil {
 			fatal(err)
 		}
-		defer client.Close()
-		m = len(client.Streams())
-		src = pipeline.NewNetSource(client)
+		inj = fault.NewInjector(prof)
+		fmt.Printf("pggate: fault profile %q armed (seed %d)\n", prof.Name, *seed)
+	}
+
+	// Source.
+	var src pipeline.RoundSource
+	var faultFleet []*fault.Stream
+	var resilient *stream.Resilient
+	m := *streams
+	if *connect != "" {
+		// The reconnecting client heals resets and framing desyncs; with
+		// -faults its transport also carries the injected wire faults.
+		rcfg := stream.ResilientConfig{Addr: *connect, Seed: *seed}
+		if inj != nil {
+			rcfg.WrapConn = inj.WrapConn
+		}
+		resilient, err = stream.NewResilient(rcfg)
+		if err != nil {
+			fatal(err)
+		}
+		defer resilient.Close()
+		m = len(resilient.Streams())
+		src = pipeline.NewNetSource(resilient)
 		fmt.Printf("pggate: connected to %s (%d streams)\n", *connect, m)
 	} else {
 		fleet := make([]*codec.Stream, m)
@@ -73,11 +97,21 @@ func main() {
 				codec.EncoderConfig{StreamID: i, GOPSize: 25},
 				*seed+int64(i)*7919)
 		}
-		src = pipeline.NewLocalSource(fleet, *rounds)
+		if inj != nil {
+			faultFleet = inj.WrapFleet(fleet)
+			cams := make([]pipeline.Camera, m)
+			for i, w := range faultFleet {
+				cams[i] = w
+			}
+			src = pipeline.NewCameraSource(cams, *rounds)
+		} else {
+			src = pipeline.NewLocalSource(fleet, *rounds)
+		}
 	}
 
 	// Policy.
 	var gate core.Decider
+	var coreGate *core.Gate
 	switch *policy {
 	case "roundrobin":
 		gate = core.NewBaselineGate(m, decode.DefaultCosts, &knapsack.RoundRobin{}, nil, *budget)
@@ -85,6 +119,9 @@ func main() {
 		gate = core.NewBaselineGate(m, decode.DefaultCosts, knapsack.NewRandom(*seed), nil, *budget)
 	case "packetgame":
 		cfg := core.Config{Streams: m, Window: *window, Budget: *budget, UseTemporal: true, Shards: *shards}
+		if inj != nil {
+			cfg.Breaker = &core.BreakerConfig{}
+		}
 		if *weights != "" {
 			pcfg := predictor.DefaultConfig()
 			pcfg.Window = *window
@@ -109,17 +146,25 @@ func main() {
 			fatal(err)
 		}
 		gate = g
+		coreGate = g
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
 	stages := &metrics.StageSet{}
-	eng, err := pipeline.New(pipeline.Config{
+	pcfg := pipeline.Config{
 		Source: src, Gate: gate, Task: task, Workers: *workers,
 		Pipelined: *pipelined, MaxInFlight: *inflight, FreshFeedback: *fresh,
 		BurnNanosPerUnit: *burn, LatencyNanosPerUnit: *latency,
 		Stages: stages,
-	})
+	}
+	if inj != nil {
+		pcfg.Retry = decode.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
+		pcfg.WrapDecoder = func(d decode.PacketDecoder) decode.PacketDecoder {
+			return inj.WrapDecoder(d)
+		}
+	}
+	eng, err := pipeline.New(pcfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,6 +203,31 @@ func main() {
 	} {
 		fmt.Printf("  stage %-8s    %d rounds, mean %.2fms, max depth %d\n",
 			st.name, st.s.Done, st.s.MeanNanos()/1e6, st.s.MaxDepth)
+	}
+	if inj != nil {
+		fmt.Printf("  decode failures   %d (after retries)\n", rep.DecodeFailed)
+		if faultFleet != nil {
+			var injected int64
+			for _, w := range faultFleet {
+				st := w.Stats()
+				injected += st.Corrupted + st.Truncated + st.Lost + st.Stalled
+			}
+			fmt.Printf("  injected faults   %d packet-level\n", injected)
+		}
+		if coreGate != nil {
+			open, quarRounds := 0, int64(0)
+			for _, snap := range coreGate.Breakers() {
+				if snap.Opens > 0 {
+					open++
+				}
+				quarRounds += snap.QuarantinedRounds
+			}
+			fmt.Printf("  breakers tripped  %d streams (%d quarantined rounds)\n", open, quarRounds)
+		}
+	}
+	if resilient != nil && (resilient.Reconnects() > 0 || resilient.CorruptDropped() > 0) {
+		fmt.Printf("  transport         %d reconnects, %d CRC-dropped frames\n",
+			resilient.Reconnects(), resilient.CorruptDropped())
 	}
 }
 

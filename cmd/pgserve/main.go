@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"packetgame/internal/codec"
 	"packetgame/internal/stream"
@@ -28,6 +29,7 @@ func main() {
 		gop      = flag.Int("gop", 25, "GOP size")
 		codecStr = flag.String("codec", "h264", "codec: h264, h265, vp9, jpeg2000")
 		seed     = flag.Int64("seed", 1, "random seed")
+		drain    = flag.Duration("drain", 5*time.Second, "shutdown grace period before force-closing connections")
 	)
 	flag.Parse()
 
@@ -63,8 +65,22 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	fmt.Println("pgserve: shutting down")
-	srv.Close()
+	// Graceful stop: quit accepting, let every active connection finish its
+	// current round and send the goodbye marker, then force-close stragglers.
+	// A second SIGINT aborts immediately.
+	fmt.Println("pgserve: draining connections (interrupt again to abort)")
+	done := make(chan struct{})
+	go func() {
+		srv.Shutdown(*drain)
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Println("pgserve: shut down cleanly")
+	case <-sig:
+		fmt.Println("pgserve: aborted")
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

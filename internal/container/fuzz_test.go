@@ -42,6 +42,12 @@ func FuzzReader(f *testing.F) {
 	mut := append([]byte(nil), valid...)
 	mut[20] ^= 0xff // corrupt first record header
 	f.Add(mut)
+	f.Add(valid[:len(valid)-1]) // truncated one byte short of a full file
+	f.Add(valid[:14+29])        // cut exactly at a record boundary
+	f.Add(valid[:14+29+10])     // cut inside the second record's header
+	body := append([]byte(nil), valid...)
+	body[len(body)-3] ^= 0xff // corrupt the tail of the last record's body
+	f.Add(body)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
@@ -62,8 +68,12 @@ func FuzzUnmarshalPacket(f *testing.F) {
 	rec := MarshalPacket(nil, st.Next())
 	f.Add(rec)
 	f.Add(rec[:len(rec)-1])
+	f.Add(rec[:5]) // truncated mid-header
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	crc := append([]byte(nil), rec...)
+	crc[len(crc)-1] ^= 0xff // corrupted record tail
+	f.Add(crc)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, n, err := UnmarshalPacket(data)
 		if err != nil {

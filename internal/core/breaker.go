@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"packetgame/internal/codec"
+)
+
+// BreakerState is a per-stream circuit breaker state.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: the stream is healthy and fully participates.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the stream is quarantined out of Decide — its packets
+	// are excluded from selection (and its budget share therefore flows to
+	// the healthy streams through the knapsack).
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; the stream competes again and
+	// its next decode outcome decides between closing and reopening.
+	BreakerHalfOpen
+)
+
+// String names the state.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", uint8(s))
+	}
+}
+
+// BreakerConfig parameterizes the gate's per-stream circuit breakers.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive decode failures that
+	// opens a closed breaker (default 3).
+	FailureThreshold int
+	// GapThreshold opens a closed breaker after this many consecutive
+	// rounds without a packet from the stream — a stalled camera must
+	// re-prove itself through a half-open probe before it is trusted
+	// again (default 50; negative disables gap detection).
+	GapThreshold int
+	// Cooldown is the number of rounds an open breaker waits before
+	// half-opening (default 25).
+	Cooldown int
+	// MaxCooldown caps the exponential reopen backoff: every failed
+	// half-open probe doubles the next cooldown up to this bound
+	// (default 8×Cooldown).
+	MaxCooldown int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.GapThreshold == 0 {
+		c.GapThreshold = 50
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 25
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 8 * c.Cooldown
+	}
+	return c
+}
+
+// BreakerSnapshot is one stream's breaker state and lifetime counters.
+type BreakerSnapshot struct {
+	State BreakerState
+	// ConsecutiveFails is the current run of decode failures.
+	ConsecutiveFails int
+	// Opens counts closed→open transitions (failures and gaps).
+	Opens int
+	// GapOpens counts the subset of Opens caused by feedback gaps.
+	GapOpens int
+	// Reopens counts half-open probes that failed (open again, with a
+	// doubled cooldown).
+	Reopens int
+	// Recoveries counts half-open probes that succeeded (closed again).
+	Recoveries int
+	// QuarantinedRounds is the total rounds spent open.
+	QuarantinedRounds int64
+}
+
+// breaker is one stream's state machine.
+type breaker struct {
+	state    BreakerState
+	fails    int   // consecutive decode failures
+	cooldown int   // current open-state cooldown length
+	openLeft int   // rounds left before open → half-open
+	gap      int   // consecutive rounds without a packet
+	snapshot BreakerSnapshot
+}
+
+// breakerSet is the gate's per-stream breaker array. It has its own lock:
+// Decide consults it under decideMu and the feedback path updates it under
+// ackMu, and those two run concurrently by design.
+type breakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	bs []breaker
+}
+
+func newBreakerSet(streams int, cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.withDefaults(), bs: make([]breaker, streams)}
+}
+
+// beginRound advances every breaker by one round and returns the quarantine
+// mask: quarantined[i] is true when stream i's packet (if any) must be
+// excluded from this round's selection. pkts carries the round's packets
+// (nil = idle stream).
+func (s *breakerSet) beginRound(pkts []*codec.Packet) []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	quarantined := make([]bool, len(s.bs))
+	for i := range s.bs {
+		b := &s.bs[i]
+		if i < len(pkts) && pkts[i] != nil {
+			b.gap = 0
+		} else {
+			b.gap++
+			if b.state == BreakerClosed && s.cfg.GapThreshold >= 0 && b.gap > s.cfg.GapThreshold {
+				s.open(b, true)
+			}
+		}
+		if b.state == BreakerOpen {
+			b.snapshot.QuarantinedRounds++
+			b.openLeft--
+			if b.openLeft <= 0 {
+				b.state = BreakerHalfOpen
+			} else {
+				quarantined[i] = true
+			}
+		}
+	}
+	return quarantined
+}
+
+// open transitions a breaker to open and starts its cooldown. gapCaused
+// marks feedback-gap opens in the counters. Callers hold s.mu.
+func (s *breakerSet) open(b *breaker, gapCaused bool) {
+	if b.cooldown == 0 {
+		b.cooldown = s.cfg.Cooldown
+	}
+	b.state = BreakerOpen
+	b.openLeft = b.cooldown
+	b.fails = 0
+	b.snapshot.Opens++
+	if gapCaused {
+		b.snapshot.GapOpens++
+	}
+}
+
+// outcome folds one decode outcome for stream i into its breaker.
+func (s *breakerSet) outcome(i int, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.bs) {
+		return
+	}
+	b := &s.bs[i]
+	if failed {
+		switch b.state {
+		case BreakerHalfOpen:
+			// Failed probe: reopen with doubled cooldown.
+			b.cooldown *= 2
+			if b.cooldown > s.cfg.MaxCooldown {
+				b.cooldown = s.cfg.MaxCooldown
+			}
+			s.open(b, false)
+			b.snapshot.Reopens++
+		case BreakerClosed:
+			b.fails++
+			if b.fails >= s.cfg.FailureThreshold {
+				s.open(b, false)
+			}
+		}
+		b.snapshot.ConsecutiveFails = b.fails
+		return
+	}
+	// Success.
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.cooldown = 0
+		b.snapshot.Recoveries++
+	case BreakerClosed:
+		b.fails = 0
+	}
+	b.snapshot.ConsecutiveFails = b.fails
+}
+
+// snapshots returns every stream's breaker snapshot.
+func (s *breakerSet) snapshots() []BreakerSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BreakerSnapshot, len(s.bs))
+	for i := range s.bs {
+		out[i] = s.bs[i].snapshot
+		out[i].State = s.bs[i].state
+		out[i].ConsecutiveFails = s.bs[i].fails
+	}
+	return out
+}

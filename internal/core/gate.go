@@ -71,6 +71,17 @@ type Config struct {
 	// to its in-flight round bound. Feedback always acks the oldest
 	// pending round, so UCB windows never observe out-of-order rewards.
 	MaxPending int
+	// Breaker, when non-nil, arms per-stream circuit breakers: streams
+	// whose decodes keep failing (or that disappear for longer than the
+	// gap threshold) are quarantined out of Decide until a half-open probe
+	// succeeds, and streams with poisoned metadata windows (NaN or
+	// zero-size runs) degrade from the contextual predictor to the
+	// temporal-only estimate. The budget a quarantined stream would have
+	// consumed flows to the healthy streams through the optimizer, which
+	// preserves the Lemma-1 1−c/B bound over the healthy subset. Nil
+	// keeps the fault-oblivious behavior (bit-identical decisions to
+	// earlier versions).
+	Breaker *BreakerConfig
 	// Trace, when non-nil, records every round's confidences, costs, and
 	// decisions as a JSON Lines audit trail (written at Feedback time,
 	// once redundancy outcomes are known).
@@ -186,6 +197,11 @@ type Gate struct {
 
 	shards *streamShards
 
+	// breakers is the per-stream circuit-breaker set (nil when disabled).
+	// It carries its own lock: Decide advances it under decideMu while
+	// FeedbackExt folds outcomes in under ackMu.
+	breakers *breakerSet
+
 	pending    []pendingRound
 	maxPending int
 
@@ -198,6 +214,7 @@ type Gate struct {
 	temporal []float64
 	bonus    []float64
 	selected []bool
+	degraded []bool // poisoned-window streams scored temporal-only this round
 
 	// Feedback scratch (ackMu).
 	reward []float64
@@ -230,12 +247,36 @@ func NewGate(cfg Config) (*Gate, error) {
 		temporal:   make([]float64, cfg.Streams),
 		bonus:      make([]float64, cfg.Streams),
 		selected:   make([]bool, cfg.Streams),
+		degraded:   make([]bool, cfg.Streams),
 		reward:     make([]float64, cfg.Streams),
 	}
 	if cfg.OnlineLR > 0 {
 		g.trainer = predictor.NewTrainer(cfg.Predictor, cfg.OnlineLR)
 	}
+	if cfg.Breaker != nil {
+		g.breakers = newBreakerSet(cfg.Streams, *cfg.Breaker)
+	}
 	return g, nil
+}
+
+// Breakers returns every stream's circuit-breaker snapshot, or nil when
+// Config.Breaker is unset.
+func (g *Gate) Breakers() []BreakerSnapshot {
+	if g.breakers == nil {
+		return nil
+	}
+	return g.breakers.snapshots()
+}
+
+// Quarantined returns the number of streams whose breaker is currently open.
+func (g *Gate) Quarantined() int {
+	n := 0
+	for _, b := range g.Breakers() {
+		if b.State == BreakerOpen {
+			n++
+		}
+	}
+	return n
 }
 
 // Config returns the gate's effective configuration.
@@ -285,12 +326,25 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 	}
 	g.pendMu.Unlock()
 
-	// 1. Fold packet metadata into the per-stream feature windows and read
-	// the sharded per-stream state (temporal estimate, exploration bonus,
-	// dependency-inclusive cost), one shard lock at a time.
+	// 1. Advance the circuit breakers (when armed) and fold packet
+	// metadata into the per-stream feature windows, reading the sharded
+	// per-stream state (temporal estimate, exploration bonus,
+	// dependency-inclusive cost) one shard lock at a time. Quarantined
+	// streams are observed but excluded: their windows stay frozen
+	// (untrusted metadata), their packets never enter the selection, and
+	// the budget they would have consumed flows to the healthy streams.
+	var quar []bool
+	if g.breakers != nil {
+		quar = g.breakers.beginRound(pkts)
+	}
 	g.active = g.active[:0]
+	nonIdle := 0
 	for i, p := range pkts {
 		if p == nil {
+			continue
+		}
+		nonIdle++
+		if quar != nil && quar[i] {
 			continue
 		}
 		g.active = append(g.active, i)
@@ -300,13 +354,14 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		g.costs[i] = 0
 		g.temporal[i] = 0
 		g.bonus[i] = 0
+		g.degraded[i] = false
 	}
 	depAware := *g.cfg.DependencyAware
 	for _, sh := range g.shards.shards {
 		sh.mu.Lock()
 		for li, i := range sh.ids {
 			p := pkts[i]
-			if p == nil {
+			if p == nil || (quar != nil && quar[i]) {
 				continue
 			}
 			sh.windows[li].Push(p)
@@ -338,6 +393,14 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		if len(g.feats) > 0 {
 			preds := g.cfg.Predictor.PredictBatch(g.feats)
 			for k, i := range g.active {
+				// Fault-aware gates degrade streams whose metadata
+				// windows are poisoned to the temporal-only estimate
+				// instead of trusting the network on garbage input.
+				if g.breakers != nil && g.shards.window(i).Poisoned() {
+					g.degraded[i] = true
+					g.conf[i] = g.temporal[i]
+					continue
+				}
 				if g.cfg.TaskIndex == AllTasks {
 					best := 0.0
 					for _, v := range preds[k] {
@@ -354,6 +417,9 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		if g.trainer != nil {
 			roundFeats = make(map[int]predictor.Features, len(g.active))
 			for k, i := range g.active {
+				if g.degraded[i] {
+					continue // poisoned features must not train the net
+				}
 				roundFeats[i] = g.feats[k].Clone()
 			}
 		}
@@ -368,10 +434,11 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		}
 	}
 
-	// 3. Combinatorial selection under the budget.
+	// 3. Combinatorial selection under the budget. Quarantined streams
+	// contribute zero-value items, which the selectors never pick.
 	for i := range g.items {
 		g.items[i] = knapsack.Item{}
-		if pkts[i] != nil {
+		if pkts[i] != nil && (quar == nil || !quar[i]) {
 			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
 		}
 	}
@@ -420,7 +487,7 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		pr.trace = rec
 	}
 	g.stats.Rounds++
-	g.stats.Packets += int64(len(g.active))
+	g.stats.Packets += int64(nonIdle)
 	g.stats.Decoded += int64(len(sel))
 	g.stats.CostSpent += spent
 	g.pending = append(g.pending, pr)
@@ -441,6 +508,17 @@ func (g *Gate) Confidence(i int) float64 {
 // against the queued round so out-of-order or mismatched feedback fails fast
 // instead of corrupting the UCB reward windows.
 func (g *Gate) Feedback(selected []int, necessary []bool) error {
+	return g.FeedbackExt(selected, necessary, nil)
+}
+
+// FeedbackExt is Feedback with per-selection decode outcomes: failed[k]
+// marks a selection whose decode never produced a frame (poison pill,
+// exhausted retries). Failed selections drive the circuit breakers, are
+// excluded from online training (their labels are unverified), and carry
+// whatever conservative necessary[k] the pipeline settled on so the UCB
+// reward windows stay well-defined over partial rounds. failed may be nil
+// (no failures), which is exactly Feedback.
+func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) error {
 	g.ackMu.Lock()
 	defer g.ackMu.Unlock()
 	g.pendMu.Lock()
@@ -452,6 +530,9 @@ func (g *Gate) Feedback(selected []int, necessary []bool) error {
 	g.pendMu.Unlock()
 	if len(selected) != len(necessary) {
 		return fmt.Errorf("core: %d selections with %d feedback values", len(selected), len(necessary))
+	}
+	if failed != nil && len(failed) != len(selected) {
+		return fmt.Errorf("core: %d selections with %d failure flags", len(selected), len(failed))
 	}
 	if len(selected) != len(pr.sel) {
 		return fmt.Errorf("core: feedback for %d selections, pending round selected %d", len(selected), len(pr.sel))
@@ -471,6 +552,14 @@ func (g *Gate) Feedback(selected []int, necessary []bool) error {
 		}
 	}
 
+	// Fold decode outcomes into the circuit breakers: a failure run opens
+	// the breaker, a success closes a half-open probe.
+	if g.breakers != nil {
+		for k, i := range selected {
+			g.breakers.outcome(i, failed != nil && failed[k])
+		}
+	}
+
 	// Push the round into every shard's estimator. Shard locks are taken
 	// one at a time, so a concurrent Decide proceeds on the other shards.
 	if err := g.shards.push(pr.selBools, g.reward); err != nil {
@@ -482,6 +571,9 @@ func (g *Gate) Feedback(selected []int, necessary []bool) error {
 	if g.trainer != nil {
 		g.decideMu.Lock()
 		for k, i := range selected {
+			if failed != nil && failed[k] {
+				continue // unverified label: never train on it
+			}
 			f, ok := pr.feats[i]
 			if !ok {
 				continue

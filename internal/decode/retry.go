@@ -1,0 +1,140 @@
+package decode
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+// PacketDecoder is the decode surface shared by Decoder, BurnDecoder,
+// LatencyDecoder, fault wrappers, and the retry layer.
+type PacketDecoder interface {
+	Decode(*codec.Packet) (Frame, error)
+}
+
+// ErrDeadline reports a decode attempt that exceeded its per-attempt
+// deadline. It is retryable: a latency spike on one attempt does not doom
+// the packet.
+var ErrDeadline = errors.New("decode: attempt deadline exceeded")
+
+// PoisonError reports a packet that failed every allowed decode attempt —
+// a poison pill. The pipeline acks such packets as failed instead of
+// wedging the collector or aborting the run.
+type PoisonError struct {
+	StreamID int
+	Seq      int64
+	Attempts int
+	Last     error // the final attempt's error
+}
+
+func (e *PoisonError) Error() string {
+	return fmt.Sprintf("decode: poison pill stream %d seq %d after %d attempts: %v",
+		e.StreamID, e.Seq, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error.
+func (e *PoisonError) Unwrap() error { return e.Last }
+
+// RetryPolicy bounds the retry/backoff/deadline behavior of a Retrier.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure
+	// (default 0: single attempt, every failure is a poison pill).
+	MaxRetries int
+	// Backoff is the sleep before the first retry, doubled per retry
+	// (default 1ms when retries are enabled).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 100ms).
+	MaxBackoff time.Duration
+	// Deadline bounds one decode attempt's wall-clock time (0 = none).
+	// A timed-out attempt counts as a failed attempt and is retried.
+	Deadline time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	return p
+}
+
+// Zero reports whether the policy adds nothing over a bare decoder.
+func (p RetryPolicy) Zero() bool {
+	return p.MaxRetries == 0 && p.Deadline == 0
+}
+
+// Retrier wraps a decoder with per-attempt deadlines and bounded
+// exponential-backoff retries. Transient failures (injected faults,
+// latency spikes caught by the deadline) are retried; a packet that fails
+// every attempt is reported as a *PoisonError so callers can quarantine it
+// rather than treat it as a pipeline-fatal condition.
+//
+// Deadline semantics: the attempt runs in a helper goroutine and is
+// abandoned (not cancelled) on timeout — the wrapped decoder must therefore
+// be safe for concurrent use, which every decoder in this package is. The
+// abandoned attempt's result is discarded.
+type Retrier struct {
+	inner PacketDecoder
+	pol   RetryPolicy
+}
+
+// NewRetrier wraps inner with the policy (defaults applied).
+func NewRetrier(inner PacketDecoder, pol RetryPolicy) *Retrier {
+	return &Retrier{inner: inner, pol: pol.withDefaults()}
+}
+
+// Policy returns the effective retry policy.
+func (r *Retrier) Policy() RetryPolicy { return r.pol }
+
+// Decode implements PacketDecoder with retries.
+func (r *Retrier) Decode(p *codec.Packet) (Frame, error) {
+	backoff := r.pol.Backoff
+	attempts := r.pol.MaxRetries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > r.pol.MaxBackoff {
+				backoff = r.pol.MaxBackoff
+			}
+		}
+		f, err := r.attempt(p)
+		if err == nil {
+			return f, nil
+		}
+		lastErr = err
+	}
+	return Frame{}, &PoisonError{StreamID: p.StreamID, Seq: p.Seq, Attempts: attempts, Last: lastErr}
+}
+
+// attempt runs one decode under the per-attempt deadline.
+func (r *Retrier) attempt(p *codec.Packet) (Frame, error) {
+	if r.pol.Deadline <= 0 {
+		return r.inner.Decode(p)
+	}
+	type result struct {
+		f   Frame
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		f, err := r.inner.Decode(p)
+		ch <- result{f, err}
+	}()
+	timer := time.NewTimer(r.pol.Deadline)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.f, res.err
+	case <-timer.C:
+		return Frame{}, fmt.Errorf("%w (stream %d seq %d, %v)", ErrDeadline, p.StreamID, p.Seq, r.pol.Deadline)
+	}
+}

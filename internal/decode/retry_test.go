@@ -1,0 +1,109 @@
+package decode
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+// flakyDecoder fails the first failN attempts per packet, then succeeds.
+type flakyDecoder struct {
+	inner *Decoder
+	failN int
+
+	mu       sync.Mutex
+	attempts map[int64]int
+	slow     time.Duration
+}
+
+func newFlaky(failN int) *flakyDecoder {
+	return &flakyDecoder{inner: NewDecoder(DefaultCosts), failN: failN, attempts: map[int64]int{}}
+}
+
+func (f *flakyDecoder) Decode(p *codec.Packet) (Frame, error) {
+	f.mu.Lock()
+	n := f.attempts[p.Seq]
+	f.attempts[p.Seq] = n + 1
+	slow := f.slow
+	f.mu.Unlock()
+	if slow > 0 {
+		time.Sleep(slow)
+	}
+	if n < f.failN {
+		return Frame{}, errors.New("transient")
+	}
+	return f.inner.Decode(p)
+}
+
+func testPacket(tb testing.TB) *codec.Packet {
+	tb.Helper()
+	return codec.NewStream(codec.SceneConfig{}, codec.EncoderConfig{GOPSize: 5}, 3).Next()
+}
+
+func TestRetrierRecoversTransientFailure(t *testing.T) {
+	fd := newFlaky(2)
+	r := NewRetrier(fd, RetryPolicy{MaxRetries: 3, Backoff: time.Microsecond})
+	f, err := r.Decode(testPacket(t))
+	if err != nil {
+		t.Fatalf("retry should recover after 2 transient failures: %v", err)
+	}
+	if f.Seq != 0 {
+		t.Fatalf("frame seq = %d", f.Seq)
+	}
+}
+
+func TestRetrierPoisonPill(t *testing.T) {
+	fd := newFlaky(1 << 30) // never succeeds
+	r := NewRetrier(fd, RetryPolicy{MaxRetries: 2, Backoff: time.Microsecond})
+	_, err := r.Decode(testPacket(t))
+	var poison *PoisonError
+	if !errors.As(err, &poison) {
+		t.Fatalf("want PoisonError, got %v", err)
+	}
+	if poison.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", poison.Attempts)
+	}
+	if poison.Last == nil || poison.Last.Error() != "transient" {
+		t.Fatalf("last error = %v", poison.Last)
+	}
+}
+
+func TestRetrierZeroPolicySingleAttempt(t *testing.T) {
+	fd := newFlaky(1)
+	r := NewRetrier(fd, RetryPolicy{})
+	if _, err := r.Decode(testPacket(t)); err == nil {
+		t.Fatal("zero policy must not retry")
+	}
+	fd2 := newFlaky(0)
+	r2 := NewRetrier(fd2, RetryPolicy{})
+	if _, err := r2.Decode(testPacket(t)); err != nil {
+		t.Fatalf("clean decode failed: %v", err)
+	}
+}
+
+func TestRetrierDeadline(t *testing.T) {
+	fd := newFlaky(0)
+	fd.slow = 50 * time.Millisecond
+	r := NewRetrier(fd, RetryPolicy{Deadline: 2 * time.Millisecond, Backoff: time.Microsecond})
+	start := time.Now()
+	_, err := r.Decode(testPacket(t))
+	var poison *PoisonError
+	if !errors.As(err, &poison) || !errors.Is(poison.Last, ErrDeadline) {
+		t.Fatalf("want deadline poison, got %v", err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("deadline attempt took %v", d)
+	}
+}
+
+func TestRetryPolicyZero(t *testing.T) {
+	if !(RetryPolicy{}).Zero() {
+		t.Fatal("empty policy must be Zero")
+	}
+	if (RetryPolicy{MaxRetries: 1}).Zero() || (RetryPolicy{Deadline: time.Second}).Zero() {
+		t.Fatal("non-empty policy must not be Zero")
+	}
+}

@@ -77,6 +77,7 @@ func Registry() []Experiment {
 		{"pipe", "Staged engine: pipelined vs sequential round throughput", Pipe},
 		{"lemma1", "Lemma 1: optimizer approximation ratio", Lemma1},
 		{"ablate", "Design-choice ablations beyond the paper's", Ablate},
+		{"chaos", "Robustness: gating under injected faults, breakers, and self-healing ingest", Chaos},
 	}
 }
 

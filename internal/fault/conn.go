@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrInjectedReset marks a connection killed by the injector.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// Conn wraps a net.Conn and injects transport faults on the read path:
+// deterministic byte flips at WireCorruptRate (caught by the PGSP frame CRC,
+// or — when a frame header is hit — by the framing sanity checks, forcing a
+// reconnect) and a one-shot connection reset after ResetAfterBytes bytes.
+//
+// Corruption is keyed by the absolute byte offset within the connection, so
+// the damaged byte positions are independent of read chunking.
+type Conn struct {
+	net.Conn
+	in      *Injector
+	connID  uint64
+	resetAt int64 // -1: no reset scheduled
+
+	mu     sync.Mutex
+	offset int64
+	reset  bool
+}
+
+// WrapConn wraps a dialed connection. Only the first connection the
+// injector wraps carries the scheduled reset, so a reconnecting client
+// observes exactly one injected outage.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	if in.prof.ResetAfterBytes == 0 && in.prof.WireCorruptRate == 0 {
+		return c
+	}
+	in.connSeq++
+	resetAt := int64(-1)
+	if in.prof.ResetAfterBytes > 0 && in.connSeq == 1 {
+		resetAt = in.prof.ResetAfterBytes
+	}
+	return &Conn{Conn: c, in: in, connID: uint64(in.connSeq), resetAt: resetAt}
+}
+
+// Read implements net.Conn with injected faults.
+func (c *Conn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrInjectedReset
+	}
+	start := c.offset
+	if c.resetAt >= 0 {
+		remain := c.resetAt - start
+		if remain <= 0 {
+			c.reset = true
+			c.mu.Unlock()
+			c.Conn.Close()
+			return 0, ErrInjectedReset
+		}
+		// Cap the read so the reset lands exactly at the scheduled offset.
+		if remain < int64(len(b)) {
+			b = b[:remain]
+		}
+	}
+	c.mu.Unlock()
+
+	n, err := c.Conn.Read(b)
+	if n > 0 && c.in.prof.WireCorruptRate > 0 {
+		for i := 0; i < n; i++ {
+			if c.in.hit(kindWire, c.connID, uint64(start)+uint64(i), c.in.prof.WireCorruptRate) {
+				b[i] ^= 0x5A
+			}
+		}
+	}
+	c.mu.Lock()
+	c.offset = start + int64(n)
+	c.mu.Unlock()
+	return n, err
+}

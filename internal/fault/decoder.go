@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+)
+
+// ErrInjectedDecode marks a decode failure injected by a fault profile.
+var ErrInjectedDecode = errors.New("fault: injected decode failure")
+
+// DecoderStats counts the faults a Decoder has injected.
+type DecoderStats struct {
+	Attempts int64
+	Failed   int64 // attempts failed by injection
+	Spiked   int64 // attempts delayed by a latency spike
+}
+
+// Decoder wraps a decoder and injects per-attempt decode failures and
+// latency spikes. Failures are independent draws per (stream, seq, attempt),
+// so a bounded retry has a real chance of succeeding — exactly the
+// transient-fault model the retry layer exists for. A packet whose payload
+// was corrupted upstream keeps failing inside the wrapped decoder itself,
+// which is the permanent (poison pill) case.
+//
+// Decoder is safe for concurrent use; the per-packet attempt counters are
+// the only shared state and are lock-protected.
+type Decoder struct {
+	inner decode.PacketDecoder
+	in    *Injector
+
+	mu       sync.Mutex
+	attempts map[attemptKey]uint64
+	stats    DecoderStats
+}
+
+type attemptKey struct {
+	stream int
+	seq    int64
+}
+
+// WrapDecoder wraps a decoder with the injector's decode faults.
+func (in *Injector) WrapDecoder(d decode.PacketDecoder) *Decoder {
+	return &Decoder{inner: d, in: in, attempts: make(map[attemptKey]uint64)}
+}
+
+// Stats returns the injection counters.
+func (d *Decoder) Stats() DecoderStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// nextAttempt returns the attempt ordinal for this packet and bumps it.
+func (d *Decoder) nextAttempt(p *codec.Packet) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := attemptKey{p.StreamID, p.Seq}
+	n := d.attempts[k]
+	d.attempts[k] = n + 1
+	d.stats.Attempts++
+	return n
+}
+
+// forget drops a packet's attempt counter once it decodes, bounding the map.
+func (d *Decoder) forget(p *codec.Packet) {
+	d.mu.Lock()
+	delete(d.attempts, attemptKey{p.StreamID, p.Seq})
+	d.mu.Unlock()
+}
+
+// Decode implements decode.PacketDecoder with injected faults.
+func (d *Decoder) Decode(p *codec.Packet) (decode.Frame, error) {
+	if !d.in.Targeted(p.StreamID) {
+		return d.inner.Decode(p)
+	}
+	attempt := d.nextAttempt(p)
+	prof := d.in.prof
+	// The attempt ordinal is folded into the seq key so each attempt is an
+	// independent deterministic draw.
+	key := uint64(p.StreamID)
+	seq := uint64(p.Seq)<<8 | (attempt & 0xFF)
+	if d.in.hit(kindDecodeSpike, key, seq, prof.DecodeSpikeRate) {
+		d.mu.Lock()
+		d.stats.Spiked++
+		d.mu.Unlock()
+		time.Sleep(prof.DecodeSpike)
+	}
+	if d.in.hit(kindDecodeFail, key, seq, prof.DecodeFailRate) {
+		d.mu.Lock()
+		d.stats.Failed++
+		d.mu.Unlock()
+		return decode.Frame{}, fmt.Errorf("%w: stream %d seq %d attempt %d",
+			ErrInjectedDecode, p.StreamID, p.Seq, attempt+1)
+	}
+	f, err := d.inner.Decode(p)
+	if err == nil {
+		d.forget(p)
+	}
+	return f, err
+}

@@ -1,0 +1,264 @@
+// Package fault is a deterministic, seed-driven fault injector for the
+// PacketGame pipeline. It wraps the three surfaces where a live camera farm
+// actually fails — the packet source (codec.Stream), the decoder
+// (decode.PacketDecoder), and the PGSP transport (net.Conn) — so any
+// experiment can run under a named fault profile and reproduce bit-identical
+// fault sequences at a fixed seed.
+//
+// Determinism: every fault decision is a pure function of
+// (profile seed, fault kind, stream ID, packet seq, attempt), hashed through
+// splitmix64. No goroutine timing, scheduling, or call ordering can change
+// which packets are corrupted, which decodes fail, or when a stream stalls;
+// two runs of the same profile over the same fleet inject exactly the same
+// faults. Only latency spikes and connection-level faults have wall-clock
+// effects, and even their trigger points are deterministic.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault kinds, used as hash domains so the per-kind decisions are
+// independent draws.
+const (
+	kindCorrupt uint64 = iota + 1
+	kindTruncate
+	kindLoss
+	kindStall
+	kindDecodeFail
+	kindDecodeSpike
+	kindTarget
+	kindWire
+)
+
+// Profile describes a reproducible fault mix. Rates are probabilities in
+// [0,1]; a zero profile injects nothing.
+type Profile struct {
+	// Name labels the profile in reports.
+	Name string
+	// Seed drives every fault decision. Two injectors with equal profiles
+	// (seed included) inject identical fault sequences.
+	Seed int64
+
+	// TargetFraction limits stream-level faults (corrupt, truncate, loss,
+	// stall, decode faults) to a deterministic subset of streams: stream i
+	// is targetable iff hash(seed, i) < TargetFraction. 0 means 1.0 (all
+	// streams). Connection faults ignore it.
+	TargetFraction float64
+
+	// CorruptRate corrupts a packet's payload (the decoder will fail on it
+	// permanently — a poison pill) and is detectable by the PGSP CRC when
+	// it happens on the wire instead.
+	CorruptRate float64
+	// TruncateRate truncates a packet's payload and zeroes its size
+	// metadata, poisoning the predictor's feature window.
+	TruncateRate float64
+	// LossRate drops a packet entirely (the camera produced it; the
+	// ingest lost it).
+	LossRate float64
+	// StallRate is the per-packet probability that the stream enters a
+	// stall of StallRounds rounds, during which it emits nothing.
+	StallRate float64
+	// StallRounds is the stall duration (default 20).
+	StallRounds int
+
+	// DecodeFailRate fails one decode attempt with ErrInjectedDecode.
+	// Independent per attempt, so bounded retries can succeed.
+	DecodeFailRate float64
+	// DecodeSpikeRate delays one decode attempt by DecodeSpike before it
+	// proceeds, modelling a decoder latency spike (per-attempt, so a
+	// deadline+retry can route around it).
+	DecodeSpikeRate float64
+	// DecodeSpike is the spike duration (default 50ms).
+	DecodeSpike time.Duration
+
+	// ResetAfterBytes force-closes the first wrapped connection after it
+	// has carried this many bytes (0 = never), simulating an ingest TCP
+	// reset. Only the first connection is reset so a reconnecting client
+	// observes exactly one outage.
+	ResetAfterBytes int64
+	// WireCorruptRate flips bytes on the wire at this per-byte rate,
+	// exercising the PGSP CRC path (and, when a frame header is hit, the
+	// client's reconnect path).
+	WireCorruptRate float64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.TargetFraction <= 0 || p.TargetFraction > 1 {
+		p.TargetFraction = 1
+	}
+	if p.StallRounds <= 0 {
+		p.StallRounds = 20
+	}
+	if p.DecodeSpike <= 0 {
+		p.DecodeSpike = 50 * time.Millisecond
+	}
+	p.CorruptRate = clamp01(p.CorruptRate)
+	p.TruncateRate = clamp01(p.TruncateRate)
+	p.LossRate = clamp01(p.LossRate)
+	p.StallRate = clamp01(p.StallRate)
+	p.DecodeFailRate = clamp01(p.DecodeFailRate)
+	p.DecodeSpikeRate = clamp01(p.DecodeSpikeRate)
+	p.WireCorruptRate = clamp01(p.WireCorruptRate)
+	return p
+}
+
+// Zero reports whether the profile injects nothing.
+func (p Profile) Zero() bool {
+	return p.CorruptRate == 0 && p.TruncateRate == 0 && p.LossRate == 0 &&
+		p.StallRate == 0 && p.DecodeFailRate == 0 && p.DecodeSpikeRate == 0 &&
+		p.ResetAfterBytes == 0 && p.WireCorruptRate == 0
+}
+
+// Profiles returns the named built-in profiles, mildest first.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "none"},
+		{Name: "light", CorruptRate: 0.02, DecodeFailRate: 0.01,
+			StallRate: 0.001, TargetFraction: 0.25},
+		{Name: "chaos", CorruptRate: 0.10, TruncateRate: 0.02, LossRate: 0.02,
+			DecodeFailRate: 0.05, StallRate: 0.002, TargetFraction: 0.25},
+		{Name: "heavy", CorruptRate: 0.25, TruncateRate: 0.05, LossRate: 0.05,
+			DecodeFailRate: 0.15, StallRate: 0.005, StallRounds: 40,
+			TargetFraction: 0.5},
+	}
+}
+
+// ParseProfile resolves a profile string: a built-in name ("none", "light",
+// "chaos", "heavy") or a comma-separated key=value list, e.g.
+// "corrupt=0.1,decodefail=0.05,stall=0.002,target=0.25". Keys: corrupt,
+// truncate, loss, stall, stallrounds, decodefail, spike, spikems, target,
+// resetbytes, wire.
+func ParseProfile(s string, seed int64) (Profile, error) {
+	s = strings.TrimSpace(s)
+	for _, p := range Profiles() {
+		if p.Name == s {
+			p.Seed = seed
+			return p, nil
+		}
+	}
+	p := Profile{Name: "custom", Seed: seed}
+	if s == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return p, fmt.Errorf("fault: bad profile term %q (want key=value)", kv)
+		}
+		key := strings.ToLower(strings.TrimSpace(parts[0]))
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return p, fmt.Errorf("fault: bad value in %q: %v", kv, err)
+		}
+		switch key {
+		case "corrupt":
+			p.CorruptRate = v
+		case "truncate":
+			p.TruncateRate = v
+		case "loss":
+			p.LossRate = v
+		case "stall":
+			p.StallRate = v
+		case "stallrounds":
+			p.StallRounds = int(v)
+		case "decodefail":
+			p.DecodeFailRate = v
+		case "spike":
+			p.DecodeSpikeRate = v
+		case "spikems":
+			p.DecodeSpike = time.Duration(v * float64(time.Millisecond))
+		case "target":
+			p.TargetFraction = v
+		case "resetbytes":
+			p.ResetAfterBytes = int64(v)
+		case "wire":
+			p.WireCorruptRate = v
+		default:
+			return p, fmt.Errorf("fault: unknown profile key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// ProfileNames lists the built-in profile names.
+func ProfileNames() []string {
+	var names []string
+	for _, p := range Profiles() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Injector owns the (small) mutable state shared by a profile's wrappers —
+// currently only the "first connection" reset bookkeeping — and hands out
+// deterministic per-surface wrappers.
+type Injector struct {
+	prof Profile
+
+	// connSeq counts wrapped connections so only the first one is reset.
+	// Guarded by the atomic-free convention that WrapConn is called from
+	// one dialing goroutine at a time; the stream.Resilient client and the
+	// test harnesses satisfy it.
+	connSeq int
+}
+
+// NewInjector builds an injector for the profile (defaults applied).
+func NewInjector(p Profile) *Injector {
+	return &Injector{prof: p.withDefaults()}
+}
+
+// Profile returns the effective profile.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Targeted reports whether stream id is in the fault-target subset.
+func (in *Injector) Targeted(id int) bool {
+	if in.prof.TargetFraction >= 1 {
+		return true
+	}
+	return in.roll(kindTarget, uint64(id), 0) < in.prof.TargetFraction
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a high-quality
+// 64-bit mix used here as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll draws a deterministic uniform in [0,1) keyed by (seed, kind, a, b).
+func (in *Injector) roll(kind, a, b uint64) float64 {
+	h := splitmix64(uint64(in.prof.Seed) ^ splitmix64(kind^splitmix64(a^splitmix64(b))))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// hit reports whether the deterministic draw for (kind, a, b) lands under
+// rate.
+func (in *Injector) hit(kind uint64, a, b uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	return in.roll(kind, a, b) < rate
+}
+
+// clamp01 keeps externally supplied rates sane.
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,271 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/decode"
+)
+
+func mkCamera(seed int64) *codec.Stream {
+	return codec.NewStream(codec.SceneConfig{BaseActivity: 0.4, PersonRate: 0.3},
+		codec.EncoderConfig{GOPSize: 10}, seed)
+}
+
+// drawSequence records the fault classification of n packets from a wrapped
+// stream (nil, corrupt-decode, ok).
+func drawSequence(in *Injector, n int) []string {
+	s := in.WrapStream(0, mkCamera(7))
+	d := in.WrapDecoder(decode.NewDecoder(decode.DefaultCosts))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		if p == nil {
+			out = append(out, "nil")
+			continue
+		}
+		if _, err := d.Decode(p); err != nil {
+			out = append(out, "fail")
+		} else {
+			out = append(out, "ok")
+		}
+	}
+	return out
+}
+
+func TestInjectionDeterministic(t *testing.T) {
+	prof := Profile{Seed: 42, CorruptRate: 0.1, TruncateRate: 0.05, LossRate: 0.05,
+		StallRate: 0.01, StallRounds: 5, DecodeFailRate: 0.1}
+	a := drawSequence(NewInjector(prof), 500)
+	b := drawSequence(NewInjector(prof), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at packet %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := drawSequence(NewInjector(Profile{Seed: 43, CorruptRate: 0.1, TruncateRate: 0.05,
+		LossRate: 0.05, StallRate: 0.01, StallRounds: 5, DecodeFailRate: 0.1}), 500)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	in := NewInjector(Profile{Seed: 1, CorruptRate: 0.2})
+	s := in.WrapStream(0, mkCamera(3))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.Next()
+	}
+	got := float64(s.Stats().Corrupted) / float64(n)
+	if math.Abs(got-0.2) > 0.04 {
+		t.Fatalf("corrupt rate %.3f, want ~0.2", got)
+	}
+}
+
+func TestTargetFractionSparesStreams(t *testing.T) {
+	in := NewInjector(Profile{Seed: 5, CorruptRate: 1, TargetFraction: 0.25})
+	targeted := 0
+	for id := 0; id < 64; id++ {
+		if in.Targeted(id) {
+			targeted++
+		} else {
+			s := in.WrapStream(id, mkCamera(int64(id)))
+			for i := 0; i < 50; i++ {
+				if p := s.Next(); p == nil {
+					t.Fatalf("untargeted stream %d lost a packet", id)
+				}
+			}
+			if st := s.Stats(); st.Corrupted+st.Truncated+st.Lost+st.Stalls != 0 {
+				t.Fatalf("untargeted stream %d was faulted: %+v", id, st)
+			}
+		}
+	}
+	if targeted == 0 || targeted == 64 {
+		t.Fatalf("targeted %d/64 streams, want a strict subset", targeted)
+	}
+}
+
+func TestCorruptPacketPoisonsDecode(t *testing.T) {
+	p := mkCamera(9).Next()
+	CorruptPacket(p)
+	d := decode.NewDecoder(decode.DefaultCosts)
+	if _, err := d.Decode(p); err == nil {
+		t.Fatal("corrupted payload decoded successfully")
+	}
+	// Retries never fix a poison pill.
+	r := decode.NewRetrier(d, decode.RetryPolicy{MaxRetries: 3, Backoff: time.Microsecond})
+	_, err := r.Decode(p)
+	var poison *decode.PoisonError
+	if !errors.As(err, &poison) {
+		t.Fatalf("want PoisonError, got %v", err)
+	}
+	if poison.Attempts != 4 {
+		t.Fatalf("poison after %d attempts, want 4", poison.Attempts)
+	}
+}
+
+func TestTruncatePacketZeroesMetadata(t *testing.T) {
+	p := mkCamera(11).Next()
+	TruncatePacket(p)
+	if p.Size != 0 {
+		t.Fatalf("truncated packet size %d, want 0", p.Size)
+	}
+	if _, err := decode.NewDecoder(decode.DefaultCosts).Decode(p); err == nil {
+		t.Fatal("truncated payload decoded successfully")
+	}
+}
+
+func TestTransientDecodeFailureRecoversUnderRetry(t *testing.T) {
+	// With a 50% per-attempt failure rate and 6 retries, nearly every
+	// packet eventually decodes; without retries many fail.
+	in := NewInjector(Profile{Seed: 2, DecodeFailRate: 0.5})
+	d := in.WrapDecoder(decode.NewDecoder(decode.DefaultCosts))
+	r := decode.NewRetrier(d, decode.RetryPolicy{MaxRetries: 6, Backoff: time.Microsecond})
+	cam := mkCamera(13)
+	fails := 0
+	for i := 0; i < 200; i++ {
+		if _, err := r.Decode(cam.Next()); err != nil {
+			fails++
+		}
+	}
+	if fails > 5 {
+		t.Fatalf("%d/200 packets failed under retry, want ≤5", fails)
+	}
+}
+
+func TestStallSwallowsRounds(t *testing.T) {
+	in := NewInjector(Profile{Seed: 3, StallRate: 0.05, StallRounds: 10})
+	s := in.WrapStream(0, mkCamera(17))
+	nils := 0
+	for i := 0; i < 500; i++ {
+		if s.Next() == nil {
+			nils++
+		}
+	}
+	st := s.Stats()
+	if st.Stalls == 0 {
+		t.Fatal("no stall episodes in 500 rounds at rate 0.05")
+	}
+	if int64(nils) != st.Stalled {
+		t.Fatalf("nil rounds %d != stalled counter %d", nils, st.Stalled)
+	}
+}
+
+func TestConnResetAndCorruption(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	in := NewInjector(Profile{Seed: 4, ResetAfterBytes: 64})
+	wrapped := in.WrapConn(a)
+	payload := bytes.Repeat([]byte{0xEE}, 256)
+	go func() {
+		b.Write(payload)
+	}()
+	var got []byte
+	buf := make([]byte, 32)
+	var readErr error
+	for {
+		n, err := wrapped.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+	if !errors.Is(readErr, ErrInjectedReset) {
+		t.Fatalf("want ErrInjectedReset, got %v", readErr)
+	}
+	if len(got) != 64 {
+		t.Fatalf("read %d bytes before reset, want exactly 64", len(got))
+	}
+
+	// Second wrapped conn carries no reset.
+	c, d := net.Pipe()
+	defer d.Close()
+	w2 := in.WrapConn(c)
+	go d.Write(payload[:16])
+	n, err := w2.Read(make([]byte, 16))
+	if err != nil || n != 16 {
+		t.Fatalf("second conn read = %d, %v; want 16, nil", n, err)
+	}
+}
+
+func TestWireCorruptionDeterministic(t *testing.T) {
+	read := func(seed int64) []byte {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		in := NewInjector(Profile{Seed: seed, WireCorruptRate: 0.05})
+		w := in.WrapConn(a)
+		go b.Write(bytes.Repeat([]byte{0x00}, 512))
+		out := make([]byte, 0, 512)
+		buf := make([]byte, 64)
+		for len(out) < 512 {
+			n, err := w.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	x, y := read(21), read(21)
+	if !bytes.Equal(x, y) {
+		t.Fatal("wire corruption not deterministic at equal seed")
+	}
+	flips := 0
+	for _, v := range x {
+		if v != 0 {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("no bytes flipped at rate 0.05 over 512 bytes")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := ParseProfile("chaos", 9)
+	if err != nil || p.Name != "chaos" || p.Seed != 9 || p.CorruptRate != 0.10 {
+		t.Fatalf("chaos profile = %+v, err %v", p, err)
+	}
+	p, err = ParseProfile("corrupt=0.3,decodefail=0.1,target=0.5,stallrounds=7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CorruptRate != 0.3 || p.DecodeFailRate != 0.1 || p.TargetFraction != 0.5 || p.StallRounds != 7 {
+		t.Fatalf("custom profile = %+v", p)
+	}
+	if _, err := ParseProfile("bogus=1", 1); err == nil {
+		t.Fatal("unknown key must error")
+	}
+	if _, err := ParseProfile("corrupt", 1); err == nil {
+		t.Fatal("missing value must error")
+	}
+}
+
+func TestDeadlineCatchesSpike(t *testing.T) {
+	in := NewInjector(Profile{Seed: 6, DecodeSpikeRate: 1, DecodeSpike: 50 * time.Millisecond})
+	d := in.WrapDecoder(decode.NewDecoder(decode.DefaultCosts))
+	r := decode.NewRetrier(d, decode.RetryPolicy{Deadline: 5 * time.Millisecond, Backoff: time.Microsecond})
+	start := time.Now()
+	_, err := r.Decode(mkCamera(23).Next())
+	var poison *decode.PoisonError
+	if !errors.As(err, &poison) || !errors.Is(poison.Last, decode.ErrDeadline) {
+		t.Fatalf("want deadline poison, got %v", err)
+	}
+	if time.Since(start) > 40*time.Millisecond {
+		t.Fatalf("deadline did not cut the spike short (%v)", time.Since(start))
+	}
+}

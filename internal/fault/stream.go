@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"packetgame/internal/codec"
+)
+
+// StreamStats counts the faults a Stream has injected.
+type StreamStats struct {
+	Packets   int64 // packets drawn from the wrapped camera
+	Corrupted int64
+	Truncated int64
+	Lost      int64
+	Stalls    int64 // stall episodes begun
+	Stalled   int64 // rounds spent stalled
+}
+
+// Stream wraps a synthetic camera and injects ingest-side faults: payload
+// corruption (a permanent decode poison pill), truncation (zeroed size
+// metadata, poisoning the predictor's feature window), packet loss, and
+// multi-round stalls. Next returns nil for lost packets and stalled rounds,
+// which the pipeline already treats as an idle stream.
+//
+// Faults are keyed by the wrapped stream's packet sequence numbers, so the
+// injected sequence is independent of wall-clock timing and of the other
+// streams in the fleet.
+type Stream struct {
+	inner *codec.Stream
+	in    *Injector
+	id    int
+	// targeted caches the per-stream fault-target draw.
+	targeted bool
+	// stall is the number of upcoming rounds to swallow.
+	stall int
+	stats StreamStats
+}
+
+// WrapStream wraps one camera. id is the stream's fleet index (used as the
+// fault key; it should match the packet StreamID the camera emits).
+func (in *Injector) WrapStream(id int, s *codec.Stream) *Stream {
+	return &Stream{inner: s, in: in, id: id, targeted: in.Targeted(id)}
+}
+
+// WrapFleet wraps every camera of a fleet, indexed by position.
+func (in *Injector) WrapFleet(fleet []*codec.Stream) []*Stream {
+	out := make([]*Stream, len(fleet))
+	for i, s := range fleet {
+		out[i] = in.WrapStream(i, s)
+	}
+	return out
+}
+
+// Inner returns the wrapped camera.
+func (s *Stream) Inner() *codec.Stream { return s.inner }
+
+// Stats returns the injection counters. Call it only between rounds or
+// after the run: Next and Stats share unsynchronized state.
+func (s *Stream) Stats() StreamStats { return s.stats }
+
+// Truth returns the ground-truth scene of the most recent packet the
+// underlying camera produced (pipeline.Camera protocol).
+func (s *Stream) Truth() (codec.Scene, bool) { return s.inner.LastScene, true }
+
+// Next produces the stream's next packet, nil when the round's packet was
+// lost or the stream is stalled.
+func (s *Stream) Next() *codec.Packet {
+	if s.stall > 0 {
+		// A stalled camera produces nothing: the underlying stream does
+		// not advance, so content resumes where it left off.
+		s.stall--
+		s.stats.Stalled++
+		return nil
+	}
+	p := s.inner.Next()
+	s.stats.Packets++
+	if !s.targeted {
+		return p
+	}
+	prof := s.in.prof
+	key := uint64(s.id)
+	seq := uint64(p.Seq)
+	if s.in.hit(kindStall, key, seq, prof.StallRate) {
+		// The packet that triggered the stall is itself swallowed.
+		s.stall = prof.StallRounds - 1
+		s.stats.Stalls++
+		s.stats.Stalled++
+		return nil
+	}
+	if s.in.hit(kindLoss, key, seq, prof.LossRate) {
+		s.stats.Lost++
+		return nil
+	}
+	if s.in.hit(kindTruncate, key, seq, prof.TruncateRate) {
+		TruncatePacket(p)
+		s.stats.Truncated++
+		return p
+	}
+	if s.in.hit(kindCorrupt, key, seq, prof.CorruptRate) {
+		CorruptPacket(p)
+		s.stats.Corrupted++
+		return p
+	}
+	return p
+}
+
+// CorruptPacket damages p's payload in place so that every decode of it
+// fails (the payload magic is destroyed), while the gating metadata stays
+// intact — the gate cannot tell the packet is poisoned.
+func CorruptPacket(p *codec.Packet) {
+	for i := range p.Payload {
+		if i >= 8 {
+			break
+		}
+		p.Payload[i] ^= 0xA5
+	}
+}
+
+// TruncatePacket models a framing-level truncation: the payload is cut and
+// the size metadata zeroed, so both the decoder (short payload) and the
+// predictor's size features (a zero-size run) observe the damage.
+func TruncatePacket(p *codec.Packet) {
+	if len(p.Payload) > 4 {
+		p.Payload = p.Payload[:4]
+	}
+	p.Size = 0
+}

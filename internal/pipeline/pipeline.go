@@ -68,6 +68,18 @@ type Config struct {
 	// Filter optionally drops decoded frames before inference (the
 	// on-server frame filter stage; nil disables).
 	Filter filter.FrameFilter
+	// Retry bounds decode retries: each selected packet is attempted up to
+	// 1+MaxRetries times with exponential backoff and an optional
+	// per-attempt deadline. A packet that exhausts its attempts is a poison
+	// pill: the round still settles (the failed slot reports conservative
+	// redundancy feedback and counts in Report.DecodeFailed) instead of
+	// aborting the run. The zero value keeps single-attempt decoding —
+	// failures are still tolerated, just never retried.
+	Retry decode.RetryPolicy
+	// WrapDecoder, when non-nil, wraps the engine's decoder before the
+	// retry layer (fault injection hooks in here, so every retry re-draws
+	// its injected faults).
+	WrapDecoder func(decode.PacketDecoder) decode.PacketDecoder
 	// MaxInFlight is the feedback lag k: the number of rounds that may be
 	// decided but not yet acked, and the pipelined engine's in-flight
 	// round bound. Decide(t) observes feedback through round t−k in both
@@ -99,6 +111,9 @@ type Report struct {
 	Decoded  int64
 	Filtered int64 // decoded frames dropped by the frame filter
 	Inferred int64
+	// DecodeFailed counts selected packets whose decode failed even after
+	// the retry policy was exhausted (poison pills, injected faults).
+	DecodeFailed int64
 	// NecessaryDecoded counts decoded frames whose inference was necessary.
 	NecessaryDecoded int64
 	// Accuracy is the mean emitted-result accuracy over rounds with ground
@@ -117,6 +132,9 @@ type Engine struct {
 	cfg      Config
 	fleet    *infer.Fleet
 	sawTruth bool
+
+	stop      chan struct{}
+	closeOnce sync.Once
 }
 
 // New creates an engine.
@@ -142,21 +160,63 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FreshFeedback && !cfg.Pipelined {
 		return nil, errors.New("pipeline: FreshFeedback requires Pipelined")
 	}
-	return &Engine{cfg: cfg}, nil
+	return &Engine{cfg: cfg, stop: make(chan struct{})}, nil
 }
 
-// newDecoder builds the configured decode model.
-func (e *Engine) newDecoder() interface {
-	Decode(*codec.Packet) (decode.Frame, error)
-} {
+// Close asks a running engine to stop at the next round boundary. Run then
+// drains its in-flight rounds — outstanding decodes complete, the collector
+// settles and acks them, and the decode pool joins — before returning its
+// partial report. Close is idempotent, safe from any goroutine, and a no-op
+// after Run has returned.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.stop) })
+}
+
+// closed reports whether Close has been called.
+func (e *Engine) closed() bool {
+	select {
+	case <-e.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Fleet exposes the per-stream inference monitors (nil before the first
+// round). Read it only after Run returns.
+func (e *Engine) Fleet() *infer.Fleet { return e.fleet }
+
+// newDecoder builds the configured decode model, wrapped by the fault hook
+// and the retry layer (innermost to outermost: model → WrapDecoder → retry).
+func (e *Engine) newDecoder() decode.PacketDecoder {
+	var d decode.PacketDecoder
 	switch {
 	case e.cfg.BurnNanosPerUnit > 0:
-		return decode.NewBurnDecoder(e.cfg.Costs, e.cfg.BurnNanosPerUnit)
+		d = decode.NewBurnDecoder(e.cfg.Costs, e.cfg.BurnNanosPerUnit)
 	case e.cfg.LatencyNanosPerUnit > 0:
-		return decode.NewLatencyDecoder(e.cfg.Costs, e.cfg.LatencyNanosPerUnit)
+		d = decode.NewLatencyDecoder(e.cfg.Costs, e.cfg.LatencyNanosPerUnit)
 	default:
-		return decode.NewDecoder(e.cfg.Costs)
+		d = decode.NewDecoder(e.cfg.Costs)
 	}
+	if e.cfg.WrapDecoder != nil {
+		d = e.cfg.WrapDecoder(d)
+	}
+	if !e.cfg.Retry.Zero() {
+		d = decode.NewRetrier(d, e.cfg.Retry)
+	}
+	return d
+}
+
+// feedbackExt routes a settled round's ack to the gate, carrying the decode
+// failure mask when the gate understands it (a fault-aware *core.Gate);
+// baselines fall back to the plain Feedback protocol.
+func feedbackExt(g core.Decider, sel []int, necessary, failed []bool) error {
+	if ext, ok := g.(interface {
+		FeedbackExt([]int, []bool, []bool) error
+	}); ok {
+		return ext.FeedbackExt(sel, necessary, failed)
+	}
+	return g.Feedback(sel, necessary)
 }
 
 // raiseGatePending lifts the gate's pending-round bound to the engine's
@@ -198,6 +258,7 @@ func (e *Engine) Run(maxRounds int) (Report, error) {
 type pendingAck struct {
 	sel       []int
 	necessary []bool
+	failed    []bool
 }
 
 // runSequential executes rounds one at a time in the calling goroutine,
@@ -211,6 +272,9 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 	var acks []pendingAck
 
 	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
+		if e.closed() {
+			break
+		}
 		pkts, err := e.cfg.Source.NextRound()
 		if err == io.EOF {
 			break
@@ -226,7 +290,7 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		for len(acks) >= k {
 			a := acks[0]
 			acks = acks[1:]
-			if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+			if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
 				return rep, fmt.Errorf("pipeline: feedback: %w", err)
 			}
 		}
@@ -260,9 +324,13 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		}
 		wg.Wait()
 		metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(t1).Nanoseconds())
-		for _, err := range errs {
+		var failed []bool
+		for k, err := range errs {
 			if err != nil {
-				return rep, fmt.Errorf("pipeline: decode: %w", err)
+				if failed == nil {
+					failed = make([]bool, len(sel))
+				}
+				failed[k] = true
 			}
 		}
 
@@ -270,14 +338,14 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		// decode; the fleet monitors are not concurrency-safe).
 		metrics.StageEnter(e.cfg.Stages.InferStage())
 		t2 := time.Now()
-		necessary := e.settleRound(&rep, pkts, sel, frames, e.cfg.Source.Truth)
+		necessary := e.settleRound(&rep, pkts, sel, frames, failed, e.cfg.Source.Truth)
 		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t2).Nanoseconds())
-		acks = append(acks, pendingAck{sel: sel, necessary: necessary})
+		acks = append(acks, pendingAck{sel: sel, necessary: necessary, failed: failed})
 	}
 	for len(acks) > 0 {
 		a := acks[0]
 		acks = acks[1:]
-		if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
 			return rep, fmt.Errorf("pipeline: feedback: %w", err)
 		}
 	}
@@ -286,13 +354,28 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 
 // settleRound applies the frame filter, inference, and report accounting
 // for one decoded round. frames[k] holds the decoded frame for stream
-// sel[k]; truth reads the (possibly captured) ground truth for a stream.
-// It returns the per-selection redundancy feedback.
-func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, truth func(int) (codec.Scene, bool)) []bool {
+// sel[k]; failed[k] (nil = none) marks selections whose decode never
+// produced a frame; truth reads the (possibly captured) ground truth for a
+// stream. It returns the per-selection redundancy feedback.
+//
+// Failed selections settle conservatively: the budget was spent but no
+// content was seen, so the slot reports necessary feedback (the gate must
+// not learn "redundant" from a packet nobody decoded) and the stream's
+// monitor observes a skip, exactly as if the gate had not selected it.
+func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, failed []bool, truth func(int) (codec.Scene, bool)) []bool {
 	necessary := make([]bool, len(sel))
 	isSel := make(map[int]bool, len(sel))
 	for k, i := range sel {
 		isSel[i] = true
+		if failed != nil && failed[k] {
+			necessary[k] = true
+			rep.DecodeFailed++
+			if t, ok := truth(i); ok {
+				e.sawTruth = true
+				e.fleet.Stream(i).ObserveSkipped(t)
+			}
+			continue
+		}
 		scene := frames[k].Scene
 		t, ok := truth(i)
 		if ok {

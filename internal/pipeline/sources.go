@@ -6,7 +6,6 @@ import (
 
 	"packetgame/internal/codec"
 	"packetgame/internal/container"
-	"packetgame/internal/stream"
 )
 
 // LocalSource feeds rounds from an in-process camera fleet and retains
@@ -45,14 +44,76 @@ func (s *LocalSource) NextRound() ([]*codec.Packet, error) {
 // Truth implements RoundSource.
 func (s *LocalSource) Truth(i int) (codec.Scene, bool) { return s.truth[i], true }
 
+// Camera is a one-packet-per-round feed. *codec.Stream satisfies it, as do
+// fault-injecting wrappers.
+type Camera interface {
+	Next() *codec.Packet
+}
+
+// CameraTruth is optionally implemented by cameras that can report the
+// ground-truth scene of their most recent packet.
+type CameraTruth interface {
+	Truth() (codec.Scene, bool)
+}
+
+// CameraSource feeds rounds from arbitrary Camera implementations — the
+// injection point for fault-wrapped fleets. Cameras that also implement
+// CameraTruth contribute ground truth for accuracy accounting; a camera may
+// return nil from Next (an idle or stalled round).
+type CameraSource struct {
+	cams   []Camera
+	rounds int
+	done   int
+	pkts   []*codec.Packet
+	truth  []truthVal
+}
+
+// NewCameraSource wraps a camera fleet; rounds caps the run (0 = unlimited).
+func NewCameraSource(cams []Camera, rounds int) *CameraSource {
+	return &CameraSource{
+		cams:   cams,
+		rounds: rounds,
+		pkts:   make([]*codec.Packet, len(cams)),
+		truth:  make([]truthVal, len(cams)),
+	}
+}
+
+// NextRound implements RoundSource.
+func (s *CameraSource) NextRound() ([]*codec.Packet, error) {
+	if s.rounds > 0 && s.done >= s.rounds {
+		return nil, io.EOF
+	}
+	for i, cam := range s.cams {
+		s.pkts[i] = cam.Next()
+		s.truth[i] = truthVal{}
+		if ct, ok := cam.(CameraTruth); ok {
+			sc, tok := ct.Truth()
+			s.truth[i] = truthVal{scene: sc, ok: tok}
+		}
+	}
+	s.done++
+	return s.pkts, nil
+}
+
+// Truth implements RoundSource.
+func (s *CameraSource) Truth(i int) (codec.Scene, bool) {
+	return s.truth[i].scene, s.truth[i].ok
+}
+
+// RoundClient yields PGSP rounds: *stream.Client satisfies it, as does the
+// reconnecting *stream.Resilient.
+type RoundClient interface {
+	NextRound() ([]*codec.Packet, error)
+}
+
 // NetSource adapts a PGSP client into a RoundSource. Ground truth is not
 // available over the network.
 type NetSource struct {
-	client *stream.Client
+	client RoundClient
 }
 
 // NewNetSource wraps a connected PGSP client.
-func NewNetSource(c *stream.Client) *NetSource { return &NetSource{client: c} }
+func NewNetSource(c RoundClient) *NetSource { return &NetSource{client: c} }
 
 // NextRound implements RoundSource.
 func (s *NetSource) NextRound() ([]*codec.Packet, error) { return s.client.NextRound() }

@@ -55,11 +55,13 @@ type roundWork struct {
 }
 
 // roundAck is one settled round's redundancy feedback, traveling from the
-// collector back to the gate loop.
+// collector back to the gate loop. failed marks selections whose decode
+// errored out (nil = clean round); such rounds still settle — partial
+// failures degrade feedback, they don't abort the run.
 type roundAck struct {
 	sel       []int
 	necessary []bool
-	err       error
+	failed    []bool
 }
 
 // runPipelined executes rounds through the staged engine with up to
@@ -96,15 +98,16 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 		for inflight > min && runErr == nil {
 			a := <-acks
 			inflight--
-			if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil {
+			if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
 				runErr = fmt.Errorf("pipeline: feedback: %w", err)
-			} else if a.err != nil {
-				runErr = fmt.Errorf("pipeline: decode: %w", a.err)
 			}
 		}
 	}
 
 	for next := int64(0); maxRounds == 0 || next < int64(maxRounds); next++ {
+		if e.closed() {
+			break
+		}
 		pkts, err := e.cfg.Source.NextRound()
 		if err == io.EOF {
 			break
@@ -245,9 +248,10 @@ func (c *collector) run() {
 	}
 }
 
-// settle runs filter/infer/accounting for one fully decoded round and acks
-// it. Rounds with decode errors are not settled but are still acked, so the
-// gate loop's drain always terminates.
+// settle runs filter/infer/accounting for one fully collected round and acks
+// it. Slots whose decode errored settle with conservative feedback and a
+// failure flag — partial-failure rounds complete normally, so the gate
+// loop's drain always terminates and poison pills never wedge the pipeline.
 func (c *collector) settle(st *pendingCollect) {
 	e := c.engine
 	rw := st.work
@@ -256,32 +260,27 @@ func (c *collector) settle(st *pendingCollect) {
 		e.fleet = infer.NewFleet(e.cfg.Task, len(rw.pkts))
 	}
 	frames := make([]decode.Frame, len(rw.sel))
-	necessary := make([]bool, len(rw.sel))
-	var decodeErr error
+	var failed []bool
 	for _, comp := range st.comps {
 		if comp.Err != nil {
-			if decodeErr == nil {
-				decodeErr = comp.Err
+			if failed == nil {
+				failed = make([]bool, len(rw.sel))
 			}
+			failed[comp.Slot] = true
 			continue
 		}
 		frames[comp.Slot] = comp.Frame
 	}
-	if decodeErr == nil {
-		metrics.StageEnter(e.cfg.Stages.InferStage())
-		t0 := time.Now()
-		necessary = e.settleRound(&c.rep, rw.pkts, rw.sel, frames, func(i int) (codec.Scene, bool) {
-			return rw.truth[i].scene, rw.truth[i].ok
-		})
-		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t0).Nanoseconds())
-	}
-	a := roundAck{sel: rw.sel, necessary: necessary, err: decodeErr}
+	metrics.StageEnter(e.cfg.Stages.InferStage())
+	t0 := time.Now()
+	necessary := e.settleRound(&c.rep, rw.pkts, rw.sel, frames, failed, func(i int) (codec.Scene, bool) {
+		return rw.truth[i].scene, rw.truth[i].ok
+	})
+	metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t0).Nanoseconds())
+	a := roundAck{sel: rw.sel, necessary: necessary, failed: failed}
 	if c.fresh {
-		if err := e.cfg.Gate.Feedback(a.sel, a.necessary); err != nil && c.err == nil {
+		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil && c.err == nil {
 			c.err = fmt.Errorf("pipeline: feedback: %w", err)
-		}
-		if a.err != nil && c.err == nil {
-			c.err = fmt.Errorf("pipeline: decode: %w", a.err)
 		}
 		c.tokens <- struct{}{}
 	} else {

@@ -52,6 +52,7 @@ type Window struct {
 	iSizes []float64
 	pSizes []float64
 	last   codec.PictureType
+	pushes int64
 }
 
 // NewWindow creates a feature window of length w.
@@ -78,6 +79,30 @@ func (fw *Window) Push(p *codec.Packet) {
 		shiftIn(fw.pSizes, v)
 	}
 	fw.last = p.Type
+	fw.pushes++
+}
+
+// Pushes returns the number of packets folded into the window so far.
+func (fw *Window) Pushes() int64 { return fw.pushes }
+
+// Poisoned reports whether the window's contents cannot be trusted as
+// predictor input: any non-finite value, or — once the window has seen at
+// least w packets — a full window of zero sizes, the signature of
+// truncated/zeroed metadata. A fault-aware gate degrades such streams to
+// the temporal-only estimate instead of feeding garbage to the network.
+func (fw *Window) Poisoned() bool {
+	zeros := true
+	for _, s := range [2][]float64{fw.iSizes, fw.pSizes} {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			if v != 0 {
+				zeros = false
+			}
+		}
+	}
+	return zeros && fw.pushes >= int64(fw.w)
 }
 
 func shiftIn(s []float64, v float64) {

@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// PGSP v2 frame layout (all big-endian):
+//
+//	round   uint64   // round index the packet belongs to
+//	stream  uint32   // stream slot, or goodbyeStream for the end marker
+//	length  uint32   // body length in bytes
+//	crc     uint32   // CRC32 (IEEE) of the body
+//	body    [length]byte
+//
+// The CRC lets the demuxer detect payload corruption on the wire and drop
+// the frame instead of handing garbage to the parser. The goodbye frame
+// (stream = goodbyeStream, empty body) marks a clean end of session, so a
+// client can distinguish "server finished" from "connection reset mid-run"
+// — the signal the reconnecting client keys on.
+
+const frameHeaderLen = 20
+
+// goodbyeStream is the reserved stream slot of the end-of-session marker.
+const goodbyeStream = ^uint32(0)
+
+// maxFrameBody bounds a frame body; larger lengths mean a corrupt or hostile
+// header (framing is unrecoverable at that point, so it is an error, not a
+// skip).
+const maxFrameBody = 64 << 20
+
+// ErrFrameCRC marks a frame whose body failed its checksum. The reader's
+// framing is intact (the length field was consistent), so the caller may
+// skip the frame and keep reading.
+var ErrFrameCRC = errors.New("stream: frame CRC mismatch")
+
+// errGoodbye is returned by readFrame for the end-of-session marker.
+var errGoodbye = errors.New("stream: goodbye")
+
+// appendFrame appends one v2 frame to dst.
+func appendFrame(dst []byte, round uint64, stream uint32, body []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:], round)
+	binary.BigEndian.PutUint32(hdr[8:], stream)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[16:], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// appendGoodbye appends the end-of-session marker.
+func appendGoodbye(dst []byte, round uint64) []byte {
+	return appendFrame(dst, round, goodbyeStream, nil)
+}
+
+// readFrame reads one v2 frame. On ErrFrameCRC the body was consumed and the
+// reader remains frame-aligned; on errGoodbye the session ended cleanly; any
+// other error leaves the reader unusable.
+func readFrame(br *bufio.Reader) (round uint64, stream uint32, body []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	round = binary.BigEndian.Uint64(hdr[0:])
+	stream = binary.BigEndian.Uint32(hdr[8:])
+	n := binary.BigEndian.Uint32(hdr[12:])
+	crc := binary.BigEndian.Uint32(hdr[16:])
+	if n > maxFrameBody {
+		return 0, 0, nil, fmt.Errorf("stream: frame of %d bytes exceeds limit", n)
+	}
+	body = make([]byte, n)
+	if _, err = io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // a header promised a body: truncated frame
+		}
+		return 0, 0, nil, err
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return round, stream, nil, ErrFrameCRC
+	}
+	if stream == goodbyeStream {
+		return round, stream, nil, errGoodbye
+	}
+	return round, stream, body, nil
+}

@@ -1,0 +1,261 @@
+package stream
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"packetgame/internal/container"
+)
+
+func TestGoodbyeMarksCleanEOF(t *testing.T) {
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(2, 7), Rounds: 3})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rounds := 0
+	for {
+		if _, err := c.NextRound(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d", rounds)
+	}
+	if !c.SawGoodbye() {
+		t.Fatal("clean session end must carry the goodbye marker")
+	}
+}
+
+// rawSession accepts one connection and hands the test full control of the
+// byte stream after the handshake.
+func rawSession(t *testing.T, streams int, fn func(*bufio.Writer)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		bw := bufio.NewWriter(conn)
+		if err := writeHandshake(bw, mkFactory(streams, 1)()); err != nil {
+			return
+		}
+		fn(bw)
+		bw.Flush()
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientSkipsCorruptFrames(t *testing.T) {
+	fleet := mkFactory(2, 9)()
+	mkBody := func(i int) []byte {
+		return container.MarshalPacket(nil, fleet[i].Next())
+	}
+	addr := rawSession(t, 2, func(bw *bufio.Writer) {
+		// Round 0: stream 0 intact, stream 1's body corrupted on the wire.
+		bw.Write(appendFrame(nil, 0, 0, mkBody(0)))
+		bad := appendFrame(nil, 0, 1, mkBody(1))
+		bad[len(bad)-1] ^= 0xFF
+		bw.Write(bad)
+		// Round 1: both intact. Then a clean goodbye.
+		bw.Write(appendFrame(nil, 1, 0, mkBody(0)))
+		bw.Write(appendFrame(nil, 1, 1, mkBody(1)))
+		bw.Write(appendGoodbye(nil, 2))
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r0, err := c.NextRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0[0] == nil || r0[1] != nil {
+		t.Fatalf("round 0 = [%v %v], want stream 1's corrupt frame dropped", r0[0], r0[1])
+	}
+	r1, err := c.NextRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1[0] == nil || r1[1] == nil {
+		t.Fatal("round 1 must be complete")
+	}
+	if _, err := c.NextRound(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if !c.SawGoodbye() || c.CorruptDropped() != 1 {
+		t.Fatalf("goodbye=%v dropped=%d", c.SawGoodbye(), c.CorruptDropped())
+	}
+}
+
+func TestResetWithoutGoodbyeIsUnclean(t *testing.T) {
+	fleet := mkFactory(1, 13)()
+	addr := rawSession(t, 1, func(bw *bufio.Writer) {
+		body := container.MarshalPacket(nil, fleet[0].Next())
+		bw.Write(appendFrame(nil, 0, 0, body))
+		// Cut mid-frame: a header promising more bytes than ever arrive.
+		frame := appendFrame(nil, 1, 0, body)
+		bw.Write(frame[:len(frame)-3])
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NextRound(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NextRound(); err != io.EOF {
+		t.Fatalf("want EOF after cut, got %v", err)
+	}
+	if c.SawGoodbye() {
+		t.Fatal("a mid-frame cut must not read as a clean end")
+	}
+}
+
+// cutConn closes the session after a byte budget, simulating a reset.
+type cutConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *cutConn) Read(b []byte) (int, error) {
+	c.mu.Lock()
+	rem := c.remaining
+	c.mu.Unlock()
+	if rem <= 0 {
+		c.Conn.Close()
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(b) > rem {
+		b = b[:rem]
+	}
+	n, err := c.Conn.Read(b)
+	c.mu.Lock()
+	c.remaining -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+func TestResilientSurvivesReset(t *testing.T) {
+	srv := startServer(t, ServerConfig{NewStreams: mkFactory(2, 17), Rounds: 4})
+	dials := 0
+	r, err := NewResilient(ResilientConfig{
+		Addr:        srv.Addr().String(),
+		BaseBackoff: time.Millisecond,
+		Seed:        42,
+		WrapConn: func(conn net.Conn) net.Conn {
+			dials++
+			if dials == 1 {
+				// First session dies partway through: enough for the
+				// 19-byte handshake and round 0 (two 49-byte frames),
+				// then a reset mid-round-1.
+				return &cutConn{Conn: conn, remaining: 150}
+			}
+			return conn
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rounds := 0
+	for {
+		pkts, err := r.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) != 2 {
+			t.Fatalf("round width %d", len(pkts))
+		}
+		rounds++
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2 (initial + one reconnect)", dials)
+	}
+	if r.Reconnects() != 1 {
+		t.Fatalf("reconnects = %d, want 1", r.Reconnects())
+	}
+	// The healed session replays a fresh fleet from its own round 0, so the
+	// client sees at least the second session's full run.
+	if rounds < 4 {
+		t.Fatalf("rounds = %d, want ≥ 4", rounds)
+	}
+}
+
+func TestResilientGivesUpEventually(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+	_, err = NewResilient(ResilientConfig{Addr: addr, MaxAttempts: 2, BaseBackoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("connecting to a dead address must eventually fail")
+	}
+}
+
+func TestServerShutdownGraceful(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, ServerConfig{NewStreams: mkFactory(2, 21)}) // unlimited rounds
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.NextRound(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(5 * time.Second) }()
+	// The client must observe a clean goodbye-terminated end, never a
+	// mid-frame cut.
+	for {
+		if _, err := c.NextRound(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("shutdown cut the session uncleanly: %v", err)
+		}
+	}
+	if !c.SawGoodbye() {
+		t.Fatal("shutdown must send the goodbye marker")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	// New connections are refused after shutdown.
+	if _, err := Dial(srv.Addr().String()); err == nil {
+		t.Fatal("dial after shutdown must fail")
+	}
+}

@@ -22,7 +22,9 @@ import (
 // protocol constants.
 var handshakeMagic = [4]byte{'P', 'G', 'S', 'P'}
 
-const protocolVersion = 1
+// protocolVersion 2 added per-frame CRC32 and the goodbye end-of-session
+// marker (see frame.go).
+const protocolVersion = 2
 
 // StreamInfo describes one muxed stream in the handshake.
 type StreamInfo struct {
@@ -43,19 +45,26 @@ type ServerConfig struct {
 	Realtime bool
 	// FPS is the pacing rate (default 25).
 	FPS int
+	// WriteTimeout bounds each round's write to a client (default 10s,
+	// negative disables): a stalled client is disconnected instead of
+	// wedging its serving goroutine forever.
+	WriteTimeout time.Duration
 }
 
 // Server serves synthetic camera fleets over TCP.
 type Server struct {
-	cfg ServerConfig
-	ln  net.Listener
-	wg  sync.WaitGroup
+	cfg  ServerConfig
+	ln   net.Listener
+	wg   sync.WaitGroup
+	stop chan struct{}
 
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
 }
 
-// Serve starts serving on ln. It returns immediately; Close stops it.
+// Serve starts serving on ln. It returns immediately; Close or Shutdown
+// stops it.
 func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	if cfg.NewStreams == nil {
 		return nil, errors.New("stream: ServerConfig.NewStreams is required")
@@ -63,7 +72,10 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 	if cfg.FPS == 0 {
 		cfg.FPS = 25
 	}
-	s := &Server{cfg: cfg, ln: ln}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	s := &Server{cfg: cfg, ln: ln, stop: make(chan struct{}), conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -72,13 +84,43 @@ func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the listener and waits for in-flight connections.
-func (s *Server) Close() error {
+// Close stops the server gracefully with a 5-second force-close deadline.
+func (s *Server) Close() error { return s.Shutdown(5 * time.Second) }
+
+// Shutdown stops the server gracefully: the listener closes immediately (no
+// new sessions), every active connection finishes the round it is writing,
+// sends the goodbye marker, and closes — never cutting a client mid-frame.
+// Connections still open after the deadline (a stalled peer) are
+// force-closed; deadline 0 waits indefinitely. Safe to call more than once.
+func (s *Server) Shutdown(deadline time.Duration) error {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		close(s.stop)
+	}
 	s.mu.Unlock()
 	err := s.ln.Close()
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var expired <-chan time.Time
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-done:
+	case <-expired:
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
@@ -89,38 +131,58 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			_ = s.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn streams rounds to one client until done or write error.
+// serveConn streams rounds to one client until done, shutdown, or write
+// error. Shutdown is only observed at round boundaries, so a client never
+// sees a partial round before the goodbye marker.
 func (s *Server) serveConn(conn net.Conn) error {
 	streams := s.cfg.NewStreams()
 	bw := bufio.NewWriterSize(conn, 64<<10)
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
 	if err := writeHandshake(bw, streams); err != nil {
 		return err
 	}
 	interval := time.Second / time.Duration(s.cfg.FPS)
-	var buf []byte
+	var body, frame []byte
 	next := time.Now()
-	for round := int64(0); s.cfg.Rounds == 0 || round < int64(s.cfg.Rounds); round++ {
+	round := int64(0)
+	for ; s.cfg.Rounds == 0 || round < int64(s.cfg.Rounds); round++ {
+		select {
+		case <-s.stop:
+			return s.sayGoodbye(conn, bw, uint64(round))
+		default:
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		for i, st := range streams {
 			p := st.Next()
-			buf = buf[:0]
-			buf = container.MarshalPacket(buf, p)
-			var hdr [16]byte
-			binary.BigEndian.PutUint64(hdr[0:], uint64(round))
-			binary.BigEndian.PutUint32(hdr[8:], uint32(i))
-			binary.BigEndian.PutUint32(hdr[12:], uint32(len(buf)))
-			if _, err := bw.Write(hdr[:]); err != nil {
-				return err
-			}
-			if _, err := bw.Write(buf); err != nil {
+			body = container.MarshalPacket(body[:0], p)
+			frame = appendFrame(frame[:0], uint64(round), uint32(i), body)
+			if _, err := bw.Write(frame); err != nil {
 				return err
 			}
 		}
@@ -133,6 +195,18 @@ func (s *Server) serveConn(conn net.Conn) error {
 				time.Sleep(d)
 			}
 		}
+	}
+	return s.sayGoodbye(conn, bw, uint64(round))
+}
+
+// sayGoodbye writes the end-of-session marker so the client knows the
+// session ended cleanly rather than by a reset.
+func (s *Server) sayGoodbye(conn net.Conn, bw *bufio.Writer, round uint64) error {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if _, err := bw.Write(appendGoodbye(nil, round)); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -174,6 +248,9 @@ type Client struct {
 	havePending  bool
 	round        int64
 	eof          bool
+
+	goodbye    bool
+	crcDropped int64
 }
 
 // Dial connects to a PGSP server and performs the handshake.
@@ -182,6 +259,13 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn)
+}
+
+// NewClient performs the PGSP handshake over an established connection —
+// the injection point for wrapped (fault-injecting, instrumented) conns.
+// It takes ownership of conn and closes it on handshake failure.
+func NewClient(conn net.Conn) (*Client, error) {
 	c := &Client{conn: conn, br: bufio.NewReaderSize(conn, 64<<10)}
 	if err := c.handshake(); err != nil {
 		conn.Close()
@@ -230,38 +314,49 @@ func (c *Client) Streams() []StreamInfo { return c.infos }
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// next reads one message from the wire.
+// SawGoodbye reports whether the session ended with the server's clean
+// end-of-session marker. After an io.EOF without it, the connection was
+// reset or cut mid-frame — the signal a reconnecting client keys on.
+func (c *Client) SawGoodbye() bool { return c.goodbye }
+
+// CorruptDropped returns the number of frames the demuxer dropped for CRC
+// mismatch.
+func (c *Client) CorruptDropped() int64 { return c.crcDropped }
+
+// next reads one message from the wire. Frames failing their CRC are
+// dropped (counted in CorruptDropped) and reading continues: the length
+// field kept the reader frame-aligned, so one corrupt body must not kill
+// the session.
 func (c *Client) next() (*codec.Packet, int64, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+	for {
+		round, id, body, err := readFrame(c.br)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrFrameCRC):
+			c.crcDropped++
+			continue
+		case errors.Is(err, errGoodbye):
+			c.goodbye = true
 			return nil, 0, io.EOF
+		case err == io.EOF, errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed):
+			return nil, 0, io.EOF
+		default:
+			return nil, 0, err
 		}
-		return nil, 0, err
+		p, used, err := container.UnmarshalPacket(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		if used != len(body) {
+			return nil, 0, fmt.Errorf("stream: message has trailing bytes")
+		}
+		if int(id) >= len(c.infos) {
+			return nil, 0, fmt.Errorf("stream: message for unknown stream %d", id)
+		}
+		p.StreamID = int(id)
+		p.Codec = c.infos[id].Codec
+		return p, int64(round), nil
 	}
-	round := int64(binary.BigEndian.Uint64(hdr[0:]))
-	id := int(binary.BigEndian.Uint32(hdr[8:]))
-	n := binary.BigEndian.Uint32(hdr[12:])
-	if n > 64<<20 {
-		return nil, 0, fmt.Errorf("stream: message of %d bytes exceeds limit", n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.br, body); err != nil {
-		return nil, 0, err
-	}
-	p, used, err := container.UnmarshalPacket(body)
-	if err != nil {
-		return nil, 0, err
-	}
-	if used != int(n) {
-		return nil, 0, fmt.Errorf("stream: message has trailing bytes")
-	}
-	if id < 0 || id >= len(c.infos) {
-		return nil, 0, fmt.Errorf("stream: message for unknown stream %d", id)
-	}
-	p.StreamID = id
-	p.Codec = c.infos[id].Codec
-	return p, round, nil
 }
 
 // Next returns the next packet in arrival order along with its round index.
