@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify vet fuzz bench chaos
+.PHONY: build test race verify vet fuzz bench chaos alloc-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-verify: build vet test race
+# Cheap allocation regression gates for the gating hot loop: a steady-state
+# Decide+Feedback round and the batched compiled forward must stay at ~zero
+# allocs/op (testing.AllocsPerRun, no benchmark run needed).
+alloc-smoke:
+	$(GO) test ./internal/core -run TestDecideRoundAllocCeiling -count 1
+	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
+	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
+
+verify: build vet test race alloc-smoke
 
 # Short fuzzing sessions for the bitstream parser and the PGV demuxer.
 # Seed corpora always run as part of `make test`; this digs deeper.
@@ -40,6 +48,12 @@ fuzz:
 chaos:
 	$(GO) run -race ./cmd/pgbench -exp chaos
 
+# Hot-loop microbenches (with allocation counts), then the hotpath sweep,
+# which rewrites BENCH_hotpath.json with this host's fast-vs-reference
+# Decide-round throughput at m = 64/256/1024.
 bench:
+	$(GO) test ./internal/nn -run NONE -bench 'Forward' -benchtime 2s -benchmem
+	$(GO) test ./internal/core -run NONE -bench 'DecideRound' -benchtime 2s -benchmem
 	$(GO) test ./internal/pipeline -run NONE -bench BenchmarkEngineRounds -benchtime 2s
 	$(GO) test . -run NONE -bench . -benchtime 1s
+	$(GO) run ./cmd/pgbench -exp hotpath

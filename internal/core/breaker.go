@@ -105,8 +105,9 @@ type breaker struct {
 type breakerSet struct {
 	cfg BreakerConfig
 
-	mu sync.Mutex
-	bs []breaker
+	mu   sync.Mutex
+	bs   []breaker
+	quar []bool // beginRound scratch; consumed under decideMu before the next round
 }
 
 func newBreakerSet(streams int, cfg BreakerConfig) *breakerSet {
@@ -116,11 +117,18 @@ func newBreakerSet(streams int, cfg BreakerConfig) *breakerSet {
 // beginRound advances every breaker by one round and returns the quarantine
 // mask: quarantined[i] is true when stream i's packet (if any) must be
 // excluded from this round's selection. pkts carries the round's packets
-// (nil = idle stream).
+// (nil = idle stream). The mask is scratch owned by the set, valid until the
+// next beginRound — callers (Decide, serialized) must not retain it.
 func (s *breakerSet) beginRound(pkts []*codec.Packet) []bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	quarantined := make([]bool, len(s.bs))
+	if cap(s.quar) < len(s.bs) {
+		s.quar = make([]bool, len(s.bs))
+	}
+	quarantined := s.quar[:len(s.bs)]
+	for i := range quarantined {
+		quarantined[i] = false
+	}
 	for i := range s.bs {
 		b := &s.bs[i]
 		if i < len(pkts) && pkts[i] != nil {

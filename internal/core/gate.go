@@ -86,6 +86,11 @@ type Config struct {
 	// decisions as a JSON Lines audit trail (written at Feedback time,
 	// once redundancy outcomes are known).
 	Trace *trace.Writer
+	// NoFastPath disables the compiled batched inference fast path and
+	// scores streams through the reference float64 forwardBatch instead.
+	// Decisions are equivalent up to float32 rounding on exact confidence
+	// ties; the knob exists for A/B benchmarking and debugging.
+	NoFastPath bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -163,14 +168,17 @@ type Stats struct {
 	CostSpent float64
 }
 
-// pendingRound is one decided round awaiting its redundancy feedback.
+// pendingRound is one decided round awaiting its redundancy feedback. Its
+// buffers come from the gate's free lists and return there when the round
+// retires, so steady-state rounds recycle rather than allocate.
 type pendingRound struct {
 	sel      []int  // decode set, as returned by Decide
 	selBools []bool // per-stream selection flags
 	trace    *trace.Round
 	// feats maps stream index to the features used for the decision,
-	// retained (cloned) only when online learning is on.
+	// retained (cloned into slab) only when online learning is on.
 	feats map[int]predictor.Features
+	slab  *predictor.Slab
 }
 
 // Gate is the PacketGame plug-in between parser and decoder.
@@ -202,8 +210,15 @@ type Gate struct {
 	// FeedbackExt folds outcomes in under ackMu.
 	breakers *breakerSet
 
+	// pending is a ring FIFO: pendHead indexes the oldest unacked round,
+	// the tail is appended to. Retired rounds recycle their buffers through
+	// the free lists below (all under pendMu).
 	pending    []pendingRound
+	pendHead   int
 	maxPending int
+	freeSel    [][]int
+	freeBool   [][]bool
+	freeFeats  []map[int]predictor.Features
 
 	// Decision scratch (decideMu).
 	items    []knapsack.Item
@@ -213,15 +228,21 @@ type Gate struct {
 	costs    []float64
 	temporal []float64
 	bonus    []float64
+	predOut  []float64 // [len(feats) × tasks] confidences, row-major
+	selOut   []int     // SelectAppend scratch
 	selected []bool
 	degraded []bool // poisoned-window streams scored temporal-only this round
+	tasks    int    // predictor head count (0 without a predictor)
+	selApp   knapsack.SelectAppender // non-nil when Selector supports append
 
 	// Feedback scratch (ackMu).
 	reward []float64
 
-	// Online learning (OnlineLR > 0). Weight updates take decideMu.
-	trainer *predictor.Trainer
-	buffer  []predictor.Sample
+	// Online learning (OnlineLR > 0). Weight updates take decideMu; the
+	// slab backs buffered samples and resets after every trainer step.
+	trainer   *predictor.Trainer
+	buffer    []predictor.Sample
+	trainSlab *predictor.Slab
 
 	stats Stats
 }
@@ -250,8 +271,18 @@ func NewGate(cfg Config) (*Gate, error) {
 		degraded:   make([]bool, cfg.Streams),
 		reward:     make([]float64, cfg.Streams),
 	}
+	if cfg.Predictor != nil {
+		g.tasks = cfg.Predictor.Config().Tasks
+		if !cfg.NoFastPath {
+			if err := cfg.Predictor.Compile(); err != nil {
+				return nil, fmt.Errorf("core: compiling inference fast path: %w", err)
+			}
+		}
+	}
+	g.selApp, _ = cfg.Selector.(knapsack.SelectAppender)
 	if cfg.OnlineLR > 0 {
 		g.trainer = predictor.NewTrainer(cfg.Predictor, cfg.OnlineLR)
+		g.trainSlab = &predictor.Slab{}
 	}
 	if cfg.Breaker != nil {
 		g.breakers = newBreakerSet(cfg.Streams, *cfg.Breaker)
@@ -293,7 +324,7 @@ func (g *Gate) Stats() Stats {
 func (g *Gate) Pending() int {
 	g.pendMu.Lock()
 	defer g.pendMu.Unlock()
-	return len(g.pending)
+	return len(g.pending) - g.pendHead
 }
 
 // SetMaxPending raises (or lowers, min 1) the decided-but-unacked round
@@ -313,16 +344,29 @@ func (g *Gate) SetMaxPending(k int) {
 // be decoded. At most MaxPending rounds may be outstanding: with the default
 // of 1, Feedback must be called before the next Decide.
 func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
+	return g.DecideAppend(pkts, nil)
+}
+
+// DecideAppend is Decide appending the selection into dst (which may be
+// nil): callers that recycle dst across rounds pay zero allocations for the
+// result. On error the returned slice is nil.
+func (g *Gate) DecideAppend(pkts []*codec.Packet, dst []int) ([]int, error) {
 	g.decideMu.Lock()
 	defer g.decideMu.Unlock()
+	if err := g.decideLocked(pkts); err != nil {
+		return nil, err
+	}
+	return append(dst, g.selOut...), nil
+}
+
+func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	if len(pkts) != g.cfg.Streams {
-		return nil, fmt.Errorf("core: %d packets for %d streams", len(pkts), g.cfg.Streams)
+		return fmt.Errorf("core: %d packets for %d streams", len(pkts), g.cfg.Streams)
 	}
 	g.pendMu.Lock()
-	if len(g.pending) >= g.maxPending {
-		n := len(g.pending)
+	if n := len(g.pending) - g.pendHead; n >= g.maxPending {
 		g.pendMu.Unlock()
-		return nil, fmt.Errorf("core: Decide called with %d unacked rounds (MaxPending %d): Feedback must close the oldest round first", n, g.maxPending)
+		return fmt.Errorf("core: Decide called with %d unacked rounds (MaxPending %d): Feedback must close the oldest round first", n, g.maxPending)
 	}
 	g.pendMu.Unlock()
 
@@ -380,7 +424,10 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 
 	// 2. Confidence per stream: contextual predictor fused with the
 	// temporal estimate, plus the exploration bonus (Alg. 1 line 5-6).
+	// The compiled batched fast path scores all active streams in one
+	// forward; NoFastPath routes through the reference float64 stack.
 	var roundFeats map[int]predictor.Features
+	var roundSlab *predictor.Slab
 	if g.cfg.Predictor != nil {
 		g.feats = g.feats[:0]
 		for _, i := range g.active {
@@ -391,7 +438,17 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 			g.feats = append(g.feats, g.shards.window(i).Features(t))
 		}
 		if len(g.feats) > 0 {
-			preds := g.cfg.Predictor.PredictBatch(g.feats)
+			if cap(g.predOut) < len(g.feats)*g.tasks {
+				g.predOut = make([]float64, len(g.feats)*g.tasks)
+			}
+			preds := g.predOut[:len(g.feats)*g.tasks]
+			if g.cfg.NoFastPath {
+				for k, row := range g.cfg.Predictor.PredictBatch(g.feats) {
+					copy(preds[k*g.tasks:(k+1)*g.tasks], row)
+				}
+			} else if err := g.cfg.Predictor.PredictInto(g.feats, preds); err != nil {
+				return fmt.Errorf("core: fast-path inference: %w", err)
+			}
 			for k, i := range g.active {
 				// Fault-aware gates degrade streams whose metadata
 				// windows are poisoned to the temporal-only estimate
@@ -401,26 +458,28 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 					g.conf[i] = g.temporal[i]
 					continue
 				}
+				row := preds[k*g.tasks : (k+1)*g.tasks]
 				if g.cfg.TaskIndex == AllTasks {
 					best := 0.0
-					for _, v := range preds[k] {
+					for _, v := range row {
 						if v > best {
 							best = v
 						}
 					}
 					g.conf[i] = best
 				} else {
-					g.conf[i] = preds[k][g.cfg.TaskIndex]
+					g.conf[i] = row[g.cfg.TaskIndex]
 				}
 			}
 		}
 		if g.trainer != nil {
-			roundFeats = make(map[int]predictor.Features, len(g.active))
+			roundFeats = g.grabFeatsMap(len(g.active))
+			roundSlab = predictor.GetSlab()
 			for k, i := range g.active {
 				if g.degraded[i] {
 					continue // poisoned features must not train the net
 				}
-				roundFeats[i] = g.feats[k].Clone()
+				roundFeats[i] = roundSlab.CloneInto(g.feats[k])
 			}
 		}
 	} else {
@@ -442,7 +501,12 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
 		}
 	}
-	sel := g.cfg.Selector.Select(g.items, g.cfg.Budget)
+	if g.selApp != nil {
+		g.selOut = g.selApp.SelectAppend(g.selOut[:0], g.items, g.cfg.Budget)
+	} else {
+		g.selOut = append(g.selOut[:0], g.cfg.Selector.Select(g.items, g.cfg.Budget)...)
+	}
+	sel := g.selOut
 
 	// 4. Commit decisions to the dependency trackers, shard by shard.
 	for i := range g.selected {
@@ -461,17 +525,19 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 		sh.mu.Unlock()
 	}
 
-	// 5. Enqueue the round on the feedback FIFO and update counters.
-	pr := pendingRound{
-		sel:      append([]int(nil), sel...),
-		selBools: append([]bool(nil), g.selected...),
-		feats:    roundFeats,
-	}
+	// 5. Enqueue the round on the feedback FIFO and update counters. The
+	// round's retention buffers come from the free lists under pendMu.
 	var spent float64
 	for _, i := range sel {
 		spent += g.costs[i]
 	}
 	g.pendMu.Lock()
+	pr := pendingRound{
+		sel:      append(g.grabSel(), sel...),
+		selBools: append(g.grabBools(), g.selected...),
+		feats:    roundFeats,
+		slab:     roundSlab,
+	}
 	if g.cfg.Trace != nil {
 		rec := &trace.Round{T: g.stats.Rounds, Budget: g.cfg.Budget, Spent: spent}
 		for _, i := range g.active {
@@ -490,9 +556,48 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 	g.stats.Packets += int64(nonIdle)
 	g.stats.Decoded += int64(len(sel))
 	g.stats.CostSpent += spent
+	if g.pendHead > 0 && len(g.pending) == cap(g.pending) {
+		n := copy(g.pending, g.pending[g.pendHead:])
+		for j := n; j < len(g.pending); j++ {
+			g.pending[j] = pendingRound{}
+		}
+		g.pending = g.pending[:n]
+		g.pendHead = 0
+	}
 	g.pending = append(g.pending, pr)
 	g.pendMu.Unlock()
-	return sel, nil
+	return nil
+}
+
+// grabSel / grabBools / grabFeatsMap recycle retired pending-round buffers.
+// grabSel and grabBools require pendMu; grabFeatsMap takes it itself.
+func (g *Gate) grabSel() []int {
+	if n := len(g.freeSel); n > 0 {
+		s := g.freeSel[n-1]
+		g.freeSel = g.freeSel[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (g *Gate) grabBools() []bool {
+	if n := len(g.freeBool); n > 0 {
+		s := g.freeBool[n-1]
+		g.freeBool = g.freeBool[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (g *Gate) grabFeatsMap(sizeHint int) map[int]predictor.Features {
+	g.pendMu.Lock()
+	defer g.pendMu.Unlock()
+	if n := len(g.freeFeats); n > 0 {
+		m := g.freeFeats[n-1]
+		g.freeFeats = g.freeFeats[:n-1]
+		return m
+	}
+	return make(map[int]predictor.Features, sizeHint)
 }
 
 // Confidence returns the last computed confidence for stream i (diagnostic).
@@ -522,11 +627,11 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 	g.ackMu.Lock()
 	defer g.ackMu.Unlock()
 	g.pendMu.Lock()
-	if len(g.pending) == 0 {
+	if len(g.pending) == g.pendHead {
 		g.pendMu.Unlock()
 		return fmt.Errorf("core: Feedback without a pending round")
 	}
-	pr := g.pending[0]
+	pr := g.pending[g.pendHead]
 	g.pendMu.Unlock()
 	if len(selected) != len(necessary) {
 		return fmt.Errorf("core: %d selections with %d feedback values", len(selected), len(necessary))
@@ -578,7 +683,10 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 			if !ok {
 				continue
 			}
-			labels := make([]float64, g.cfg.Predictor.Config().Tasks)
+			// Deep-copy into the training slab: the round's own slab is
+			// recycled when the round retires below, but buffered samples
+			// must survive until the next trainer step.
+			labels := g.trainSlab.Alloc(g.tasks)
 			for t := range labels {
 				labels[t] = math.NaN() // only this gate's head gets a label
 			}
@@ -587,12 +695,13 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 				r = 1
 			}
 			labels[g.cfg.TaskIndex] = r
-			g.buffer = append(g.buffer, predictor.Sample{F: f, Labels: labels})
+			g.buffer = append(g.buffer, predictor.Sample{F: g.trainSlab.CloneInto(f), Labels: labels})
 		}
 		var stepErr error
 		if len(g.buffer) >= g.cfg.OnlineBatch {
 			_, stepErr = g.trainer.Step(g.buffer)
 			g.buffer = g.buffer[:0]
+			g.trainSlab.Reset()
 		}
 		g.decideMu.Unlock()
 		if stepErr != nil {
@@ -600,7 +709,8 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 		}
 	}
 
-	// Retire the round: write its trace record and pop the FIFO.
+	// Retire the round: write its trace record, recycle its buffers, and
+	// advance the FIFO head.
 	g.pendMu.Lock()
 	defer g.pendMu.Unlock()
 	if pr.trace != nil {
@@ -617,6 +727,20 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 			return err
 		}
 	}
-	g.pending = g.pending[1:]
+	g.freeSel = append(g.freeSel, pr.sel)
+	g.freeBool = append(g.freeBool, pr.selBools)
+	if pr.feats != nil {
+		clear(pr.feats)
+		g.freeFeats = append(g.freeFeats, pr.feats)
+	}
+	if pr.slab != nil {
+		predictor.PutSlab(pr.slab)
+	}
+	g.pending[g.pendHead] = pendingRound{}
+	g.pendHead++
+	if g.pendHead == len(g.pending) {
+		g.pending = g.pending[:0]
+		g.pendHead = 0
+	}
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is on. sync.Pool intentionally
+// drops items under -race to shake out lifecycle bugs, so allocation-count
+// tests (testing.AllocsPerRun over pool-backed paths) are skipped; they run
+// in the unraced `make test` and `make alloc-smoke` legs instead.
+const raceEnabled = true

@@ -27,6 +27,13 @@ type Selector interface {
 	Select(items []Item, budget float64) []int
 }
 
+// SelectAppender is an optional Selector extension for hot loops: the chosen
+// indices are appended to dst (which may be nil) so a caller that recycles
+// its selection buffer pays no allocation per round.
+type SelectAppender interface {
+	SelectAppend(dst []int, items []Item, budget float64) []int
+}
+
 // TotalValue sums the values of the selected indices.
 func TotalValue(items []Item, sel []int) float64 {
 	var v float64
@@ -65,8 +72,10 @@ func MaxCost(items []Item) float64 {
 // For approximately fractional costs it guarantees value ≥ (1−c/B)·OPT
 // (Lemma 1). Complexity is O(m log m) per round.
 type Greedy struct {
-	// scratch buffers reused across rounds to avoid per-round allocation.
-	order []int
+	// scratch reused across rounds: candidate order, per-item ratios, and the
+	// sorter view over both. Safe because the gate serializes Select calls
+	// under decideMu.
+	rank ratioRank
 }
 
 // Name implements Selector.
@@ -74,34 +83,59 @@ func (*Greedy) Name() string { return "greedy" }
 
 // Select implements Selector.
 func (g *Greedy) Select(items []Item, budget float64) []int {
-	if cap(g.order) < len(items) {
-		g.order = make([]int, 0, len(items))
-	}
-	g.order = g.order[:0]
-	for i, it := range items {
-		if it.Value > 0 {
-			g.order = append(g.order, i)
-		}
-	}
-	sort.Slice(g.order, func(a, b int) bool {
-		ia, ib := items[g.order[a]], items[g.order[b]]
-		// Zero-cost items sort first; otherwise by descending ratio.
-		ra, rb := ratio(ia), ratio(ib)
-		if ra != rb {
-			return ra > rb
-		}
-		return g.order[a] < g.order[b]
-	})
-	var sel []int
+	return g.SelectAppend(nil, items, budget)
+}
+
+// SelectAppend implements SelectAppender: selection indices are appended to
+// dst and the only steady-state cost is the O(m log m) sort.
+func (g *Greedy) SelectAppend(dst []int, items []Item, budget float64) []int {
+	g.rank.sortByRatio(items)
 	remaining := budget
-	for _, i := range g.order {
+	for _, i := range g.rank.order {
 		if items[i].Cost <= remaining {
-			sel = append(sel, i)
+			dst = append(dst, i)
 			remaining -= items[i].Cost
 		}
 	}
-	return sel
+	return dst
 }
+
+// ratioRank is the shared ratio-ordering scratch: positive-value candidates
+// ranked by descending value/cost ratio (zero-cost first), index tie-break.
+// Ratios are precomputed so the sort comparator is two loads, and the sorter
+// is a pointer receiver on persistent state so sort.Sort allocates nothing.
+type ratioRank struct {
+	order  []int
+	ratios []float64
+}
+
+func (r *ratioRank) sortByRatio(items []Item) {
+	if cap(r.order) < len(items) {
+		r.order = make([]int, 0, len(items))
+		r.ratios = make([]float64, len(items))
+	}
+	r.order = r.order[:0]
+	r.ratios = r.ratios[:len(items)]
+	for i, it := range items {
+		if it.Value > 0 {
+			r.order = append(r.order, i)
+			r.ratios[i] = ratio(it)
+		}
+	}
+	sort.Sort(r)
+}
+
+func (r *ratioRank) Len() int { return len(r.order) }
+
+func (r *ratioRank) Less(a, b int) bool {
+	ra, rb := r.ratios[r.order[a]], r.ratios[r.order[b]]
+	if ra != rb {
+		return ra > rb
+	}
+	return r.order[a] < r.order[b]
+}
+
+func (r *ratioRank) Swap(a, b int) { r.order[a], r.order[b] = r.order[b], r.order[a] }
 
 func ratio(it Item) float64 {
 	if it.Cost == 0 {
@@ -113,32 +147,17 @@ func ratio(it Item) float64 {
 // GreedyPrefix is Greedy without the fill pass: it stops at the first item
 // that does not fit. It exists to ablate the fill pass and to match the
 // textbook analysis exactly.
-type GreedyPrefix struct{ order []int }
+type GreedyPrefix struct{ rank ratioRank }
 
 // Name implements Selector.
 func (*GreedyPrefix) Name() string { return "greedy-prefix" }
 
 // Select implements Selector.
 func (g *GreedyPrefix) Select(items []Item, budget float64) []int {
-	if cap(g.order) < len(items) {
-		g.order = make([]int, 0, len(items))
-	}
-	g.order = g.order[:0]
-	for i, it := range items {
-		if it.Value > 0 {
-			g.order = append(g.order, i)
-		}
-	}
-	sort.Slice(g.order, func(a, b int) bool {
-		ra, rb := ratio(items[g.order[a]]), ratio(items[g.order[b]])
-		if ra != rb {
-			return ra > rb
-		}
-		return g.order[a] < g.order[b]
-	})
+	g.rank.sortByRatio(items)
 	var sel []int
 	remaining := budget
-	for _, i := range g.order {
+	for _, i := range g.rank.order {
 		if items[i].Cost > remaining {
 			break
 		}

@@ -1,0 +1,587 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements the inference-only fast path: Compile snapshots a
+// trained Sequential into a flat float32 graph of fused forward kernels.
+// The compiled graph never allocates on the forward path (scratch comes
+// from a sync.Pool), never builds im2col matrices (Conv1D walks the input
+// windows directly with the weights flattened row-major), and fuses ReLU /
+// Sigmoid into the preceding Conv1D or Dense so activations are applied in
+// the same pass that produces them. Training stays on the autodiff Layer
+// stack; the gate's hot loop runs here.
+
+// Activation is an activation fused into a compiled op.
+type Activation uint8
+
+// Fusable activations.
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActSigmoid
+)
+
+type opKind uint8
+
+const (
+	opConv opKind = iota
+	opDense
+	opPool
+)
+
+// compiledOp is one fused stage of the inference graph. Weights live in a
+// flat row-major []float32 (filter-major for conv: [out][in][k]); the
+// optional int8 variant keeps per-output-row symmetric scales alongside the
+// quantized weights and quantizes its input dynamically per forward pass.
+type compiledOp struct {
+	kind opKind
+	act  Activation
+
+	in, out  int // channels (conv) or features (dense); pool: in == channels
+	k        int // conv kernel width
+	inL, outLen int // conv: input/output length; pool: inL
+
+	w []float32
+	b []float32
+
+	// int8 path (nil on the float32 graph).
+	wq []int8
+	ws []float32 // per-output-row weight scale
+}
+
+func (op *compiledOp) inSize() int {
+	switch op.kind {
+	case opConv:
+		return op.in * op.inL
+	case opPool:
+		return op.in * op.inL
+	default:
+		return op.in
+	}
+}
+
+func (op *compiledOp) outSize() int {
+	switch op.kind {
+	case opConv:
+		return op.out * op.outLen
+	case opPool:
+		return op.in
+	default:
+		return op.out
+	}
+}
+
+// Compiled is an immutable inference snapshot of a Sequential. Forward is
+// safe for concurrent use: all mutable state is pooled per call.
+type Compiled struct {
+	name   string
+	ops    []compiledOp
+	inDim  int
+	outDim int
+	quant  bool
+}
+
+// InDim returns the per-example input element count.
+func (c *Compiled) InDim() int { return c.inDim }
+
+// OutDim returns the per-example output element count.
+func (c *Compiled) OutDim() int { return c.outDim }
+
+// Quantized reports whether the graph carries int8 weights.
+func (c *Compiled) Quantized() bool { return c.quant }
+
+// Compile snapshots the Sequential's current parameters into a float32
+// inference graph for the given per-example input shape. Supported layers:
+// Conv1D, Dense, GlobalMaxPool1D, Flatten, ReLU, Sigmoid; ReLU/Sigmoid
+// directly after a Conv1D or Dense are fused into it. The snapshot is
+// decoupled from the live parameters: training after Compile requires a
+// fresh Compile to be observed.
+func Compile(s *Sequential, inShape []int) (*Compiled, error) {
+	return compile(s, inShape, false)
+}
+
+// CompileInt8 is Compile with weights quantized to int8 (symmetric,
+// per-output-row scales) and dynamic per-tensor input quantization at each
+// conv/dense op. Outputs stay float32; error is bounded by the quantization
+// steps (see the package tests for the empirical envelope).
+func CompileInt8(s *Sequential, inShape []int) (*Compiled, error) {
+	return compile(s, inShape, true)
+}
+
+func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
+	if s == nil {
+		return nil, fmt.Errorf("nn: compile: nil sequential")
+	}
+	inDim := 1
+	for _, d := range inShape {
+		if d <= 0 {
+			return nil, fmt.Errorf("nn: compile %s: bad input shape %v", s.Name(), inShape)
+		}
+		inDim *= d
+	}
+	c := &Compiled{name: s.Name(), inDim: inDim, quant: quant}
+	shape := append([]int(nil), inShape...)
+	layers := s.Layers()
+	for idx := 0; idx < len(layers); idx++ {
+		l := layers[idx]
+		// Fusable activation lookahead.
+		fuse := func() Activation {
+			if idx+1 < len(layers) {
+				switch layers[idx+1].(type) {
+				case *ReLU:
+					idx++
+					return ActReLU
+				case *Sigmoid:
+					idx++
+					return ActSigmoid
+				}
+			}
+			return ActNone
+		}
+		switch lt := l.(type) {
+		case *Conv1D:
+			if len(shape) != 2 || shape[0] != lt.in || shape[1] < lt.k {
+				return nil, fmt.Errorf("nn: compile %s: conv %s: input shape %v", c.name, lt.name, shape)
+			}
+			op := compiledOp{
+				kind: opConv, in: lt.in, out: lt.out, k: lt.k,
+				inL: shape[1], outLen: shape[1] - lt.k + 1,
+			}
+			fillWeights(&op, lt.w.W.Data, lt.b.W.Data, quant, lt.in*lt.k)
+			shape = []int{lt.out, op.outLen}
+			op.act = fuse()
+			c.ops = append(c.ops, op)
+		case *Dense:
+			if len(shape) != 1 || shape[0] != lt.in {
+				return nil, fmt.Errorf("nn: compile %s: dense %s: input shape %v", c.name, lt.name, shape)
+			}
+			op := compiledOp{kind: opDense, in: lt.in, out: lt.out}
+			fillWeights(&op, lt.w.W.Data, lt.b.W.Data, quant, lt.in)
+			shape = []int{lt.out}
+			op.act = fuse()
+			c.ops = append(c.ops, op)
+		case *GlobalMaxPool1D:
+			if len(shape) != 2 {
+				return nil, fmt.Errorf("nn: compile %s: pool %s: input shape %v", c.name, lt.name, shape)
+			}
+			c.ops = append(c.ops, compiledOp{kind: opPool, in: shape[0], inL: shape[1]})
+			shape = []int{shape[0]}
+		case *Flatten:
+			// Row-major data is already flat; shape bookkeeping only.
+			shape = lt.OutShape(shape)
+		case *ReLU, *Sigmoid:
+			// Unfused activation (graph starts with one, or two in a row):
+			// attach to a pass-through on the previous op if possible,
+			// otherwise reject — the predictor's architectures never need it.
+			return nil, fmt.Errorf("nn: compile %s: unfused activation %s", c.name, l.Name())
+		default:
+			return nil, fmt.Errorf("nn: compile %s: unsupported layer %T", c.name, l)
+		}
+	}
+	if len(c.ops) == 0 {
+		return nil, fmt.Errorf("nn: compile %s: empty graph", c.name)
+	}
+	out := 1
+	for _, d := range shape {
+		out *= d
+	}
+	c.outDim = out
+	return c, nil
+}
+
+// fillWeights snapshots one layer's parameters: float32 always (the float32
+// kernels and the quantized bias path both need them), int8 + scales when
+// quantizing. Rows are op.out slices of rowLen weights.
+func fillWeights(op *compiledOp, w, b []float64, quant bool, rowLen int) {
+	op.w = make([]float32, len(w))
+	for i, v := range w {
+		op.w[i] = float32(v)
+	}
+	op.b = make([]float32, len(b))
+	for i, v := range b {
+		op.b[i] = float32(v)
+	}
+	if !quant {
+		return
+	}
+	op.wq = make([]int8, len(w))
+	op.ws = make([]float32, op.out)
+	for r := 0; r < op.out; r++ {
+		row := op.w[r*rowLen : (r+1)*rowLen]
+		var absmax float32
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > absmax {
+				absmax = v
+			}
+		}
+		if absmax == 0 {
+			continue // all-zero row quantizes to zeros with scale 0
+		}
+		scale := absmax / 127
+		op.ws[r] = scale
+		inv := 1 / scale
+		for i, v := range row {
+			op.wq[r*rowLen+i] = roundInt8(v * inv)
+		}
+	}
+}
+
+func roundInt8(v float32) int8 {
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	q := int32(v)
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// fwdScratch is the pooled per-call state of Compiled.Forward: two
+// ping-pong activation buffers plus the int8 input buffer of the quantized
+// kernels. Pooling keeps Forward allocation-free in steady state and safe
+// for concurrent callers.
+type fwdScratch struct {
+	a, b []float32
+	q    []int8
+}
+
+var fwdPool = sync.Pool{New: func() interface{} { return new(fwdScratch) }}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+func growI8(buf []int8, n int) []int8 {
+	if cap(buf) < n {
+		return make([]int8, n)
+	}
+	return buf[:n]
+}
+
+// Forward runs the compiled graph on n examples packed row-major in x
+// (n·InDim values), writing the n·OutDim outputs into out. It panics on a
+// size mismatch, mirroring the Layer stack's shape checks.
+func (c *Compiled) Forward(n int, x []float32, out []float32) {
+	if len(x) < n*c.inDim {
+		panic(fmt.Sprintf("nn: compiled %s: %d inputs for batch %d×%d", c.name, len(x), n, c.inDim))
+	}
+	if len(out) < n*c.outDim {
+		panic(fmt.Sprintf("nn: compiled %s: %d outputs for batch %d×%d", c.name, len(out), n, c.outDim))
+	}
+	sc := fwdPool.Get().(*fwdScratch)
+	src := x[:n*c.inDim]
+	useA := true
+	for oi := range c.ops {
+		op := &c.ops[oi]
+		var dst []float32
+		if oi == len(c.ops)-1 {
+			dst = out[:n*c.outDim]
+		} else if useA {
+			sc.a = growF32(sc.a, n*op.outSize())
+			dst = sc.a
+			useA = false
+		} else {
+			sc.b = growF32(sc.b, n*op.outSize())
+			dst = sc.b
+			useA = true
+		}
+		switch {
+		case op.wq != nil && op.kind == opConv:
+			sc.q = growI8(sc.q, len(src))
+			convForwardInt8(op, n, src, dst, sc.q)
+		case op.wq != nil && op.kind == opDense:
+			sc.q = growI8(sc.q, len(src))
+			denseForwardInt8(op, n, src, dst, sc.q)
+		case op.kind == opConv:
+			convForward(op, n, src, dst)
+		case op.kind == opDense:
+			denseForward(op, n, src, dst)
+		default:
+			poolForward(op, n, src, dst)
+		}
+		src = dst
+	}
+	fwdPool.Put(sc)
+}
+
+// activate applies the fused activation to one scalar. The transcendental
+// lives in sigmoid32 so this stays under the inlining budget — the kernels
+// call it once per output value, so a real call here costs ~10% of a round.
+func activate(act Activation, v float32) float32 {
+	if act == ActReLU {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	if act == ActSigmoid {
+		return sigmoid32(v)
+	}
+	return v
+}
+
+// sigmoid32 is kept out of line so activate's own inline cost stays low: the
+// ReLU path (tower outputs, ~100× more calls than sigmoid) then folds into
+// the kernel loops.
+//
+//go:noinline
+func sigmoid32(v float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(v))))
+}
+
+// convForward is the im2col-free fused Conv1D kernel. Two layout facts make
+// the predictor's convs cheap: when inL == k there is a single output
+// position and the [in][inL] input block lines up element-for-element with
+// the [in][k] filter row, so the conv is one long dot; and the common k = 3
+// is unrolled with direct indexing instead of per-channel subslices (whose
+// setup cost dwarfs three multiplies).
+func convForward(op *compiledOp, n int, x, y []float32) {
+	in, out, k, inL, outL := op.in, op.out, op.k, op.inL, op.outLen
+	if inL == k {
+		for bi := 0; bi < n; bi++ {
+			matvec(op.w, op.b, x[bi*in*inL:(bi+1)*in*inL], y[bi*out:(bi+1)*out], in*k, out, op.act)
+		}
+		return
+	}
+	if k == 3 && in == 1 {
+		// Single input channel (the towers' first conv): the three filter
+		// taps live in registers across the whole position sweep.
+		for bi := 0; bi < n; bi++ {
+			xb := x[bi*inL : bi*inL+inL]
+			yb := y[bi*out*outL : (bi+1)*out*outL]
+			for f := 0; f < out; f++ {
+				w0, w1, w2 := op.w[f*3], op.w[f*3+1], op.w[f*3+2]
+				bias := op.b[f]
+				yo := yb[f*outL : f*outL+outL]
+				for p := range yo {
+					yo[p] = activate(op.act, bias+w0*xb[p]+w1*xb[p+1]+w2*xb[p+2])
+				}
+			}
+		}
+		return
+	}
+	if k == 3 {
+		for bi := 0; bi < n; bi++ {
+			xb := x[bi*in*inL : (bi+1)*in*inL]
+			yb := y[bi*out*outL : (bi+1)*out*outL]
+			for f := 0; f < out; f++ {
+				wf := op.w[f*in*3 : (f+1)*in*3]
+				bias := op.b[f]
+				for ol := 0; ol < outL; ol++ {
+					var s0, s1 float32
+					for ci := 0; ci < in; ci++ {
+						wo := ci * 3
+						xo := ci*inL + ol
+						s0 += wf[wo]*xb[xo] + wf[wo+2]*xb[xo+2]
+						s1 += wf[wo+1] * xb[xo+1]
+					}
+					yb[f*outL+ol] = activate(op.act, bias+s0+s1)
+				}
+			}
+		}
+		return
+	}
+	for bi := 0; bi < n; bi++ {
+		xb := x[bi*in*inL : (bi+1)*in*inL]
+		yb := y[bi*out*outL : (bi+1)*out*outL]
+		for f := 0; f < out; f++ {
+			wf := op.w[f*in*k : (f+1)*in*k]
+			bias := op.b[f]
+			for ol := 0; ol < outL; ol++ {
+				var s0, s1 float32
+				ci := 0
+				for ; ci+1 < in; ci += 2 {
+					w0 := wf[ci*k : ci*k+k]
+					x0 := xb[ci*inL+ol : ci*inL+ol+k]
+					w1 := wf[(ci+1)*k : (ci+1)*k+k]
+					x1 := xb[(ci+1)*inL+ol : (ci+1)*inL+ol+k]
+					var a, b float32
+					for kk := 0; kk < k; kk++ {
+						a += w0[kk] * x0[kk]
+						b += w1[kk] * x1[kk]
+					}
+					s0 += a
+					s1 += b
+				}
+				if ci < in {
+					w0 := wf[ci*k : ci*k+k]
+					x0 := xb[ci*inL+ol : ci*inL+ol+k]
+					var a float32
+					for kk := 0; kk < k; kk++ {
+						a += w0[kk] * x0[kk]
+					}
+					s0 += a
+				}
+				yb[f*outL+ol] = activate(op.act, bias+s0+s1)
+			}
+		}
+	}
+}
+
+// dot is the 4-way unrolled float32 dot product (four independent
+// accumulators give the out-of-order core real instruction parallelism).
+func dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// denseForward is the fused Dense kernel: a register-blocked matvec per
+// example.
+func denseForward(op *compiledOp, n int, x, y []float32) {
+	in, out := op.in, op.out
+	for bi := 0; bi < n; bi++ {
+		matvec(op.w, op.b, x[bi*in:(bi+1)*in], y[bi*out:(bi+1)*out], in, out, op.act)
+	}
+}
+
+// matvec computes y[o] = act(b[o] + w[o]·x) with 4-row register blocking:
+// every x element loaded feeds four output rows, so the kernel is bound by
+// multiply throughput instead of load ports (a lone dot spends two loads per
+// multiply; this spends five loads per four multiplies).
+func matvec(w, b, x, y []float32, in, out int, act Activation) {
+	xr := x[:in]
+	o := 0
+	for ; o+3 < out; o += 4 {
+		w0 := w[o*in : o*in+in]
+		w1 := w[(o+1)*in : (o+1)*in+in]
+		w2 := w[(o+2)*in : (o+2)*in+in]
+		w3 := w[(o+3)*in : (o+3)*in+in]
+		var s0, s1, s2, s3 float32
+		for i, xv := range xr {
+			s0 += w0[i] * xv
+			s1 += w1[i] * xv
+			s2 += w2[i] * xv
+			s3 += w3[i] * xv
+		}
+		y[o] = activate(act, b[o]+s0)
+		y[o+1] = activate(act, b[o+1]+s1)
+		y[o+2] = activate(act, b[o+2]+s2)
+		y[o+3] = activate(act, b[o+3]+s3)
+	}
+	for ; o < out; o++ {
+		y[o] = activate(act, b[o]+dot(w[o*in:(o+1)*in], xr))
+	}
+}
+
+// poolForward is GlobalMaxPool1D: [N, C, L] → [N, C].
+func poolForward(op *compiledOp, n int, x, y []float32) {
+	c, l := op.in, op.inL
+	for bi := 0; bi < n; bi++ {
+		for ci := 0; ci < c; ci++ {
+			row := x[(bi*c+ci)*l : (bi*c+ci+1)*l]
+			best := row[0]
+			for _, v := range row[1:] {
+				if v > best {
+					best = v
+				}
+			}
+			y[bi*c+ci] = best
+		}
+	}
+}
+
+// quantizeInput quantizes a float32 activation block to int8 with one
+// dynamic symmetric scale (absmax/127) and returns that scale (0 for an
+// all-zero block, whose quantization is exact).
+func quantizeInput(xq []int8, x []float32) float32 {
+	var absmax float32
+	for _, v := range x {
+		if v < 0 {
+			v = -v
+		}
+		if v > absmax {
+			absmax = v
+		}
+	}
+	if absmax == 0 {
+		for i := range xq {
+			xq[i] = 0
+		}
+		return 0
+	}
+	scale := absmax / 127
+	inv := 1 / scale
+	for i, v := range x {
+		xq[i] = roundInt8(v * inv)
+	}
+	return scale
+}
+
+func dotI8(a []int8, b []int8) int32 {
+	var s0, s1 int32
+	i := 0
+	for ; i+1 < len(a); i += 2 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+	}
+	if i < len(a) {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1
+}
+
+// denseForwardInt8 quantizes the input dynamically and accumulates in int32.
+func denseForwardInt8(op *compiledOp, n int, x, y []float32, xq []int8) {
+	sx := quantizeInput(xq[:len(x)], x)
+	in, out := op.in, op.out
+	for bi := 0; bi < n; bi++ {
+		xr := xq[bi*in : (bi+1)*in]
+		yr := y[bi*out : (bi+1)*out]
+		for o := 0; o < out; o++ {
+			acc := dotI8(op.wq[o*in:(o+1)*in], xr)
+			yr[o] = activate(op.act, float32(acc)*sx*op.ws[o]+op.b[o])
+		}
+	}
+}
+
+// convForwardInt8 is the quantized Conv1D kernel.
+func convForwardInt8(op *compiledOp, n int, x, y []float32, xq []int8) {
+	sx := quantizeInput(xq[:len(x)], x)
+	in, out, k, inL, outL := op.in, op.out, op.k, op.inL, op.outLen
+	for bi := 0; bi < n; bi++ {
+		xb := xq[bi*in*inL : (bi+1)*in*inL]
+		yb := y[bi*out*outL : (bi+1)*out*outL]
+		for f := 0; f < out; f++ {
+			wf := op.wq[f*in*k : (f+1)*in*k]
+			scale := sx * op.ws[f]
+			bias := op.b[f]
+			for ol := 0; ol < outL; ol++ {
+				var acc int32
+				for ci := 0; ci < in; ci++ {
+					wr := wf[ci*k : ci*k+k]
+					xr := xb[ci*inL+ol : ci*inL+ol+k]
+					for kk := 0; kk < k; kk++ {
+						acc += int32(wr[kk]) * int32(xr[kk])
+					}
+				}
+				yb[f*outL+ol] = activate(op.act, float32(acc)*scale+bias)
+			}
+		}
+	}
+}

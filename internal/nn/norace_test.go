@@ -1,0 +1,6 @@
+//go:build !race
+
+package nn
+
+// raceEnabled is false without -race; see race_test.go.
+const raceEnabled = false

@@ -135,6 +135,43 @@ type Engine struct {
 
 	stop      chan struct{}
 	closeOnce sync.Once
+
+	// selMask is settleRound scratch (settles are serial in both engines).
+	selMask []bool
+	// freeMasks recycles per-round necessary masks between settleRound and
+	// the feedback release sites, which may run on different goroutines in
+	// the pipelined engine.
+	maskMu    sync.Mutex
+	freeMasks [][]bool
+}
+
+// getMask returns a zeroed n-element mask, recycled when possible.
+func (e *Engine) getMask(n int) []bool {
+	e.maskMu.Lock()
+	var s []bool
+	if l := len(e.freeMasks); l > 0 {
+		s = e.freeMasks[l-1]
+		e.freeMasks = e.freeMasks[:l-1]
+	}
+	e.maskMu.Unlock()
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// putMask releases a mask for reuse. The caller must not touch it after.
+func (e *Engine) putMask(s []bool) {
+	if s == nil {
+		return
+	}
+	e.maskMu.Lock()
+	e.freeMasks = append(e.freeMasks, s)
+	e.maskMu.Unlock()
 }
 
 // New creates an engine.
@@ -269,7 +306,27 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 	decoder := e.newDecoder()
 	e.raiseGatePending()
 	k := e.cfg.MaxInFlight
+	// Round-scoped scratch, reused across rounds: the ack FIFO (ring via
+	// head index), the decode result slices, and the worker semaphore.
 	var acks []pendingAck
+	ackHead := 0
+	release := func() error {
+		a := acks[ackHead]
+		acks[ackHead] = pendingAck{}
+		ackHead++
+		if ackHead == len(acks) {
+			acks = acks[:0]
+			ackHead = 0
+		}
+		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
+			return fmt.Errorf("pipeline: feedback: %w", err)
+		}
+		e.putMask(a.necessary)
+		return nil
+	}
+	var frames []decode.Frame
+	var errs []error
+	sem := make(chan struct{}, e.cfg.Workers)
 
 	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
 		if e.closed() {
@@ -287,11 +344,9 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		}
 		// Release feedback due under the lag schedule: Decide(t) must
 		// observe rounds 0..t−k.
-		for len(acks) >= k {
-			a := acks[0]
-			acks = acks[1:]
-			if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
-				return rep, fmt.Errorf("pipeline: feedback: %w", err)
+		for len(acks)-ackHead >= k {
+			if err := release(); err != nil {
+				return rep, err
 			}
 		}
 
@@ -309,10 +364,17 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		// Decode selected packets in parallel.
 		metrics.StageEnter(e.cfg.Stages.DecodeStage())
 		t1 := time.Now()
-		frames := make([]decode.Frame, len(sel))
-		errs := make([]error, len(sel))
+		if cap(frames) < len(sel) {
+			frames = make([]decode.Frame, len(sel))
+			errs = make([]error, len(sel))
+		}
+		frames = frames[:len(sel)]
+		errs = errs[:len(sel)]
+		for i := range errs {
+			frames[i] = decode.Frame{}
+			errs[i] = nil
+		}
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, e.cfg.Workers)
 		for k, i := range sel {
 			wg.Add(1)
 			go func(k, i int) {
@@ -340,13 +402,19 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		t2 := time.Now()
 		necessary := e.settleRound(&rep, pkts, sel, frames, failed, e.cfg.Source.Truth)
 		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t2).Nanoseconds())
+		if ackHead > 0 && len(acks) == cap(acks) {
+			n := copy(acks, acks[ackHead:])
+			for j := n; j < len(acks); j++ {
+				acks[j] = pendingAck{}
+			}
+			acks = acks[:n]
+			ackHead = 0
+		}
 		acks = append(acks, pendingAck{sel: sel, necessary: necessary, failed: failed})
 	}
-	for len(acks) > 0 {
-		a := acks[0]
-		acks = acks[1:]
-		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
-			return rep, fmt.Errorf("pipeline: feedback: %w", err)
+	for len(acks)-ackHead > 0 {
+		if err := release(); err != nil {
+			return rep, err
 		}
 	}
 	return rep, nil
@@ -362,9 +430,18 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 // content was seen, so the slot reports necessary feedback (the gate must
 // not learn "redundant" from a packet nobody decoded) and the stream's
 // monitor observes a skip, exactly as if the gate had not selected it.
+//
+// The returned mask comes from the engine's recycler; the feedback release
+// site hands it back via putMask once the gate has consumed it.
 func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, failed []bool, truth func(int) (codec.Scene, bool)) []bool {
-	necessary := make([]bool, len(sel))
-	isSel := make(map[int]bool, len(sel))
+	necessary := e.getMask(len(sel))
+	if cap(e.selMask) < len(pkts) {
+		e.selMask = make([]bool, len(pkts))
+	}
+	isSel := e.selMask[:len(pkts)]
+	for i := range isSel {
+		isSel[i] = false
+	}
 	for k, i := range sel {
 		isSel[i] = true
 		if failed != nil && failed[k] {

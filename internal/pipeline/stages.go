@@ -101,6 +101,7 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 			if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
 				runErr = fmt.Errorf("pipeline: feedback: %w", err)
 			}
+			e.putMask(a.necessary)
 		}
 	}
 
@@ -172,7 +173,8 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 	if !fresh {
 		applyDue(0)
 		for inflight > 0 { // error path: drain without applying
-			<-acks
+			a := <-acks
+			e.putMask(a.necessary)
 			inflight--
 		}
 	}
@@ -282,6 +284,7 @@ func (c *collector) settle(st *pendingCollect) {
 		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil && c.err == nil {
 			c.err = fmt.Errorf("pipeline: feedback: %w", err)
 		}
+		e.putMask(a.necessary)
 		c.tokens <- struct{}{}
 	} else {
 		c.acks <- a

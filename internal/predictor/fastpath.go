@@ -1,0 +1,200 @@
+package predictor
+
+import (
+	"fmt"
+	"sync"
+
+	"packetgame/internal/nn"
+)
+
+// This file is the predictor's batched inference fast path (§5.2 deployment
+// budget: the plug-in must cost orders of magnitude less than the decodes it
+// saves). The trained multi-view network is compiled once into flat float32
+// graphs (nn.Compile); every gating round then packs all m streams' feature
+// windows into one [m × views × w] batch, runs the two towers and the head
+// through the fused kernels, and writes confidences into caller scratch.
+// All round-scoped buffers come from sync.Pools, so the steady-state path
+// performs zero allocations and is safe for concurrent callers as long as
+// the weights are frozen (the gate serializes training against prediction).
+
+// fastPath is one compiled snapshot of the predictor's weights.
+type fastPath struct {
+	iTower *nn.Compiled
+	pTower *nn.Compiled
+	head   *nn.Compiled
+}
+
+func (p *Predictor) compileFast(quant bool) (*fastPath, error) {
+	comp := nn.Compile
+	if quant {
+		comp = nn.CompileInt8
+	}
+	fp := &fastPath{}
+	var err error
+	if p.iTower != nil {
+		if fp.iTower, err = comp(p.iTower, []int{1, p.cfg.Window}); err != nil {
+			return nil, err
+		}
+	}
+	if p.pTower != nil {
+		if fp.pTower, err = comp(p.pTower, []int{1, p.cfg.Window}); err != nil {
+			return nil, err
+		}
+	}
+	if fp.head, err = comp(p.head, []int{p.fusedDim}); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// fast returns the compiled snapshot for the requested precision, rebuilding
+// lazily after any weight change (Train, Trainer.Step, Load invalidate it).
+func (p *Predictor) fast(quant bool) (*fastPath, error) {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	tgt := &p.fp
+	if quant {
+		tgt = &p.fpQ
+	}
+	if *tgt == nil {
+		fp, err := p.compileFast(quant)
+		if err != nil {
+			return nil, err
+		}
+		*tgt = fp
+	}
+	return *tgt, nil
+}
+
+// invalidateFast drops the compiled snapshots so the next fast-path call
+// recompiles against the current weights.
+func (p *Predictor) invalidateFast() {
+	p.fpMu.Lock()
+	p.fp, p.fpQ = nil, nil
+	p.fpMu.Unlock()
+}
+
+// Compile eagerly builds the float32 inference graph (otherwise built on the
+// first PredictInto) and reports any compilation error up front.
+func (p *Predictor) Compile() error {
+	_, err := p.fast(false)
+	return err
+}
+
+// batchScratch holds one round's packed batch buffers.
+type batchScratch struct {
+	xi, xp, iOut, pOut, fused, conf []float32
+}
+
+var batchPool = sync.Pool{New: func() interface{} { return new(batchScratch) }}
+
+func grow32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// PredictInto runs the batched compiled forward for feats, writing the
+// [len(feats) × Tasks] confidences row-major into out. It allocates nothing
+// in steady state and matches forwardBatch to float32 precision (the
+// equivalence is property-tested). Feature windows must have the model's
+// window length for every enabled size view.
+func (p *Predictor) PredictInto(feats []Features, out []float64) error {
+	return p.predictInto(feats, out, false)
+}
+
+// PredictIntoInt8 is PredictInto on the int8-quantized graph: weights are
+// symmetric per-row int8, activations are quantized dynamically at each
+// conv/dense stage. Bounded-error, for accelerator-style deployments
+// (internal/accel measures its speedup rather than assuming one).
+func (p *Predictor) PredictIntoInt8(feats []Features, out []float64) error {
+	return p.predictInto(feats, out, true)
+}
+
+func (p *Predictor) predictInto(feats []Features, out []float64, quant bool) error {
+	fp, err := p.fast(quant)
+	if err != nil {
+		return err
+	}
+	n := len(feats)
+	if n == 0 {
+		return nil
+	}
+	w, cu, tasks := p.cfg.Window, p.cfg.ConvUnits, p.cfg.Tasks
+	if len(out) < n*tasks {
+		return fmt.Errorf("predictor: out holds %d values, batch needs %d", len(out), n*tasks)
+	}
+	for k := range feats {
+		if fp.iTower != nil && len(feats[k].ISizes) != w {
+			return fmt.Errorf("predictor: sample %d I-window %d, model window %d", k, len(feats[k].ISizes), w)
+		}
+		if fp.pTower != nil && len(feats[k].PSizes) != w {
+			return fmt.Errorf("predictor: sample %d P-window %d, model window %d", k, len(feats[k].PSizes), w)
+		}
+	}
+	sc := batchPool.Get().(*batchScratch)
+	var iOut, pOut []float32
+	if fp.iTower != nil {
+		sc.xi = grow32(sc.xi, n*w)
+		for k := range feats {
+			row := sc.xi[k*w : (k+1)*w]
+			for j, v := range feats[k].ISizes {
+				row[j] = float32(v)
+			}
+		}
+		sc.iOut = grow32(sc.iOut, n*cu)
+		fp.iTower.Forward(n, sc.xi, sc.iOut)
+		iOut = sc.iOut
+	}
+	if fp.pTower != nil {
+		sc.xp = grow32(sc.xp, n*w)
+		for k := range feats {
+			row := sc.xp[k*w : (k+1)*w]
+			for j, v := range feats[k].PSizes {
+				row[j] = float32(v)
+			}
+		}
+		sc.pOut = grow32(sc.pOut, n*cu)
+		fp.pTower.Forward(n, sc.xp, sc.pOut)
+		pOut = sc.pOut
+	}
+	sc.fused = grow32(sc.fused, n*p.fusedDim)
+	for k := range feats {
+		off := k * p.fusedDim
+		if iOut != nil {
+			copy(sc.fused[off:off+cu], iOut[k*cu:(k+1)*cu])
+			off += cu
+		}
+		if pOut != nil {
+			copy(sc.fused[off:off+cu], pOut[k*cu:(k+1)*cu])
+			off += cu
+		}
+		if p.cfg.UseTemporal {
+			sc.fused[off] = float32(feats[k].Temporal)
+			off++
+		}
+		sc.fused[off] = float32(feats[k].Pict[0])
+		sc.fused[off+1] = float32(feats[k].Pict[1])
+		sc.fused[off+2] = float32(feats[k].Pict[2])
+	}
+	sc.conf = grow32(sc.conf, n*tasks)
+	fp.head.Forward(n, sc.fused, sc.conf)
+	for i, v := range sc.conf[:n*tasks] {
+		out[i] = float64(v)
+	}
+	batchPool.Put(sc)
+	return nil
+}
+
+var slabPool = sync.Pool{New: func() interface{} { return new(Slab) }}
+
+// GetSlab returns a recycled feature slab for round-scoped Features
+// retention (online learning keeps the decision features until feedback).
+func GetSlab() *Slab { return slabPool.Get().(*Slab) }
+
+// PutSlab resets and recycles a slab once its round has retired.
+func PutSlab(s *Slab) {
+	s.Reset()
+	slabPool.Put(s)
+}

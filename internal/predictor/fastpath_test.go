@@ -1,0 +1,294 @@
+package predictor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+// packetSeq builds a GOP-shaped packet sequence for window tests.
+func packetSeq(n int) []*codec.Packet {
+	pkts := make([]*codec.Packet, n)
+	for i := range pkts {
+		p := &codec.Packet{Type: codec.PictureP, Size: 1000 + i*37}
+		if i%25 == 0 {
+			p.Type = codec.PictureI
+			p.Size *= 8
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// randFeats builds a batch of random features matching cfg's enabled views.
+func randFeats(cfg Config, n int, rng *rand.Rand) []Features {
+	cfg = cfg.withDefaults()
+	out := make([]Features, n)
+	for i := range out {
+		f := Features{Temporal: rng.Float64()}
+		f.ISizes = make([]float64, cfg.Window)
+		f.PSizes = make([]float64, cfg.Window)
+		for j := 0; j < cfg.Window; j++ {
+			f.ISizes[j] = rng.Float64()
+			f.PSizes[j] = rng.Float64()
+		}
+		f.Pict[rng.Intn(3)] = 1
+		out[i] = f
+	}
+	return out
+}
+
+// maxErrVsBatch compares PredictInto-style output against PredictBatch.
+func maxErrVsBatch(got []float64, want [][]float64, tasks int) float64 {
+	var worst float64
+	for i := range want {
+		for j := 0; j < tasks; j++ {
+			if d := math.Abs(got[i*tasks+j] - want[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestPredictIntoMatchesPredictBatch is the fast-path equivalence property
+// test: across window lengths, view ablations, and multi-task heads, the
+// compiled float32 batch must match the float64 reference within float32
+// rounding (sigmoid outputs, so absolute error is the right metric).
+func TestPredictIntoMatchesPredictBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", DefaultConfig()},
+		{"w1", Config{Window: 1, UseIView: true, UsePView: true, UseTemporal: true}},
+		{"w2", Config{Window: 2, UseIView: true, UsePView: true}},
+		{"w25", Config{Window: 25, UseIView: true, UsePView: true, UseTemporal: true}},
+		{"iview-only", Config{UseIView: true}},
+		{"pview-temporal", Config{UsePView: true, UseTemporal: true}},
+		{"temporal-only", Config{UseTemporal: true}},
+		{"multi-task", Config{UseIView: true, UsePView: true, UseTemporal: true, Tasks: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Seed = rng.Int63()
+			p, err := New(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks := p.Config().Tasks
+			for _, n := range []int{1, 7, 128} {
+				feats := randFeats(tc.cfg, n, rng)
+				want := p.PredictBatch(feats)
+				got := make([]float64, n*tasks)
+				if err := p.PredictInto(feats, got); err != nil {
+					t.Fatalf("PredictInto: %v", err)
+				}
+				if worst := maxErrVsBatch(got, want, tasks); worst > 1e-6 {
+					t.Fatalf("n=%d: fast path max abs err %g vs PredictBatch", n, worst)
+				}
+			}
+		})
+	}
+}
+
+// TestPredictIntoInt8Tolerance bounds the quantized fast path against the
+// float64 reference. Two stacked towers plus the head accumulate more
+// quantization noise than a lone graph, so the bound is loose but meaningful
+// for sigmoid confidences.
+func TestPredictIntoInt8Tolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	feats := randFeats(p.Config(), n, rng)
+	want := p.PredictBatch(feats)
+	got := make([]float64, n)
+	if err := p.PredictIntoInt8(feats, got); err != nil {
+		t.Fatalf("PredictIntoInt8: %v", err)
+	}
+	var sum float64
+	for i := range got {
+		sum += math.Abs(got[i] - want[i][0])
+	}
+	if worst := maxErrVsBatch(got, want, 1); worst > 0.25 {
+		t.Fatalf("int8 fast path max abs err %g", worst)
+	}
+	if mean := sum / n; mean > 0.1 {
+		t.Fatalf("int8 fast path mean abs err %g", mean)
+	}
+}
+
+// TestPredictIntoZeroAlloc: the steady-state batched forward allocates
+// nothing (pools are warm after the first call).
+func TestPredictIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(23))
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	feats := randFeats(p.Config(), n, rng)
+	out := make([]float64, n)
+	if err := p.PredictInto(feats, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := p.PredictInto(feats, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictInto allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestWindowZeroAlloc: Push and Features are allocation-free after
+// construction — the ring's double-write keeps the views contiguous.
+func TestWindowZeroAlloc(t *testing.T) {
+	w := NewWindow(5)
+	pkts := packetSeq(64)
+	for _, p := range pkts {
+		w.Push(p)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Push(pkts[i%len(pkts)])
+		f := w.Features(0.5)
+		if len(f.ISizes) != 5 || len(f.PSizes) != 5 {
+			t.Fatal("bad view length")
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Push+Features allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestFastPathInvalidatedByTraining: weight changes via Train, Trainer.Step,
+// and Load must drop the compiled snapshot, so the fast path tracks the
+// current weights instead of serving stale compilations.
+func TestFastPathInvalidatedByTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	newP := func() *Predictor {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	check := func(name string, p *Predictor, mutate func(p *Predictor)) {
+		feats := randFeats(cfg, 16, rng)
+		out := make([]float64, 16)
+		if err := p.PredictInto(feats, out); err != nil { // compile against old weights
+			t.Fatalf("%s: %v", name, err)
+		}
+		mutate(p)
+		want := p.PredictBatch(feats)
+		if err := p.PredictInto(feats, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if worst := maxErrVsBatch(out, want, 1); worst > 1e-5 {
+			t.Fatalf("%s: fast path stale after weight change (max err %g)", name, worst)
+		}
+	}
+	samples := synthSamples(64, cfg.Window, 1, 31)
+	check("Train", newP(), func(p *Predictor) {
+		if _, err := p.Train(samples, TrainOptions{Epochs: 2, Seed: 5}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("Trainer.Step", newP(), func(p *Predictor) {
+		if _, err := NewTrainer(p, 0.01).Step(samples[:16]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	check("Load", newP(), func(p *Predictor) {
+		donor := newP()
+		if _, err := donor.Train(samples, TrainOptions{Epochs: 2, Seed: 6}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := donor.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Load(&buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPredictIntoValidation: malformed windows and short outputs error
+// instead of corrupting the packed batch.
+func TestPredictIntoValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats := randFeats(p.Config(), 4, rng)
+	if err := p.PredictInto(feats, make([]float64, 3)); err == nil {
+		t.Fatal("expected error for short out buffer")
+	}
+	bad := append([]Features(nil), feats...)
+	bad[2].ISizes = bad[2].ISizes[:3]
+	if err := p.PredictInto(bad, make([]float64, 4)); err == nil {
+		t.Fatal("expected error for wrong I-window length")
+	}
+	bad = append([]Features(nil), feats...)
+	bad[1].PSizes = nil
+	if err := p.PredictInto(bad, make([]float64, 4)); err == nil {
+		t.Fatal("expected error for missing P-window")
+	}
+	if err := p.PredictInto(nil, nil); err != nil {
+		t.Fatalf("empty batch should be a no-op, got %v", err)
+	}
+}
+
+// TestSlabCloneInto: slab clones are detached from their sources and from
+// each other, survive slab growth, and Reset recycles storage.
+func TestSlabCloneInto(t *testing.T) {
+	s := &Slab{}
+	src := Features{ISizes: []float64{1, 2, 3}, PSizes: []float64{4, 5, 6}, Temporal: 0.5}
+	clones := make([]Features, 0, 2000)
+	for i := 0; i < 2000; i++ { // force multiple chunks
+		clones = append(clones, s.CloneInto(src))
+	}
+	src.ISizes[0] = 99 // mutating the source must not reach the clones
+	for i, c := range clones {
+		if c.ISizes[0] != 1 || c.PSizes[2] != 6 || c.Temporal != 0.5 {
+			t.Fatalf("clone %d corrupted: %+v", i, c)
+		}
+	}
+	// Alloc'd slices are capacity-capped: appending must not clobber later
+	// slab contents.
+	a := s.Alloc(2)
+	b := s.Alloc(2)
+	_ = append(a, 7)
+	if b[0] == 7 {
+		t.Fatal("append to a capacity-capped slab slice clobbered its neighbor")
+	}
+
+	s.Reset()
+	warm := testing.AllocsPerRun(10, func() {
+		s.CloneInto(src)
+		s.Reset()
+	})
+	if warm != 0 {
+		t.Fatalf("recycled slab allocates %v times per clone round, want 0", warm)
+	}
+}

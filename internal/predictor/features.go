@@ -45,12 +45,40 @@ type Features struct {
 	Pict [3]float64
 }
 
+// sizeRing is a double-write ring of window length w: every value is stored
+// at its slot and again w slots later, so the oldest-first window is always
+// one contiguous subslice and a push is O(1) instead of the O(w) shift of a
+// plain sliding buffer. view is that subslice — callers read it zero-copy.
+type sizeRing struct {
+	buf  []float64 // length 2w; invariant buf[i] == buf[i-w] for i ≥ w
+	pos  int       // slot of the most recent push
+	view []float64 // buf[pos+1 : pos+1+w], oldest first
+}
+
+func newSizeRing(w int) sizeRing {
+	buf := make([]float64, 2*w)
+	return sizeRing{buf: buf, pos: w - 1, view: buf[w : 2*w]}
+}
+
+func (r *sizeRing) w() int { return len(r.buf) / 2 }
+
+func (r *sizeRing) push(v float64) {
+	w := r.w()
+	r.pos++
+	if r.pos == w {
+		r.pos = 0
+	}
+	r.buf[r.pos] = v
+	r.buf[r.pos+w] = v
+	r.view = r.buf[r.pos+1 : r.pos+1+w]
+}
+
 // Window maintains the per-stream sliding feature window. Push each parsed
 // packet (the current one included) before asking for Features.
 type Window struct {
 	w      int
-	iSizes []float64
-	pSizes []float64
+	iRing  sizeRing
+	pRing  sizeRing
 	last   codec.PictureType
 	pushes int64
 }
@@ -60,23 +88,20 @@ func NewWindow(w int) *Window {
 	if w < 1 {
 		w = 1
 	}
-	return &Window{
-		w:      w,
-		iSizes: make([]float64, w),
-		pSizes: make([]float64, w),
-	}
+	return &Window{w: w, iRing: newSizeRing(w), pRing: newSizeRing(w)}
 }
 
 // W returns the window length.
 func (fw *Window) W() int { return fw.w }
 
-// Push folds one parsed packet into the window.
+// Push folds one parsed packet into the window. It is O(1): the ring's
+// double-write keeps the oldest-first view contiguous without shifting.
 func (fw *Window) Push(p *codec.Packet) {
 	v := NormalizeSize(p.Size)
 	if p.Type == codec.PictureI {
-		shiftIn(fw.iSizes, v)
+		fw.iRing.push(v)
 	} else {
-		shiftIn(fw.pSizes, v)
+		fw.pRing.push(v)
 	}
 	fw.last = p.Type
 	fw.pushes++
@@ -92,7 +117,7 @@ func (fw *Window) Pushes() int64 { return fw.pushes }
 // the temporal-only estimate instead of feeding garbage to the network.
 func (fw *Window) Poisoned() bool {
 	zeros := true
-	for _, s := range [2][]float64{fw.iSizes, fw.pSizes} {
+	for _, s := range [2][]float64{fw.iRing.view, fw.pRing.view} {
 		for _, v := range s {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return true
@@ -105,18 +130,14 @@ func (fw *Window) Poisoned() bool {
 	return zeros && fw.pushes >= int64(fw.w)
 }
 
-func shiftIn(s []float64, v float64) {
-	copy(s, s[1:])
-	s[len(s)-1] = v
-}
-
 // Features builds the input features using the given temporal estimate.
-// The returned slices alias the window's buffers; callers that retain them
-// across Push calls must copy.
+// It is allocation-free: the returned slices are zero-copy views into the
+// window's ring buffers, oldest first. Callers that retain them across Push
+// calls must copy (Clone, or a Slab for bulk retention).
 func (fw *Window) Features(temporal float64) Features {
 	f := Features{
-		ISizes:   fw.iSizes,
-		PSizes:   fw.pSizes,
+		ISizes:   fw.iRing.view,
+		PSizes:   fw.pRing.view,
 		Temporal: temporal,
 	}
 	f.Pict[int(fw.last)] = 1
@@ -129,4 +150,62 @@ func (f Features) Clone() Features {
 	c.ISizes = append([]float64(nil), f.ISizes...)
 	c.PSizes = append([]float64(nil), f.PSizes...)
 	return c
+}
+
+// Slab clones Features into chunked backing storage so that retaining one
+// round's features costs zero steady-state allocations: a slab is acquired
+// per round (see GetSlab), filled with CloneInto, and recycled once the
+// round's feedback retires. Earlier clones stay valid as the slab grows —
+// chunks are never reallocated, only appended.
+type Slab struct {
+	cur    []float64
+	chunks [][]float64
+}
+
+const slabChunk = 4096
+
+func (s *Slab) alloc(n int) []float64 {
+	if cap(s.cur)-len(s.cur) < n {
+		size := slabChunk
+		if n > size {
+			size = n
+		}
+		s.cur = make([]float64, 0, size)
+		s.chunks = append(s.chunks, s.cur)
+	}
+	off := len(s.cur)
+	s.cur = s.cur[:off+n]
+	return s.cur[off : off+n : off+n]
+}
+
+// Alloc returns an n-element slice of slab storage (capacity-capped, so
+// appends never clobber neighbors). Valid until Reset.
+func (s *Slab) Alloc(n int) []float64 { return s.alloc(n) }
+
+// CloneInto copies f's slices into the slab and returns the detached copy.
+func (s *Slab) CloneInto(f Features) Features {
+	c := f
+	c.ISizes = s.alloc(len(f.ISizes))
+	copy(c.ISizes, f.ISizes)
+	c.PSizes = s.alloc(len(f.PSizes))
+	copy(c.PSizes, f.PSizes)
+	return c
+}
+
+// Reset discards the slab's contents, keeping its largest chunk so a
+// recycled slab serves the next round without allocating.
+func (s *Slab) Reset() {
+	var best []float64
+	for _, ch := range s.chunks {
+		if cap(ch) > cap(best) {
+			best = ch
+		}
+	}
+	s.chunks = s.chunks[:0]
+	if best != nil {
+		s.cur = best[:0]
+		s.chunks = append(s.chunks, s.cur)
+	} else {
+		s.cur = nil
+	}
 }

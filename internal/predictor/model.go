@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"packetgame/internal/nn"
 )
@@ -68,8 +69,11 @@ type Predictor struct {
 
 	fusedDim int
 
-	// Scratch buffers for the zero-allocation single-sample fast path.
-	x1, xp, fused *nn.Tensor
+	// Compiled inference snapshots (float32 / int8), built lazily by the
+	// fast path and dropped whenever the weights change. Guarded by fpMu.
+	fpMu sync.Mutex
+	fp   *fastPath
+	fpQ  *fastPath
 }
 
 // New builds a predictor from the config.
@@ -244,4 +248,10 @@ func (p *Predictor) Save(w io.Writer) error { return nn.SaveParams(w, p.Params()
 
 // Load restores weights produced by Save on an identically configured
 // predictor.
-func (p *Predictor) Load(r io.Reader) error { return nn.LoadParams(r, p.Params()) }
+func (p *Predictor) Load(r io.Reader) error {
+	if err := nn.LoadParams(r, p.Params()); err != nil {
+		return err
+	}
+	p.invalidateFast()
+	return nil
+}

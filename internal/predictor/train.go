@@ -93,6 +93,7 @@ func (p *Predictor) Train(samples []Sample, opts TrainOptions) (float64, error) 
 			opts.Progress(epoch, lastLoss)
 		}
 	}
+	p.invalidateFast()
 	return lastLoss, nil
 }
 

@@ -43,5 +43,6 @@ func (t *Trainer) Step(batch []Sample) (float64, error) {
 	nn.ZeroGrads(t.p.Params())
 	t.p.backwardBatch(len(batch), grad)
 	t.opt.Step(t.p.Params())
+	t.p.invalidateFast()
 	return loss, nil
 }
