@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify vet fuzz bench chaos alloc-smoke
+.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,17 @@ alloc-smoke:
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke
+verify: build vet test race alloc-smoke soak
+
+# The overload soak under the race detector: the compressed diurnal campus
+# day with chaos faults and a capacity-collapse incident, replayed with and
+# without the budget governor. The experiment self-asserts the SLO, the
+# peak-miss gap, FD recall, and bit-identical determinism; scale 0.25 keeps
+# the raced run under ~2 minutes. SOAKSCALE=1 reproduces the full m=256
+# soak and rewrites BENCH_overload.json.
+SOAKSCALE ?= 0.25
+soak:
+	$(GO) run -race ./cmd/pgbench -exp overload -scale $(SOAKSCALE)
 
 # Short fuzzing sessions for the bitstream parser and the PGV demuxer.
 # Seed corpora always run as part of `make test`; this digs deeper.

@@ -8,12 +8,15 @@
 //	pggate -streams 32 -budget 8 -task PC -rounds 2000
 //	pggate -connect 127.0.0.1:9560 -budget 8 -task AD -weights ad.pgw
 //	pggate -streams 32 -budget 8 -policy roundrobin    # baseline
+//	pggate -slo 50ms -priorities fd:0,ad:1,pc:2,sr:3   # governed mixed fleet
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"packetgame/internal/codec"
@@ -23,6 +26,7 @@ import (
 	"packetgame/internal/infer"
 	"packetgame/internal/knapsack"
 	"packetgame/internal/metrics"
+	"packetgame/internal/overload"
 	"packetgame/internal/pipeline"
 	"packetgame/internal/predictor"
 	"packetgame/internal/stream"
@@ -47,12 +51,41 @@ func main() {
 		burn      = flag.Int64("burn", 0, "CPU nanoseconds burned per decode-cost unit (software decoder model)")
 		latency   = flag.Int64("latency", 0, "wall-clock nanoseconds per decode-cost unit (offloaded decoder model)")
 		faults    = flag.String("faults", "", "fault profile: none, light, chaos, heavy, or key=value list (arms circuit breakers)")
+		slo       = flag.Duration("slo", 0, "per-round latency SLO arming the overload governor (0 = ungoverned; packetgame policy only)")
+		deadline  = flag.Duration("deadline", 0, "round decode deadline: rounds still pending settle with Deferred feedback (pipelined only, 0 = off)")
+		prioSpec  = flag.String("priorities", "", "admission tiers as task:tier pairs, e.g. fd:0,ad:1,pc:2,sr:3 — stream i runs (and is tiered by) entry i mod n; packetgame policy only")
 	)
 	flag.Parse()
 
 	task, err := infer.ByName(*taskName)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Overload controls. -priorities stripes a mixed-task fleet across
+	// admission tiers; -slo arms the AIMD budget governor and degradation
+	// ladder. Both act through the tiered gate, so they require the
+	// packetgame policy.
+	if (*slo != 0 || *prioSpec != "") && *policy != "packetgame" {
+		fatal(fmt.Errorf("-slo and -priorities require -policy packetgame (the baselines have no admission control)"))
+	}
+	var prioTasks []infer.Task
+	var prioTiers []uint8
+	if *prioSpec != "" {
+		prioTasks, prioTiers, err = parsePriorities(*prioSpec)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var gov *overload.Governor
+	var ostats *metrics.OverloadStats
+	if *slo != 0 {
+		ostats = &metrics.OverloadStats{}
+		gov, err = overload.NewGovernor(overload.Config{SLO: *slo, Budget: *budget, Stats: ostats})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pggate: governor armed: SLO %v on nominal budget %.1f\n", *slo, *budget)
 	}
 
 	// Faults. A named (or custom) profile injects deterministic faults at the
@@ -122,6 +155,15 @@ func main() {
 		if inj != nil {
 			cfg.Breaker = &core.BreakerConfig{}
 		}
+		if len(prioTiers) != 0 {
+			pr := make([]uint8, m)
+			for i := range pr {
+				pr[i] = prioTiers[i%len(prioTiers)]
+			}
+			cfg.Priorities = pr
+		}
+		cfg.Governor = gov
+		cfg.Overload = ostats
 		if *weights != "" {
 			pcfg := predictor.DefaultConfig()
 			pcfg.Window = *window
@@ -153,10 +195,10 @@ func main() {
 
 	stages := &metrics.StageSet{}
 	pcfg := pipeline.Config{
-		Source: src, Gate: gate, Task: task, Workers: *workers,
+		Source: src, Gate: gate, Task: task, Tasks: prioTasks, Workers: *workers,
 		Pipelined: *pipelined, MaxInFlight: *inflight, FreshFeedback: *fresh,
 		BurnNanosPerUnit: *burn, LatencyNanosPerUnit: *latency,
-		Stages: stages,
+		Stages: stages, Deadline: *deadline, Governor: gov, Overload: ostats,
 	}
 	if inj != nil {
 		pcfg.Retry = decode.RetryPolicy{MaxRetries: 2, Backoff: time.Millisecond}
@@ -204,6 +246,17 @@ func main() {
 		fmt.Printf("  stage %-8s    %d rounds, mean %.2fms, max depth %d\n",
 			st.name, st.s.Done, st.s.MeanNanos()/1e6, st.s.MaxDepth)
 	}
+	if gov != nil {
+		gs := gov.Snapshot()
+		ov := rep.Overload
+		fmt.Printf("  governor          SLO %v: %d/%d rounds missed, B_eff %.1f/%.1f, mode %s (ewma %v)\n",
+			gov.Config().SLO, gs.SLOMisses, gs.Rounds, gs.BEff, *budget, gs.Mode, gs.EWMA.Round(time.Microsecond))
+		fmt.Printf("  AIMD/ladder       %d cuts, %d raises; %d steps down, %d up (rounds full/temporal/keyframe/shed %d/%d/%d/%d)\n",
+			gs.Cuts, gs.Raises, gs.StepDowns, gs.StepUps,
+			gs.ModeRounds[0], gs.ModeRounds[1], gs.ModeRounds[2], gs.ModeRounds[3])
+		fmt.Printf("  admission         %d packets shed, %d slots deferred, %d deadline-aborted\n",
+			ov.Shed, ov.Deferred, ov.Aborted)
+	}
 	if inj != nil {
 		fmt.Printf("  decode failures   %d (after retries)\n", rep.DecodeFailed)
 		if faultFleet != nil {
@@ -229,6 +282,30 @@ func main() {
 		fmt.Printf("  transport         %d reconnects, %d CRC-dropped frames\n",
 			resilient.Reconnects(), resilient.CorruptDropped())
 	}
+}
+
+// parsePriorities parses a "task:tier,task:tier" admission spec into the
+// striped class lists: stream i runs tasks[i mod n] at tier tiers[i mod n].
+func parsePriorities(spec string) ([]infer.Task, []uint8, error) {
+	var tasks []infer.Task
+	var tiers []uint8
+	for _, part := range strings.Split(spec, ",") {
+		name, tier, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("priorities: %q is not task:tier", part)
+		}
+		task, err := infer.ByName(strings.ToUpper(strings.TrimSpace(name)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("priorities: %w", err)
+		}
+		t, err := strconv.ParseUint(strings.TrimSpace(tier), 10, 8)
+		if err != nil {
+			return nil, nil, fmt.Errorf("priorities: tier %q: %w", tier, err)
+		}
+		tasks = append(tasks, task)
+		tiers = append(tiers, uint8(t))
+	}
+	return tasks, tiers, nil
 }
 
 func fatal(err error) {

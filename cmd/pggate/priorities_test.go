@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParsePriorities(t *testing.T) {
+	tasks, tiers, err := parsePriorities("fd:0,ad:1,pc:2,sr:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTasks := []string{"FD", "AD", "PC", "SR"}
+	wantTiers := []uint8{0, 1, 2, 3}
+	if len(tasks) != len(wantTasks) {
+		t.Fatalf("parsed %d classes, want %d", len(tasks), len(wantTasks))
+	}
+	for i := range tasks {
+		if tasks[i].Name() != wantTasks[i] {
+			t.Errorf("class %d task = %s, want %s", i, tasks[i].Name(), wantTasks[i])
+		}
+		if tiers[i] != wantTiers[i] {
+			t.Errorf("class %d tier = %d, want %d", i, tiers[i], wantTiers[i])
+		}
+	}
+
+	if _, _, err := parsePriorities("fd=0"); err == nil {
+		t.Error("missing colon must error")
+	}
+	if _, _, err := parsePriorities("xx:0"); err == nil {
+		t.Error("unknown task must error")
+	}
+	if _, _, err := parsePriorities("fd:banana"); err == nil {
+		t.Error("non-numeric tier must error")
+	}
+	if _, _, err := parsePriorities("fd:300"); err == nil {
+		t.Error("tier beyond uint8 must error")
+	}
+}

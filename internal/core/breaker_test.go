@@ -267,6 +267,91 @@ func TestQuarantineKnapsackBound(t *testing.T) {
 	}
 }
 
+// TestQuarantineTieredKnapsackBound extends the budget-reallocation
+// guarantee to the tiered (priority-class) solver: with quarantined streams
+// zeroed exactly as Decide does, (a) no quarantined stream is ever picked,
+// (b) the quarantined stream's tier keeps or improves its value net of the
+// quarantined member — the freed budget flows in-tier before cascading —
+// while tiers above it are untouched, and (c) the per-tier Lemma-1 bound
+// holds against the budget each tier saw over the healthy subset.
+func TestQuarantineTieredKnapsackBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	tiered := &knapsack.Tiered{}
+	dp := &knapsack.ExactDP{Scale: 0.01}
+	const numTiers = 4
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		items := make([]knapsack.Item, n)
+		tiers := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			items[i] = knapsack.Item{Value: 0.05 + rng.Float64(), Cost: 0.8 + 2.2*rng.Float64()}
+			tiers[i] = uint8(rng.Intn(numTiers))
+		}
+		budget := 2.9 + rng.Float64()*6
+		base := tiered.SelectAppend(nil, items, tiers, numTiers, budget)
+		if len(base) == 0 {
+			continue
+		}
+		q := base[rng.Intn(len(base))]
+		qTier := int(tiers[q])
+		mixed := make([]knapsack.Item, n)
+		copy(mixed, items)
+		mixed[q] = knapsack.Item{} // what Decide emits for open breakers
+		sel := tiered.SelectAppend(nil, mixed, tiers, numTiers, budget)
+		for _, i := range sel {
+			if i == q {
+				t.Fatalf("trial %d: tiered picked quarantined stream %d", trial, q)
+			}
+		}
+		tierValue := func(selIdx []int, tier, skip int) float64 {
+			var v float64
+			for _, i := range selIdx {
+				if i != skip && int(tiers[i]) == tier {
+					v += items[i].Value
+				}
+			}
+			return v
+		}
+		for tier := 0; tier < qTier; tier++ {
+			if b, a := tierValue(base, tier, -1), tierValue(sel, tier, -1); math.Abs(b-a) > 1e-9 {
+				t.Fatalf("trial %d: quarantine in tier %d disturbed upstream tier %d (%v → %v)",
+					trial, qTier, tier, b, a)
+			}
+		}
+		if before, now := tierValue(base, qTier, q), tierValue(sel, qTier, -1); now < before-1e-9 {
+			t.Fatalf("trial %d: tier %d lost in-tier value %v → %v after quarantine",
+				trial, qTier, before, now)
+		}
+		// Per-tier Lemma-1 over the healthy subset, replaying the cascade.
+		remaining := budget
+		for tier := 0; tier < numTiers; tier++ {
+			var healthy []knapsack.Item
+			var got float64
+			for i, it := range mixed {
+				if int(tiers[i]) != tier || it.Value <= 0 {
+					continue
+				}
+				healthy = append(healthy, it)
+			}
+			got = tierValue(sel, tier, -1)
+			if len(healthy) > 0 && remaining > 0 {
+				if c := knapsack.MaxCost(healthy); c < remaining {
+					opt := knapsack.TotalValue(healthy, dp.Select(healthy, remaining))
+					if bound := (1 - c/remaining) * opt; got < bound-1e-6 {
+						t.Fatalf("trial %d tier %d: value %v < (1-%v/%v)·OPT = %v",
+							trial, tier, got, c, remaining, bound)
+					}
+				}
+			}
+			for _, i := range sel {
+				if int(tiers[i]) == tier {
+					remaining -= mixed[i].Cost
+				}
+			}
+		}
+	}
+}
+
 // TestPoisonedWindowDegradesToTemporal feeds a stream zero-size packets (the
 // truncation signature): the fault-aware gate must flag its feature window as
 // poisoned and score it with the temporal-only estimate, while a

@@ -14,6 +14,8 @@ import (
 	"packetgame/internal/codec"
 	"packetgame/internal/decode"
 	"packetgame/internal/knapsack"
+	"packetgame/internal/metrics"
+	"packetgame/internal/overload"
 	"packetgame/internal/predictor"
 	"packetgame/internal/trace"
 )
@@ -82,6 +84,27 @@ type Config struct {
 	// keeps the fault-oblivious behavior (bit-identical decisions to
 	// earlier versions).
 	Breaker *BreakerConfig
+	// Priorities assigns each stream an admission-control tier (0 =
+	// highest, e.g. fire detection). When set it must have length Streams
+	// and switches selection to the strict-priority tiered solver: low
+	// tiers are shed first when the effective budget shrinks, and a
+	// quarantined stream's freed budget flows to its own tier before
+	// cascading down. Incompatible with a custom Selector. Nil keeps the
+	// single-pool greedy solve.
+	Priorities []uint8
+	// Governor, when non-nil, closes the overload control loop: each
+	// Decide plans against the governor's current effective budget B_eff
+	// (instead of the fixed Budget) and degradation mode — full →
+	// temporal-only (contextual predictor skipped) → keyframe-only (only
+	// I-packets admitted) → shed (only tier-0 I-packets admitted). The
+	// caller feeds observed round latencies into the governor; streams
+	// refused admission by a brownout mode are simply not selected, which
+	// the temporal estimator already treats as "no evidence" — load
+	// shedding never fabricates necessity labels.
+	Governor *overload.Governor
+	// Overload, when non-nil, receives admission-control counters (packets
+	// shed by brownout modes, feedback slots settled as deferred).
+	Overload *metrics.OverloadStats
 	// Trace, when non-nil, records every round's confidences, costs, and
 	// decisions as a JSON Lines audit trail (written at Feedback time,
 	// once redundancy outcomes are known).
@@ -105,6 +128,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Costs == (decode.CostModel{}) {
 		c.Costs = decode.DefaultCosts
+	}
+	if len(c.Priorities) != 0 {
+		if len(c.Priorities) != c.Streams {
+			return c, fmt.Errorf("core: %d priorities for %d streams", len(c.Priorities), c.Streams)
+		}
+		if c.Selector != nil {
+			return c, fmt.Errorf("core: Priorities require the tiered solver and cannot combine with a custom Selector")
+		}
 	}
 	if c.Selector == nil {
 		c.Selector = &knapsack.Greedy{}
@@ -232,8 +263,15 @@ type Gate struct {
 	selOut   []int     // SelectAppend scratch
 	selected []bool
 	degraded []bool // poisoned-window streams scored temporal-only this round
+	shed     []bool // streams refused admission by the brownout mode this round
 	tasks    int    // predictor head count (0 without a predictor)
 	selApp   knapsack.SelectAppender // non-nil when Selector supports append
+
+	// Tiered admission control (Config.Priorities). tiers is the clamped
+	// per-stream tier table, fixed at construction.
+	tiered   *knapsack.Tiered
+	tiers    []uint8
+	numTiers int
 
 	// Feedback scratch (ackMu).
 	reward []float64
@@ -269,7 +307,18 @@ func NewGate(cfg Config) (*Gate, error) {
 		bonus:      make([]float64, cfg.Streams),
 		selected:   make([]bool, cfg.Streams),
 		degraded:   make([]bool, cfg.Streams),
+		shed:       make([]bool, cfg.Streams),
 		reward:     make([]float64, cfg.Streams),
+	}
+	if len(cfg.Priorities) != 0 {
+		g.numTiers = 1
+		for _, t := range cfg.Priorities {
+			if int(t)+1 > g.numTiers {
+				g.numTiers = int(t) + 1
+			}
+		}
+		g.tiers = append([]uint8(nil), cfg.Priorities...)
+		g.tiered = &knapsack.Tiered{}
 	}
 	if cfg.Predictor != nil {
 		g.tasks = cfg.Predictor.Config().Tasks
@@ -370,6 +419,15 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	}
 	g.pendMu.Unlock()
 
+	// 0. Plan against the overload governor (when armed): the round runs
+	// with the governor's effective budget and degradation mode instead of
+	// the fixed nominal budget.
+	bEff := g.cfg.Budget
+	mode := overload.ModeFull
+	if g.cfg.Governor != nil {
+		bEff, mode = g.cfg.Governor.Plan()
+	}
+
 	// 1. Advance the circuit breakers (when armed) and fold packet
 	// metadata into the per-stream feature windows, reading the sharded
 	// per-stream state (temporal estimate, exploration bonus,
@@ -377,12 +435,24 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	// streams are observed but excluded: their windows stay frozen
 	// (untrusted metadata), their packets never enter the selection, and
 	// the budget they would have consumed flows to the healthy streams.
+	// Brownout modes shed packets at admission here too — shed streams
+	// still push their (trusted) windows below so context stays warm for
+	// recovery, but they are excluded from scoring and selection.
 	var quar []bool
 	if g.breakers != nil {
 		quar = g.breakers.beginRound(pkts)
 	}
+	for i := range g.conf {
+		g.conf[i] = 0
+		g.costs[i] = 0
+		g.temporal[i] = 0
+		g.bonus[i] = 0
+		g.degraded[i] = false
+		g.shed[i] = false
+	}
 	g.active = g.active[:0]
 	nonIdle := 0
+	shedCount := 0
 	for i, p := range pkts {
 		if p == nil {
 			continue
@@ -391,14 +461,15 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		if quar != nil && quar[i] {
 			continue
 		}
+		if !g.admit(mode, i, p) {
+			g.shed[i] = true
+			shedCount++
+			continue
+		}
 		g.active = append(g.active, i)
 	}
-	for i := range g.conf {
-		g.conf[i] = 0
-		g.costs[i] = 0
-		g.temporal[i] = 0
-		g.bonus[i] = 0
-		g.degraded[i] = false
+	if shedCount > 0 {
+		g.cfg.Overload.AddShed(int64(shedCount))
 	}
 	depAware := *g.cfg.DependencyAware
 	for _, sh := range g.shards.shards {
@@ -426,9 +497,14 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	// temporal estimate, plus the exploration bonus (Alg. 1 line 5-6).
 	// The compiled batched fast path scores all active streams in one
 	// forward; NoFastPath routes through the reference float64 stack.
+	// Brownout modes below full skip the predictor entirely — the
+	// temporal-only rung is exactly the poisoned-window degradation
+	// applied fleet-wide, and the deeper rungs inherit it — which also
+	// suspends online-training retention (no predictor features were used,
+	// so there is nothing truthful to train on).
 	var roundFeats map[int]predictor.Features
 	var roundSlab *predictor.Slab
-	if g.cfg.Predictor != nil {
+	if g.cfg.Predictor != nil && mode == overload.ModeFull {
 		g.feats = g.feats[:0]
 		for _, i := range g.active {
 			t := 0.0
@@ -493,18 +569,22 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		}
 	}
 
-	// 3. Combinatorial selection under the budget. Quarantined streams
-	// contribute zero-value items, which the selectors never pick.
+	// 3. Combinatorial selection under the effective budget. Quarantined
+	// and brownout-shed streams contribute zero-value items, which the
+	// selectors never pick. With Priorities configured, the tiered solver
+	// runs tiers in strict priority order.
 	for i := range g.items {
 		g.items[i] = knapsack.Item{}
-		if pkts[i] != nil && (quar == nil || !quar[i]) {
+		if pkts[i] != nil && (quar == nil || !quar[i]) && !g.shed[i] {
 			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
 		}
 	}
-	if g.selApp != nil {
-		g.selOut = g.selApp.SelectAppend(g.selOut[:0], g.items, g.cfg.Budget)
+	if g.tiered != nil {
+		g.selOut = g.tiered.SelectAppend(g.selOut[:0], g.items, g.tiers, g.numTiers, bEff)
+	} else if g.selApp != nil {
+		g.selOut = g.selApp.SelectAppend(g.selOut[:0], g.items, bEff)
 	} else {
-		g.selOut = append(g.selOut[:0], g.cfg.Selector.Select(g.items, g.cfg.Budget)...)
+		g.selOut = append(g.selOut[:0], g.cfg.Selector.Select(g.items, bEff)...)
 	}
 	sel := g.selOut
 
@@ -539,7 +619,7 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		slab:     roundSlab,
 	}
 	if g.cfg.Trace != nil {
-		rec := &trace.Round{T: g.stats.Rounds, Budget: g.cfg.Budget, Spent: spent}
+		rec := &trace.Round{T: g.stats.Rounds, Budget: bEff, Spent: spent}
 		for _, i := range g.active {
 			rec.Decisions = append(rec.Decisions, trace.Decision{
 				Stream:     i,
@@ -567,6 +647,21 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	g.pending = append(g.pending, pr)
 	g.pendMu.Unlock()
 	return nil
+}
+
+// admit applies the degradation ladder's admission rule to one packet:
+// keyframe-only admits independent pictures, shed admits only top-tier
+// (priority 0) independent pictures. Without Priorities every stream is
+// tier 0, so shed degenerates to keyframe-only.
+func (g *Gate) admit(mode overload.Mode, i int, p *codec.Packet) bool {
+	switch mode {
+	case overload.ModeKeyframeOnly:
+		return p.Type.Independent()
+	case overload.ModeShed:
+		return p.Type.Independent() && (g.tiers == nil || g.tiers[i] == 0)
+	default:
+		return true
+	}
 }
 
 // grabSel / grabBools / grabFeatsMap recycle retired pending-round buffers.
@@ -624,6 +719,25 @@ func (g *Gate) Feedback(selected []int, necessary []bool) error {
 // reward windows stay well-defined over partial rounds. failed may be nil
 // (no failures), which is exactly Feedback.
 func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) error {
+	return g.FeedbackFull(selected, necessary, failed, nil)
+}
+
+// FeedbackFull is FeedbackExt with load-shedding outcomes: deferred[k]
+// marks a selection the pipeline abandoned to meet a round deadline. A
+// deferred slot's outcome is *unknown* — not a failure, not a redundancy
+// verdict — so it must not leave a trace in any learned state: the slot is
+// recorded as unselected in the temporal estimator's reward window (no
+// reward, no selection count — only its age grows, exactly as if the
+// optimizer had passed it over), it never reaches the online trainer, and
+// it does not drive the stream's circuit breaker (the stream did nothing
+// wrong). necessary[k] is ignored for deferred slots. deferred may be nil
+// (nothing abandoned), which is exactly FeedbackExt.
+//
+// One deliberate approximation: the dependency tracker committed the
+// selection at Decide time, so an abandoned decode leaves the tracker
+// optimistic about the reference chain until the stream's next keyframe
+// resets it — the GOP bounds the error window.
+func (g *Gate) FeedbackFull(selected []int, necessary, failed, deferred []bool) error {
 	g.ackMu.Lock()
 	defer g.ackMu.Unlock()
 	g.pendMu.Lock()
@@ -639,6 +753,9 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 	if failed != nil && len(failed) != len(selected) {
 		return fmt.Errorf("core: %d selections with %d failure flags", len(selected), len(failed))
 	}
+	if deferred != nil && len(deferred) != len(selected) {
+		return fmt.Errorf("core: %d selections with %d deferral flags", len(selected), len(deferred))
+	}
 	if len(selected) != len(pr.sel) {
 		return fmt.Errorf("core: feedback for %d selections, pending round selected %d", len(selected), len(pr.sel))
 	}
@@ -652,15 +769,32 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 		if !pr.selBools[i] {
 			return fmt.Errorf("core: feedback for stream %d, which the pending round did not select", i)
 		}
-		if necessary[k] {
+		if necessary[k] && (deferred == nil || !deferred[k]) {
 			g.reward[i] = 1
 		}
 	}
+	// Deferred slots are recorded as unselected before the estimator push:
+	// the round's selBools buffer is about to be recycled anyway, and the
+	// cleared flag is what keeps abandoned decodes out of the UCB windows.
+	if deferred != nil {
+		var n int64
+		for k, i := range selected {
+			if deferred[k] {
+				pr.selBools[i] = false
+				n++
+			}
+		}
+		g.cfg.Overload.AddDeferred(n)
+	}
 
 	// Fold decode outcomes into the circuit breakers: a failure run opens
-	// the breaker, a success closes a half-open probe.
+	// the breaker, a success closes a half-open probe. Deferred slots skip
+	// this — abandoning a decode says nothing about the stream's health.
 	if g.breakers != nil {
 		for k, i := range selected {
+			if deferred != nil && deferred[k] {
+				continue
+			}
 			g.breakers.outcome(i, failed != nil && failed[k])
 		}
 	}
@@ -678,6 +812,9 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 		for k, i := range selected {
 			if failed != nil && failed[k] {
 				continue // unverified label: never train on it
+			}
+			if deferred != nil && deferred[k] {
+				continue // abandoned decode: no label exists at all
 			}
 			f, ok := pr.feats[i]
 			if !ok {
@@ -715,12 +852,15 @@ func (g *Gate) FeedbackExt(selected []int, necessary []bool, failed []bool) erro
 	defer g.pendMu.Unlock()
 	if pr.trace != nil {
 		nec := map[int]bool{}
+		def := map[int]bool{}
 		for k, i := range selected {
-			nec[i] = necessary[k]
+			nec[i] = necessary[k] && (deferred == nil || !deferred[k])
+			def[i] = deferred != nil && deferred[k]
 		}
 		for d := range pr.trace.Decisions {
 			if pr.trace.Decisions[d].Selected {
 				pr.trace.Decisions[d].Necessary = nec[pr.trace.Decisions[d].Stream]
+				pr.trace.Decisions[d].Deferred = def[pr.trace.Decisions[d].Stream]
 			}
 		}
 		if err := g.cfg.Trace.Write(*pr.trace); err != nil {

@@ -21,6 +21,11 @@ type Campus1KConfig struct {
 	StartHour float64
 	// GOPSize for the camera encoders (default 25).
 	GOPSize int
+	// TimeCompress accelerates the diurnal clock (codec.SceneConfig's
+	// field): 1440 sweeps 24h in one minute of frames. Default 1 (real
+	// time). Soak experiments use it to replay a full campus day in a
+	// short run.
+	TimeCompress float64
 }
 
 // campusBuilding mirrors the Fig 8 camera distribution.
@@ -69,6 +74,7 @@ func Campus1K(cfg Campus1KConfig) []*codec.Stream {
 		sc := codec.SceneConfig{
 			Diurnal:      true,
 			StartHour:    cfg.StartHour,
+			TimeCompress: cfg.TimeCompress,
 			BaseActivity: clamp(0.3*b.activity+rng.NormFloat64()*0.05, 0.05, 1),
 			Richness:     clamp(b.richness+rng.NormFloat64()*0.08, 0.1, 0.95),
 			PersonRate:   clamp(0.25*b.activity+rng.NormFloat64()*0.05, 0.02, 1),

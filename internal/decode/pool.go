@@ -1,10 +1,17 @@
 package decode
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 
 	"packetgame/internal/codec"
 )
+
+// ErrAborted is the completion error of a job whose round was abandoned
+// (deadline abort) before a worker picked the job up. The packet was never
+// decoded — the outcome is unknown, not a decoder failure.
+var ErrAborted = errors.New("decode: job aborted before decoding")
 
 // Pool decodes packets on a fixed set of worker goroutines, modelling a
 // multi-core software decoder. Submit packets with Submit; decoded frames
@@ -80,6 +87,11 @@ type Job struct {
 	Round int64
 	Slot  int // index into the round's selection, not the stream ID
 	Pkt   *codec.Packet
+	// Cancel, when non-nil and set, short-circuits the job: a worker that
+	// dequeues it emits an ErrAborted completion without decoding. A job
+	// already being decoded runs to completion (the decoder API is
+	// synchronous); cancellation only sheds queued work.
+	Cancel *atomic.Bool
 }
 
 // Completion is the outcome of one Job. Exactly one Completion is emitted
@@ -132,6 +144,10 @@ func NewTaggedPool(d interface {
 func (p *TaggedPool) worker() {
 	defer p.wg.Done()
 	for j := range p.in {
+		if j.Cancel != nil && j.Cancel.Load() {
+			p.out <- Completion{Round: j.Round, Slot: j.Slot, Err: ErrAborted}
+			continue
+		}
 		f, err := p.decoder.Decode(j.Pkt)
 		p.out <- Completion{Round: j.Round, Slot: j.Slot, Frame: f, Err: err}
 	}

@@ -79,6 +79,7 @@ func Registry() []Experiment {
 		{"lemma1", "Lemma 1: optimizer approximation ratio", Lemma1},
 		{"ablate", "Design-choice ablations beyond the paper's", Ablate},
 		{"chaos", "Robustness: gating under injected faults, breakers, and self-healing ingest", Chaos},
+		{"overload", "Overload soak: diurnal+chaos load vs the budget governor and degradation ladder", Overload},
 	}
 }
 

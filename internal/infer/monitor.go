@@ -128,6 +128,17 @@ func NewFleet(task Task, m int) *Fleet {
 	return f
 }
 
+// NewFleetOf creates m monitors with per-stream tasks: stream i runs
+// tasks[i mod len(tasks)] — a mixed deployment where co-located models with
+// different priorities share one gate. tasks must be non-empty.
+func NewFleetOf(tasks []Task, m int) *Fleet {
+	f := &Fleet{task: tasks[0], monitors: make([]*Monitor, m)}
+	for i := range f.monitors {
+		f.monitors[i] = NewMonitor(tasks[i%len(tasks)])
+	}
+	return f
+}
+
 // Stream returns stream i's monitor.
 func (f *Fleet) Stream(i int) *Monitor { return f.monitors[i] }
 

@@ -1,0 +1,78 @@
+package knapsack
+
+import "sort"
+
+// Tiered is the admission-control variant of Greedy used under overload:
+// every item carries a priority tier (0 = highest, e.g. fire detection), and
+// the solve proceeds tier by tier in strict priority order — tier 0 solves
+// over the whole budget, each lower tier over whatever the tiers above left
+// behind. When the governor shrinks the effective budget, the remainder
+// reaching low tiers shrinks first, so low-priority streams are shed first.
+//
+// The in-tier budget-flow guarantee falls out of the ordering: within a
+// tier the solve is exactly Greedy (ratio order + fill), so the budget a
+// breaker-quarantined stream would have consumed is first offered to the
+// other members of its own tier — they are filled before the residue
+// cascades — and never leaks straight to the global pool where lower tiers
+// would bid on it.
+//
+// Within each tier the Lemma-1 guarantee holds against the budget the tier
+// actually saw: tier t's selected value is ≥ (1−c_t/B_t)·OPT_t for
+// approximately fractional costs, where B_t is the budget remaining when
+// tier t solved and c_t the tier's largest item cost.
+//
+// With numTiers == 1 the result is identical to Greedy.SelectAppend. All
+// scratch is persistent: steady-state rounds allocate nothing beyond growth
+// of the caller's dst.
+type Tiered struct {
+	sub ratioRank // per-tier ratio order, reused across tiers and rounds
+}
+
+// Name identifies the policy in reports.
+func (*Tiered) Name() string { return "tiered-greedy" }
+
+// SelectAppend appends the chosen indices to dst, solving tiers in priority
+// order. tiers[i] is item i's tier and must be < numTiers (out-of-range
+// tiers are clamped to the lowest priority); len(tiers) must equal
+// len(items).
+func (s *Tiered) SelectAppend(dst []int, items []Item, tiers []uint8, numTiers int, budget float64) []int {
+	if len(items) == 0 || numTiers <= 0 {
+		return dst
+	}
+	remaining := budget
+	for t := 0; t < numTiers && remaining > 0; t++ {
+		s.sub.sortTier(items, tiers, uint8(t), numTiers)
+		for _, i := range s.sub.order {
+			if items[i].Cost <= remaining {
+				dst = append(dst, i)
+				remaining -= items[i].Cost
+			}
+		}
+	}
+	return dst
+}
+
+func clampTier(t uint8, numTiers int) int {
+	if int(t) >= numTiers {
+		return numTiers - 1
+	}
+	return int(t)
+}
+
+// sortTier ranks tier-t positive-value candidates by descending ratio,
+// sharing the ratioRank zero-alloc machinery.
+func (r *ratioRank) sortTier(items []Item, tiers []uint8, t uint8, numTiers int) {
+	if cap(r.order) < len(items) {
+		r.order = make([]int, 0, len(items))
+		r.ratios = make([]float64, len(items))
+	}
+	r.order = r.order[:0]
+	r.ratios = r.ratios[:len(items)]
+	for i, it := range items {
+		if it.Value > 0 && clampTier(tiers[i], numTiers) == int(t) {
+			r.order = append(r.order, i)
+			r.ratios[i] = ratio(it)
+		}
+	}
+	sort.Sort(r)
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import "sync/atomic"
+
+// OverloadStats aggregates the load governor's observable state with
+// lock-free counters, following the Stage pattern: cheap enough to leave on
+// in production, and nil-safe so instrumentation can stay unwired. The gate
+// publishes admission-control counters (shed, deferred), the governor
+// publishes its AIMD and ladder counters plus the B_eff gauge, and the
+// pipelined engine publishes deadline aborts.
+type OverloadStats struct {
+	shed       atomic.Int64 // packets refused admission by the brownout mode
+	deferred   atomic.Int64 // feedback slots settled as Deferred (outcome unknown)
+	aborted    atomic.Int64 // decodes abandoned by a round deadline
+	sloMisses  atomic.Int64 // rounds whose observed latency exceeded the SLO
+	cuts       atomic.Int64 // multiplicative budget cuts
+	raises     atomic.Int64 // additive budget raises
+	stepDowns  atomic.Int64 // degradation-ladder descents (brownout entries)
+	stepUps    atomic.Int64 // degradation-ladder ascents (brownout exits)
+	bEffMilli  atomic.Int64 // gauge: effective budget ×1000
+	modeRounds [4]atomic.Int64
+}
+
+// OverloadSnapshot is a point-in-time read of OverloadStats.
+type OverloadSnapshot struct {
+	Shed      int64
+	Deferred  int64
+	Aborted   int64
+	SLOMisses int64
+	Cuts      int64
+	Raises    int64
+	StepDowns int64
+	StepUps   int64
+	// BEff is the last published effective budget (the gauge).
+	BEff float64
+	// ModeRounds counts governed rounds spent in each degradation mode,
+	// indexed by the overload.Mode ordinal (full, temporal-only,
+	// keyframe-only, shed).
+	ModeRounds [4]int64
+}
+
+// AddShed counts packets refused admission. Nil-safe.
+func (o *OverloadStats) AddShed(n int64) {
+	if o != nil && n != 0 {
+		o.shed.Add(n)
+	}
+}
+
+// AddDeferred counts feedback slots settled as Deferred. Nil-safe.
+func (o *OverloadStats) AddDeferred(n int64) {
+	if o != nil && n != 0 {
+		o.deferred.Add(n)
+	}
+}
+
+// AddAborted counts deadline-abandoned decodes. Nil-safe.
+func (o *OverloadStats) AddAborted(n int64) {
+	if o != nil && n != 0 {
+		o.aborted.Add(n)
+	}
+}
+
+// AddSLOMiss counts one SLO-violating round. Nil-safe.
+func (o *OverloadStats) AddSLOMiss() {
+	if o != nil {
+		o.sloMisses.Add(1)
+	}
+}
+
+// AddCut counts one multiplicative budget cut. Nil-safe.
+func (o *OverloadStats) AddCut() {
+	if o != nil {
+		o.cuts.Add(1)
+	}
+}
+
+// AddRaise counts one additive budget raise. Nil-safe.
+func (o *OverloadStats) AddRaise() {
+	if o != nil {
+		o.raises.Add(1)
+	}
+}
+
+// AddStepDown counts one ladder descent. Nil-safe.
+func (o *OverloadStats) AddStepDown() {
+	if o != nil {
+		o.stepDowns.Add(1)
+	}
+}
+
+// AddStepUp counts one ladder ascent. Nil-safe.
+func (o *OverloadStats) AddStepUp() {
+	if o != nil {
+		o.stepUps.Add(1)
+	}
+}
+
+// SetBEff publishes the effective-budget gauge. Nil-safe.
+func (o *OverloadStats) SetBEff(b float64) {
+	if o != nil {
+		o.bEffMilli.Store(int64(b * 1000))
+	}
+}
+
+// AddModeRound counts one governed round spent in the given mode ordinal.
+// Out-of-range ordinals are ignored. Nil-safe.
+func (o *OverloadStats) AddModeRound(mode int) {
+	if o != nil && mode >= 0 && mode < len(o.modeRounds) {
+		o.modeRounds[mode].Add(1)
+	}
+}
+
+// Snapshot reads the counters. A nil receiver yields a zero snapshot.
+func (o *OverloadStats) Snapshot() OverloadSnapshot {
+	if o == nil {
+		return OverloadSnapshot{}
+	}
+	s := OverloadSnapshot{
+		Shed:      o.shed.Load(),
+		Deferred:  o.deferred.Load(),
+		Aborted:   o.aborted.Load(),
+		SLOMisses: o.sloMisses.Load(),
+		Cuts:      o.cuts.Load(),
+		Raises:    o.raises.Load(),
+		StepDowns: o.stepDowns.Load(),
+		StepUps:   o.stepUps.Load(),
+		BEff:      float64(o.bEffMilli.Load()) / 1000,
+	}
+	for i := range o.modeRounds {
+		s.ModeRounds[i] = o.modeRounds[i].Load()
+	}
+	return s
+}

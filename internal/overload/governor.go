@@ -1,0 +1,317 @@
+// Package overload closes the loop from observed round latency back into
+// the gating decision. PacketGame's formalization fixes the decoding budget
+// B per round (§5.3), but the workloads it targets are diurnal: the campus
+// deployment's necessary-decode demand roughly doubles at rush hour
+// (Fig 4a), and a budget sized for the trough silently blows any latency
+// objective at the peak. The Governor holds a per-round latency SLO by
+// adapting the *effective* budget B_eff with AIMD — additive raise on
+// healthy rounds with headroom, multiplicative cut under pressure — and,
+// when budget cuts alone cannot restore the SLO, descends an ordered
+// degradation ladder (full → temporal-only → keyframe-only → shed) so the
+// system gives up the lowest-utility work first instead of stalling the
+// pipeline. Mode transitions carry entry/exit hysteresis so a noisy latency
+// signal cannot flap the ladder.
+//
+// The Governor is pure arithmetic over the latencies it is fed: it never
+// reads a clock or a random source, so a deterministic (virtual-time)
+// latency feed yields bit-identical budget and mode trajectories — the
+// property the overload soak asserts.
+package overload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"packetgame/internal/metrics"
+)
+
+// Mode is a rung of the degradation ladder, ordered from full service to
+// maximal shedding.
+type Mode uint8
+
+const (
+	// ModeFull is normal operation: contextual predictor, all packet types,
+	// all priority tiers.
+	ModeFull Mode = iota
+	// ModeTemporalOnly skips the contextual predictor: confidence comes
+	// from the temporal estimator alone (the same scoring path a
+	// poisoned-window stream degrades to), shedding the inference cost of
+	// the gate stage.
+	ModeTemporalOnly
+	// ModeKeyframeOnly admits only I-packets: predicted frames (and their
+	// reference chains) are shed wholesale, bounding per-round decode cost
+	// by the keyframe cadence.
+	ModeKeyframeOnly
+	// ModeShed admits only top-tier (priority 0) I-packets: everything
+	// else is refused at admission.
+	ModeShed
+)
+
+// NumModes is the ladder length.
+const NumModes = 4
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeTemporalOnly:
+		return "temporal-only"
+	case ModeKeyframeOnly:
+		return "keyframe-only"
+	case ModeShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a Governor.
+type Config struct {
+	// SLO is the per-round latency objective. Required.
+	SLO time.Duration
+	// Budget is the nominal per-round decode budget B — the ceiling B_eff
+	// is raised back toward on healthy rounds. Required.
+	Budget float64
+	// MinBudget floors the multiplicative cuts so the top-priority work
+	// always retains some budget (default Budget/16, at least 1).
+	MinBudget float64
+	// Step is the additive raise applied per healthy-with-headroom round
+	// (default Budget/32).
+	Step float64
+	// Cut is the multiplicative factor applied under pressure, in (0,1)
+	// (default 0.5).
+	Cut float64
+	// Alpha is the EWMA weight of the newest latency sample (default 0.25).
+	Alpha float64
+	// Guard is the pressure threshold as a fraction of the SLO: a round
+	// whose latency exceeds Guard·SLO triggers a cut *before* the SLO is
+	// violated, which is what keeps p99 under the objective rather than
+	// chasing it (default 0.85).
+	Guard float64
+	// Headroom caps raises: B_eff only grows while both the latest sample
+	// and the EWMA sit below Headroom·SLO, leaving a guard band for load
+	// steps (default 0.65).
+	Headroom float64
+	// EnterAfter is the number of consecutive pressured rounds before the
+	// ladder steps down one mode (default 2).
+	EnterAfter int
+	// ExitAfter is the number of consecutive healthy rounds before the
+	// ladder steps back up one mode (default 16).
+	ExitAfter int
+	// SaturatedDepth, when positive, treats an observed stage queue depth
+	// at or beyond it as pressure even when latency is nominal — the
+	// backpressure signal from the pipelined engine (0 disables).
+	SaturatedDepth int
+	// Stats, when non-nil, receives the governor's counters and the B_eff
+	// gauge.
+	Stats *metrics.OverloadStats
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.SLO <= 0 {
+		return c, fmt.Errorf("overload: SLO must be positive, got %v", c.SLO)
+	}
+	if c.Budget <= 0 {
+		return c, fmt.Errorf("overload: Budget must be positive, got %v", c.Budget)
+	}
+	if c.MinBudget == 0 {
+		c.MinBudget = c.Budget / 16
+		if c.MinBudget < 1 {
+			c.MinBudget = 1
+		}
+		if c.MinBudget > c.Budget {
+			c.MinBudget = c.Budget
+		}
+	}
+	if c.MinBudget < 0 || c.MinBudget > c.Budget {
+		return c, fmt.Errorf("overload: MinBudget %v outside (0, Budget=%v]", c.MinBudget, c.Budget)
+	}
+	if c.Step == 0 {
+		c.Step = c.Budget / 32
+	}
+	if c.Step <= 0 {
+		return c, fmt.Errorf("overload: Step must be positive, got %v", c.Step)
+	}
+	if c.Cut == 0 {
+		c.Cut = 0.5
+	}
+	if c.Cut <= 0 || c.Cut >= 1 {
+		return c, fmt.Errorf("overload: Cut must be in (0,1), got %v", c.Cut)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.25
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("overload: Alpha must be in (0,1], got %v", c.Alpha)
+	}
+	if c.Guard == 0 {
+		c.Guard = 0.85
+	}
+	if c.Guard <= 0 || c.Guard > 1 {
+		return c, fmt.Errorf("overload: Guard must be in (0,1], got %v", c.Guard)
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 0.65
+	}
+	if c.Headroom <= 0 || c.Headroom >= c.Guard {
+		return c, fmt.Errorf("overload: Headroom must be in (0, Guard=%v), got %v", c.Guard, c.Headroom)
+	}
+	if c.EnterAfter == 0 {
+		c.EnterAfter = 2
+	}
+	if c.EnterAfter < 1 {
+		return c, fmt.Errorf("overload: EnterAfter must be positive, got %d", c.EnterAfter)
+	}
+	if c.ExitAfter == 0 {
+		c.ExitAfter = 16
+	}
+	if c.ExitAfter < 1 {
+		return c, fmt.Errorf("overload: ExitAfter must be positive, got %d", c.ExitAfter)
+	}
+	if c.SaturatedDepth < 0 {
+		return c, fmt.Errorf("overload: SaturatedDepth must be non-negative, got %d", c.SaturatedDepth)
+	}
+	return c, nil
+}
+
+// Snapshot is a point-in-time read of the governor's state and counters.
+type Snapshot struct {
+	BEff       float64
+	Mode       Mode
+	EWMA       time.Duration
+	Rounds     int64
+	SLOMisses  int64 // rounds with latency strictly above the SLO
+	Pressured  int64 // rounds above the Guard threshold (incl. misses)
+	Cuts       int64
+	Raises     int64
+	StepDowns  int64
+	StepUps    int64
+	ModeRounds [NumModes]int64
+}
+
+// Governor adapts the effective budget and degradation mode against the
+// latency SLO. Safe for concurrent use: the pipeline Observes settled
+// rounds while the gate Plans the next one.
+type Governor struct {
+	cfg Config
+
+	mu   sync.Mutex
+	bEff float64
+	mode Mode
+	ewma float64 // nanoseconds; <0 until the first observation
+	snap Snapshot
+
+	pressStreak   int
+	healthyStreak int
+}
+
+// NewGovernor builds a governor holding the config's SLO. B_eff starts at
+// the nominal budget in ModeFull.
+func NewGovernor(cfg Config) (*Governor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := &Governor{cfg: cfg, bEff: cfg.Budget, ewma: -1}
+	cfg.Stats.SetBEff(g.bEff)
+	return g, nil
+}
+
+// Config returns the effective configuration.
+func (g *Governor) Config() Config { return g.cfg }
+
+// Plan returns the effective budget and degradation mode for the next
+// round, read as one consistent pair.
+func (g *Governor) Plan() (budget float64, mode Mode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bEff, g.mode
+}
+
+// Observe folds one settled round's latency (and, when known, the observed
+// in-flight/queue depth; pass 0 when unknown) into the control loop:
+//
+//   - latency > SLO counts an SLO miss;
+//   - latency > Guard·SLO (or a saturated queue) is pressure: B_eff is cut
+//     multiplicatively, and EnterAfter consecutive pressured rounds step
+//     the ladder down one mode;
+//   - otherwise the round is healthy: ExitAfter consecutive healthy rounds
+//     step the ladder back up, and B_eff is raised additively while the
+//     latency signal shows Headroom·SLO of slack.
+func (g *Governor) Observe(latency time.Duration, depth int) {
+	lat := float64(latency.Nanoseconds())
+	slo := float64(g.cfg.SLO.Nanoseconds())
+	st := g.cfg.Stats
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ewma < 0 {
+		g.ewma = lat
+	} else {
+		g.ewma += g.cfg.Alpha * (lat - g.ewma)
+	}
+	g.snap.Rounds++
+	g.snap.ModeRounds[g.mode]++
+	st.AddModeRound(int(g.mode))
+
+	if lat > slo {
+		g.snap.SLOMisses++
+		st.AddSLOMiss()
+	}
+	saturated := g.cfg.SaturatedDepth > 0 && depth >= g.cfg.SaturatedDepth
+	pressured := lat > g.cfg.Guard*slo || saturated
+	if pressured {
+		g.snap.Pressured++
+		g.healthyStreak = 0
+		g.pressStreak++
+		if g.bEff > g.cfg.MinBudget {
+			g.bEff *= g.cfg.Cut
+			if g.bEff < g.cfg.MinBudget {
+				g.bEff = g.cfg.MinBudget
+			}
+			g.snap.Cuts++
+			st.AddCut()
+			st.SetBEff(g.bEff)
+		}
+		if g.pressStreak >= g.cfg.EnterAfter && g.mode < NumModes-1 {
+			g.mode++
+			g.pressStreak = 0
+			g.snap.StepDowns++
+			st.AddStepDown()
+		}
+		return
+	}
+	g.pressStreak = 0
+	g.healthyStreak++
+	if g.healthyStreak >= g.cfg.ExitAfter && g.mode > ModeFull {
+		g.mode--
+		g.healthyStreak = 0
+		g.snap.StepUps++
+		st.AddStepUp()
+	}
+	if g.bEff < g.cfg.Budget && lat <= g.cfg.Headroom*slo && g.ewma <= g.cfg.Headroom*slo {
+		g.bEff += g.cfg.Step
+		if g.bEff > g.cfg.Budget {
+			g.bEff = g.cfg.Budget
+		}
+		g.snap.Raises++
+		st.AddRaise()
+		st.SetBEff(g.bEff)
+	}
+}
+
+// Snapshot reads the governor's state and lifetime counters.
+func (g *Governor) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.snap
+	s.BEff = g.bEff
+	s.Mode = g.mode
+	s.EWMA = time.Duration(g.ewma)
+	if g.ewma < 0 {
+		s.EWMA = 0
+	}
+	return s
+}

@@ -33,6 +33,7 @@ import (
 	"packetgame/internal/filter"
 	"packetgame/internal/infer"
 	"packetgame/internal/metrics"
+	"packetgame/internal/overload"
 )
 
 // RoundSource yields one round of packets per call: a slice indexed by
@@ -53,6 +54,11 @@ type Config struct {
 	Gate core.Decider
 	// Task is the inference workload.
 	Task infer.Task
+	// Tasks, when non-empty, assigns per-stream workloads instead: stream i
+	// runs Tasks[i mod len(Tasks)] (the mixed-priority deployment that
+	// pairs with core.Config.Priorities). Task remains required as the
+	// reporting default.
+	Tasks []infer.Task
 	// Costs is the decode cost model (default decode.DefaultCosts).
 	Costs decode.CostModel
 	// Workers is the decode worker count (default 4).
@@ -102,6 +108,24 @@ type Config struct {
 	// Stages, when non-nil, receives per-stage queue-depth and latency
 	// counters for the gate, decode, and infer stages.
 	Stages *metrics.StageSet
+	// Deadline, when positive (pipelined only), bounds each round's
+	// decode-to-settle time: a round still incomplete when its deadline
+	// expires is settled immediately — slots whose decode never finished
+	// are fed back as Deferred (outcome unknown, no learned state touched),
+	// their queued decode jobs are cancelled, and late completions are
+	// discarded — instead of dragging the collector and every round behind
+	// it past the SLO.
+	Deadline time.Duration
+	// Governor, when non-nil, receives each settled round's observed
+	// latency (decode enqueue → settle) and the in-flight round depth, and
+	// supplies the gate's effective budget and degradation mode (wire the
+	// same governor into core.Config.Governor). This closes the overload
+	// control loop through the pipeline.
+	Governor *overload.Governor
+	// Overload, when non-nil, receives deadline-abort counters (share it
+	// with core.Config.Overload and the governor's Stats for one unified
+	// snapshot).
+	Overload *metrics.OverloadStats
 }
 
 // Report summarizes an Engine run.
@@ -114,6 +138,13 @@ type Report struct {
 	// DecodeFailed counts selected packets whose decode failed even after
 	// the retry policy was exhausted (poison pills, injected faults).
 	DecodeFailed int64
+	// DeadlineAborted counts selected packets abandoned by a round
+	// deadline (settled as Deferred; excluded from Decoded).
+	DeadlineAborted int64
+	// Overload is the shared overload snapshot at run end (zero when
+	// Config.Overload is unwired): shed/deferred/abort counters, governor
+	// AIMD and ladder transitions, and the B_eff gauge.
+	Overload metrics.OverloadSnapshot
 	// NecessaryDecoded counts decoded frames whose inference was necessary.
 	NecessaryDecoded int64
 	// Accuracy is the mean emitted-result accuracy over rounds with ground
@@ -197,6 +228,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.FreshFeedback && !cfg.Pipelined {
 		return nil, errors.New("pipeline: FreshFeedback requires Pipelined")
 	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("pipeline: Deadline must be non-negative, got %v", cfg.Deadline)
+	}
+	if cfg.Deadline > 0 && !cfg.Pipelined {
+		return nil, errors.New("pipeline: Deadline requires Pipelined (the sequential engine settles rounds synchronously)")
+	}
 	return &Engine{cfg: cfg, stop: make(chan struct{})}, nil
 }
 
@@ -256,6 +293,29 @@ func feedbackExt(g core.Decider, sel []int, necessary, failed []bool) error {
 	return g.Feedback(sel, necessary)
 }
 
+// feedbackFull is feedbackExt carrying deadline-abort deferral flags when
+// present: an overload-aware gate keeps deferred slots out of its learned
+// state; older gates degrade to the failure/plain protocols (deferred slots
+// then carry necessary=false, which is the pre-overload behavior).
+func feedbackFull(g core.Decider, sel []int, necessary, failed, deferred []bool) error {
+	if deferred != nil {
+		if full, ok := g.(interface {
+			FeedbackFull([]int, []bool, []bool, []bool) error
+		}); ok {
+			return full.FeedbackFull(sel, necessary, failed, deferred)
+		}
+	}
+	return feedbackExt(g, sel, necessary, failed)
+}
+
+// newFleet builds the per-stream inference monitors for m streams.
+func (e *Engine) newFleet(m int) *infer.Fleet {
+	if len(e.cfg.Tasks) > 0 {
+		return infer.NewFleetOf(e.cfg.Tasks, m)
+	}
+	return infer.NewFleet(e.cfg.Task, m)
+}
+
 // raiseGatePending lifts the gate's pending-round bound to the engine's
 // feedback lag, when the gate supports multi-pending operation.
 func (e *Engine) raiseGatePending() {
@@ -287,6 +347,7 @@ func (e *Engine) Run(maxRounds int) (Report, error) {
 			rep.Accuracy = e.fleet.Accuracy()
 		}
 	}
+	rep.Overload = e.cfg.Overload.Snapshot()
 	return rep, err
 }
 
@@ -340,7 +401,7 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 			return rep, fmt.Errorf("pipeline: source: %w", err)
 		}
 		if e.fleet == nil {
-			e.fleet = infer.NewFleet(e.cfg.Task, len(pkts))
+			e.fleet = e.newFleet(len(pkts))
 		}
 		// Release feedback due under the lag schedule: Decide(t) must
 		// observe rounds 0..t−k.
@@ -400,8 +461,13 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		// decode; the fleet monitors are not concurrency-safe).
 		metrics.StageEnter(e.cfg.Stages.InferStage())
 		t2 := time.Now()
-		necessary := e.settleRound(&rep, pkts, sel, frames, failed, e.cfg.Source.Truth)
+		necessary := e.settleRound(&rep, pkts, sel, frames, failed, nil, e.cfg.Source.Truth)
 		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t2).Nanoseconds())
+		if e.cfg.Governor != nil {
+			// Sequential rounds never queue: depth is the feedback backlog,
+			// latency spans gate entry through settle.
+			e.cfg.Governor.Observe(time.Since(t0), len(acks)-ackHead)
+		}
 		if ackHead > 0 && len(acks) == cap(acks) {
 			n := copy(acks, acks[ackHead:])
 			for j := n; j < len(acks); j++ {
@@ -423,17 +489,21 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 // settleRound applies the frame filter, inference, and report accounting
 // for one decoded round. frames[k] holds the decoded frame for stream
 // sel[k]; failed[k] (nil = none) marks selections whose decode never
-// produced a frame; truth reads the (possibly captured) ground truth for a
+// produced a frame; deferred[k] (nil = none) marks selections abandoned by
+// a round deadline; truth reads the (possibly captured) ground truth for a
 // stream. It returns the per-selection redundancy feedback.
 //
 // Failed selections settle conservatively: the budget was spent but no
 // content was seen, so the slot reports necessary feedback (the gate must
 // not learn "redundant" from a packet nobody decoded) and the stream's
 // monitor observes a skip, exactly as if the gate had not selected it.
+// Deferred selections also observe a skip but settle with no feedback
+// verdict at all — the gate keeps them out of its learned state — and are
+// excluded from the Decoded count (nothing was decoded).
 //
 // The returned mask comes from the engine's recycler; the feedback release
 // site hands it back via putMask once the gate has consumed it.
-func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, failed []bool, truth func(int) (codec.Scene, bool)) []bool {
+func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frames []decode.Frame, failed, deferred []bool, truth func(int) (codec.Scene, bool)) []bool {
 	necessary := e.getMask(len(sel))
 	if cap(e.selMask) < len(pkts) {
 		e.selMask = make([]bool, len(pkts))
@@ -442,8 +512,17 @@ func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frame
 	for i := range isSel {
 		isSel[i] = false
 	}
+	var aborted int64
 	for k, i := range sel {
 		isSel[i] = true
+		if deferred != nil && deferred[k] {
+			aborted++
+			if t, ok := truth(i); ok {
+				e.sawTruth = true
+				e.fleet.Stream(i).ObserveSkipped(t)
+			}
+			continue
+		}
 		if failed != nil && failed[k] {
 			necessary[k] = true
 			rep.DecodeFailed++
@@ -484,7 +563,9 @@ func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frame
 		rep.Packets++
 	}
 	rep.Packets += int64(len(sel))
-	rep.Decoded += int64(len(sel))
+	rep.Decoded += int64(len(sel)) - aborted
+	rep.DeadlineAborted += aborted
+	e.cfg.Overload.AddAborted(aborted)
 	rep.Rounds++
 	return necessary
 }

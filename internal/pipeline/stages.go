@@ -1,13 +1,14 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"packetgame/internal/codec"
 	"packetgame/internal/decode"
-	"packetgame/internal/infer"
 	"packetgame/internal/metrics"
 )
 
@@ -45,23 +46,29 @@ type truthVal struct {
 }
 
 // roundWork is one in-flight round: the gate's decision plus everything the
-// collector needs to settle it.
+// collector needs to settle it. cancel is non-nil only under a round
+// deadline: the collector sets it when the round is abandoned, and queued
+// decode jobs carrying it short-circuit with decode.ErrAborted.
 type roundWork struct {
 	round    int64
 	pkts     []*codec.Packet
 	truth    []truthVal
 	sel      []int
 	enqueued time.Time
+	cancel   *atomic.Bool
 }
 
 // roundAck is one settled round's redundancy feedback, traveling from the
 // collector back to the gate loop. failed marks selections whose decode
 // errored out (nil = clean round); such rounds still settle — partial
-// failures degrade feedback, they don't abort the run.
+// failures degrade feedback, they don't abort the run. deferred marks
+// selections abandoned by a deadline abort (nil = none): those slots carry
+// no verdict and the gate keeps them out of its learned state.
 type roundAck struct {
 	sel       []int
 	necessary []bool
 	failed    []bool
+	deferred  []bool
 }
 
 // runPipelined executes rounds through the staged engine with up to
@@ -98,7 +105,7 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 		for inflight > min && runErr == nil {
 			a := <-acks
 			inflight--
-			if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil {
+			if err := feedbackFull(e.cfg.Gate, a.sel, a.necessary, a.failed, a.deferred); err != nil {
 				runErr = fmt.Errorf("pipeline: feedback: %w", err)
 			}
 			e.putMask(a.necessary)
@@ -159,10 +166,13 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 		}
 
 		rw := &roundWork{round: next, pkts: cp, truth: truth, sel: sel, enqueued: time.Now()}
+		if e.cfg.Deadline > 0 {
+			rw.cancel = new(atomic.Bool)
+		}
 		metrics.StageEnter(e.cfg.Stages.DecodeStage())
 		roundsCh <- rw
 		for slot, i := range sel {
-			pool.Submit(decode.Job{Round: next, Slot: slot, Pkt: cp[i]})
+			pool.Submit(decode.Job{Round: next, Slot: slot, Pkt: cp[i], Cancel: rw.cancel})
 		}
 		inflight++
 	}
@@ -222,6 +232,39 @@ func (c *collector) run() {
 		}
 		return st
 	}
+
+	// Deadline machinery: one timer tracks the head round only. Rounds
+	// settle strictly in order, so the head is always the first to expire;
+	// rearm repoints the timer whenever the head changes.
+	deadline := c.engine.cfg.Deadline
+	var timer *time.Timer
+	var timerC <-chan time.Time
+	rearm := func() {
+		if deadline <= 0 {
+			return
+		}
+		if timer != nil && timerC != nil && !timer.Stop() {
+			<-timer.C // drain: only this goroutine receives from timer.C
+		}
+		timerC = nil
+		st := pending[next]
+		if st == nil || st.work == nil {
+			return
+		}
+		d := time.Until(st.work.enqueued.Add(deadline))
+		if timer == nil {
+			timer = time.NewTimer(d)
+		} else {
+			timer.Reset(d)
+		}
+		timerC = timer.C
+	}
+	defer func() {
+		if timer != nil && timerC != nil {
+			timer.Stop()
+		}
+	}()
+
 	for roundsCh != nil || comps != nil {
 		select {
 		case rw, ok := <-roundsCh:
@@ -235,8 +278,27 @@ func (c *collector) run() {
 				comps = nil
 				break
 			}
+			if comp.Round < next {
+				// Straggler of a deadline-settled round: its fate was
+				// already acked as deferred. Dropping it here (instead of
+				// get()) keeps the pending map from resurrecting the round.
+				break
+			}
 			st := get(comp.Round)
 			st.comps = append(st.comps, comp)
+		case <-timerC:
+			timerC = nil
+			st := pending[next]
+			if st != nil && st.work != nil && !st.ready() {
+				// The head round missed its deadline: cancel whatever is
+				// still queued and settle now with the frames in hand.
+				if st.work.cancel != nil {
+					st.work.cancel.Store(true)
+				}
+				delete(pending, next)
+				next++
+				c.settle(st, true, len(pending))
+			}
 		}
 		for {
 			st := pending[next]
@@ -245,25 +307,50 @@ func (c *collector) run() {
 			}
 			delete(pending, next)
 			next++
-			c.settle(st)
+			c.settle(st, false, len(pending))
 		}
+		rearm()
 	}
 }
 
-// settle runs filter/infer/accounting for one fully collected round and acks
-// it. Slots whose decode errored settle with conservative feedback and a
+// settle runs filter/infer/accounting for one collected round and acks it.
+// Slots whose decode errored settle with conservative feedback and a
 // failure flag — partial-failure rounds complete normally, so the gate
 // loop's drain always terminates and poison pills never wedge the pipeline.
-func (c *collector) settle(st *pendingCollect) {
+//
+// aborted marks a deadline-settled round: completions the round never
+// received, plus jobs the pool short-circuited with decode.ErrAborted,
+// settle as deferred — no feedback verdict, the stream just observes a
+// skip. depth is the number of rounds still pending behind this one, fed
+// to the overload governor as its queue-pressure signal.
+func (c *collector) settle(st *pendingCollect, aborted bool, depth int) {
 	e := c.engine
 	rw := st.work
 	metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(rw.enqueued).Nanoseconds())
 	if e.fleet == nil {
-		e.fleet = infer.NewFleet(e.cfg.Task, len(rw.pkts))
+		e.fleet = e.newFleet(len(rw.pkts))
 	}
 	frames := make([]decode.Frame, len(rw.sel))
-	var failed []bool
+	var failed, deferred []bool
+	if aborted {
+		// Every slot starts deferred; slots with a real completion below
+		// flip back to their actual outcome.
+		deferred = make([]bool, len(rw.sel))
+		for k := range deferred {
+			deferred[k] = true
+		}
+	}
 	for _, comp := range st.comps {
+		if errors.Is(comp.Err, decode.ErrAborted) {
+			if deferred == nil {
+				deferred = make([]bool, len(rw.sel))
+			}
+			deferred[comp.Slot] = true
+			continue
+		}
+		if aborted {
+			deferred[comp.Slot] = false
+		}
 		if comp.Err != nil {
 			if failed == nil {
 				failed = make([]bool, len(rw.sel))
@@ -275,13 +362,16 @@ func (c *collector) settle(st *pendingCollect) {
 	}
 	metrics.StageEnter(e.cfg.Stages.InferStage())
 	t0 := time.Now()
-	necessary := e.settleRound(&c.rep, rw.pkts, rw.sel, frames, failed, func(i int) (codec.Scene, bool) {
+	necessary := e.settleRound(&c.rep, rw.pkts, rw.sel, frames, failed, deferred, func(i int) (codec.Scene, bool) {
 		return rw.truth[i].scene, rw.truth[i].ok
 	})
 	metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t0).Nanoseconds())
-	a := roundAck{sel: rw.sel, necessary: necessary, failed: failed}
+	if e.cfg.Governor != nil {
+		e.cfg.Governor.Observe(time.Since(rw.enqueued), depth)
+	}
+	a := roundAck{sel: rw.sel, necessary: necessary, failed: failed, deferred: deferred}
 	if c.fresh {
-		if err := feedbackExt(e.cfg.Gate, a.sel, a.necessary, a.failed); err != nil && c.err == nil {
+		if err := feedbackFull(e.cfg.Gate, a.sel, a.necessary, a.failed, a.deferred); err != nil && c.err == nil {
 			c.err = fmt.Errorf("pipeline: feedback: %w", err)
 		}
 		e.putMask(a.necessary)

@@ -29,6 +29,9 @@ type Decision struct {
 	// Necessary is the redundancy feedback (only meaningful when
 	// Selected; false otherwise).
 	Necessary bool `json:"necessary,omitempty"`
+	// Deferred marks a selection the pipeline abandoned under deadline
+	// pressure: the decode never settled and Necessary carries no verdict.
+	Deferred bool `json:"deferred,omitempty"`
 }
 
 // Round is one trace record.
