@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke
+.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke corpus replay
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,25 @@ alloc-smoke:
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke soak
+verify: build vet test race alloc-smoke replay soak
+
+# Regenerate the committed deterministic capture corpus under
+# testdata/captures/. The output is byte-reproducible; the golden tests fail
+# if the committed files drift from what this target writes, so format or
+# gate changes must re-run it and commit the refreshed corpus.
+corpus:
+	$(GO) run ./cmd/pgcap corpus
+
+# The capture/replay regression gate: the golden decision-trace audits
+# (committed corpus replayed bit-identically through today's gate), the
+# capture-container fuzz seeds as plain tests, and the pgbench replay
+# experiment — determinism audits, speedup-1 recorded-timing fidelity
+# (±5%), and the flat-rate control that flattens recorded bursts.
+# REPLAYSCALE=1 also rewrites BENCH_replay.json.
+REPLAYSCALE ?= 1
+replay:
+	$(GO) test ./internal/capture -run 'TestGoldenCorpus|TestFuzzSeedsNonFuzzing' -count 1
+	$(GO) run ./cmd/pgbench -exp replay -scale $(REPLAYSCALE)
 
 # The overload soak under the race detector: the compressed diurnal campus
 # day with chaos faults and a capacity-collapse incident, replayed with and
@@ -51,6 +69,7 @@ fuzz:
 	$(GO) test ./internal/container -fuzz FuzzReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/container -fuzz FuzzUnmarshalPacket -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -fuzz FuzzPGSPFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/capture -fuzz FuzzCaptureContainer -fuzztime $(FUZZTIME)
 
 # The chaos experiment under the race detector: deterministic fault
 # injection, circuit-breaker quarantine, and the self-healing PGSP ingest,

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"packetgame/internal/capture"
 	"packetgame/internal/codec"
 	"packetgame/internal/core"
 	"packetgame/internal/decode"
@@ -54,6 +55,8 @@ func main() {
 		slo       = flag.Duration("slo", 0, "per-round latency SLO arming the overload governor (0 = ungoverned; packetgame policy only)")
 		deadline  = flag.Duration("deadline", 0, "round decode deadline: rounds still pending settle with Deferred feedback (pipelined only, 0 = off)")
 		prioSpec  = flag.String("priorities", "", "admission tiers as task:tier pairs, e.g. fd:0,ad:1,pc:2,sr:3 — stream i runs (and is tiered by) entry i mod n; packetgame policy only")
+		record    = flag.String("record", "", "record the session (packets + decision trace) to this .pgc capture file")
+		recStep   = flag.Duration("record-step", 0, "virtual per-round timestamp step for -record (0 = wall-clock arrival offsets)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,7 @@ func main() {
 	var src pipeline.RoundSource
 	var faultFleet []*fault.Stream
 	var resilient *stream.Resilient
+	var recStreams []capture.StreamMeta
 	m := *streams
 	if *connect != "" {
 		// The reconnecting client heals resets and framing desyncs; with
@@ -120,6 +124,11 @@ func main() {
 		defer resilient.Close()
 		m = len(resilient.Streams())
 		src = pipeline.NewNetSource(resilient)
+		for _, si := range resilient.Streams() {
+			recStreams = append(recStreams, capture.StreamMeta{
+				Codec: si.Codec.String(), FPS: si.FPS, GOPSize: si.GOPSize,
+			})
+		}
 		fmt.Printf("pggate: connected to %s (%d streams)\n", *connect, m)
 	} else {
 		fleet := make([]*codec.Stream, m)
@@ -129,6 +138,12 @@ func main() {
 					FireRate: 30, QualityDropRate: 30},
 				codec.EncoderConfig{StreamID: i, GOPSize: 25},
 				*seed+int64(i)*7919)
+		}
+		for _, st := range fleet {
+			ec := st.Encoder.Config()
+			recStreams = append(recStreams, capture.StreamMeta{
+				Codec: ec.Codec.String(), FPS: ec.FPS, GOPSize: ec.GOPSize,
+			})
 		}
 		if inj != nil {
 			faultFleet = inj.WrapFleet(fleet)
@@ -141,6 +156,32 @@ func main() {
 			src = pipeline.NewLocalSource(fleet, *rounds)
 		}
 	}
+
+	// Recording. The capture gets every ingested packet via a source tap;
+	// with the packetgame policy the gate's decision trace lands in the same
+	// file. The decision trace is audit-grade (replayable bit-identically by
+	// `pgcap audit`) only when the run is sequential with immediate feedback
+	// and no learned predictor or fault injection — otherwise the gate
+	// metadata is omitted so audits fail loudly instead of lying.
+	var capw *capture.Writer
+	var capFile *os.File
+	openCapture := func(gm *capture.GateMeta) {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		capFile = f
+		capw, err = capture.NewWriter(f, capture.SessionMeta{
+			Label:          fmt.Sprintf("pggate %s %s", *taskName, *policy),
+			StartUnixNanos: time.Now().UnixNano(),
+			Streams:        recStreams,
+			Gate:           gm,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	auditGrade := *weights == "" && !*pipelined && *inflight <= 1 && inj == nil
 
 	// Policy.
 	var gate core.Decider
@@ -183,6 +224,25 @@ func main() {
 			cfg.Predictor = p
 			fmt.Printf("pggate: loaded predictor from %s\n", *weights)
 		}
+		if *record != "" {
+			var gm *capture.GateMeta
+			if auditGrade {
+				probe, err := core.NewGate(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				pc := probe.Config()
+				gm = &capture.GateMeta{
+					Window: pc.Window, Budget: pc.Budget, UseTemporal: pc.UseTemporal,
+					Explore: *pc.Explore, DependencyAware: *pc.DependencyAware,
+					Priorities: pc.Priorities, Governed: gov != nil,
+				}
+			} else {
+				fmt.Println("pggate: recording packets only (decision trace not audit-grade with a predictor, pipelining, feedback lag, or faults)")
+			}
+			openCapture(gm)
+			cfg.Trace = capw
+		}
 		g, err := core.NewGate(cfg)
 		if err != nil {
 			fatal(err)
@@ -191,6 +251,15 @@ func main() {
 		coreGate = g
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var tap *capture.Tap
+	if *record != "" {
+		if capw == nil {
+			openCapture(nil) // baseline policies: packets only
+		}
+		tap = capture.NewTap(src, capw, *recStep, nil)
+		src = tap
 	}
 
 	stages := &metrics.StageSet{}
@@ -213,6 +282,15 @@ func main() {
 	rep, err := eng.Run(*rounds)
 	if err != nil {
 		fatal(err)
+	}
+	if capw != nil {
+		if err := capw.Close(); err != nil {
+			fatal(err)
+		}
+		if err := capFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pggate: recorded %d rounds to %s\n", tap.Rounds(), *record)
 	}
 
 	fmt.Printf("\npggate report (%s, policy %s, budget %.1f)\n", task.Name(), *policy, *budget)

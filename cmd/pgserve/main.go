@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"time"
 
+	"packetgame/internal/capture"
 	"packetgame/internal/codec"
 	"packetgame/internal/stream"
 )
@@ -30,6 +31,7 @@ func main() {
 		codecStr = flag.String("codec", "h264", "codec: h264, h265, vp9, jpeg2000")
 		seed     = flag.Int64("seed", 1, "random seed")
 		drain    = flag.Duration("drain", 5*time.Second, "shutdown grace period before force-closing connections")
+		record   = flag.String("record", "", "record the first served session to this .pgc capture file (virtual 1/fps timestamps)")
 	)
 	flag.Parse()
 
@@ -41,7 +43,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := stream.Serve(ln, stream.ServerConfig{
+
+	// Recording taps the first accepted session server-side: packets only
+	// (the gate and its decision trace live on the pggate side).
+	var capw *capture.Writer
+	var capFile *os.File
+	if *record != "" {
+		capFile, err = os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		metas := make([]capture.StreamMeta, *streams)
+		for i := range metas {
+			metas[i] = capture.StreamMeta{Codec: c.String(), FPS: *fps, GOPSize: *gop}
+		}
+		capw, err = capture.NewWriter(capFile, capture.SessionMeta{
+			Label:          fmt.Sprintf("pgserve %s x%d", c, *streams),
+			StartUnixNanos: time.Now().UnixNano(),
+			Streams:        metas,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	scfg := stream.ServerConfig{
 		Rounds:   *rounds,
 		Realtime: *realtime,
 		FPS:      *fps,
@@ -55,7 +81,16 @@ func main() {
 			}
 			return fleet
 		},
-	})
+	}
+	if capw != nil {
+		// Virtual timestamps at the nominal frame interval keep server-side
+		// captures deterministic whether or not -realtime paces the send.
+		step := time.Second / time.Duration(*fps)
+		scfg.Record = func(round int64, streamID int, p *codec.Packet) {
+			_ = capw.WritePacket(time.Duration(round)*step, round, p)
+		}
+	}
+	srv, err := stream.Serve(ln, scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,6 +111,15 @@ func main() {
 	}()
 	select {
 	case <-done:
+		if capw != nil {
+			if err := capw.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pgserve: finalizing capture:", err)
+			} else if err := capFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pgserve: closing capture:", err)
+			} else {
+				fmt.Printf("pgserve: capture written to %s\n", *record)
+			}
+		}
 		fmt.Println("pgserve: shut down cleanly")
 	case <-sig:
 		fmt.Println("pgserve: aborted")

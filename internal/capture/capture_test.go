@@ -1,0 +1,305 @@
+package capture
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+// testMeta builds a small session header for synthetic captures.
+func testMeta(streams int, gate *GateMeta) SessionMeta {
+	m := SessionMeta{Label: "test"}
+	for i := 0; i < streams; i++ {
+		m.Streams = append(m.Streams, StreamMeta{Codec: "h264", FPS: 25, GOPSize: 25})
+	}
+	m.Gate = gate
+	return m
+}
+
+// writeRounds writes `rounds` dense rounds of one packet per stream at the
+// given timestamps (len(ts) == rounds).
+func writeRounds(t *testing.T, w *Writer, streams int, ts []time.Duration) {
+	t.Helper()
+	seq := int64(0)
+	for r, at := range ts {
+		for s := 0; s < streams; s++ {
+			p := &codec.Packet{
+				StreamID: s, Seq: seq, Type: codec.PictureP, Size: 1000 + 100*s,
+				GOPIndex: r % 25, GOPSize: 25, Payload: []byte{1, 2, 3},
+			}
+			if r%25 == 0 {
+				p.Type = codec.PictureI
+			}
+			if err := w.WritePacket(at, int64(r), p); err != nil {
+				t.Fatalf("WritePacket(r=%d s=%d): %v", r, s, err)
+			}
+			seq++
+		}
+	}
+}
+
+func TestCaptureRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(3, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []time.Duration{0, 40 * time.Millisecond, 80 * time.Millisecond, 520 * time.Millisecond}
+	writeRounds(t, w, 3, ts)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rounds) != 4 {
+		t.Fatalf("rounds = %d, want 4", len(c.Rounds))
+	}
+	for i, r := range c.Rounds {
+		if r.TS != ts[i] {
+			t.Errorf("round %d TS = %v, want %v", i, r.TS, ts[i])
+		}
+		if len(r.Pkts) != 3 {
+			t.Fatalf("round %d has %d slots", i, len(r.Pkts))
+		}
+		for s, p := range r.Pkts {
+			if p == nil || p.StreamID != s {
+				t.Fatalf("round %d slot %d: bad packet %+v", i, s, p)
+			}
+			if !bytes.Equal(p.Payload, []byte{1, 2, 3}) {
+				t.Fatalf("round %d slot %d: payload not preserved", i, s)
+			}
+		}
+	}
+	if c.Index == nil {
+		t.Fatal("no index")
+	}
+	if c.Index.Packets != 12 || c.Index.Rounds != 4 {
+		t.Fatalf("index says %d packets / %d rounds", c.Index.Packets, c.Index.Rounds)
+	}
+	if got := c.Index.Duration(); got != 520*time.Millisecond {
+		t.Fatalf("index duration %v", got)
+	}
+}
+
+func TestCaptureStripPayloads(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.StripPayloads = true
+	writeRounds(t, w, 2, []time.Duration{0, time.Millisecond})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Rounds[0].Pkts[0]
+	if len(p.Payload) != 0 {
+		t.Fatalf("payload survived stripping: %d bytes", len(p.Payload))
+	}
+	if p.Size != 1000 {
+		t.Fatalf("size metadata lost: %d", p.Size)
+	}
+}
+
+func TestWriterRejectsRegressingTime(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &codec.Packet{StreamID: 0, Type: codec.PictureP, Size: 10}
+	if err := w.WritePacket(time.Second, 5, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(time.Millisecond, 6, p); err == nil {
+		t.Fatal("regressing timestamp accepted")
+	}
+	if err := w.WritePacket(time.Second, 4, p); err == nil {
+		t.Fatal("regressing round at equal timestamp accepted")
+	}
+}
+
+func TestReadIndexFastPath(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, &GateMeta{Budget: 3, Window: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRounds(t, w, 2, []time.Duration{0, 100 * time.Millisecond})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	meta, idx, err := ReadIndex(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gate == nil || meta.Gate.Budget != 3 {
+		t.Fatalf("gate meta lost: %+v", meta.Gate)
+	}
+	if idx.Packets != 4 || idx.Rounds != 2 {
+		t.Fatalf("index %+v", idx)
+	}
+	if len(idx.PerStream) != 2 || idx.PerStream[1].Packets != 2 {
+		t.Fatalf("per-stream stats %+v", idx.PerStream)
+	}
+}
+
+func TestFilterStreamsKeepsSlots(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRounds(t, w, 4, []time.Duration{0, 10 * time.Millisecond})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.FilterStreams([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got.Rounds {
+		if r.Pkts[0] != nil || r.Pkts[2] != nil {
+			t.Fatal("dropped stream still present")
+		}
+		if r.Pkts[1] == nil || r.Pkts[3] == nil {
+			t.Fatal("kept stream missing")
+		}
+	}
+	if _, err := c.FilterStreams([]int{9}); err == nil {
+		t.Fatal("out-of-range stream accepted")
+	}
+}
+
+func TestSaveRoundtripsFilteredCapture(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second}
+	writeRounds(t, w, 2, ts)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := c.FilterWindow(Window{From: time.Second, To: 3 * time.Second}, true)
+	if len(cut.Rounds) != 2 {
+		t.Fatalf("window kept %d rounds, want 2", len(cut.Rounds))
+	}
+	if cut.Rounds[0].TS != 0 || cut.Rounds[1].TS != time.Second {
+		t.Fatalf("rebase failed: %v %v", cut.Rounds[0].TS, cut.Rounds[1].TS)
+	}
+	var out bytes.Buffer
+	if err := cut.Save(&out); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rounds) != 2 || back.Rounds[1].TS != time.Second {
+		t.Fatalf("saved capture mismatched: %d rounds", len(back.Rounds))
+	}
+}
+
+func TestAuditRequiresGateMeta(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRounds(t, w, 2, []time.Duration{0})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Audit(c, AuditOptions{}); err == nil {
+		t.Fatal("audit of a packets-only capture should error")
+	}
+}
+
+// TestAuditDetectsTamperedTrace flips one recorded decision and expects the
+// audit to fail loudly — the property the golden corpus test relies on.
+func TestAuditDetectsTamperedTrace(t *testing.T) {
+	spec := DefaultCorpus()[1] // corpus-steady: small, ungoverned
+	var buf bytes.Buffer
+	if err := GenerateCorpus(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: untampered audit passes.
+	res, err := Audit(c, AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("clean corpus diverged: %+v", res)
+	}
+	// Tamper: flip the Selected bit of one mid-capture decision.
+	tampered := 40
+	flipped := false
+	for d := range c.Decisions[tampered].Decisions {
+		c.Decisions[tampered].Decisions[d].Selected = !c.Decisions[tampered].Decisions[d].Selected
+		flipped = true
+		break
+	}
+	if !flipped {
+		t.Fatal("no decision to tamper with")
+	}
+	res, err = Audit(c, AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ok() {
+		t.Fatal("tampered trace passed the audit")
+	}
+	if res.FirstDivergence != tampered {
+		t.Fatalf("first divergence at %d, want %d", res.FirstDivergence, tampered)
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRounds(t, w, 2, []time.Duration{0, time.Millisecond})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) - footerLen, len(full) / 2, 5, 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			// io errors (unexpected EOF) are fine too, but structural
+			// detections must wrap ErrCorrupt; either way it must not pass.
+			t.Logf("cut %d: %v", cut, err)
+		}
+	}
+}

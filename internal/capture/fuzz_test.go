@@ -1,0 +1,139 @@
+package capture
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+// fuzzSeed builds a small valid capture for the fuzz corpus.
+func fuzzSeed(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testMeta(2, &GateMeta{Budget: 2, Window: 3, UseTemporal: true}))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			p := &codec.Packet{
+				StreamID: s, Seq: int64(r*2 + s), Type: codec.PictureP,
+				Size: 1000 + s, GOPIndex: r, GOPSize: 25, Payload: []byte{9, 8, 7},
+			}
+			if r == 0 {
+				p.Type = codec.PictureI
+			}
+			if err := w.WritePacket(time.Duration(r)*40*time.Millisecond, int64(r), p); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCaptureContainer feeds arbitrary bytes to the capture reader. The
+// reader must either produce a capture or return an error — never panic,
+// never over-allocate from a lying length header, never read past the
+// buffer. Seeds cover the interesting structured mutations: truncations at
+// every record boundary class, corrupted index offsets, and flipped CRCs.
+func FuzzCaptureContainer(f *testing.F) {
+	valid := fuzzSeed(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("PGC1"))
+	f.Add(append([]byte("PGC1"), 0xFF))           // bad version
+	f.Add(append([]byte("NOPE"), valid[4:]...))   // bad magic
+	f.Add(valid[:len(valid)-1])                   // cut footer
+	f.Add(valid[:len(valid)-footerLen])           // footer gone entirely
+	f.Add(valid[:len(valid)/2])                   // mid-record cut
+	f.Add(valid[:5])                              // header only
+	for _, off := range []uint64{0, 1, 1 << 40} { // corrupt index offsets
+		b := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint64(b[len(b)-8:], off)
+		f.Add(b)
+	}
+	{ // flip one byte inside a record body: CRC must catch it
+		b := append([]byte(nil), valid...)
+		b[len(b)/2] ^= 0x40
+		f.Add(b)
+	}
+	{ // huge claimed record length on a tiny file
+		b := append([]byte(nil), valid[:5]...)
+		b = append(b, byte(RecPacket))
+		var lenb [8]byte
+		binary.BigEndian.PutUint32(lenb[:4], 60<<20)
+		b = append(b, lenb[:]...)
+		f.Add(b)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: that's the contract
+		}
+		// Anything the reader accepts must be internally consistent enough
+		// to traverse and re-save without panicking.
+		_ = c.Duration()
+		for _, r := range c.Rounds {
+			_ = r.Packets()
+		}
+		var out bytes.Buffer
+		_ = c.Save(&out)
+		// The index fast path must agree about acceptance on a seekable
+		// reader (it may reject files Load accepts only if the trailing
+		// index is damaged — but it must not panic).
+		_, _, _ = ReadIndex(bytes.NewReader(data))
+	})
+}
+
+// TestFuzzSeedsNonFuzzing replays the structured fuzz seeds as a plain test
+// so `go test` (and make replay / make verify) exercises them without the
+// fuzz engine.
+func TestFuzzSeedsNonFuzzing(t *testing.T) {
+	valid := fuzzSeed(t)
+	seeds := [][]byte{
+		valid,
+		{},
+		[]byte("PGC1"),
+		append([]byte("PGC1"), 0xFF),
+		append([]byte("NOPE"), valid[4:]...),
+		valid[:len(valid)-1],
+		valid[:len(valid)-footerLen],
+		valid[:len(valid)/2],
+		valid[:5],
+	}
+	for _, off := range []uint64{0, 1, 1 << 40} {
+		b := append([]byte(nil), valid...)
+		binary.BigEndian.PutUint64(b[len(b)-8:], off)
+		seeds = append(seeds, b)
+	}
+	b := append([]byte(nil), valid...)
+	b[len(b)/2] ^= 0x40
+	seeds = append(seeds, b)
+
+	for i, seed := range seeds {
+		c, err := Load(bytes.NewReader(seed))
+		if i == 0 {
+			if err != nil {
+				t.Fatalf("valid seed rejected: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			// Mutations may still parse if they only damaged the index
+			// region in a recoverable way; what matters is no panic and a
+			// traversable result.
+			_ = c.Duration()
+			continue
+		}
+	}
+	// The flipped-byte seed specifically must be caught by a CRC.
+	if _, err := Load(bytes.NewReader(b)); err == nil {
+		t.Fatal("bit flip inside a record body went undetected")
+	}
+}

@@ -1,0 +1,114 @@
+package capture
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusDir is the committed corpus location relative to this package.
+var corpusDir = filepath.Join("..", "..", "testdata", "captures")
+
+// TestGoldenCorpusBytes regenerates every committed corpus capture in
+// memory and requires the bytes on disk to match exactly. A mismatch means
+// either the capture format or the deterministic generator changed — both
+// need a deliberate `make corpus` refresh committed alongside the change.
+func TestGoldenCorpusBytes(t *testing.T) {
+	for _, spec := range DefaultCorpus() {
+		path := filepath.Join(corpusDir, spec.Name+".pgc")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("committed corpus missing (run `make corpus`): %v", err)
+		}
+		var got bytes.Buffer
+		if err := GenerateCorpus(&got, spec); err != nil {
+			t.Fatalf("%s: regenerate: %v", spec.Name, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: committed capture differs from regeneration (%d vs %d bytes); if intentional, refresh with `make corpus`",
+				spec.Name, len(want), got.Len())
+		}
+	}
+}
+
+// TestGoldenCorpusAudit is the decision-trace regression gate: replaying
+// each committed capture's packets through today's gate must reproduce the
+// recorded decisions bit-identically. Any gate behavior change trips this.
+func TestGoldenCorpusAudit(t *testing.T) {
+	for _, spec := range DefaultCorpus() {
+		path := filepath.Join(corpusDir, spec.Name+".pgc")
+		c, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("committed corpus missing (run `make corpus`): %v", err)
+		}
+		var diag bytes.Buffer
+		res, err := Audit(c, AuditOptions{Verbose: &diag})
+		if err != nil {
+			t.Fatalf("%s: audit: %v", spec.Name, err)
+		}
+		if !res.Ok() {
+			t.Errorf("%s: %d/%d rounds diverged from the recorded decision trace (first at round %d)\n%s",
+				spec.Name, res.Divergent, res.Rounds, res.FirstDivergence, diag.String())
+		}
+		if res.Rounds == 0 {
+			t.Errorf("%s: audited zero rounds", spec.Name)
+		}
+	}
+}
+
+// TestGoldenCorpusShape pins the structural claims the replay experiment
+// depends on: the burst corpus really is bursty and governed, the steady
+// corpus is uniform and ungoverned.
+func TestGoldenCorpusShape(t *testing.T) {
+	burst, err := LoadFile(filepath.Join(corpusDir, "corpus-burst.pgc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts []int64
+	for _, r := range burst.Rounds {
+		ts = append(ts, int64(r.TS))
+	}
+	if b := burstinessNanos(ts); b < 4 {
+		t.Fatalf("corpus-burst max/mean gap = %.2f, want bursty (>4)", b)
+	}
+	if burst.Meta.Gate == nil || !burst.Meta.Gate.Governed {
+		t.Fatal("corpus-burst should record a governed gate")
+	}
+	modes := map[string]bool{}
+	for _, d := range burst.Decisions {
+		modes[d.Mode] = true
+	}
+	if len(modes) < 2 {
+		t.Fatalf("corpus-burst should span multiple ladder modes, got %v", modes)
+	}
+
+	steady, err := LoadFile(filepath.Join(corpusDir, "corpus-steady.pgc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts = ts[:0]
+	for _, r := range steady.Rounds {
+		ts = append(ts, int64(r.TS))
+	}
+	if b := burstinessNanos(ts); b > 1.01 {
+		t.Fatalf("corpus-steady max/mean gap = %.2f, want uniform", b)
+	}
+	if steady.Meta.Gate == nil || steady.Meta.Gate.Governed {
+		t.Fatal("corpus-steady should record an ungoverned gate")
+	}
+}
+
+func burstinessNanos(ts []int64) float64 {
+	if len(ts) < 2 {
+		return 1
+	}
+	var maxGap int64
+	for i := 1; i < len(ts); i++ {
+		if g := ts[i] - ts[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	mean := float64(ts[len(ts)-1]-ts[0]) / float64(len(ts)-1)
+	return float64(maxGap) / mean
+}

@@ -1,0 +1,265 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/trace"
+)
+
+// RecordedRound is one round of a loaded capture: a dense per-stream packet
+// slice (nil = idle slot) plus per-slot capture timestamps.
+type RecordedRound struct {
+	// Round is the recorded round index.
+	Round int64
+	// TS is the round's scheduling timestamp: the earliest packet
+	// timestamp in the round.
+	TS time.Duration
+	// Pkts is indexed by stream slot; nil entries are idle streams.
+	Pkts []*codec.Packet
+	// PktTS holds each slot's capture timestamp (zero for nil slots).
+	PktTS []time.Duration
+}
+
+// Packets counts the non-idle slots.
+func (r *RecordedRound) Packets() int {
+	n := 0
+	for _, p := range r.Pkts {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Capture is a fully loaded capture file.
+type Capture struct {
+	Meta      SessionMeta
+	Rounds    []RecordedRound
+	Decisions []trace.Round
+	// Index is the trailing index, or nil when the capture was truncated
+	// before its index was written (still loadable up to the cut).
+	Index *Index
+}
+
+// Duration returns the packet time span of the loaded rounds.
+func (c *Capture) Duration() time.Duration {
+	if len(c.Rounds) == 0 {
+		return 0
+	}
+	last := c.Rounds[len(c.Rounds)-1]
+	max := last.TS
+	for _, ts := range last.PktTS {
+		if ts > max {
+			max = ts
+		}
+	}
+	return max - c.Rounds[0].TS
+}
+
+// Load reads a whole capture into memory, grouping packets into rounds.
+func Load(r io.Reader) (*Capture, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Capture{Meta: cr.Session()}
+	m := len(c.Meta.Streams)
+	var cur *RecordedRound
+	for {
+		rec, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Kind {
+		case RecPacket:
+			if cur == nil || rec.Round != cur.Round {
+				c.Rounds = append(c.Rounds, RecordedRound{
+					Round: rec.Round,
+					TS:    rec.TS,
+					Pkts:  make([]*codec.Packet, m),
+					PktTS: make([]time.Duration, m),
+				})
+				cur = &c.Rounds[len(c.Rounds)-1]
+			}
+			if cur.Pkts[rec.StreamID] != nil {
+				return nil, corruptf("duplicate packet for stream %d in round %d", rec.StreamID, rec.Round)
+			}
+			cur.Pkts[rec.StreamID] = rec.Packet
+			cur.PktTS[rec.StreamID] = rec.TS
+			if rec.TS < cur.TS {
+				cur.TS = rec.TS
+			}
+		case RecTrace:
+			c.Decisions = append(c.Decisions, *rec.Trace)
+		case RecIndex:
+			c.Index = rec.Index
+		}
+	}
+	return c, nil
+}
+
+// LoadFile loads a capture from disk.
+func LoadFile(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// FilterWindow returns a copy of the capture restricted to the half-open
+// capture-time window [w.From, w.To): a packet survives iff its own
+// timestamp satisfies w.Contains, exactly at the boundaries, and rounds
+// left with no surviving packets are dropped. When rebase is true the
+// surviving timestamps are shifted so the earliest becomes zero and rounds
+// renumber from zero.
+//
+// The decision trace is NOT carried over: recorded decisions are only valid
+// against the full recorded workload (budget competition spans all streams
+// and rounds), so a filtered capture is a packet corpus, not an auditable
+// session.
+func (c *Capture) FilterWindow(w Window, rebase bool) *Capture {
+	out := &Capture{Meta: c.Meta}
+	out.Meta.Gate = nil // decisions dropped: the gate config no longer attests anything
+	var base time.Duration
+	var baseRound int64
+	first := true
+	for _, r := range c.Rounds {
+		var nr *RecordedRound
+		for i, p := range r.Pkts {
+			if p == nil || !w.Contains(r.PktTS[i]) {
+				continue
+			}
+			if first {
+				base = r.PktTS[i]
+				baseRound = r.Round
+				first = false
+			}
+			if nr == nil {
+				out.Rounds = append(out.Rounds, RecordedRound{
+					Round: r.Round,
+					TS:    r.PktTS[i],
+					Pkts:  make([]*codec.Packet, len(r.Pkts)),
+					PktTS: make([]time.Duration, len(r.Pkts)),
+				})
+				nr = &out.Rounds[len(out.Rounds)-1]
+			}
+			nr.Pkts[i] = p
+			nr.PktTS[i] = r.PktTS[i]
+			if r.PktTS[i] < nr.TS {
+				nr.TS = r.PktTS[i]
+			}
+		}
+	}
+	if rebase {
+		for i := range out.Rounds {
+			r := &out.Rounds[i]
+			r.Round -= baseRound
+			r.TS -= base
+			for s := range r.PktTS {
+				if r.Pkts[s] != nil {
+					r.PktTS[s] -= base
+				} else {
+					r.PktTS[s] = 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FilterStreams returns a copy keeping only the given stream slots (others
+// become idle). Slot numbering is preserved so packets keep their stream
+// identity; the decision trace is dropped for the same reason as in
+// FilterWindow.
+func (c *Capture) FilterStreams(keep []int) (*Capture, error) {
+	sel := make([]bool, len(c.Meta.Streams))
+	for _, i := range keep {
+		if i < 0 || i >= len(sel) {
+			return nil, fmt.Errorf("capture: stream %d out of range (capture has %d)", i, len(sel))
+		}
+		sel[i] = true
+	}
+	out := &Capture{Meta: c.Meta}
+	out.Meta.Gate = nil
+	for _, r := range c.Rounds {
+		var nr *RecordedRound
+		for i, p := range r.Pkts {
+			if p == nil || !sel[i] {
+				continue
+			}
+			if nr == nil {
+				out.Rounds = append(out.Rounds, RecordedRound{
+					Round: r.Round,
+					TS:    r.PktTS[i],
+					Pkts:  make([]*codec.Packet, len(r.Pkts)),
+					PktTS: make([]time.Duration, len(r.Pkts)),
+				})
+				nr = &out.Rounds[len(out.Rounds)-1]
+			}
+			nr.Pkts[i] = p
+			nr.PktTS[i] = r.PktTS[i]
+			if r.PktTS[i] < nr.TS {
+				nr.TS = r.PktTS[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Save writes the capture back out as a PGC file (used by the filter verb).
+// Decision traces survive a plain save (no filtering applied since load).
+func (c *Capture) Save(w io.Writer) error {
+	cw, err := NewWriter(w, c.Meta)
+	if err != nil {
+		return err
+	}
+	// Interleave decisions at their recorded positions: decision k follows
+	// the k-th round's packets, mirroring a sequential recording.
+	d := 0
+	var order []int
+	for _, r := range c.Rounds {
+		// Emit the round's packets in timestamp order (slot order as the
+		// tiebreak): the writer enforces non-decreasing timestamps, and a
+		// network-recorded round may have per-slot arrival skew.
+		order = order[:0]
+		for i, p := range r.Pkts {
+			if p != nil {
+				order = append(order, i)
+			}
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return r.PktTS[order[a]] < r.PktTS[order[b]]
+		})
+		for _, i := range order {
+			if err := cw.WritePacket(r.PktTS[i], r.Round, r.Pkts[i]); err != nil {
+				return err
+			}
+		}
+		if d < len(c.Decisions) {
+			if err := cw.WriteDecision(c.Decisions[d]); err != nil {
+				return err
+			}
+			d++
+		}
+	}
+	for ; d < len(c.Decisions); d++ {
+		if err := cw.WriteDecision(c.Decisions[d]); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}

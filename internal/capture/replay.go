@@ -1,0 +1,180 @@
+package capture
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"packetgame/internal/codec"
+)
+
+// Clock abstracts wall time so replay timing is testable against a virtual
+// clock (and so the timing property tests are exact, not flaky).
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// RealClock is the wall-clock Clock.
+var RealClock Clock = realClock{}
+
+// VirtualClock is a deterministic Clock that jumps instantly on Sleep —
+// replay schedules become exact arithmetic over it. The zero value starts
+// at the zero time.
+type VirtualClock struct {
+	T time.Time
+}
+
+// Now returns the virtual time.
+func (c *VirtualClock) Now() time.Time { return c.T }
+
+// Sleep advances the virtual time (negative durations are ignored, matching
+// time.Sleep).
+func (c *VirtualClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.T = c.T.Add(d)
+	}
+}
+
+// Window selects the half-open capture-time interval [From, To). To <= 0
+// leaves the window open-ended; From == To (positive) is the empty window.
+type Window struct {
+	From, To time.Duration
+}
+
+// Bounded reports whether the window has an upper edge.
+func (w Window) Bounded() bool { return w.To > 0 }
+
+// Contains reports whether a capture timestamp falls inside the window.
+// Boundary semantics are exact: ts == From is in, ts == To is out.
+func (w Window) Contains(ts time.Duration) bool {
+	if ts < w.From {
+		return false
+	}
+	if w.Bounded() && ts >= w.To {
+		return false
+	}
+	return true
+}
+
+// ReplayOptions parameterizes a timed replay.
+type ReplayOptions struct {
+	// Speedup scales recorded time: 2 halves every inter-round gap, 0.5
+	// doubles them. 0 defaults to 1 (original timing).
+	Speedup float64
+	// Window restricts the replay to a capture-time interval.
+	Window Window
+	// Flat replaces the recorded schedule with a uniform one at the same
+	// average round rate — the tcpreplay-style control that demonstrably
+	// flattens recorded bursts (the reason this package exists).
+	Flat bool
+	// Clock defaults to RealClock.
+	Clock Clock
+}
+
+func (o ReplayOptions) withDefaults() (ReplayOptions, error) {
+	if o.Speedup == 0 {
+		o.Speedup = 1
+	}
+	if o.Speedup < 0 {
+		return o, fmt.Errorf("capture: negative speedup %v", o.Speedup)
+	}
+	if o.Clock == nil {
+		o.Clock = RealClock
+	}
+	return o, nil
+}
+
+// schedule precomputes each surviving round's emission offset from replay
+// start, honoring window, speedup, and the flat-rate control.
+func schedule(c *Capture, o ReplayOptions) ([]RecordedRound, []time.Duration, error) {
+	rounds := c.Rounds
+	if o.Window != (Window{}) {
+		rounds = c.FilterWindow(o.Window, false).Rounds
+	}
+	if len(rounds) == 0 {
+		return nil, nil, nil
+	}
+	due := make([]time.Duration, len(rounds))
+	base := rounds[0].TS
+	if o.Flat {
+		// Uniform gaps at the capture's average round rate over the same
+		// (speedup-scaled) span.
+		span := rounds[len(rounds)-1].TS - base
+		gap := time.Duration(0)
+		if len(rounds) > 1 {
+			gap = time.Duration(float64(span) / float64(len(rounds)-1) / o.Speedup)
+		}
+		for i := range due {
+			due[i] = time.Duration(i) * gap
+		}
+	} else {
+		for i, r := range rounds {
+			due[i] = time.Duration(float64(r.TS-base) / o.Speedup)
+		}
+	}
+	return rounds, due, nil
+}
+
+// TimedSource replays a loaded capture's rounds at their recorded times —
+// scaled by Speedup, restricted by Window, or flattened by Flat — blocking
+// in NextRound until each round is due. It satisfies the pipeline engine's
+// RoundSource interface, so a capture can drive the exact ingest path a
+// live PGSP session does.
+type TimedSource struct {
+	rounds []RecordedRound
+	due    []time.Duration
+	clock  Clock
+	start  time.Time
+	i      int
+	// Emitted records each round's actual emission offset from replay
+	// start (clock time), for timing verification.
+	emitted []time.Duration
+}
+
+// NewTimedSource builds a timed replay source over a loaded capture.
+func NewTimedSource(c *Capture, opts ReplayOptions) (*TimedSource, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rounds, due, err := schedule(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &TimedSource{rounds: rounds, due: due, clock: opts.Clock}, nil
+}
+
+// Rounds returns the number of rounds the replay will emit.
+func (s *TimedSource) Rounds() int { return len(s.rounds) }
+
+// Emitted returns the per-round emission offsets observed so far.
+func (s *TimedSource) Emitted() []time.Duration { return s.emitted }
+
+// NextRound implements the pipeline RoundSource protocol: it sleeps until
+// the next round is due, then returns its packets.
+func (s *TimedSource) NextRound() ([]*codec.Packet, error) {
+	if s.i >= len(s.rounds) {
+		return nil, io.EOF
+	}
+	if s.i == 0 {
+		s.start = s.clock.Now()
+	}
+	target := s.start.Add(s.due[s.i])
+	if d := target.Sub(s.clock.Now()); d > 0 {
+		s.clock.Sleep(d)
+	}
+	s.emitted = append(s.emitted, s.clock.Now().Sub(s.start))
+	r := &s.rounds[s.i]
+	s.i++
+	return r.Pkts, nil
+}
+
+// Truth implements the pipeline RoundSource protocol: captures carry no
+// side-channel ground truth.
+func (s *TimedSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }

@@ -1,0 +1,170 @@
+package capture
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"packetgame/internal/container"
+	"packetgame/internal/stream"
+)
+
+// ReplayServer serves a directory of captures as live PGSP sessions: every
+// accepted connection gets one session muxing all captures, each replayed
+// by its own worker goroutine that preserves that capture's inter-round
+// timing (scaled by Speedup). Stream slots are concatenated in capture
+// order; round indices are renumbered onto one monotone session counter, so
+// concurrently replaying captures interleave as distinct rounds (each round
+// carries packets from exactly one capture, the other slots idle) — the
+// same shape a bursty multi-source ingest presents to the gate.
+type ReplayServer struct {
+	captures []*Capture
+	infos    []stream.StreamInfo
+	base     []int // capture i's first stream slot
+	opts     ReplayOptions
+
+	ln   net.Listener
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	done bool
+}
+
+// ServeReplay starts serving the captures on ln. Close stops it.
+func ServeReplay(ln net.Listener, captures []*Capture, opts ReplayOptions) (*ReplayServer, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &ReplayServer{captures: captures, opts: opts, ln: ln}
+	for _, c := range captures {
+		infos, err := c.Meta.Infos()
+		if err != nil {
+			return nil, err
+		}
+		s.base = append(s.base, len(s.infos))
+		s.infos = append(s.infos, infos...)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address.
+func (s *ReplayServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Streams returns the muxed session's stream count.
+func (s *ReplayServer) Streams() int { return len(s.infos) }
+
+// Close stops accepting and waits for active replays to finish writing.
+func (s *ReplayServer) Close() error {
+	s.mu.Lock()
+	s.done = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *ReplayServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.serveConn(conn)
+		}()
+	}
+}
+
+// mux serializes frame writes from the per-capture workers onto one
+// connection and hands out global round numbers.
+type mux struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	round uint64
+	body  []byte
+	frame []byte
+	err   error
+}
+
+// emitRound writes one replayed round (all packets of one capture's round)
+// as a fresh global round.
+func (m *mux) emitRound(base int, r *RecordedRound) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	gr := m.round
+	m.round++
+	for i, p := range r.Pkts {
+		if p == nil {
+			continue
+		}
+		m.body = container.MarshalPacket(m.body[:0], p)
+		m.frame = stream.AppendFrame(m.frame[:0], gr, uint32(base+i), m.body)
+		if _, err := m.bw.Write(m.frame); err != nil {
+			m.err = err
+			return err
+		}
+	}
+	m.err = m.bw.Flush()
+	return m.err
+}
+
+func (s *ReplayServer) serveConn(conn net.Conn) error {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := stream.WriteHandshake(bw, s.infos); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	m := &mux{bw: bw}
+	var workers sync.WaitGroup
+	for ci, c := range s.captures {
+		rounds, due, err := schedule(c, s.opts)
+		if err != nil {
+			return err
+		}
+		workers.Add(1)
+		go func(base int, rounds []RecordedRound, due []time.Duration) {
+			defer workers.Done()
+			clock := s.opts.Clock
+			start := clock.Now()
+			for i := range rounds {
+				if s.stopped() {
+					return
+				}
+				if d := start.Add(due[i]).Sub(clock.Now()); d > 0 {
+					clock.Sleep(d)
+				}
+				if err := m.emitRound(base, &rounds[i]); err != nil {
+					return
+				}
+			}
+		}(s.base[ci], rounds, due)
+	}
+	workers.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if _, err := bw.Write(stream.AppendGoodbye(nil, m.round)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *ReplayServer) stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}

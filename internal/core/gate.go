@@ -105,10 +105,16 @@ type Config struct {
 	// Overload, when non-nil, receives admission-control counters (packets
 	// shed by brownout modes, feedback slots settled as deferred).
 	Overload *metrics.OverloadStats
+	// Planner, when non-nil, overrides Governor as the source of the
+	// per-round effective budget and degradation mode. Replay audits use
+	// an overload.Scripted planner here to pin each round to the recorded
+	// run's overload state instead of re-running the control loop.
+	Planner overload.Planner
 	// Trace, when non-nil, records every round's confidences, costs, and
-	// decisions as a JSON Lines audit trail (written at Feedback time,
-	// once redundancy outcomes are known).
-	Trace *trace.Writer
+	// decisions as an audit trail (written at Feedback time, once
+	// redundancy outcomes are known). *trace.Writer streams JSON Lines; a
+	// capture recorder embeds the same records next to the packets.
+	Trace trace.Sink
 	// NoFastPath disables the compiled batched inference fast path and
 	// scores streams through the reference float64 forwardBatch instead.
 	// Decisions are equivalent up to float32 rounding on exact confidence
@@ -424,7 +430,9 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	// the fixed nominal budget.
 	bEff := g.cfg.Budget
 	mode := overload.ModeFull
-	if g.cfg.Governor != nil {
+	if g.cfg.Planner != nil {
+		bEff, mode = g.cfg.Planner.Plan()
+	} else if g.cfg.Governor != nil {
 		bEff, mode = g.cfg.Governor.Plan()
 	}
 
@@ -619,7 +627,7 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		slab:     roundSlab,
 	}
 	if g.cfg.Trace != nil {
-		rec := &trace.Round{T: g.stats.Rounds, Budget: bEff, Spent: spent}
+		rec := &trace.Round{T: g.stats.Rounds, Budget: bEff, Spent: spent, Mode: mode.String()}
 		for _, i := range g.active {
 			rec.Decisions = append(rec.Decisions, trace.Decision{
 				Stream:     i,
@@ -853,14 +861,17 @@ func (g *Gate) FeedbackFull(selected []int, necessary, failed, deferred []bool) 
 	if pr.trace != nil {
 		nec := map[int]bool{}
 		def := map[int]bool{}
+		fld := map[int]bool{}
 		for k, i := range selected {
 			nec[i] = necessary[k] && (deferred == nil || !deferred[k])
 			def[i] = deferred != nil && deferred[k]
+			fld[i] = failed != nil && failed[k]
 		}
 		for d := range pr.trace.Decisions {
 			if pr.trace.Decisions[d].Selected {
 				pr.trace.Decisions[d].Necessary = nec[pr.trace.Decisions[d].Stream]
 				pr.trace.Decisions[d].Deferred = def[pr.trace.Decisions[d].Stream]
+				pr.trace.Decisions[d].Failed = fld[pr.trace.Decisions[d].Stream]
 			}
 		}
 		if err := g.cfg.Trace.Write(*pr.trace); err != nil {

@@ -80,6 +80,7 @@ func Registry() []Experiment {
 		{"ablate", "Design-choice ablations beyond the paper's", Ablate},
 		{"chaos", "Robustness: gating under injected faults, breakers, and self-healing ingest", Chaos},
 		{"overload", "Overload soak: diurnal+chaos load vs the budget governor and degradation ladder", Overload},
+		{"replay", "pgcap corpus: decision-trace determinism audits and timestamp-preserving replay fidelity", Replay},
 	}
 }
 

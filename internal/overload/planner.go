@@ -1,0 +1,62 @@
+package overload
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Planner supplies the effective budget and degradation mode a gating round
+// plans against. *Governor is the closed-loop implementation; Scripted
+// replays a recorded trajectory for determinism audits.
+type Planner interface {
+	Plan() (budget float64, mode Mode)
+}
+
+// ParseMode maps a mode name (as produced by Mode.String) back to its Mode.
+// The empty string parses as ModeFull: decision traces written before the
+// mode field existed carry no rung, and those runs were ungoverned.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "full":
+		return ModeFull, nil
+	case "temporal-only":
+		return ModeTemporalOnly, nil
+	case "keyframe-only":
+		return ModeKeyframeOnly, nil
+	case "shed":
+		return ModeShed, nil
+	default:
+		return 0, fmt.Errorf("overload: unknown mode %q", name)
+	}
+}
+
+// Scripted is a Planner that replays an externally supplied (budget, mode)
+// trajectory: a replay harness calls Set with the recorded round's values
+// before each Decide, pinning the gate to the exact overload state of the
+// recorded run instead of re-running the control loop against unreproducible
+// wall-clock latencies. Safe for concurrent use.
+type Scripted struct {
+	mu   sync.Mutex
+	bEff float64
+	mode Mode
+}
+
+// NewScripted starts a scripted planner at the given budget in ModeFull.
+func NewScripted(budget float64) *Scripted {
+	return &Scripted{bEff: budget}
+}
+
+// Set pins the budget and mode the next Plan returns.
+func (s *Scripted) Set(budget float64, mode Mode) {
+	s.mu.Lock()
+	s.bEff = budget
+	s.mode = mode
+	s.mu.Unlock()
+}
+
+// Plan implements Planner.
+func (s *Scripted) Plan() (float64, Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bEff, s.mode
+}

@@ -41,6 +41,18 @@ var ErrFrameCRC = errors.New("stream: frame CRC mismatch")
 // errGoodbye is returned by readFrame for the end-of-session marker.
 var errGoodbye = errors.New("stream: goodbye")
 
+// AppendFrame appends one v2 frame to dst. It is exported for replay tools
+// (internal/capture) that speak PGSP from recorded packets rather than a
+// live fleet.
+func AppendFrame(dst []byte, round uint64, stream uint32, body []byte) []byte {
+	return appendFrame(dst, round, stream, body)
+}
+
+// AppendGoodbye appends the end-of-session marker to dst.
+func AppendGoodbye(dst []byte, round uint64) []byte {
+	return appendGoodbye(dst, round)
+}
+
 // appendFrame appends one v2 frame to dst.
 func appendFrame(dst []byte, round uint64, stream uint32, body []byte) []byte {
 	var hdr [frameHeaderLen]byte

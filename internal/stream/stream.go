@@ -49,6 +49,12 @@ type ServerConfig struct {
 	// negative disables): a stalled client is disconnected instead of
 	// wedging its serving goroutine forever.
 	WriteTimeout time.Duration
+	// Record, when non-nil, taps every packet of the first accepted
+	// session, invoked synchronously from the serving goroutine with the
+	// round index, stream slot, and packet. Only the first session is
+	// tapped: each connection gets an independent fleet, so recording two
+	// would interleave unrelated sessions into one capture.
+	Record func(round int64, streamID int, p *codec.Packet)
 }
 
 // Server serves synthetic camera fleets over TCP.
@@ -58,9 +64,10 @@ type Server struct {
 	wg   sync.WaitGroup
 	stop chan struct{}
 
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	recorded bool // the Record tap has been claimed by a session
 }
 
 // Serve starts serving on ln. It returns immediately; Close or Shutdown
@@ -157,6 +164,7 @@ func (s *Server) acceptLoop() {
 // error. Shutdown is only observed at round boundaries, so a client never
 // sees a partial round before the goodbye marker.
 func (s *Server) serveConn(conn net.Conn) error {
+	record := s.claimRecord()
 	streams := s.cfg.NewStreams()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	if s.cfg.WriteTimeout > 0 {
@@ -180,6 +188,9 @@ func (s *Server) serveConn(conn net.Conn) error {
 		}
 		for i, st := range streams {
 			p := st.Next()
+			if record != nil {
+				record(round, i, p)
+			}
 			body = container.MarshalPacket(body[:0], p)
 			frame = appendFrame(frame[:0], uint64(round), uint32(i), body)
 			if _, err := bw.Write(frame); err != nil {
@@ -199,6 +210,20 @@ func (s *Server) serveConn(conn net.Conn) error {
 	return s.sayGoodbye(conn, bw, uint64(round))
 }
 
+// claimRecord hands the Record tap to the first session that asks.
+func (s *Server) claimRecord() func(int64, int, *codec.Packet) {
+	if s.cfg.Record == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recorded {
+		return nil
+	}
+	s.recorded = true
+	return s.cfg.Record
+}
+
 // sayGoodbye writes the end-of-session marker so the client knows the
 // session ended cleanly rather than by a reset.
 func (s *Server) sayGoodbye(conn net.Conn, bw *bufio.Writer, round uint64) error {
@@ -212,28 +237,39 @@ func (s *Server) sayGoodbye(conn net.Conn, bw *bufio.Writer, round uint64) error
 }
 
 func writeHandshake(w *bufio.Writer, streams []*codec.Stream) error {
+	infos := make([]StreamInfo, len(streams))
+	for i, st := range streams {
+		cfg := st.Encoder.Config()
+		infos[i] = StreamInfo{Codec: cfg.Codec, FPS: cfg.FPS, GOPSize: cfg.GOPSize}
+	}
+	if err := WriteHandshake(w, infos); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteHandshake writes the PGSP handshake advertising the given streams. It
+// is exported for replay tools that serve recorded sessions: the stream
+// metadata comes from a capture's header instead of a live fleet.
+func WriteHandshake(w io.Writer, infos []StreamInfo) error {
 	if _, err := w.Write(handshakeMagic[:]); err != nil {
 		return err
 	}
-	if err := w.WriteByte(protocolVersion); err != nil {
+	hdr := []byte{protocolVersion, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(infos)))
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(streams)))
-	if _, err := w.Write(n[:]); err != nil {
-		return err
-	}
-	for _, st := range streams {
-		cfg := st.Encoder.Config()
+	for _, info := range infos {
 		var meta [5]byte
-		meta[0] = byte(cfg.Codec)
-		binary.BigEndian.PutUint16(meta[1:], uint16(cfg.FPS))
-		binary.BigEndian.PutUint16(meta[3:], uint16(cfg.GOPSize))
+		meta[0] = byte(info.Codec)
+		binary.BigEndian.PutUint16(meta[1:], uint16(info.FPS))
+		binary.BigEndian.PutUint16(meta[3:], uint16(info.GOPSize))
 		if _, err := w.Write(meta[:]); err != nil {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
 // Client consumes a PGSP session.

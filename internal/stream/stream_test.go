@@ -3,6 +3,7 @@ package stream
 import (
 	"io"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -235,5 +236,72 @@ func TestDialRejectsNonPGSP(t *testing.T) {
 	}()
 	if _, err := Dial(ln.Addr().String()); err == nil {
 		t.Error("bad handshake must error")
+	}
+}
+
+// TestRecordHookFirstSessionOnly checks the server-side capture tap: the
+// Record callback sees every packet of the first accepted session, in
+// (round, stream) order, and later sessions are not recorded.
+func TestRecordHookFirstSessionOnly(t *testing.T) {
+	type rec struct {
+		round  int64
+		stream int
+		seq    int64
+	}
+	var mu sync.Mutex
+	var got []rec
+	srv := startServer(t, ServerConfig{
+		Rounds:     3,
+		NewStreams: mkFactory(2, 7),
+		Record: func(round int64, streamID int, p *codec.Packet) {
+			mu.Lock()
+			got = append(got, rec{round, streamID, p.Seq})
+			mu.Unlock()
+		},
+	})
+	drain := func() int {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		c, err := NewClient(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			pkts, err := c.NextRound()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range pkts {
+				if p != nil {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	first := drain()
+	second := drain()
+	if first != 6 || second != 6 {
+		t.Fatalf("sessions delivered %d/%d packets, want 6/6", first, second)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 6 {
+		t.Fatalf("record hook saw %d packets, want 6 (first session only)", len(got))
+	}
+	for i, r := range got {
+		if want := int64(i / 2); r.round != want {
+			t.Fatalf("record %d: round %d, want %d", i, r.round, want)
+		}
+		if want := i % 2; r.stream != want {
+			t.Fatalf("record %d: stream %d, want %d", i, r.stream, want)
+		}
 	}
 }

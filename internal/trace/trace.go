@@ -32,18 +32,33 @@ type Decision struct {
 	// Deferred marks a selection the pipeline abandoned under deadline
 	// pressure: the decode never settled and Necessary carries no verdict.
 	Deferred bool `json:"deferred,omitempty"`
+	// Failed marks a selection whose decode never produced a frame even
+	// after retries (poison pill). Its Necessary value is the pipeline's
+	// conservative settlement, not a verified verdict.
+	Failed bool `json:"failed,omitempty"`
 }
 
 // Round is one trace record.
 type Round struct {
 	// T is the round index.
 	T int64 `json:"t"`
-	// Budget is the round's decode budget.
+	// Budget is the round's decode budget. Under an overload governor this
+	// is the effective budget B_eff the round actually planned against.
 	Budget float64 `json:"budget"`
 	// Spent is the decode cost actually spent.
 	Spent float64 `json:"spent"`
+	// Mode is the degradation-ladder rung the round planned under
+	// ("full", "temporal-only", "keyframe-only", "shed"; empty in traces
+	// written before the field existed, which readers treat as "full").
+	Mode string `json:"mode,omitempty"`
 	// Decisions holds the per-stream entries (idle streams omitted).
 	Decisions []Decision `json:"decisions"`
+}
+
+// Sink receives round records. *Writer satisfies it, as does a capture
+// recorder embedding the decision trace next to the packets it captures.
+type Sink interface {
+	Write(Round) error
 }
 
 // Writer streams rounds as JSON Lines.
