@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke corpus replay
+.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke corpus replay scale
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,20 @@ vet:
 # Decide+Feedback round and the batched compiled forward must stay at ~zero
 # allocs/op (testing.AllocsPerRun, no benchmark run needed).
 alloc-smoke:
-	$(GO) test ./internal/core -run TestDecideRoundAllocCeiling -count 1
+	$(GO) test ./internal/core -run 'TestDecideRoundAllocCeiling|TestIncrementalDecideAllocCeiling' -count 1
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke replay soak
+verify: build vet test race alloc-smoke replay soak scale
+
+# The churn-scaled Decide sweep: m up to 100k, all streams active, with 1%,
+# 10%, and 100% of the fleet varying its packet metadata per round. The
+# experiment self-asserts the per-round allocation ceiling in every cell
+# and, at full scale, the m=100k acceptance floor (a 1%-churn round ≥50x
+# faster than a 100%-churn round). SCALESCALE=1 rewrites BENCH_scale.json.
+SCALESCALE ?= 1
+scale:
+	$(GO) run ./cmd/pgbench -exp scale -scale $(SCALESCALE)
 
 # Regenerate the committed deterministic capture corpus under
 # testdata/captures/. The output is byte-reproducible; the golden tests fail

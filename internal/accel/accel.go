@@ -29,7 +29,7 @@ func None() Accelerator { return Accelerator{Name: "none", Speedup: 1} }
 // Measure builds an accelerator whose Speedup is measured rather than
 // assumed: base and fast each run iters times under the wall clock, and the
 // resulting ratio becomes the Speedup. This is how software acceleration
-// (e.g. the int8-quantized inference graph) plugs into the same Table 5
+// (e.g. the compiled float32 inference graph) plugs into the same Table 5
 // throughput model as the paper's constant-factor TensorRT entry. Both
 // closures run once before timing as a warmup.
 func Measure(name string, iters int, base, fast func()) (Accelerator, error) {

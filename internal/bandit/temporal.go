@@ -44,15 +44,25 @@ const ExplorationScale = 0.35
 //
 // The non-stationary semi-bandit analysis the paper cites tolerates this
 // windowed/aged variant.
+// Storage is churn-proportional: instead of per-stream ring buffers (O(m·w)
+// memory, O(m) per push even when almost every stream sat the round out),
+// each of the w ring slots holds the *list* of streams selected that round
+// with their rewards. Evicting a slot and folding in a new round both cost
+// O(selections), so a sparse fleet (m ≫ budget) pays for the streams that
+// actually moved, not for m. The per-stream aggregates (rewardSum, selCount,
+// lastSel) are maintained incrementally with the exact same sequence of
+// additions and subtractions the dense layout performed, so every Exploit
+// and Bonus value is bit-identical.
 type TemporalEstimator struct {
 	w int
+	m int
 	t int64 // rounds observed
 
-	// Ring buffers per stream, length w.
-	selected [][]bool
-	reward   [][]float64
-	pos      int
-	filled   int
+	// Ring of per-round selection lists, length w: slotIDs[pos] holds the
+	// streams selected in that round, slotReward[pos] their rewards.
+	slotIDs    [][]int32
+	slotReward [][]float64
+	pos        int
 
 	// Running window aggregates per stream.
 	rewardSum []float64
@@ -60,6 +70,10 @@ type TemporalEstimator struct {
 	// lastSel is the 1-based round at which each stream was last selected
 	// (0 = never).
 	lastSel []int64
+
+	// pushScratch backs the dense-Push compatibility shim.
+	pushScratch []int32
+	rewScratch  []float64
 }
 
 // NewTemporalEstimator creates an estimator for m streams with window
@@ -69,16 +83,13 @@ func NewTemporalEstimator(m, w int) (*TemporalEstimator, error) {
 		return nil, fmt.Errorf("bandit: need m>0 and w>0, got m=%d w=%d", m, w)
 	}
 	e := &TemporalEstimator{
-		w:         w,
-		selected:  make([][]bool, m),
-		reward:    make([][]float64, m),
-		rewardSum: make([]float64, m),
-		selCount:  make([]int, m),
-		lastSel:   make([]int64, m),
-	}
-	for i := 0; i < m; i++ {
-		e.selected[i] = make([]bool, w)
-		e.reward[i] = make([]float64, w)
+		w:          w,
+		m:          m,
+		slotIDs:    make([][]int32, w),
+		slotReward: make([][]float64, w),
+		rewardSum:  make([]float64, m),
+		selCount:   make([]int, m),
+		lastSel:    make([]int64, m),
 	}
 	return e, nil
 }
@@ -87,40 +98,63 @@ func NewTemporalEstimator(m, w int) (*TemporalEstimator, error) {
 func (e *TemporalEstimator) Window() int { return e.w }
 
 // Streams returns the number of streams m.
-func (e *TemporalEstimator) Streams() int { return len(e.selected) }
+func (e *TemporalEstimator) Streams() int { return e.m }
 
 // Round returns the number of rounds pushed so far.
 func (e *TemporalEstimator) Round() int64 { return e.t }
 
 // Push records one completed round: sel[i] reports whether stream i was
-// selected, r[i] its feedback reward (ignored when unselected).
+// selected, r[i] its feedback reward (ignored when unselected). It is the
+// dense compatibility shim over PushSparse and costs an O(m) scan; hot
+// callers that already know the selected set should call PushSparse.
 func (e *TemporalEstimator) Push(sel []bool, r []float64) error {
-	m := len(e.selected)
-	if len(sel) != m || len(r) != m {
-		return fmt.Errorf("bandit: push length mismatch: %d/%d for %d streams", len(sel), len(r), m)
+	if len(sel) != e.m || len(r) != e.m {
+		return fmt.Errorf("bandit: push length mismatch: %d/%d for %d streams", len(sel), len(r), e.m)
 	}
-	for i := 0; i < m; i++ {
-		// Evict the oldest slot from the aggregates.
-		if e.filled == e.w {
-			if e.selected[i][e.pos] {
-				e.selCount[i]--
-				e.rewardSum[i] -= e.reward[i][e.pos]
-			}
+	e.pushScratch = e.pushScratch[:0]
+	e.rewScratch = e.rewScratch[:0]
+	for i, on := range sel {
+		if on {
+			e.pushScratch = append(e.pushScratch, int32(i))
+			e.rewScratch = append(e.rewScratch, r[i])
 		}
-		rv := 0.0
-		if sel[i] {
-			rv = r[i]
-			e.selCount[i]++
-			e.rewardSum[i] += rv
-			e.lastSel[i] = e.t + 1
-		}
-		e.selected[i][e.pos] = sel[i]
-		e.reward[i][e.pos] = rv
 	}
+	return e.PushSparse(e.pushScratch, e.rewScratch)
+}
+
+// PushSparse records one completed round from its selection list: ids are
+// the selected streams, rewards their aligned feedback rewards; every other
+// stream is recorded as unselected. An empty round still advances the
+// estimator clock (every stream's age grows). Cost is O(len(ids)) plus the
+// eviction of the round leaving the window — churn-proportional, never
+// O(m). ids may repeat across calls but must not repeat within one call.
+func (e *TemporalEstimator) PushSparse(ids []int32, rewards []float64) error {
+	if len(ids) != len(rewards) {
+		return fmt.Errorf("bandit: sparse push: %d ids with %d rewards", len(ids), len(rewards))
+	}
+	for _, i := range ids {
+		if i < 0 || int(i) >= e.m {
+			return fmt.Errorf("bandit: sparse push: stream %d out of range [0,%d)", i, e.m)
+		}
+	}
+	// Evict the round leaving the window from the aggregates.
+	evIDs, evRew := e.slotIDs[e.pos], e.slotReward[e.pos]
+	for k, i := range evIDs {
+		e.selCount[i]--
+		e.rewardSum[i] -= evRew[k]
+	}
+	evIDs = evIDs[:0]
+	evRew = evRew[:0]
+	for k, i := range ids {
+		rv := rewards[k]
+		e.selCount[i]++
+		e.rewardSum[i] += rv
+		e.lastSel[i] = e.t + 1
+		evIDs = append(evIDs, i)
+		evRew = append(evRew, rv)
+	}
+	e.slotIDs[e.pos], e.slotReward[e.pos] = evIDs, evRew
 	e.pos = (e.pos + 1) % e.w
-	if e.filled < e.w {
-		e.filled++
-	}
 	e.t++
 	return nil
 }
@@ -155,9 +189,9 @@ func (e *TemporalEstimator) Exploit(i int) float64 {
 // Estimates fills dst (allocating if nil) with μ̂ for all streams.
 func (e *TemporalEstimator) Estimates(dst []float64) []float64 {
 	if dst == nil {
-		dst = make([]float64, len(e.selected))
+		dst = make([]float64, e.m)
 	}
-	for i := range e.selected {
+	for i := 0; i < e.m; i++ {
 		dst[i] = e.Estimate(i)
 	}
 	return dst

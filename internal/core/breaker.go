@@ -89,67 +89,167 @@ type BreakerSnapshot struct {
 	QuarantinedRounds int64
 }
 
-// breaker is one stream's state machine.
+// breaker is one stream's state machine, advanced lazily: instead of being
+// ticked every round, it records the last round it was brought current to
+// (asOf) and the round of its most recent packet (lastPkt), and fast-forwards
+// through the intervening packet-free rounds in closed form when it is next
+// touched. The round-by-round gap counter of the eager formulation is
+// implicit: gap(r) = r − lastPkt.
 type breaker struct {
 	state    BreakerState
 	fails    int   // consecutive decode failures
 	cooldown int   // current open-state cooldown length
 	openLeft int   // rounds left before open → half-open
-	gap      int   // consecutive rounds without a packet
+	lastPkt  int64 // round of the stream's most recent packet (0 = never)
+	asOf     int64 // breaker state is current through this round
 	snapshot BreakerSnapshot
 }
 
 // breakerSet is the gate's per-stream breaker array. It has its own lock:
 // Decide consults it under decideMu and the feedback path updates it under
 // ackMu, and those two run concurrently by design.
+//
+// Per-round cost is O(streams with packets), not O(m): only streams that
+// deliver a packet (and streams whose decode outcomes arrive) are touched,
+// and each touch replays the stream's packet-free span in closed form —
+// round-for-round identical to ticking every breaker every round, which the
+// equivalence test in breaker_test.go enforces against the dense shim.
 type breakerSet struct {
 	cfg BreakerConfig
 
-	mu   sync.Mutex
-	bs   []breaker
-	quar []bool // beginRound scratch; consumed under decideMu before the next round
+	mu    sync.Mutex
+	bs    []breaker
+	round int64   // rounds begun so far
+	quar  []bool  // quarantine mask; entries listed in quarList are live
+	qlist []int32 // streams whose quar entry was set this round
+	dense []int32 // beginRound shim scratch
 }
 
 func newBreakerSet(streams int, cfg BreakerConfig) *breakerSet {
-	return &breakerSet{cfg: cfg.withDefaults(), bs: make([]breaker, streams)}
+	return &breakerSet{
+		cfg:  cfg.withDefaults(),
+		bs:   make([]breaker, streams),
+		quar: make([]bool, streams),
+	}
 }
 
-// beginRound advances every breaker by one round and returns the quarantine
-// mask: quarantined[i] is true when stream i's packet (if any) must be
-// excluded from this round's selection. pkts carries the round's packets
-// (nil = idle stream). The mask is scratch owned by the set, valid until the
-// next beginRound — callers (Decide, serialized) must not retain it.
+// fastForward brings b current through round `to`, simulating the rounds
+// (b.asOf, to] in which the stream delivered no packet. Equivalent to the
+// eager per-round walk: while closed, the gap reaches GapThreshold+1 at
+// round lastPkt+GapThreshold+1 and the breaker opens there (never earlier
+// than asOf+1 — a breaker closed by a late probe outcome with an already
+// stale lastPkt gap-opens on the very next packet-free round, as the eager
+// walk would); while open, each round counts quarantine time and burns one
+// cooldown round until the breaker half-opens; half-open is inert without a
+// packet or an outcome.
+func (s *breakerSet) fastForward(b *breaker, to int64) {
+	if to <= b.asOf {
+		return
+	}
+	if b.state == BreakerClosed && s.cfg.GapThreshold >= 0 {
+		r0 := b.lastPkt + int64(s.cfg.GapThreshold) + 1
+		if r0 <= b.asOf {
+			r0 = b.asOf + 1
+		}
+		if r0 <= to {
+			s.open(b, true)
+			s.runOpen(b, to-r0+1)
+			b.asOf = to
+			return
+		}
+	}
+	if b.state == BreakerOpen {
+		s.runOpen(b, to-b.asOf)
+	}
+	b.asOf = to
+}
+
+// runOpen burns k packet-free open rounds: each counts quarantine time and
+// one cooldown round; exhausting the cooldown half-opens the breaker and
+// any remaining rounds are inert. Callers hold s.mu.
+func (s *breakerSet) runOpen(b *breaker, k int64) {
+	n := int64(b.openLeft)
+	if k < n {
+		n = k
+	}
+	b.snapshot.QuarantinedRounds += n
+	b.openLeft -= int(n)
+	if b.openLeft <= 0 {
+		b.state = BreakerHalfOpen
+	}
+}
+
+// packetRound folds a packet arrival at round r into b: the gap resets, and
+// an open breaker still counts the round against its cooldown (half-opening
+// exactly when it expires, in which case the packet participates this round).
+// Returns whether the stream is quarantined this round. Callers hold s.mu.
+func (s *breakerSet) packetRound(b *breaker, r int64) bool {
+	s.fastForward(b, r-1)
+	b.lastPkt = r
+	b.asOf = r
+	if b.state == BreakerOpen {
+		b.snapshot.QuarantinedRounds++
+		b.openLeft--
+		if b.openLeft <= 0 {
+			b.state = BreakerHalfOpen
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// beginRoundSparse starts a new round and advances the breakers of exactly
+// the streams that delivered a packet (nonIdle, ascending stream IDs). It
+// returns the quarantine mask: quar[i] is true when stream i's packet must
+// be excluded from this round's selection. Only entries for nonIdle streams
+// are maintained — idle streams have no packet to quarantine. The mask is
+// scratch owned by the set, valid until the next round begins.
+func (s *breakerSet) beginRoundSparse(nonIdle []int32) []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginRoundSparseLocked(nonIdle)
+}
+
+func (s *breakerSet) beginRoundSparseLocked(nonIdle []int32) []bool {
+	s.round++
+	for _, i := range s.qlist {
+		s.quar[i] = false
+	}
+	s.qlist = s.qlist[:0]
+	for _, i := range nonIdle {
+		if s.packetRound(&s.bs[i], s.round) {
+			s.quar[i] = true
+			s.qlist = append(s.qlist, i)
+		}
+	}
+	return s.quar
+}
+
+// beginRound is the dense equivalent of beginRoundSparse: it advances every
+// breaker (idle ones included) and fills the mask for all streams, exactly
+// like the pre-lazy eager formulation. The gate itself uses the sparse
+// entry point; this one serves tests and diagnostics that want the full
+// per-stream view each round.
 func (s *breakerSet) beginRound(pkts []*codec.Packet) []bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cap(s.quar) < len(s.bs) {
-		s.quar = make([]bool, len(s.bs))
+	s.dense = s.dense[:0]
+	for i := range s.bs {
+		if i < len(pkts) && pkts[i] != nil {
+			s.dense = append(s.dense, int32(i))
+		}
 	}
-	quarantined := s.quar[:len(s.bs)]
-	for i := range quarantined {
-		quarantined[i] = false
-	}
+	quar := s.beginRoundSparseLocked(s.dense)
 	for i := range s.bs {
 		b := &s.bs[i]
-		if i < len(pkts) && pkts[i] != nil {
-			b.gap = 0
-		} else {
-			b.gap++
-			if b.state == BreakerClosed && s.cfg.GapThreshold >= 0 && b.gap > s.cfg.GapThreshold {
-				s.open(b, true)
-			}
-		}
-		if b.state == BreakerOpen {
-			b.snapshot.QuarantinedRounds++
-			b.openLeft--
-			if b.openLeft <= 0 {
-				b.state = BreakerHalfOpen
-			} else {
-				quarantined[i] = true
-			}
+		s.fastForward(b, s.round)
+		if b.state == BreakerOpen && !quar[i] {
+			quar[i] = true
+			s.qlist = append(s.qlist, int32(i))
 		}
 	}
-	return quarantined
+	return quar
 }
 
 // open transitions a breaker to open and starts its cooldown. gapCaused
@@ -175,6 +275,7 @@ func (s *breakerSet) outcome(i int, failed bool) {
 		return
 	}
 	b := &s.bs[i]
+	s.fastForward(b, s.round)
 	if failed {
 		switch b.state {
 		case BreakerHalfOpen:
@@ -206,15 +307,19 @@ func (s *breakerSet) outcome(i int, failed bool) {
 	b.snapshot.ConsecutiveFails = b.fails
 }
 
-// snapshots returns every stream's breaker snapshot.
+// snapshots returns every stream's breaker snapshot, fast-forwarding each
+// breaker to the current round first so lazily deferred quarantine rounds
+// and gap-opens are reflected. O(m); diagnostic path only.
 func (s *breakerSet) snapshots() []BreakerSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]BreakerSnapshot, len(s.bs))
 	for i := range s.bs {
-		out[i] = s.bs[i].snapshot
-		out[i].State = s.bs[i].state
-		out[i].ConsecutiveFails = s.bs[i].fails
+		b := &s.bs[i]
+		s.fastForward(b, s.round)
+		out[i] = b.snapshot
+		out[i].State = b.state
+		out[i].ConsecutiveFails = b.fails
 	}
 	return out
 }

@@ -4,6 +4,14 @@
 // and the contextual predictor (§5.2), selects a budget-feasible subset with
 // the combinatorial optimizer (§5.3), and later consumes the redundancy
 // feedback of the decoded packets to update its state.
+//
+// Round cost scales with churn, not fleet size: every per-round loop walks
+// the streams that delivered a packet (and, for the network forward, only
+// the subset whose feature windows actually changed — the rest replay from
+// the score cache), so a 100k-stream fleet where 1% of windows move per
+// round pays roughly 1% of the dense recompute. Config.NoIncremental turns
+// all of it off and recomputes everything every round; the two paths are
+// bit-identical, which the incremental property tests enforce.
 package core
 
 import (
@@ -48,6 +56,9 @@ type Config struct {
 	// UseTemporal.
 	Explore *bool
 	// Selector is the combinatorial optimizer (default knapsack.Greedy).
+	// Supplying a custom Selector routes every round through the dense
+	// per-round solve (the incremental ranked structure assumes the
+	// greedy/tiered semantics it replicates).
 	Selector knapsack.Selector
 	// DependencyAware folds undecoded reference chains into packet costs
 	// (Fig 6). Disabling it is a design ablation: costs become the bare
@@ -61,7 +72,7 @@ type Config struct {
 	// OnlineBatch is the minibatch size for online updates (default 64).
 	OnlineBatch int
 	// Shards partitions the per-stream gate state (temporal counters,
-	// predictor context windows, dependency trackers) into independently
+	// predictor feature store, dependency trackers) into independently
 	// locked shards keyed by stream ID, so redundancy feedback from
 	// completed rounds lands without serializing against admission of new
 	// rounds. Purely a concurrency knob: decisions are identical for any
@@ -120,6 +131,18 @@ type Config struct {
 	// Decisions are equivalent up to float32 rounding on exact confidence
 	// ties; the knob exists for A/B benchmarking and debugging.
 	NoFastPath bool
+	// NoIncremental disables the churn-scaled machinery: every round
+	// re-runs the predictor forward for every scored stream (no score
+	// cache) and solves the knapsack from a dense per-round item build and
+	// sort, exactly like the pre-incremental gate. Decisions and traces
+	// are bit-identical either way — the incremental property tests use
+	// this knob as their oracle — so the only reason to set it is A/B
+	// benchmarking the incremental machinery itself.
+	NoIncremental bool
+
+	// customSelector records whether the caller supplied Selector (set by
+	// withDefaults); such gates keep the dense per-round solve.
+	customSelector bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -143,6 +166,7 @@ func (c Config) withDefaults() (Config, error) {
 			return c, fmt.Errorf("core: Priorities require the tiered solver and cannot combine with a custom Selector")
 		}
 	}
+	c.customSelector = c.Selector != nil
 	if c.Selector == nil {
 		c.Selector = &knapsack.Greedy{}
 	}
@@ -205,12 +229,23 @@ type Stats struct {
 	CostSpent float64
 }
 
+// IncrementalStats counts the scoring work the churn-scaled Decide path
+// actually performed. Scored is the stream-rounds that needed a confidence
+// (admitted, non-quarantined); every one was served either by a network
+// forward (Forwards) or by the score cache (CacheHits), so
+// Scored = Forwards + CacheHits + temporal-only degradations.
+type IncrementalStats struct {
+	Scored    int64
+	Forwards  int64
+	CacheHits int64
+}
+
 // pendingRound is one decided round awaiting its redundancy feedback. Its
 // buffers come from the gate's free lists and return there when the round
 // retires, so steady-state rounds recycle rather than allocate.
 type pendingRound struct {
 	sel      []int  // decode set, as returned by Decide
-	selBools []bool // per-stream selection flags
+	selBools []bool // per-stream selection flags (all-false outside sel)
 	trace    *trace.Round
 	// feats maps stream index to the features used for the decision,
 	// retained (cloned into slab) only when online learning is on.
@@ -249,7 +284,8 @@ type Gate struct {
 
 	// pending is a ring FIFO: pendHead indexes the oldest unacked round,
 	// the tail is appended to. Retired rounds recycle their buffers through
-	// the free lists below (all under pendMu).
+	// the free lists below (all under pendMu). freeBool buffers keep the
+	// all-false invariant while on the free list.
 	pending    []pendingRound
 	pendHead   int
 	maxPending int
@@ -257,21 +293,45 @@ type Gate struct {
 	freeBool   [][]bool
 	freeFeats  []map[int]predictor.Features
 
-	// Decision scratch (decideMu).
-	items    []knapsack.Item
-	feats    []predictor.Features
-	active   []int // stream index per feats entry
-	conf     []float64
-	costs    []float64
-	temporal []float64
-	bonus    []float64
-	predOut  []float64 // [len(feats) × tasks] confidences, row-major
-	selOut   []int     // SelectAppend scratch
-	selected []bool
-	degraded []bool // poisoned-window streams scored temporal-only this round
-	shed     []bool // streams refused admission by the brownout mode this round
-	tasks    int    // predictor head count (0 without a predictor)
-	selApp   knapsack.SelectAppender // non-nil when Selector supports append
+	// Decision scratch (decideMu). The per-stream arrays (conf, costs,
+	// temporal, bonus, degraded, shed, selected) are m-length but only the
+	// entries of streams the round touches are written; `touched` remembers
+	// them so the next round resets exactly those — every other entry is
+	// still at its zero value, making the reset equivalent to the dense
+	// full-array zeroing without the O(m) walk.
+	items      []knapsack.Item
+	feats      []predictor.Features
+	active     []int   // admitted streams, ascending (scored this round)
+	fresh      []int   // active subset re-scored through the network
+	nonIdleBuf []int32 // scanned non-idle list when the caller supplies none
+	sweep      []int32 // non-quarantined non-idle (windows advance)
+	touched    []int32
+	shardIDs   [][]int32 // per-shard grouping scratch
+	conf       []float64
+	costs      []float64
+	temporal   []float64
+	bonus      []float64
+	predOut    []float64 // [len(fresh) × tasks] confidences, row-major
+	selOut     []int     // SelectAppend scratch
+	selected   []bool    // all-false between rounds
+	degraded   []bool    // poisoned-window streams scored temporal-only this round
+	shed       []bool    // streams refused admission by the brownout mode this round
+	tasks      int       // predictor head count (0 without a predictor)
+	selApp     knapsack.SelectAppender // non-nil when Selector supports append
+
+	// Incremental machinery. ranked is the persistent score-ordered
+	// candidate structure (nil with NoIncremental or a custom Selector);
+	// the cache arrays memoize the network confidence per stream, keyed by
+	// (feature epoch, temporal input, weights version). inc gates cache
+	// use: it is false when NoIncremental or without a predictor.
+	ranked       *knapsack.Ranked
+	inc          bool
+	cacheConf    []float64
+	cacheEpoch   []uint64
+	cacheTemp    []float64
+	cachePredVer []uint64
+	cacheValid   []bool
+	incStats     IncrementalStats
 
 	// Tiered admission control (Config.Priorities). tiers is the clamped
 	// per-stream tier table, fixed at construction.
@@ -279,7 +339,9 @@ type Gate struct {
 	tiers    []uint8
 	numTiers int
 
-	// Feedback scratch (ackMu).
+	// Feedback scratch (ackMu). reward is m-length, all-zero between
+	// rounds: entries are set for a feedback's selections and cleared
+	// again after the estimator push lists are built.
 	reward []float64
 
 	// Online learning (OnlineLR > 0). Weight updates take decideMu; the
@@ -315,6 +377,7 @@ func NewGate(cfg Config) (*Gate, error) {
 		degraded:   make([]bool, cfg.Streams),
 		shed:       make([]bool, cfg.Streams),
 		reward:     make([]float64, cfg.Streams),
+		shardIDs:   make([][]int32, len(shards.shards)),
 	}
 	if len(cfg.Priorities) != 0 {
 		g.numTiers = 1
@@ -333,6 +396,17 @@ func NewGate(cfg Config) (*Gate, error) {
 				return nil, fmt.Errorf("core: compiling inference fast path: %w", err)
 			}
 		}
+		g.inc = !cfg.NoIncremental
+		if g.inc {
+			g.cacheConf = make([]float64, cfg.Streams)
+			g.cacheEpoch = make([]uint64, cfg.Streams)
+			g.cacheTemp = make([]float64, cfg.Streams)
+			g.cachePredVer = make([]uint64, cfg.Streams)
+			g.cacheValid = make([]bool, cfg.Streams)
+		}
+	}
+	if !cfg.NoIncremental && !cfg.customSelector {
+		g.ranked = knapsack.NewRanked(cfg.Streams)
 	}
 	g.selApp, _ = cfg.Selector.(knapsack.SelectAppender)
 	if cfg.OnlineLR > 0 {
@@ -375,6 +449,13 @@ func (g *Gate) Stats() Stats {
 	return g.stats
 }
 
+// Incremental returns the churn-scaled path's lifetime work counters.
+func (g *Gate) Incremental() IncrementalStats {
+	g.decideMu.Lock()
+	defer g.decideMu.Unlock()
+	return g.incStats
+}
+
 // Pending returns the number of decided rounds still awaiting feedback.
 func (g *Gate) Pending() int {
 	g.pendMu.Lock()
@@ -408,13 +489,51 @@ func (g *Gate) Decide(pkts []*codec.Packet) ([]int, error) {
 func (g *Gate) DecideAppend(pkts []*codec.Packet, dst []int) ([]int, error) {
 	g.decideMu.Lock()
 	defer g.decideMu.Unlock()
-	if err := g.decideLocked(pkts); err != nil {
+	if err := g.decideLocked(pkts, nil); err != nil {
 		return nil, err
 	}
 	return append(dst, g.selOut...), nil
 }
 
-func (g *Gate) decideLocked(pkts []*codec.Packet) error {
+// DecideRoundAppend is DecideAppend for callers that already know which
+// streams delivered a packet this round: nonIdle must list exactly the
+// indices i with pkts[i] != nil, strictly ascending. Producers that assemble
+// the round (the pipelined engine, replay) build this list for free while
+// placing packets, and handing it over lets the gate skip its own O(m) scan
+// — with a small fleet slice active inside a large configured fleet, the
+// whole round then costs O(non-idle), not O(m). The list is only read for
+// the duration of the call.
+func (g *Gate) DecideRoundAppend(pkts []*codec.Packet, nonIdle []int32, dst []int) ([]int, error) {
+	g.decideMu.Lock()
+	defer g.decideMu.Unlock()
+	last := int32(-1)
+	for _, i := range nonIdle {
+		if i <= last {
+			return nil, fmt.Errorf("core: nonIdle must be strictly ascending (%d after %d)", i, last)
+		}
+		if int(i) >= len(pkts) || pkts[i] == nil {
+			return nil, fmt.Errorf("core: nonIdle lists stream %d, which has no packet", i)
+		}
+		last = i
+	}
+	if err := g.decideLocked(pkts, nonIdle); err != nil {
+		return nil, err
+	}
+	return append(dst, g.selOut...), nil
+}
+
+// groupByShard splits ids (ascending stream IDs) into g.shardIDs by shard.
+func (g *Gate) groupByShard(ids []int32) {
+	s := int32(len(g.shards.shards))
+	for k := range g.shardIDs {
+		g.shardIDs[k] = g.shardIDs[k][:0]
+	}
+	for _, i := range ids {
+		g.shardIDs[i%s] = append(g.shardIDs[i%s], i)
+	}
+}
+
+func (g *Gate) decideLocked(pkts []*codec.Packet, nonIdle []int32) error {
 	if len(pkts) != g.cfg.Streams {
 		return fmt.Errorf("core: %d packets for %d streams", len(pkts), g.cfg.Streams)
 	}
@@ -436,21 +555,19 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		bEff, mode = g.cfg.Governor.Plan()
 	}
 
-	// 1. Advance the circuit breakers (when armed) and fold packet
-	// metadata into the per-stream feature windows, reading the sharded
-	// per-stream state (temporal estimate, exploration bonus,
-	// dependency-inclusive cost) one shard lock at a time. Quarantined
-	// streams are observed but excluded: their windows stay frozen
-	// (untrusted metadata), their packets never enter the selection, and
-	// the budget they would have consumed flows to the healthy streams.
-	// Brownout modes shed packets at admission here too — shed streams
-	// still push their (trusted) windows below so context stays warm for
-	// recovery, but they are excluded from scoring and selection.
-	var quar []bool
-	if g.breakers != nil {
-		quar = g.breakers.beginRound(pkts)
+	if nonIdle == nil {
+		g.nonIdleBuf = g.nonIdleBuf[:0]
+		for i, p := range pkts {
+			if p != nil {
+				g.nonIdleBuf = append(g.nonIdleBuf, int32(i))
+			}
+		}
+		nonIdle = g.nonIdleBuf
 	}
-	for i := range g.conf {
+
+	// Reset the per-stream scratch entries the previous round wrote; all
+	// other entries still hold their zero values.
+	for _, i := range g.touched {
 		g.conf[i] = 0
 		g.costs[i] = 0
 		g.temporal[i] = 0
@@ -458,18 +575,33 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		g.degraded[i] = false
 		g.shed[i] = false
 	}
+	g.touched = g.touched[:0]
+
+	// 1. Advance the circuit breakers (when armed) and fold packet
+	// metadata into the per-stream feature store, reading the sharded
+	// per-stream state (temporal estimate, exploration bonus,
+	// dependency-inclusive cost) one shard lock at a time. Quarantined
+	// streams are observed but excluded: their windows stay frozen
+	// (untrusted metadata), their packets never enter the selection, and
+	// the budget they would have consumed flows to the healthy streams.
+	// Brownout modes shed packets at admission here too — shed streams
+	// still push their (trusted) windows so context stays warm for
+	// recovery, but they are excluded from scoring and selection.
+	var quar []bool
+	if g.breakers != nil {
+		quar = g.breakers.beginRoundSparse(nonIdle)
+	}
+	g.sweep = g.sweep[:0]
 	g.active = g.active[:0]
-	nonIdle := 0
 	shedCount := 0
-	for i, p := range pkts {
-		if p == nil {
-			continue
-		}
-		nonIdle++
+	for _, i32 := range nonIdle {
+		i := int(i32)
 		if quar != nil && quar[i] {
 			continue
 		}
-		if !g.admit(mode, i, p) {
+		g.sweep = append(g.sweep, i32)
+		g.touched = append(g.touched, i32)
+		if !g.admit(mode, i, pkts[i]) {
 			g.shed[i] = true
 			shedCount++
 			continue
@@ -479,15 +611,20 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	if shedCount > 0 {
 		g.cfg.Overload.AddShed(int64(shedCount))
 	}
+	numShards := len(g.shards.shards)
 	depAware := *g.cfg.DependencyAware
-	for _, sh := range g.shards.shards {
+	g.groupByShard(g.sweep)
+	for k, sh := range g.shards.shards {
+		lst := g.shardIDs[k]
+		if len(lst) == 0 {
+			continue
+		}
 		sh.mu.Lock()
-		for li, i := range sh.ids {
+		for _, i32 := range lst {
+			i := int(i32)
+			li := i / numShards
 			p := pkts[i]
-			if p == nil || (quar != nil && quar[i]) {
-				continue
-			}
-			sh.windows[li].Push(p)
+			sh.store.Push(li, p)
 			if sh.est != nil {
 				g.temporal[i] = sh.est.Exploit(li)
 				g.bonus[i] = sh.est.Bonus(li)
@@ -503,23 +640,50 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 
 	// 2. Confidence per stream: contextual predictor fused with the
 	// temporal estimate, plus the exploration bonus (Alg. 1 line 5-6).
-	// The compiled batched fast path scores all active streams in one
-	// forward; NoFastPath routes through the reference float64 stack.
-	// Brownout modes below full skip the predictor entirely — the
-	// temporal-only rung is exactly the poisoned-window degradation
-	// applied fleet-wide, and the deeper rungs inherit it — which also
-	// suspends online-training retention (no predictor features were used,
-	// so there is nothing truthful to train on).
+	// Streams whose score-cache key still matches — feature epoch,
+	// temporal input, and predictor weights version all unchanged — reuse
+	// their cached network confidence; only the rest (`fresh`) run through
+	// the compiled batched forward, whose kernels are row-independent, so
+	// the partial batch is bit-identical to scoring everyone. Brownout
+	// modes below full skip the predictor entirely — the temporal-only
+	// rung is exactly the poisoned-window degradation applied fleet-wide,
+	// and the deeper rungs inherit it — which also suspends
+	// online-training retention (no predictor features were used, so
+	// there is nothing truthful to train on).
 	var roundFeats map[int]predictor.Features
 	var roundSlab *predictor.Slab
 	if g.cfg.Predictor != nil && mode == overload.ModeFull {
+		pVer := g.cfg.Predictor.Version()
 		g.feats = g.feats[:0]
+		g.fresh = g.fresh[:0]
 		for _, i := range g.active {
+			sh, li := g.shards.shardOf(i)
+			// Fault-aware gates degrade streams whose metadata windows
+			// are poisoned to the temporal-only estimate instead of
+			// trusting the network on garbage input.
+			if g.breakers != nil && sh.store.Poisoned(li) {
+				g.degraded[i] = true
+				g.conf[i] = g.temporal[i]
+				continue
+			}
 			t := 0.0
 			if g.cfg.UseTemporal {
 				t = g.temporal[i]
 			}
-			g.feats = append(g.feats, g.shards.window(i).Features(t))
+			if g.inc {
+				if g.cacheValid[i] && g.cacheEpoch[i] == sh.store.Epoch(li) &&
+					g.cacheTemp[i] == t && g.cachePredVer[i] == pVer {
+					g.conf[i] = g.cacheConf[i]
+					g.incStats.CacheHits++
+					continue
+				}
+				g.cacheValid[i] = false
+				g.cacheEpoch[i] = sh.store.Epoch(li)
+				g.cacheTemp[i] = t
+				g.cachePredVer[i] = pVer
+			}
+			g.fresh = append(g.fresh, i)
+			g.feats = append(g.feats, sh.store.Features(li, t))
 		}
 		if len(g.feats) > 0 {
 			if cap(g.predOut) < len(g.feats)*g.tasks {
@@ -533,37 +697,40 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 			} else if err := g.cfg.Predictor.PredictInto(g.feats, preds); err != nil {
 				return fmt.Errorf("core: fast-path inference: %w", err)
 			}
-			for k, i := range g.active {
-				// Fault-aware gates degrade streams whose metadata
-				// windows are poisoned to the temporal-only estimate
-				// instead of trusting the network on garbage input.
-				if g.breakers != nil && g.shards.window(i).Poisoned() {
-					g.degraded[i] = true
-					g.conf[i] = g.temporal[i]
-					continue
-				}
+			for k, i := range g.fresh {
 				row := preds[k*g.tasks : (k+1)*g.tasks]
+				var net float64
 				if g.cfg.TaskIndex == AllTasks {
-					best := 0.0
 					for _, v := range row {
-						if v > best {
-							best = v
+						if v > net {
+							net = v
 						}
 					}
-					g.conf[i] = best
 				} else {
-					g.conf[i] = row[g.cfg.TaskIndex]
+					net = row[g.cfg.TaskIndex]
+				}
+				g.conf[i] = net
+				if g.inc {
+					g.cacheConf[i] = net
+					g.cacheValid[i] = true
 				}
 			}
 		}
+		g.incStats.Scored += int64(len(g.active))
+		g.incStats.Forwards += int64(len(g.fresh))
 		if g.trainer != nil {
 			roundFeats = g.grabFeatsMap(len(g.active))
 			roundSlab = predictor.GetSlab()
-			for k, i := range g.active {
+			for _, i := range g.active {
 				if g.degraded[i] {
 					continue // poisoned features must not train the net
 				}
-				roundFeats[i] = roundSlab.CloneInto(g.feats[k])
+				sh, li := g.shards.shardOf(i)
+				t := 0.0
+				if g.cfg.UseTemporal {
+					t = g.temporal[i]
+				}
+				roundFeats[i] = roundSlab.CloneInto(sh.store.Features(li, t))
 			}
 		}
 	} else {
@@ -577,40 +744,69 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		}
 	}
 
-	// 3. Combinatorial selection under the effective budget. Quarantined
-	// and brownout-shed streams contribute zero-value items, which the
-	// selectors never pick. With Priorities configured, the tiered solver
-	// runs tiers in strict priority order.
-	for i := range g.items {
-		g.items[i] = knapsack.Item{}
-		if pkts[i] != nil && (quar == nil || !quar[i]) && !g.shed[i] {
-			g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
+	// 3. Combinatorial selection under the effective budget. The ranked
+	// incremental structure re-ranks only the streams whose (value, cost)
+	// moved since their last offer and merges them into its persistent
+	// order — O(churn·log churn + selections) per round, provably the
+	// same selection as the dense greedy/tiered sort (knapsack tests).
+	// The dense path re-builds and re-sorts everything: it serves custom
+	// Selectors and the NoIncremental oracle. Quarantined and
+	// brownout-shed streams are simply never offered (dense: zero-value
+	// items), so their budget flows to the healthy streams.
+	if g.ranked != nil {
+		nt := g.numTiers
+		if nt == 0 {
+			nt = 1
 		}
-	}
-	if g.tiered != nil {
-		g.selOut = g.tiered.SelectAppend(g.selOut[:0], g.items, g.tiers, g.numTiers, bEff)
-	} else if g.selApp != nil {
-		g.selOut = g.selApp.SelectAppend(g.selOut[:0], g.items, bEff)
+		g.ranked.BeginRound()
+		for _, i := range g.active {
+			var tier uint8
+			if g.tiers != nil {
+				tier = g.tiers[i]
+			}
+			g.ranked.Offer(i, g.conf[i], g.costs[i], tier)
+		}
+		g.selOut = g.ranked.SelectAppend(g.selOut[:0], nt, bEff)
 	} else {
-		g.selOut = append(g.selOut[:0], g.cfg.Selector.Select(g.items, bEff)...)
+		for i := range g.items {
+			g.items[i] = knapsack.Item{}
+			if pkts[i] != nil && (quar == nil || !quar[i]) && !g.shed[i] {
+				g.items[i] = knapsack.Item{Value: g.conf[i], Cost: g.costs[i]}
+			}
+		}
+		if g.tiered != nil {
+			g.selOut = g.tiered.SelectAppend(g.selOut[:0], g.items, g.tiers, g.numTiers, bEff)
+		} else if g.selApp != nil {
+			g.selOut = g.selApp.SelectAppend(g.selOut[:0], g.items, bEff)
+		} else {
+			g.selOut = append(g.selOut[:0], g.cfg.Selector.Select(g.items, bEff)...)
+		}
 	}
 	sel := g.selOut
 
 	// 4. Commit decisions to the dependency trackers, shard by shard.
-	for i := range g.selected {
-		g.selected[i] = false
-	}
+	// Every non-idle packet commits — including quarantined and shed ones
+	// (as unselected), which keeps reference-chain debts truthful. With
+	// dependency-aware costing off the trackers have no consumer (Cost
+	// above took the bare per-type cost), so the whole pass is skipped —
+	// an O(m) saving per round that cannot affect any decision.
 	for _, i := range sel {
 		g.selected[i] = true
 	}
-	for _, sh := range g.shards.shards {
-		sh.mu.Lock()
-		for li, i := range sh.ids {
-			if pkts[i] != nil {
-				sh.trackers[li].Commit(pkts[i], g.selected[i])
+	if depAware {
+		g.groupByShard(nonIdle)
+		for k, sh := range g.shards.shards {
+			lst := g.shardIDs[k]
+			if len(lst) == 0 {
+				continue
 			}
+			sh.mu.Lock()
+			for _, i32 := range lst {
+				i := int(i32)
+				sh.trackers[i/numShards].Commit(pkts[i], g.selected[i])
+			}
+			sh.mu.Unlock()
 		}
-		sh.mu.Unlock()
 	}
 
 	// 5. Enqueue the round on the feedback FIFO and update counters. The
@@ -620,9 +816,13 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		spent += g.costs[i]
 	}
 	g.pendMu.Lock()
+	bools := g.grabBools()
+	for _, i := range sel {
+		bools[i] = true
+	}
 	pr := pendingRound{
 		sel:      append(g.grabSel(), sel...),
-		selBools: append(g.grabBools(), g.selected...),
+		selBools: bools,
 		feats:    roundFeats,
 		slab:     roundSlab,
 	}
@@ -641,7 +841,7 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 		pr.trace = rec
 	}
 	g.stats.Rounds++
-	g.stats.Packets += int64(nonIdle)
+	g.stats.Packets += int64(len(nonIdle))
 	g.stats.Decoded += int64(len(sel))
 	g.stats.CostSpent += spent
 	if g.pendHead > 0 && len(g.pending) == cap(g.pending) {
@@ -654,6 +854,10 @@ func (g *Gate) decideLocked(pkts []*codec.Packet) error {
 	}
 	g.pending = append(g.pending, pr)
 	g.pendMu.Unlock()
+	// Restore the all-false invariant on the selection mask.
+	for _, i := range sel {
+		g.selected[i] = false
+	}
 	return nil
 }
 
@@ -683,13 +887,16 @@ func (g *Gate) grabSel() []int {
 	return nil
 }
 
+// grabBools returns an all-false m-length mask: recycled buffers were
+// cleared entry-by-entry when their round retired, so no O(m) zeroing
+// happens here.
 func (g *Gate) grabBools() []bool {
 	if n := len(g.freeBool); n > 0 {
 		s := g.freeBool[n-1]
 		g.freeBool = g.freeBool[:n-1]
-		return s[:0]
+		return s
 	}
-	return nil
+	return make([]bool, g.cfg.Streams)
 }
 
 func (g *Gate) grabFeatsMap(sizeHint int) map[int]predictor.Features {
@@ -703,7 +910,8 @@ func (g *Gate) grabFeatsMap(sizeHint int) map[int]predictor.Features {
 	return make(map[int]predictor.Features, sizeHint)
 }
 
-// Confidence returns the last computed confidence for stream i (diagnostic).
+// Confidence returns the confidence computed for stream i in the most
+// recent round that scored it (diagnostic).
 func (g *Gate) Confidence(i int) float64 {
 	g.decideMu.Lock()
 	defer g.decideMu.Unlock()
@@ -767,16 +975,18 @@ func (g *Gate) FeedbackFull(selected []int, necessary, failed, deferred []bool) 
 	if len(selected) != len(pr.sel) {
 		return fmt.Errorf("core: feedback for %d selections, pending round selected %d", len(selected), len(pr.sel))
 	}
-	for i := range g.reward {
-		g.reward[i] = 0
-	}
-	for k, i := range selected {
+	for _, i := range selected {
 		if i < 0 || i >= g.cfg.Streams {
 			return fmt.Errorf("core: feedback for invalid stream %d", i)
 		}
 		if !pr.selBools[i] {
 			return fmt.Errorf("core: feedback for stream %d, which the pending round did not select", i)
 		}
+	}
+	// The reward scratch is all-zero between feedbacks; set exactly the
+	// rewarded entries and clear them again once the estimator push lists
+	// below are built.
+	for k, i := range selected {
 		if necessary[k] && (deferred == nil || !deferred[k]) {
 			g.reward[i] = 1
 		}
@@ -807,9 +1017,26 @@ func (g *Gate) FeedbackFull(selected []int, necessary, failed, deferred []bool) 
 		}
 	}
 
-	// Push the round into every shard's estimator. Shard locks are taken
+	// Push the round into every shard's estimator, visiting only the
+	// round's selections instead of all m streams. Shard locks are taken
 	// one at a time, so a concurrent Decide proceeds on the other shards.
-	if err := g.shards.push(pr.selBools, g.reward); err != nil {
+	numShards := len(g.shards.shards)
+	for _, sh := range g.shards.shards {
+		sh.pushIDs = sh.pushIDs[:0]
+		sh.pushRew = sh.pushRew[:0]
+	}
+	for _, i := range pr.sel {
+		if !pr.selBools[i] {
+			continue // settled as deferred
+		}
+		sh := g.shards.shards[i%numShards]
+		sh.pushIDs = append(sh.pushIDs, int32(i/numShards))
+		sh.pushRew = append(sh.pushRew, g.reward[i])
+	}
+	for _, i := range selected {
+		g.reward[i] = 0
+	}
+	if err := g.shards.pushSparse(); err != nil {
 		return err
 	}
 
@@ -877,6 +1104,11 @@ func (g *Gate) FeedbackFull(selected []int, necessary, failed, deferred []bool) 
 		if err := g.cfg.Trace.Write(*pr.trace); err != nil {
 			return err
 		}
+	}
+	// Clear the mask entry-by-entry so the recycled buffer keeps the
+	// all-false free-list invariant without an O(m) wipe.
+	for _, i := range pr.sel {
+		pr.selBools[i] = false
 	}
 	g.freeSel = append(g.freeSel, pr.sel)
 	g.freeBool = append(g.freeBool, pr.selBools)

@@ -9,7 +9,7 @@ import (
 )
 
 // streamShard holds the per-stream gate state of one shard: the temporal
-// estimator counters, the predictor context windows, and the decoding
+// estimator counters, the predictor feature store, and the decoding
 // dependency trackers of every stream whose ID hashes to this shard
 // (stream i lives in shard i mod S, at local index i div S).
 //
@@ -28,14 +28,18 @@ type streamShard struct {
 	// est is the shard's slice of the temporal estimator (nil when neither
 	// the temporal term nor the exploration bonus is enabled).
 	est *bandit.TemporalEstimator
-	// windows are the contextual predictor's per-stream feature windows.
-	windows []*predictor.Window
+	// store is the contextual predictor's struct-of-arrays feature state
+	// (size rings, poison counters, and the per-stream feature epochs the
+	// gate's score cache keys on), indexed by local stream index.
+	store *predictor.Store
 	// trackers are the per-stream GOP dependency trackers (Fig 6).
 	trackers []*decode.Tracker
 
-	// Push scratch, guarded by mu.
-	sel    []bool
-	reward []float64
+	// Sparse feedback scratch: the round's selected (local index, reward)
+	// pairs for this shard's estimator. Built and consumed under the gate's
+	// ackMu (Feedback is serialized), so it needs no extra lock of its own.
+	pushIDs []int32
+	pushRew []float64
 }
 
 // streamShards is the sharded per-stream state container keyed by stream ID.
@@ -63,12 +67,9 @@ func newStreamShards(m, s, window int, needEst bool, cm decode.CostModel) (*stre
 	}
 	for _, sh := range ss.shards {
 		local := len(sh.ids)
-		sh.windows = make([]*predictor.Window, local)
+		sh.store = predictor.NewStore(local, window)
 		sh.trackers = make([]*decode.Tracker, local)
-		sh.sel = make([]bool, local)
-		sh.reward = make([]float64, local)
-		for li := range sh.windows {
-			sh.windows[li] = predictor.NewWindow(window)
+		for li := range sh.trackers {
 			sh.trackers[li] = decode.NewTracker(cm)
 		}
 		if needEst && local > 0 {
@@ -88,27 +89,20 @@ func (ss *streamShards) shardOf(i int) (*streamShard, int) {
 	return ss.shards[i%s], i / s
 }
 
-// window returns stream i's feature window. Windows are only touched by
-// Decide, which the gate serializes, so no shard lock is needed here.
-func (ss *streamShards) window(i int) *predictor.Window {
-	sh, li := ss.shardOf(i)
-	return sh.windows[li]
-}
-
-// push records one completed round into every shard's estimator: selBools
-// and rewards are indexed by global stream ID. Shards are locked one at a
-// time, so a concurrent Decide only ever contends on a single shard.
-func (ss *streamShards) push(selBools []bool, rewards []float64) error {
+// pushSparse records one completed round into every shard's estimator from
+// the per-shard (pushIDs, pushRew) scratch the caller filled. Every
+// est-bearing shard is pushed — with an empty list when none of its streams
+// were selected — so all shard clocks advance in lockstep and per-stream
+// ages keep growing, exactly as the dense per-stream push did. Shard locks
+// are taken one at a time, so a concurrent Decide only ever contends on a
+// single shard. Cost is O(shards + selections), not O(m).
+func (ss *streamShards) pushSparse() error {
 	for _, sh := range ss.shards {
 		if sh.est == nil {
 			continue
 		}
 		sh.mu.Lock()
-		for li, i := range sh.ids {
-			sh.sel[li] = selBools[i]
-			sh.reward[li] = rewards[i]
-		}
-		err := sh.est.Push(sh.sel, sh.reward)
+		err := sh.est.PushSparse(sh.pushIDs, sh.pushRew)
 		sh.mu.Unlock()
 		if err != nil {
 			return err

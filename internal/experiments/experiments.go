@@ -76,6 +76,7 @@ func Registry() []Experiment {
 		{"regret", "Thm 1: online regret growth", Regret},
 		{"pipe", "Staged engine: pipelined vs sequential round throughput", Pipe},
 		{"hotpath", "Gating hot loop: compiled fast path vs reference throughput", Hotpath},
+		{"scale", "Churn-scaled Decide: per-round cost vs fleet size and window churn", Scale},
 		{"lemma1", "Lemma 1: optimizer approximation ratio", Lemma1},
 		{"ablate", "Design-choice ablations beyond the paper's", Ablate},
 		{"chaos", "Robustness: gating under injected faults, breakers, and self-healing ingest", Chaos},

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/core"
+	"packetgame/internal/predictor"
+)
+
+// scaleAllocCeiling bounds the steady-state heap allocations per gating
+// round in the churn sweep. The incremental hot loop itself is designed to
+// allocate nothing once scratch and free lists are warm; the ceiling leaves
+// headroom for runtime background noise (finalizer and timer bookkeeping)
+// that MemStats deltas pick up in a live process.
+const scaleAllocCeiling = 32
+
+// Scale benchmarks the churn-scaled Decide path at fleet sizes up to
+// m=100k: every stream delivers a packet every round, but only a `churn`
+// fraction of the fleet varies its packet sizes — the rest repeat their
+// metadata exactly, so their feature windows freeze and the gate serves
+// them from the score cache instead of re-running the predictor. Per-round
+// cost should therefore track churn, not m; the dense recompute
+// (Config.NoIncremental, same decisions bit-for-bit) pays the full forward
+// regardless. At full scale the experiment asserts the headline acceptance
+// number — at m=100k a 1%-churn round is ≥50× faster than a 100%-churn
+// round — plus the steady-state allocation ceiling in every cell, and
+// writes BENCH_scale.json.
+func Scale(o Options) error {
+	o = o.withDefaults()
+	var report scaleReport
+
+	o.printf("=== Churn-scaled Decide: content churn sweep (all m streams active) ===\n")
+	o.printf("%-8s %-7s %12s %14s %12s %10s\n", "m", "churn", "ns/round", "rounds/s", "mallocs/rd", "cache-hit")
+	for _, m := range []int{o.scaled(1000, 64), o.scaled(10000, 128), o.scaled(100000, 256)} {
+		nsByChurn := map[float64]float64{}
+		for _, churn := range []float64{0.01, 0.10, 1.00} {
+			cell, err := timeScaleCell(m, churn, o.Seed)
+			if err != nil {
+				return err
+			}
+			nsByChurn[churn] = cell.NsPerRound
+			report.Cells = append(report.Cells, cell)
+			o.printf("%-8d %-7s %12.0f %14.1f %12.1f %9.1f%%\n",
+				m, fmt.Sprintf("%.0f%%", churn*100), cell.NsPerRound, 1e9/cell.NsPerRound, cell.MallocsPerRound, cell.CacheHitRate*100)
+			if cell.MallocsPerRound > scaleAllocCeiling {
+				return fmt.Errorf("scale: m=%d churn=%.0f%% allocates %.1f times/round, ceiling %d",
+					m, churn*100, cell.MallocsPerRound, scaleAllocCeiling)
+			}
+		}
+		sp := scaleSpeedup{M: m, LowChurnSpeedup: nsByChurn[1.00] / nsByChurn[0.01]}
+		report.Speedups = append(report.Speedups, sp)
+		o.printf("%-8d 1%% vs 100%% churn: %.1fx faster per round\n", m, sp.LowChurnSpeedup)
+		if o.Scale >= 1 && m >= 100000 && sp.LowChurnSpeedup < 50 {
+			return fmt.Errorf("scale: m=%d low-churn speedup %.1fx below the 50x acceptance floor", m, sp.LowChurnSpeedup)
+		}
+	}
+
+	if o.Scale >= 1 {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_scale.json", append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		o.printf("\nwrote BENCH_scale.json\n")
+	} else {
+		o.printf("\n(scale %.2f < 1: BENCH_scale.json not written)\n", o.Scale)
+	}
+	return nil
+}
+
+type scaleCell struct {
+	M               int     `json:"m"`
+	Churn           float64 `json:"churn"`
+	NsPerRound      float64 `json:"ns_per_round"`
+	RoundsPerSec    float64 `json:"rounds_per_sec"`
+	MallocsPerRound float64 `json:"mallocs_per_round"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+}
+
+type scaleSpeedup struct {
+	M               int     `json:"m"`
+	LowChurnSpeedup float64 `json:"speedup_1pct_vs_100pct"`
+}
+
+type scaleReport struct {
+	Cells    []scaleCell    `json:"cells"`
+	Speedups []scaleSpeedup `json:"speedups"`
+}
+
+// timeScaleCell measures one (m, churn) cell: mean wall-clock nanoseconds
+// and heap mallocs per Decide+Feedback round at steady state. The gate is
+// the contextual-only configuration (no temporal estimator, no exploration
+// bonus, flat costs) so the only per-round signal is the feature window —
+// exactly the state the score cache keys on; churned streams draw a fresh
+// size every round, the rest repeat theirs verbatim.
+func timeScaleCell(m int, churn float64, seed int64) (scaleCell, error) {
+	pcfg := predictor.Config{UseIView: true, UsePView: true, Seed: seed}
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	no := false
+	g, err := core.NewGate(core.Config{
+		Streams: m, Budget: float64(m) / 25, Predictor: p,
+		UseTemporal: false, Explore: &no, DependencyAware: &no,
+	})
+	if err != nil {
+		return scaleCell{}, err
+	}
+
+	// Persistent packet structs: only the churned prefix mutates its size
+	// between rounds, everything else repeats its metadata exactly.
+	pkts := make([]*codec.Packet, m)
+	nonIdle := make([]int32, m)
+	for i := range pkts {
+		pkts[i] = &codec.Packet{StreamID: i, Type: codec.PictureP, Size: 1000 + i%777, GOPSize: 25, GOPIndex: 1}
+		nonIdle[i] = int32(i)
+	}
+	churned := int(float64(m) * churn)
+	if churned < 1 {
+		churned = 1
+	}
+	lcg := uint64(seed)*6364136223846793005 + 1442695040888963407
+	mutate := func() {
+		for i := 0; i < churned; i++ {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			pkts[i].Size = 200 + int(lcg>>40)%60000
+		}
+	}
+
+	necessary := make([]bool, m)
+	var sel []int
+	oneRound := func() error {
+		mutate()
+		var err error
+		sel, err = g.DecideRoundAppend(pkts, nonIdle, sel[:0])
+		if err != nil {
+			return err
+		}
+		return g.Feedback(sel, necessary[:len(sel)])
+	}
+
+	// Warmup: saturate the double-write feature rings (w+1 identical pushes
+	// freeze an epoch) and the gate's scratch and free lists.
+	for r := 0; r < p.Config().Window+4; r++ {
+		if err := oneRound(); err != nil {
+			return scaleCell{}, err
+		}
+	}
+	hits0 := g.Incremental()
+
+	rounds := 400000 / m
+	if rounds < 4 {
+		rounds = 4
+	}
+	if rounds > 200 {
+		rounds = 200
+	}
+	runtime.GC()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := oneRound(); err != nil {
+			return scaleCell{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&msAfter)
+	hits1 := g.Incremental()
+
+	cell := scaleCell{
+		M:               m,
+		Churn:           churn,
+		NsPerRound:      float64(elapsed.Nanoseconds()) / float64(rounds),
+		MallocsPerRound: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rounds),
+	}
+	cell.RoundsPerSec = 1e9 / cell.NsPerRound
+	if scored := hits1.Scored - hits0.Scored; scored > 0 {
+		cell.CacheHitRate = float64(hits1.CacheHits-hits0.CacheHits) / float64(scored)
+	}
+	return cell, nil
+}

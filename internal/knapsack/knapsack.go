@@ -109,11 +109,23 @@ type ratioRank struct {
 	ratios []float64
 }
 
-func (r *ratioRank) sortByRatio(items []Item) {
-	if cap(r.order) < len(items) {
-		r.order = make([]int, 0, len(items))
-		r.ratios = make([]float64, len(items))
+// rankShrinkFloor is the capacity below which ratioRank scratch is never
+// reallocated downward: shrinking tiny buffers only causes churn.
+const rankShrinkFloor = 1024
+
+// ensure sizes the scratch for n items: it grows on demand and — so a
+// transient m spike does not pin a giant buffer for the process lifetime —
+// reallocates downward once the working size drops below a quarter of the
+// retained capacity.
+func (r *ratioRank) ensure(n int) {
+	if c := cap(r.order); c < n || (c > rankShrinkFloor && n < c/4) {
+		r.order = make([]int, 0, n)
+		r.ratios = make([]float64, n)
 	}
+}
+
+func (r *ratioRank) sortByRatio(items []Item) {
+	r.ensure(len(items))
 	r.order = r.order[:0]
 	r.ratios = r.ratios[:len(items)]
 	for i, it := range items {

@@ -1,0 +1,212 @@
+package knapsack
+
+import "sort"
+
+// Ranked is the incremental counterpart of Greedy and Tiered: a persistent
+// score-ordered candidate list that survives across rounds so the per-round
+// sorting cost scales with *churn* (candidates whose value or cost changed
+// since the previous round) instead of the fleet size.
+//
+// Protocol per round:
+//
+//	rk.BeginRound()
+//	for every selectable candidate: rk.Offer(id, value, cost)
+//	sel = rk.SelectAppend(dst, tiers, numTiers, budget)
+//
+// Offer compares the candidate against its stored (value, cost): unchanged
+// candidates that were also offered last round keep their position in the
+// ordered list for free; changed or newly (re)appearing candidates are
+// staged. SelectAppend sorts only the staged set — O(d·log d) for d dirty
+// candidates — and merges it with the surviving span of last round's order
+// in one linear pass. Candidates *not* offered this round drop out during
+// the merge, so absence (idle stream, quarantine, admission shed) needs no
+// explicit delete call and a revived candidate is simply re-staged.
+//
+// The resulting order is bit-identical to a from-scratch sort because the
+// comparator is a strict total order — ratio descending (zero-cost = +Inf),
+// id ascending on ties — so a merge of two internally sorted disjoint
+// sequences reproduces the full sort exactly. The selection walk then
+// replicates Greedy's ratio-order fill pass (numTiers == 1) or Tiered's
+// strict-priority cascade (per-tier lists, lower tiers skipped once the
+// remaining budget is exhausted), preserving the Lemma-1 bound per pool.
+//
+// Zero values ride the same rule as sortByRatio: candidates with value <= 0
+// are never listed. All state is persistent and index-addressed, so
+// steady-state rounds allocate nothing. Not safe for concurrent use.
+type Ranked struct {
+	n     int
+	round int64
+
+	// Per-candidate state, indexed by id.
+	value  []float64
+	cost   []float64
+	ratios []float64
+	tier   []uint8
+	stamp  []int64 // round the candidate was last offered with value > 0
+	dirty  []bool  // staged this round (changed / re-appeared)
+
+	// Per-tier ordered candidate lists from the last completed round, plus
+	// this round's staged ids and the merge scratch.
+	live   [][]int32
+	staged [][]int32
+	merge  []int32
+
+	sorter stagedSorter
+}
+
+// NewRanked creates an incremental selector for ids in [0, n).
+func NewRanked(n int) *Ranked {
+	return &Ranked{
+		n:      n,
+		value:  make([]float64, n),
+		cost:   make([]float64, n),
+		ratios: make([]float64, n),
+		tier:   make([]uint8, n),
+		stamp:  make([]int64, n),
+		dirty:  make([]bool, n),
+	}
+}
+
+// Name identifies the policy in reports.
+func (*Ranked) Name() string { return "ranked-incremental" }
+
+// BeginRound opens a new round; every candidate for this round must then be
+// Offered before SelectAppend.
+func (r *Ranked) BeginRound() {
+	r.round++
+}
+
+// tierList grows the per-tier lists to cover tier t and returns staged[t]
+// for appending.
+func (r *Ranked) growTiers(numTiers int) {
+	for len(r.live) < numTiers {
+		r.live = append(r.live, nil)
+		r.staged = append(r.staged, nil)
+	}
+}
+
+// Offer registers candidate id for this round's selection with the given
+// value, cost, and priority tier. A candidate whose (value, cost, tier) is
+// unchanged since last round's offer keeps its ordered position for free;
+// anything else is staged for the incremental re-sort. Offers with
+// value <= 0 are dropped (matching Greedy's positive-value rule). ids must
+// be unique within a round; tier must be < the numTiers later passed to
+// SelectAppend.
+func (r *Ranked) Offer(id int, value, cost float64, tier uint8) {
+	if value <= 0 {
+		return
+	}
+	prev := r.stamp[id]
+	r.stamp[id] = r.round
+	if prev == r.round-1 && r.value[id] == value && r.cost[id] == cost &&
+		r.tier[id] == tier && !r.dirty[id] {
+		// Survivor: same score as the position it already holds in live.
+		return
+	}
+	r.value[id] = value
+	r.cost[id] = cost
+	r.ratios[id] = ratio(Item{Value: value, Cost: cost})
+	r.tier[id] = tier
+	r.dirty[id] = true
+	r.growTiers(int(tier) + 1)
+	r.staged[tier] = append(r.staged[tier], int32(id))
+}
+
+// less is the strict total order shared with ratioRank: ratio descending,
+// id ascending on exact ties.
+func (r *Ranked) less(a, b int32) bool {
+	ra, rb := r.ratios[a], r.ratios[b]
+	if ra != rb {
+		return ra > rb
+	}
+	return a < b
+}
+
+// stagedSorter sorts one tier's staged ids without allocating.
+type stagedSorter struct {
+	r   *Ranked
+	ids []int32
+}
+
+func (s *stagedSorter) Len() int           { return len(s.ids) }
+func (s *stagedSorter) Less(a, b int) bool { return s.r.less(s.ids[a], s.ids[b]) }
+func (s *stagedSorter) Swap(a, b int)      { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }
+
+// mergeTier folds tier t's staged ids into its live order: survivors of the
+// previous order (offered again this round, not re-staged) keep their
+// relative positions, dead entries drop, staged entries merge in sorted
+// position. Returns the new live list.
+func (r *Ranked) mergeTier(t int) []int32 {
+	st := r.staged[t]
+	if len(st) > 1 {
+		r.sorter.r, r.sorter.ids = r, st
+		sort.Sort(&r.sorter)
+		r.sorter.ids = nil
+	}
+	old := r.live[t]
+	out := r.merge[:0]
+	oi, si := 0, 0
+	for oi < len(old) && si < len(st) {
+		o := old[oi]
+		if r.stamp[o] != r.round || r.dirty[o] {
+			oi++ // dead or re-staged: drop from the surviving span
+			continue
+		}
+		if r.less(o, st[si]) {
+			out = append(out, o)
+			oi++
+		} else {
+			out = append(out, st[si])
+			si++
+		}
+	}
+	for ; oi < len(old); oi++ {
+		if o := old[oi]; r.stamp[o] == r.round && !r.dirty[o] {
+			out = append(out, o)
+		}
+	}
+	out = append(out, st[si:]...)
+	// Swap buffers: old becomes next round's merge scratch.
+	r.merge = old[:0]
+	r.live[t] = out
+	for _, id := range st {
+		r.dirty[id] = false
+	}
+	r.staged[t] = st[:0]
+	return out
+}
+
+// SelectAppend closes the round: it folds the staged candidates into the
+// persistent order and appends the chosen ids to dst. With numTiers == 1
+// the walk is exactly Greedy.SelectAppend over the offered candidates; with
+// more tiers it is Tiered.SelectAppend's strict-priority cascade, including
+// its rule that once the remaining budget hits zero, lower tiers are not
+// visited at all.
+func (r *Ranked) SelectAppend(dst []int, numTiers int, budget float64) []int {
+	if numTiers < 1 {
+		numTiers = 1
+	}
+	r.growTiers(numTiers)
+	if len(r.live) > numTiers {
+		numTiers = len(r.live) // still merge tiers seen in earlier rounds
+	}
+	remaining := budget
+	for t := 0; t < numTiers; t++ {
+		if t > 0 && remaining <= 0 {
+			// Tiered's guard: later tiers never run on an exhausted budget
+			// (a single-pool Greedy walk, by contrast, always completes and
+			// may still pick zero-cost candidates).
+			if len(r.staged[t]) > 0 || len(r.live[t]) > 0 {
+				r.mergeTier(t) // keep persistence current even when skipped
+			}
+			continue
+		}
+		for _, id := range r.mergeTier(t) {
+			if r.cost[id] <= remaining {
+				dst = append(dst, int(id))
+				remaining -= r.cost[id]
+			}
+		}
+	}
+	return dst
+}

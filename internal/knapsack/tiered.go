@@ -62,10 +62,7 @@ func clampTier(t uint8, numTiers int) int {
 // sortTier ranks tier-t positive-value candidates by descending ratio,
 // sharing the ratioRank zero-alloc machinery.
 func (r *ratioRank) sortTier(items []Item, tiers []uint8, t uint8, numTiers int) {
-	if cap(r.order) < len(items) {
-		r.order = make([]int, 0, len(items))
-		r.ratios = make([]float64, len(items))
-	}
+	r.ensure(len(items))
 	r.order = r.order[:0]
 	r.ratios = r.ratios[:len(items)]
 	for i, it := range items {

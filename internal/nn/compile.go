@@ -34,9 +34,13 @@ const (
 )
 
 // compiledOp is one fused stage of the inference graph. Weights live in a
-// flat row-major []float32 (filter-major for conv: [out][in][k]); the
-// optional int8 variant keeps per-output-row symmetric scales alongside the
-// quantized weights and quantizes its input dynamically per forward pass.
+// flat row-major []float32 (filter-major for conv: [out][in][k]).
+//
+// There is deliberately no int8 variant: a quantized path existed and
+// honestly measured 0.28× the float32 kernels (BENCH_hotpath `int8-vs-f32`
+// before its removal), because scalar Go has no way to amortize the int8
+// widening multiplies while the float32 path already runs 4-row
+// register-blocked — see DESIGN.md for the full rationale.
 type compiledOp struct {
 	kind opKind
 	act  Activation
@@ -47,10 +51,6 @@ type compiledOp struct {
 
 	w []float32
 	b []float32
-
-	// int8 path (nil on the float32 graph).
-	wq []int8
-	ws []float32 // per-output-row weight scale
 }
 
 func (op *compiledOp) inSize() int {
@@ -82,7 +82,6 @@ type Compiled struct {
 	ops    []compiledOp
 	inDim  int
 	outDim int
-	quant  bool
 }
 
 // InDim returns the per-example input element count.
@@ -91,9 +90,6 @@ func (c *Compiled) InDim() int { return c.inDim }
 // OutDim returns the per-example output element count.
 func (c *Compiled) OutDim() int { return c.outDim }
 
-// Quantized reports whether the graph carries int8 weights.
-func (c *Compiled) Quantized() bool { return c.quant }
-
 // Compile snapshots the Sequential's current parameters into a float32
 // inference graph for the given per-example input shape. Supported layers:
 // Conv1D, Dense, GlobalMaxPool1D, Flatten, ReLU, Sigmoid; ReLU/Sigmoid
@@ -101,18 +97,10 @@ func (c *Compiled) Quantized() bool { return c.quant }
 // decoupled from the live parameters: training after Compile requires a
 // fresh Compile to be observed.
 func Compile(s *Sequential, inShape []int) (*Compiled, error) {
-	return compile(s, inShape, false)
+	return compile(s, inShape)
 }
 
-// CompileInt8 is Compile with weights quantized to int8 (symmetric,
-// per-output-row scales) and dynamic per-tensor input quantization at each
-// conv/dense op. Outputs stay float32; error is bounded by the quantization
-// steps (see the package tests for the empirical envelope).
-func CompileInt8(s *Sequential, inShape []int) (*Compiled, error) {
-	return compile(s, inShape, true)
-}
-
-func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
+func compile(s *Sequential, inShape []int) (*Compiled, error) {
 	if s == nil {
 		return nil, fmt.Errorf("nn: compile: nil sequential")
 	}
@@ -123,7 +111,7 @@ func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
 		}
 		inDim *= d
 	}
-	c := &Compiled{name: s.Name(), inDim: inDim, quant: quant}
+	c := &Compiled{name: s.Name(), inDim: inDim}
 	shape := append([]int(nil), inShape...)
 	layers := s.Layers()
 	for idx := 0; idx < len(layers); idx++ {
@@ -151,7 +139,7 @@ func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
 				kind: opConv, in: lt.in, out: lt.out, k: lt.k,
 				inL: shape[1], outLen: shape[1] - lt.k + 1,
 			}
-			fillWeights(&op, lt.w.W.Data, lt.b.W.Data, quant, lt.in*lt.k)
+			fillWeights(&op, lt.w.W.Data, lt.b.W.Data)
 			shape = []int{lt.out, op.outLen}
 			op.act = fuse()
 			c.ops = append(c.ops, op)
@@ -160,7 +148,7 @@ func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
 				return nil, fmt.Errorf("nn: compile %s: dense %s: input shape %v", c.name, lt.name, shape)
 			}
 			op := compiledOp{kind: opDense, in: lt.in, out: lt.out}
-			fillWeights(&op, lt.w.W.Data, lt.b.W.Data, quant, lt.in)
+			fillWeights(&op, lt.w.W.Data, lt.b.W.Data)
 			shape = []int{lt.out}
 			op.act = fuse()
 			c.ops = append(c.ops, op)
@@ -193,10 +181,8 @@ func compile(s *Sequential, inShape []int, quant bool) (*Compiled, error) {
 	return c, nil
 }
 
-// fillWeights snapshots one layer's parameters: float32 always (the float32
-// kernels and the quantized bias path both need them), int8 + scales when
-// quantizing. Rows are op.out slices of rowLen weights.
-func fillWeights(op *compiledOp, w, b []float64, quant bool, rowLen int) {
+// fillWeights snapshots one layer's parameters into float32.
+func fillWeights(op *compiledOp, w, b []float64) {
 	op.w = make([]float32, len(w))
 	for i, v := range w {
 		op.w[i] = float32(v)
@@ -205,57 +191,13 @@ func fillWeights(op *compiledOp, w, b []float64, quant bool, rowLen int) {
 	for i, v := range b {
 		op.b[i] = float32(v)
 	}
-	if !quant {
-		return
-	}
-	op.wq = make([]int8, len(w))
-	op.ws = make([]float32, op.out)
-	for r := 0; r < op.out; r++ {
-		row := op.w[r*rowLen : (r+1)*rowLen]
-		var absmax float32
-		for _, v := range row {
-			if v < 0 {
-				v = -v
-			}
-			if v > absmax {
-				absmax = v
-			}
-		}
-		if absmax == 0 {
-			continue // all-zero row quantizes to zeros with scale 0
-		}
-		scale := absmax / 127
-		op.ws[r] = scale
-		inv := 1 / scale
-		for i, v := range row {
-			op.wq[r*rowLen+i] = roundInt8(v * inv)
-		}
-	}
-}
-
-func roundInt8(v float32) int8 {
-	if v >= 0 {
-		v += 0.5
-	} else {
-		v -= 0.5
-	}
-	q := int32(v)
-	if q > 127 {
-		q = 127
-	}
-	if q < -127 {
-		q = -127
-	}
-	return int8(q)
 }
 
 // fwdScratch is the pooled per-call state of Compiled.Forward: two
-// ping-pong activation buffers plus the int8 input buffer of the quantized
-// kernels. Pooling keeps Forward allocation-free in steady state and safe
-// for concurrent callers.
+// ping-pong activation buffers. Pooling keeps Forward allocation-free in
+// steady state and safe for concurrent callers.
 type fwdScratch struct {
 	a, b []float32
-	q    []int8
 }
 
 var fwdPool = sync.Pool{New: func() interface{} { return new(fwdScratch) }}
@@ -263,13 +205,6 @@ var fwdPool = sync.Pool{New: func() interface{} { return new(fwdScratch) }}
 func growF32(buf []float32, n int) []float32 {
 	if cap(buf) < n {
 		return make([]float32, n)
-	}
-	return buf[:n]
-}
-
-func growI8(buf []int8, n int) []int8 {
-	if cap(buf) < n {
-		return make([]int8, n)
 	}
 	return buf[:n]
 }
@@ -301,16 +236,10 @@ func (c *Compiled) Forward(n int, x []float32, out []float32) {
 			dst = sc.b
 			useA = true
 		}
-		switch {
-		case op.wq != nil && op.kind == opConv:
-			sc.q = growI8(sc.q, len(src))
-			convForwardInt8(op, n, src, dst, sc.q)
-		case op.wq != nil && op.kind == opDense:
-			sc.q = growI8(sc.q, len(src))
-			denseForwardInt8(op, n, src, dst, sc.q)
-		case op.kind == opConv:
+		switch op.kind {
+		case opConv:
 			convForward(op, n, src, dst)
-		case op.kind == opDense:
+		case opDense:
 			denseForward(op, n, src, dst)
 		default:
 			poolForward(op, n, src, dst)
@@ -502,86 +431,6 @@ func poolForward(op *compiledOp, n int, x, y []float32) {
 				}
 			}
 			y[bi*c+ci] = best
-		}
-	}
-}
-
-// quantizeInput quantizes a float32 activation block to int8 with one
-// dynamic symmetric scale (absmax/127) and returns that scale (0 for an
-// all-zero block, whose quantization is exact).
-func quantizeInput(xq []int8, x []float32) float32 {
-	var absmax float32
-	for _, v := range x {
-		if v < 0 {
-			v = -v
-		}
-		if v > absmax {
-			absmax = v
-		}
-	}
-	if absmax == 0 {
-		for i := range xq {
-			xq[i] = 0
-		}
-		return 0
-	}
-	scale := absmax / 127
-	inv := 1 / scale
-	for i, v := range x {
-		xq[i] = roundInt8(v * inv)
-	}
-	return scale
-}
-
-func dotI8(a []int8, b []int8) int32 {
-	var s0, s1 int32
-	i := 0
-	for ; i+1 < len(a); i += 2 {
-		s0 += int32(a[i]) * int32(b[i])
-		s1 += int32(a[i+1]) * int32(b[i+1])
-	}
-	if i < len(a) {
-		s0 += int32(a[i]) * int32(b[i])
-	}
-	return s0 + s1
-}
-
-// denseForwardInt8 quantizes the input dynamically and accumulates in int32.
-func denseForwardInt8(op *compiledOp, n int, x, y []float32, xq []int8) {
-	sx := quantizeInput(xq[:len(x)], x)
-	in, out := op.in, op.out
-	for bi := 0; bi < n; bi++ {
-		xr := xq[bi*in : (bi+1)*in]
-		yr := y[bi*out : (bi+1)*out]
-		for o := 0; o < out; o++ {
-			acc := dotI8(op.wq[o*in:(o+1)*in], xr)
-			yr[o] = activate(op.act, float32(acc)*sx*op.ws[o]+op.b[o])
-		}
-	}
-}
-
-// convForwardInt8 is the quantized Conv1D kernel.
-func convForwardInt8(op *compiledOp, n int, x, y []float32, xq []int8) {
-	sx := quantizeInput(xq[:len(x)], x)
-	in, out, k, inL, outL := op.in, op.out, op.k, op.inL, op.outLen
-	for bi := 0; bi < n; bi++ {
-		xb := xq[bi*in*inL : (bi+1)*in*inL]
-		yb := y[bi*out*outL : (bi+1)*out*outL]
-		for f := 0; f < out; f++ {
-			wf := op.wq[f*in*k : (f+1)*in*k]
-			scale := sx * op.ws[f]
-			bias := op.b[f]
-			for ol := 0; ol < outL; ol++ {
-				var acc int32
-				for ci := 0; ci < in; ci++ {
-					wr := wf[ci*k : ci*k+k]
-					xr := xb[ci*inL+ol : ci*inL+ol+k]
-					for kk := 0; kk < k; kk++ {
-						acc += int32(wr[kk]) * int32(xr[kk])
-					}
-				}
-				yb[f*outL+ol] = activate(op.act, float32(acc)*scale+bias)
-			}
 		}
 	}
 }

@@ -161,47 +161,6 @@ func TestCompileRecompileDeterministic(t *testing.T) {
 	}
 }
 
-// TestCompiledInt8Tolerance bounds the quantized graph's error against the
-// float64 reference. Dynamic per-tensor activation scales plus per-row
-// weight scales keep sigmoid outputs within a few percent.
-func TestCompiledInt8Tolerance(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
-	for _, tc := range []struct {
-		name    string
-		s       *Sequential
-		inShape []int
-		tol     float64
-	}{
-		{"head", buildHead(20, 32, 1, rng), []int{20}, 0.15},
-		{"tower", buildTower(5, 8, 2, rng), []int{1, 5}, 0.25},
-	} {
-		t.Run(tc.name, func(t *testing.T) {
-			c, err := CompileInt8(tc.s, tc.inShape)
-			if err != nil {
-				t.Fatalf("CompileInt8: %v", err)
-			}
-			if !c.Quantized() {
-				t.Fatal("CompileInt8 graph not marked quantized")
-			}
-			const n = 32
-			x := randInput(n*c.InDim(), rng)
-			out := make([]float32, n*c.OutDim())
-			c.Forward(n, x, out)
-			want := refForward(tc.s, tc.inShape, n, x)
-			var sum float64
-			for i := range out {
-				sum += math.Abs(float64(out[i]) - want[i])
-			}
-			if worst := maxAbsErr(out, want); worst > tc.tol {
-				t.Fatalf("int8 max abs err %g exceeds %g", worst, tc.tol)
-			}
-			if mean := sum / float64(len(out)); mean > tc.tol/2 {
-				t.Fatalf("int8 mean abs err %g exceeds %g", mean, tc.tol/2)
-			}
-		})
-	}
-}
-
 // TestCompileRejectsUnsupported: unfused activations and unknown layers must
 // fail compilation rather than silently mis-run.
 func TestCompileRejectsUnsupported(t *testing.T) {
@@ -282,19 +241,3 @@ func BenchmarkReferenceForward256(b *testing.B) {
 	}
 }
 
-func BenchmarkCompiledForwardInt8_256(b *testing.B) {
-	rng := rand.New(rand.NewSource(5))
-	s := buildTower(5, 32, 2, rng)
-	c, err := CompileInt8(s, []int{1, 5})
-	if err != nil {
-		b.Fatalf("CompileInt8: %v", err)
-	}
-	const n = 256
-	x := randInput(n*c.InDim(), rng)
-	out := make([]float32, n*c.OutDim())
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Forward(n, x, out)
-	}
-}

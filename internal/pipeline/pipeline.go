@@ -46,6 +46,33 @@ type RoundSource interface {
 	Truth(i int) (codec.Scene, bool)
 }
 
+// RoundLister is optionally implemented by sources that know which streams
+// delivered a packet in the round just returned by NextRound: NonIdle
+// returns their indices, strictly ascending, valid until the next NextRound
+// call. Sources assemble rounds stream by stream, so the list costs them
+// nothing extra — and handing it to a churn-scaled gate saves the gate its
+// own O(m) scan, keeping sparse rounds in a large fleet cheap end to end.
+type RoundLister interface {
+	NonIdle() []int32
+}
+
+// sparseDecider is optionally implemented by gates (a *core.Gate) that
+// accept the round's non-idle list directly.
+type sparseDecider interface {
+	DecideRoundAppend(pkts []*codec.Packet, nonIdle []int32, dst []int) ([]int, error)
+}
+
+// decide routes one round to the gate, handing over the non-idle list when
+// both the source produced one and the gate can consume it.
+func (e *Engine) decide(pkts []*codec.Packet, nonIdle []int32) ([]int, error) {
+	if nonIdle != nil {
+		if sd, ok := e.cfg.Gate.(sparseDecider); ok {
+			return sd.DecideRoundAppend(pkts, nonIdle, nil)
+		}
+	}
+	return e.cfg.Gate.Decide(pkts)
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Source supplies rounds.
@@ -411,9 +438,13 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 			}
 		}
 
+		var nonIdle []int32
+		if rl, ok := e.cfg.Source.(RoundLister); ok {
+			nonIdle = rl.NonIdle()
+		}
 		metrics.StageEnter(e.cfg.Stages.GateStage())
 		t0 := time.Now()
-		sel, err := e.cfg.Gate.Decide(pkts)
+		sel, err := e.decide(pkts, nonIdle)
 		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
 		if err != nil {
 			return rep, fmt.Errorf("pipeline: gate: %w", err)

@@ -16,6 +16,7 @@ type LocalSource struct {
 	done    int
 	pkts    []*codec.Packet
 	truth   []codec.Scene
+	nonIdle []int32
 }
 
 // NewLocalSource wraps a fleet; rounds caps the run (0 = unlimited).
@@ -33,9 +34,13 @@ func (s *LocalSource) NextRound() ([]*codec.Packet, error) {
 	if s.rounds > 0 && s.done >= s.rounds {
 		return nil, io.EOF
 	}
+	s.nonIdle = s.nonIdle[:0]
 	for i, st := range s.streams {
 		s.pkts[i] = st.Next()
 		s.truth[i] = st.LastScene
+		if s.pkts[i] != nil {
+			s.nonIdle = append(s.nonIdle, int32(i))
+		}
 	}
 	s.done++
 	return s.pkts, nil
@@ -43,6 +48,9 @@ func (s *LocalSource) NextRound() ([]*codec.Packet, error) {
 
 // Truth implements RoundSource.
 func (s *LocalSource) Truth(i int) (codec.Scene, bool) { return s.truth[i], true }
+
+// NonIdle implements RoundLister.
+func (s *LocalSource) NonIdle() []int32 { return s.nonIdle }
 
 // Camera is a one-packet-per-round feed. *codec.Stream satisfies it, as do
 // fault-injecting wrappers.
@@ -61,11 +69,12 @@ type CameraTruth interface {
 // CameraTruth contribute ground truth for accuracy accounting; a camera may
 // return nil from Next (an idle or stalled round).
 type CameraSource struct {
-	cams   []Camera
-	rounds int
-	done   int
-	pkts   []*codec.Packet
-	truth  []truthVal
+	cams    []Camera
+	rounds  int
+	done    int
+	pkts    []*codec.Packet
+	truth   []truthVal
+	nonIdle []int32
 }
 
 // NewCameraSource wraps a camera fleet; rounds caps the run (0 = unlimited).
@@ -83,12 +92,16 @@ func (s *CameraSource) NextRound() ([]*codec.Packet, error) {
 	if s.rounds > 0 && s.done >= s.rounds {
 		return nil, io.EOF
 	}
+	s.nonIdle = s.nonIdle[:0]
 	for i, cam := range s.cams {
 		s.pkts[i] = cam.Next()
 		s.truth[i] = truthVal{}
 		if ct, ok := cam.(CameraTruth); ok {
 			sc, tok := ct.Truth()
 			s.truth[i] = truthVal{scene: sc, ok: tok}
+		}
+		if s.pkts[i] != nil {
+			s.nonIdle = append(s.nonIdle, int32(i))
 		}
 	}
 	s.done++
@@ -99,6 +112,9 @@ func (s *CameraSource) NextRound() ([]*codec.Packet, error) {
 func (s *CameraSource) Truth(i int) (codec.Scene, bool) {
 	return s.truth[i].scene, s.truth[i].ok
 }
+
+// NonIdle implements RoundLister.
+func (s *CameraSource) NonIdle() []int32 { return s.nonIdle }
 
 // RoundClient yields PGSP rounds: *stream.Client satisfies it, as does the
 // reconnecting *stream.Resilient.
@@ -127,6 +143,7 @@ type FileSource struct {
 	readers []*container.Reader
 	pkts    []*codec.Packet
 	eof     []bool
+	nonIdle []int32
 }
 
 // NewFileSource wraps PGV readers. Stream IDs are reassigned to the reader
@@ -145,6 +162,7 @@ func NewFileSource(readers []*container.Reader) (*FileSource, error) {
 // NextRound implements RoundSource.
 func (s *FileSource) NextRound() ([]*codec.Packet, error) {
 	alive := false
+	s.nonIdle = s.nonIdle[:0]
 	for i, r := range s.readers {
 		s.pkts[i] = nil
 		if s.eof[i] {
@@ -160,6 +178,7 @@ func (s *FileSource) NextRound() ([]*codec.Packet, error) {
 		}
 		p.StreamID = i
 		s.pkts[i] = p
+		s.nonIdle = append(s.nonIdle, int32(i))
 		alive = true
 	}
 	if !alive {
@@ -170,3 +189,6 @@ func (s *FileSource) NextRound() ([]*codec.Packet, error) {
 
 // Truth implements RoundSource: container files carry no side-channel truth.
 func (s *FileSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }
+
+// NonIdle implements RoundLister.
+func (s *FileSource) NonIdle() []int32 { return s.nonIdle }

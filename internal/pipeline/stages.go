@@ -100,6 +100,7 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 	}()
 
 	var runErr error
+	var nonIdle []int32 // per-round scratch, rebuilt while capturing truth
 	inflight := 0
 	applyDue := func(min int) {
 		for inflight > min && runErr == nil {
@@ -139,20 +140,23 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 
 		// The source may reuse its packet and truth storage each round,
 		// so copy the round and capture truth before overlapping with
-		// the next NextRound call.
+		// the next NextRound call. The non-idle list falls out of the
+		// same walk and feeds the gate's churn-scaled entry point.
 		cp := append([]*codec.Packet(nil), pkts...)
 		truth := make([]truthVal, len(pkts))
+		nonIdle = nonIdle[:0]
 		for i, p := range cp {
 			if p == nil {
 				continue
 			}
+			nonIdle = append(nonIdle, int32(i))
 			s, ok := e.cfg.Source.Truth(i)
 			truth[i] = truthVal{scene: s, ok: ok}
 		}
 
 		metrics.StageEnter(e.cfg.Stages.GateStage())
 		t0 := time.Now()
-		sel, err := e.cfg.Gate.Decide(cp)
+		sel, err := e.decide(cp, nonIdle)
 		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
 		if err != nil {
 			runErr = fmt.Errorf("pipeline: gate: %w", err)

@@ -24,60 +24,64 @@ type fastPath struct {
 	head   *nn.Compiled
 }
 
-func (p *Predictor) compileFast(quant bool) (*fastPath, error) {
-	comp := nn.Compile
-	if quant {
-		comp = nn.CompileInt8
-	}
+func (p *Predictor) compileFast() (*fastPath, error) {
 	fp := &fastPath{}
 	var err error
 	if p.iTower != nil {
-		if fp.iTower, err = comp(p.iTower, []int{1, p.cfg.Window}); err != nil {
+		if fp.iTower, err = nn.Compile(p.iTower, []int{1, p.cfg.Window}); err != nil {
 			return nil, err
 		}
 	}
 	if p.pTower != nil {
-		if fp.pTower, err = comp(p.pTower, []int{1, p.cfg.Window}); err != nil {
+		if fp.pTower, err = nn.Compile(p.pTower, []int{1, p.cfg.Window}); err != nil {
 			return nil, err
 		}
 	}
-	if fp.head, err = comp(p.head, []int{p.fusedDim}); err != nil {
+	if fp.head, err = nn.Compile(p.head, []int{p.fusedDim}); err != nil {
 		return nil, err
 	}
 	return fp, nil
 }
 
-// fast returns the compiled snapshot for the requested precision, rebuilding
-// lazily after any weight change (Train, Trainer.Step, Load invalidate it).
-func (p *Predictor) fast(quant bool) (*fastPath, error) {
+// fast returns the compiled snapshot, rebuilding lazily after any weight
+// change (Train, Trainer.Step, Load invalidate it).
+func (p *Predictor) fast() (*fastPath, error) {
 	p.fpMu.Lock()
 	defer p.fpMu.Unlock()
-	tgt := &p.fp
-	if quant {
-		tgt = &p.fpQ
-	}
-	if *tgt == nil {
-		fp, err := p.compileFast(quant)
+	if p.fp == nil {
+		fp, err := p.compileFast()
 		if err != nil {
 			return nil, err
 		}
-		*tgt = fp
+		p.fp = fp
 	}
-	return *tgt, nil
+	return p.fp, nil
 }
 
-// invalidateFast drops the compiled snapshots so the next fast-path call
-// recompiles against the current weights.
+// invalidateFast drops the compiled snapshot so the next fast-path call
+// recompiles against the current weights, and advances the weights version.
 func (p *Predictor) invalidateFast() {
 	p.fpMu.Lock()
-	p.fp, p.fpQ = nil, nil
+	p.fp = nil
+	p.version++
 	p.fpMu.Unlock()
+}
+
+// Version identifies the current weights: it advances on every mutation
+// (Train, Trainer.Step, Load). Score caches key cached confidences on it —
+// a cached output is reusable only while the version that produced it is
+// still current, since the compiled forward is deterministic for fixed
+// weights and input.
+func (p *Predictor) Version() uint64 {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	return p.version
 }
 
 // Compile eagerly builds the float32 inference graph (otherwise built on the
 // first PredictInto) and reports any compilation error up front.
 func (p *Predictor) Compile() error {
-	_, err := p.fast(false)
+	_, err := p.fast()
 	return err
 }
 
@@ -101,19 +105,7 @@ func grow32(buf []float32, n int) []float32 {
 // equivalence is property-tested). Feature windows must have the model's
 // window length for every enabled size view.
 func (p *Predictor) PredictInto(feats []Features, out []float64) error {
-	return p.predictInto(feats, out, false)
-}
-
-// PredictIntoInt8 is PredictInto on the int8-quantized graph: weights are
-// symmetric per-row int8, activations are quantized dynamically at each
-// conv/dense stage. Bounded-error, for accelerator-style deployments
-// (internal/accel measures its speedup rather than assuming one).
-func (p *Predictor) PredictIntoInt8(feats []Features, out []float64) error {
-	return p.predictInto(feats, out, true)
-}
-
-func (p *Predictor) predictInto(feats []Features, out []float64, quant bool) error {
-	fp, err := p.fast(quant)
+	fp, err := p.fast()
 	if err != nil {
 		return err
 	}

@@ -96,35 +96,6 @@ func TestPredictIntoMatchesPredictBatch(t *testing.T) {
 	}
 }
 
-// TestPredictIntoInt8Tolerance bounds the quantized fast path against the
-// float64 reference. Two stacked towers plus the head accumulate more
-// quantization noise than a lone graph, so the bound is loose but meaningful
-// for sigmoid confidences.
-func TestPredictIntoInt8Tolerance(t *testing.T) {
-	rng := rand.New(rand.NewSource(22))
-	p, err := New(DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n = 64
-	feats := randFeats(p.Config(), n, rng)
-	want := p.PredictBatch(feats)
-	got := make([]float64, n)
-	if err := p.PredictIntoInt8(feats, got); err != nil {
-		t.Fatalf("PredictIntoInt8: %v", err)
-	}
-	var sum float64
-	for i := range got {
-		sum += math.Abs(got[i] - want[i][0])
-	}
-	if worst := maxErrVsBatch(got, want, 1); worst > 0.25 {
-		t.Fatalf("int8 fast path max abs err %g", worst)
-	}
-	if mean := sum / n; mean > 0.1 {
-		t.Fatalf("int8 fast path mean abs err %g", mean)
-	}
-}
-
 // TestPredictIntoZeroAlloc: the steady-state batched forward allocates
 // nothing (pools are warm after the first call).
 func TestPredictIntoZeroAlloc(t *testing.T) {

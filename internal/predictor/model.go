@@ -69,11 +69,13 @@ type Predictor struct {
 
 	fusedDim int
 
-	// Compiled inference snapshots (float32 / int8), built lazily by the
-	// fast path and dropped whenever the weights change. Guarded by fpMu.
-	fpMu sync.Mutex
-	fp   *fastPath
-	fpQ  *fastPath
+	// Compiled inference snapshot, built lazily by the fast path and
+	// dropped whenever the weights change; version counts those weight
+	// changes so score caches can tell a stale confidence from a fresh
+	// one. Guarded by fpMu.
+	fpMu    sync.Mutex
+	fp      *fastPath
+	version uint64
 }
 
 // New builds a predictor from the config.
