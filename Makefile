@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify vet fuzz bench chaos soak alloc-smoke corpus replay scale
+.PHONY: build test race verify verify-quick vet fuzz bench chaos soak alloc-smoke corpus replay scale cluster
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,15 @@ test:
 race:
 	$(GO) test -race -short -timeout 20m ./...
 
+# go vet always; staticcheck rides along when it is on PATH (the container
+# image does not bake it in, so its absence is not an error).
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo staticcheck ./...; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Cheap allocation regression gates for the gating hot loop: a steady-state
 # Decide+Feedback round and the batched compiled forward must stay at ~zero
@@ -30,7 +37,21 @@ alloc-smoke:
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke replay soak scale
+verify: build vet test race alloc-smoke replay soak scale cluster
+
+# The inner-loop gate: build, vet, and unraced unit tests only — no race
+# sweep, soak, or paper-scale experiment runs. Seconds, not minutes.
+verify-quick: build vet test
+
+# The distributed gating cluster gate: the full-size oracle-equality and
+# chaos harness under the race detector (10k streams x 8 workers), then the
+# chaos benchmark — two worker kills, one rejoin — which self-asserts
+# recall within 2% of the stable cluster, the p99 SLO, and same-seed
+# determinism. CLUSTERSCALE=1 rewrites BENCH_cluster.json.
+CLUSTERSCALE ?= 1
+cluster:
+	$(GO) test ./internal/cluster -race -count 1 -timeout 10m
+	$(GO) run ./cmd/pgbench -exp cluster -scale $(CLUSTERSCALE)
 
 # The churn-scaled Decide sweep: m up to 100k, all streams active, with 1%,
 # 10%, and 100% of the fleet varying its packet metadata per round. The

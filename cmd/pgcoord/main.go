@@ -1,0 +1,99 @@
+// Command pgcoord runs the cluster control plane: it owns the fleet
+// source, the global decode budget, the consistent-hash placement ring,
+// and the per-round knapsack solve, and drives N pggate data-plane
+// workers over the cluster protocol (heartbeats, leases, state-transfer,
+// budget grants). Workers join with `pggate -join <addr>`; on crash or
+// leave the coordinator rebalances only the affected hash arcs and
+// migrates stream state to the new owners.
+//
+// Usage:
+//
+//	pgcoord -listen 127.0.0.1:9570 -workers 4 -streams 1000 -rounds 2000 &
+//	pggate -join 127.0.0.1:9570 -name w0   # x4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"packetgame/internal/cluster"
+	"packetgame/internal/codec"
+	"packetgame/internal/core"
+	"packetgame/internal/pipeline"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9570", "address to accept worker joins on")
+		streams   = flag.Int("streams", 64, "synthetic fleet size")
+		rounds    = flag.Int("rounds", 2000, "rounds to run")
+		budget    = flag.Float64("budget", 8, "global decode budget per round (P-frame units)")
+		taskName  = flag.String("task", "PC", "inference task: PC, AD, SR, FD")
+		window    = flag.Int("window", 5, "temporal window length")
+		workers   = flag.Int("workers", 2, "worker quorum to wait for before round 0")
+		seed      = flag.Int64("seed", 1, "random seed")
+		slo       = flag.Duration("slo", 0, "per-round latency SLO arming the per-worker governors (0 = exact oracle mode)")
+		lease     = flag.Duration("lease", 10*time.Second, "worker lease: silence longer than this reaps the worker")
+		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat period (0 = lease/4)")
+		verbose   = flag.Bool("v", false, "log membership changes")
+	)
+	flag.Parse()
+
+	fleet := make([]*codec.Stream, *streams)
+	for i := range fleet {
+		fleet[i] = codec.NewStream(
+			codec.SceneConfig{BaseActivity: 0.4, PersonRate: 0.3, AnomalyRate: 30,
+				FireRate: 30, QualityDropRate: 30},
+			codec.EncoderConfig{StreamID: i, GOPSize: 25},
+			*seed+int64(i)*7919)
+	}
+
+	cfg := cluster.CoordConfig{
+		Listen:  *listen,
+		Streams: *streams, Window: *window, Budget: *budget,
+		UseTemporal: true,
+		Breaker:     &core.BreakerConfig{},
+		Task:        *taskName, Rounds: *rounds, MinWorkers: *workers,
+		Source: pipeline.NewLocalSource(fleet, *rounds),
+		SLO:    *slo, Lease: *lease, Heartbeat: *heartbeat,
+	}
+	if *verbose {
+		cfg.OnMembership = func(round int64, joined, died []int) {
+			fmt.Printf("pgcoord: round %d membership: joined %v died %v\n", round, joined, died)
+		}
+	}
+	c, err := cluster.NewCoordinator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pgcoord: listening on %s, waiting for %d workers (%d streams, budget %.1f)\n",
+		c.Addr(), *workers, *streams, *budget)
+	rep, err := c.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\npgcoord report (%s, budget %.1f)\n", *taskName, *budget)
+	fmt.Printf("  rounds            %d\n", rep.Rounds)
+	fmt.Printf("  workers           %d admitted, %d joins mid-run, %d deaths\n", rep.Workers, rep.Joins, rep.Deaths)
+	fmt.Printf("  decoded           %d\n", rep.Decoded)
+	fmt.Printf("  accuracy          %.3f (balanced %.3f, recall %.3f)\n", rep.Accuracy, rep.BalancedAccuracy, rep.Recall)
+	fmt.Printf("  migrations        %d state transfers, %d lost, %d fresh adoptions\n",
+		rep.Transfers, rep.TransfersLost, rep.FreshAdoptions)
+	fmt.Printf("  decision hash     %016x\n", rep.DecisionHash)
+	if *slo != 0 {
+		fmt.Printf("  SLO               %v: p99 %v, %d rounds missed (mode rounds full/temporal/keyframe/shed %d/%d/%d/%d)\n",
+			*slo, rep.P99.Round(time.Microsecond), rep.SLOMisses,
+			rep.ModeRounds[0], rep.ModeRounds[1], rep.ModeRounds[2], rep.ModeRounds[3])
+	}
+	for id, reason := range rep.DeadReasons {
+		fmt.Printf("  death             worker %d: %s\n", id, reason)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgcoord:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //	pggate -connect 127.0.0.1:9560 -budget 8 -task AD -weights ad.pgw
 //	pggate -streams 32 -budget 8 -policy roundrobin    # baseline
 //	pggate -slo 50ms -priorities fd:0,ad:1,pc:2,sr:3   # governed mixed fleet
+//	pggate -join 127.0.0.1:9570 -name w0               # cluster data-plane worker
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"packetgame/internal/capture"
+	"packetgame/internal/cluster"
 	"packetgame/internal/codec"
 	"packetgame/internal/core"
 	"packetgame/internal/decode"
@@ -57,8 +59,31 @@ func main() {
 		prioSpec  = flag.String("priorities", "", "admission tiers as task:tier pairs, e.g. fd:0,ad:1,pc:2,sr:3 — stream i runs (and is tiered by) entry i mod n; packetgame policy only")
 		record    = flag.String("record", "", "record the session (packets + decision trace) to this .pgc capture file")
 		recStep   = flag.Duration("record-step", 0, "virtual per-round timestamp step for -record (0 = wall-clock arrival offsets)")
+		join      = flag.String("join", "", "pgcoord address: run as a cluster data-plane worker (most other flags come from the coordinator)")
+		name      = flag.String("name", "", "worker name reported to the coordinator (with -join)")
 	)
 	flag.Parse()
+
+	// Cluster worker mode: the coordinator owns the fleet source, budget,
+	// policy, and round loop; this process runs the data-plane gate over its
+	// hash arc until the coordinator says goodbye.
+	if *join != "" {
+		wname := *name
+		if wname == "" {
+			wname = fmt.Sprintf("pggate-%d", os.Getpid())
+		}
+		w, err := cluster.Dial(*join, cluster.WorkerOptions{Name: wname, DecodeWorkers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pggate: joined cluster at %s as worker %d (%s)\n", *join, w.ID(), wname)
+		if err := w.Wait(); err != nil {
+			fatal(err)
+		}
+		st := w.Gate().Stats()
+		fmt.Printf("pggate: session over: %d rounds, %d decoded on this worker\n", st.Rounds, st.Decoded)
+		return
+	}
 
 	task, err := infer.ByName(*taskName)
 	if err != nil {

@@ -1,0 +1,868 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"packetgame/internal/core"
+	"packetgame/internal/decode"
+	"packetgame/internal/knapsack"
+	"packetgame/internal/pipeline"
+	"packetgame/internal/predictor"
+)
+
+// CoordConfig configures the control plane.
+type CoordConfig struct {
+	// Listen is the TCP listen address (default 127.0.0.1:0).
+	Listen string
+	// Streams is the global stream count m; every worker's gate spans the
+	// full stream-ID space so indices need no translation.
+	Streams int
+	// Window, Budget, Costs, Breaker, TaskIndex, UseTemporal mirror
+	// core.Config; they are broadcast to every worker in the welcome.
+	Window      int
+	Budget      float64
+	Costs       decode.CostModel
+	Breaker     *core.BreakerConfig
+	TaskIndex   int
+	UseTemporal bool
+	// Predictor, when UsePred, is the shared predictor config: workers
+	// build identical weights locally from its seed.
+	UsePred   bool
+	Predictor predictor.Config
+	// Task names the inference workload (infer.ByName on workers).
+	Task string
+	// Retry is the workers' decode retry policy.
+	Retry decode.RetryPolicy
+	// Rounds caps the run (0 = until the source EOFs).
+	Rounds int
+	// MinWorkers is how many workers must join before round 0 (default 1).
+	MinWorkers int
+	// JoinTimeout bounds the wait for the initial quorum (default 30s).
+	JoinTimeout time.Duration
+	// Source produces the global rounds (and ground truth) that the
+	// coordinator demuxes to workers by ring ownership.
+	Source pipeline.RoundSource
+	// SLO arms the per-worker AIMD governors and the cluster reconciler;
+	// 0 runs ungoverned at the fixed Budget (the oracle-equality mode).
+	SLO time.Duration
+	// Lease is how long a worker may stay silent (no frames, no
+	// heartbeats) before it is declared dead (default 10s).
+	Lease time.Duration
+	// Heartbeat is the workers' beacon period (default Lease/4).
+	Heartbeat time.Duration
+	// LatencyModel, when non-nil, replaces reported wall-clock round
+	// latencies with a deterministic virtual latency (chaos benchmarks
+	// need governed runs to be seed-reproducible).
+	LatencyModel func(worker int, grantedCost, offeredCost float64) time.Duration
+	// TransferFault, when non-nil, injects state-transfer loss: attempt
+	// n of moving a stream is dropped when it returns true. Exhausted
+	// transfers fall back to fresh adoption on the new owner.
+	TransferFault func(stream, attempt int) bool
+	// MaxTransferAttempts bounds per-stream transfer retries (default 4).
+	MaxTransferAttempts int
+	// TransferBackoff is the wall-clock pause between transfer retries
+	// (default 2ms; decision-neutral — rounds are not running during
+	// migration).
+	TransferBackoff time.Duration
+	// OnRound observes every round's global selection (tests and oracles).
+	OnRound func(round int64, sel []int)
+	// OnRoundEnd runs after a round fully settles (reports collected).
+	OnRoundEnd func(round int64)
+	// OnMembership observes admissions and reaps: joined/died hold worker
+	// IDs, round is the first round the new view serves.
+	OnMembership func(round int64, joined, died []int)
+}
+
+// Report is the cluster-level run summary.
+type Report struct {
+	Rounds  int64
+	Workers int // distinct workers ever admitted
+	Joins   int // admissions after round 0
+	Deaths  int
+	Decoded int64 // globally granted decodes
+	// DecisionHash folds every round's global selection (FNV-1a over
+	// round numbers and selected stream IDs, in selection order): two
+	// runs made the same decisions iff the hashes match.
+	DecisionHash uint64
+	// Transfers / TransfersLost / FreshAdoptions account state migration:
+	// lost transfers (injector or dead donor) degrade to fresh adoption.
+	Transfers      int64
+	TransfersLost  int64
+	FreshAdoptions int64
+	// Merged accuracy accounting from worker finals. Observations made by
+	// workers that died are lost with them (documented limitation): the
+	// counters cover rounds observed by workers alive at run end.
+	NegRounds, NegCorrect, PosRounds, PosCorrect int64
+	DecodeFailed                                 int64
+	Accuracy                                     float64
+	BalancedAccuracy                             float64
+	Recall                                       float64
+	// SLO view over cluster rounds (round latency = slowest worker).
+	P99        time.Duration
+	SLOMisses  int64
+	ModeRounds [4]int64
+	Finals     map[int]WorkerFinal
+	// DeadReasons records why each reaped worker was declared dead.
+	DeadReasons map[int]string
+}
+
+type inFrame struct {
+	typ  uint8
+	body []byte
+	err  error
+}
+
+// wconn is the coordinator's handle on one worker connection.
+type wconn struct {
+	id       int
+	name     string
+	conn     net.Conn
+	bw       *bufio.Writer
+	frames   chan inFrame
+	lastSeen atomic.Int64 // unix nanos, updated by the reader on any frame
+	dead     bool         // coordinator-loop only
+}
+
+func (wc *wconn) send(typ uint8, body []byte) error {
+	return writeFrame(wc.bw, typ, body)
+}
+
+type pendingConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	name string
+}
+
+// Coordinator is the control plane: it owns the placement ring, the budget
+// reconciler, and the per-round global knapsack solve, and speaks PGCP to
+// the data-plane workers. Run drives the whole cluster in lockstep rounds.
+type Coordinator struct {
+	cfg    CoordConfig
+	ln     net.Listener
+	joinCh chan *pendingConn
+	accept chan struct{} // closed to stop the accept loop
+
+	workers map[int]*wconn
+	ring    *Ring
+	owners  []int
+	nextID  int
+	epoch   uint64
+	seq     uint64
+	rc      *reconciler
+	view    *sloView
+	greedy  knapsack.Greedy
+
+	rep Report
+
+	// round scratch
+	items   []knapsack.Item
+	sel     []int
+	perPkts map[int][]roundPacket
+	grantsB []byte
+	roundB  []byte
+}
+
+// NewCoordinator binds the listen socket and starts accepting joins.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.Streams <= 0 {
+		return nil, fmt.Errorf("cluster: Streams required")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("cluster: Source required")
+	}
+	if cfg.Task == "" {
+		return nil, fmt.Errorf("cluster: Task required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 30 * time.Second
+	}
+	if cfg.Lease <= 0 {
+		cfg.Lease = 10 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.Lease / 4
+	}
+	if cfg.MaxTransferAttempts <= 0 {
+		cfg.MaxTransferAttempts = 4
+	}
+	if cfg.TransferBackoff <= 0 {
+		cfg.TransferBackoff = 2 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		ln:      ln,
+		joinCh:  make(chan *pendingConn, 16),
+		accept:  make(chan struct{}),
+		workers: make(map[int]*wconn),
+		ring:    &Ring{},
+		owners:  make([]int, cfg.Streams),
+		rc:      newReconciler(cfg.SLO, cfg.Budget),
+		view:    &sloView{slo: cfg.SLO},
+		items:   make([]knapsack.Item, cfg.Streams),
+		perPkts: make(map[int][]roundPacket),
+		rep: Report{DecisionHash: fnvOffset, Finals: make(map[int]WorkerFinal),
+			DeadReasons: make(map[int]string)},
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound listen address for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// PendingJoins reports how many handshaken workers await admission. Chaos
+// tests use it to pin a join to a deterministic round: dial from a round
+// hook, then block until the join request is queued — the very next round
+// boundary admits it.
+func (c *Coordinator) PendingJoins() int { return len(c.joinCh) }
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			br := bufio.NewReaderSize(conn, 1<<20)
+			bw := bufio.NewWriterSize(conn, 1<<20)
+			if err := readHandshake(br); err != nil {
+				conn.Close()
+				return
+			}
+			typ, body, err := readFrame(br)
+			if err != nil || typ != fJoin {
+				conn.Close()
+				return
+			}
+			var ji JoinInfo
+			if err := gobDecode(body, &ji); err != nil {
+				conn.Close()
+				return
+			}
+			select {
+			case c.joinCh <- &pendingConn{conn: conn, br: br, bw: bw, name: ji.Name}:
+			case <-c.accept:
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// clusterConfig is the welcome payload shared with every worker.
+func (c *Coordinator) clusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Streams:        c.cfg.Streams,
+		Window:         c.cfg.Window,
+		Budget:         c.cfg.Budget,
+		Costs:          c.cfg.Costs,
+		Breaker:        c.cfg.Breaker,
+		UsePred:        c.cfg.UsePred,
+		Predictor:      c.cfg.Predictor,
+		TaskIndex:      c.cfg.TaskIndex,
+		UseTemporal:    c.cfg.UseTemporal,
+		Task:           c.cfg.Task,
+		Retry:          c.cfg.Retry,
+		HeartbeatEvery: c.cfg.Heartbeat,
+	}
+}
+
+// readWorker pumps one worker's frames into its channel. Heartbeats are
+// folded into lastSeen here so they never clog the round machinery.
+func (c *Coordinator) readWorker(wc *wconn, br *bufio.Reader) {
+	for {
+		typ, body, err := readFrame(br)
+		wc.lastSeen.Store(time.Now().UnixNano())
+		if err != nil {
+			wc.frames <- inFrame{err: err}
+			return
+		}
+		if typ == fHeartbeat {
+			continue
+		}
+		wc.frames <- inFrame{typ: typ, body: body}
+	}
+}
+
+// await blocks for the next frame of the wanted type from wc, bounded by the
+// worker's lease (heartbeats extend it). Any error, unexpected frame, or
+// lease expiry marks the worker dead and returns false.
+func (c *Coordinator) await(wc *wconn, want uint8) (inFrame, bool) {
+	if wc.dead {
+		return inFrame{}, false
+	}
+	for {
+		lease := time.Until(time.Unix(0, wc.lastSeen.Load()).Add(c.cfg.Lease))
+		if lease <= 0 {
+			c.markDead(wc, fmt.Errorf("lease expired"))
+			return inFrame{}, false
+		}
+		t := time.NewTimer(lease)
+		select {
+		case f := <-wc.frames:
+			t.Stop()
+			if f.err != nil {
+				c.markDead(wc, f.err)
+				return inFrame{}, false
+			}
+			if f.typ != want {
+				c.markDead(wc, fmt.Errorf("expected frame %d, got %d", want, f.typ))
+				return inFrame{}, false
+			}
+			return f, true
+		case <-t.C:
+			// Re-check lastSeen: a heartbeat may have extended the lease
+			// while we slept.
+		}
+	}
+}
+
+func (c *Coordinator) markDead(wc *wconn, err error) {
+	if wc.dead {
+		return
+	}
+	wc.dead = true
+	wc.conn.Close()
+	c.rep.Deaths++
+	c.rep.DeadReasons[wc.id] = err.Error()
+	c.rc.removeWorker(wc.id)
+}
+
+// live returns the live worker IDs, sorted: every per-worker iteration in
+// the round loop runs in this order so float accumulation and frame
+// ordering are deterministic.
+func (c *Coordinator) live() []int {
+	ids := make([]int, 0, len(c.workers))
+	for id, wc := range c.workers {
+		if !wc.dead {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (c *Coordinator) hashRound(round int64, sel []int) {
+	h := c.rep.DecisionHash
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ uint64(round>>s)&0xFF) * fnvPrime
+	}
+	for _, i := range sel {
+		for s := 0; s < 32; s += 8 {
+			h = (h ^ uint64(i>>s)&0xFF) * fnvPrime
+		}
+	}
+	c.rep.DecisionHash = h
+}
+
+// Run drives the cluster: quorum, then lockstep rounds (admit → reap →
+// plan → scatter round → gather candidates → global solve → scatter grants
+// → gather reports), then an orderly goodbye. It returns the merged report.
+func (c *Coordinator) Run() (Report, error) {
+	defer func() {
+		close(c.accept)
+		c.ln.Close()
+		for _, wc := range c.workers {
+			wc.conn.Close()
+		}
+	}()
+
+	// Initial quorum: admissions before round 0 need no state transfer —
+	// every gate is genuinely fresh at clock 0, exactly like the oracle.
+	deadline := time.After(c.cfg.JoinTimeout)
+	for len(c.workers) < c.cfg.MinWorkers {
+		select {
+		case p := <-c.joinCh:
+			if err := c.admit(p, 0); err != nil {
+				return c.rep, err
+			}
+		case <-deadline:
+			return c.rep, fmt.Errorf("cluster: %d/%d workers joined within %v",
+				len(c.workers), c.cfg.MinWorkers, c.cfg.JoinTimeout)
+		}
+	}
+
+	var r int64
+	for ; c.cfg.Rounds == 0 || r < int64(c.cfg.Rounds); r++ {
+		// Membership changes land exactly on round boundaries: every live
+		// worker is quiescent (blocked awaiting this round's frame), so
+		// stream state can move without racing a decision.
+		for drained := false; !drained; {
+			select {
+			case p := <-c.joinCh:
+				if err := c.admit(p, r); err != nil {
+					return c.rep, err
+				}
+			default:
+				drained = true
+			}
+		}
+		if err := c.reap(r); err != nil {
+			return c.rep, err
+		}
+		live := c.live()
+		if len(live) == 0 {
+			return c.rep, fmt.Errorf("cluster: no live workers at round %d", r)
+		}
+
+		pkts, err := c.cfg.Source.NextRound()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return c.rep, fmt.Errorf("cluster: source: %w", err)
+		}
+
+		bEff, mode := c.rc.plan(c.liveSet())
+
+		// Scatter: demux packets to owners. Every live worker receives
+		// the round frame — an empty round still advances its clocks.
+		for _, id := range live {
+			c.perPkts[id] = c.perPkts[id][:0]
+		}
+		for i, p := range pkts {
+			if p == nil {
+				continue
+			}
+			own := c.owners[i]
+			wc := c.workers[own]
+			if wc == nil || wc.dead {
+				continue // orphaned this round; reassigned at next boundary
+			}
+			rp := roundPacket{stream: i, pkt: p}
+			if t, ok := c.cfg.Source.Truth(i); ok {
+				rp.truth, rp.hasT = t, true
+			}
+			c.perPkts[own] = append(c.perPkts[own], rp)
+		}
+		for _, id := range live {
+			wc := c.workers[id]
+			c.roundB = encodeRound(c.roundB[:0], r, bEff, mode, c.perPkts[id])
+			if err := wc.send(fRound, c.roundB); err != nil {
+				c.markDead(wc, err)
+			}
+		}
+
+		// Gather candidates and rebuild the dense global item array: a
+		// single gate's solve sees zero items for idle, quarantined, and
+		// shed streams; distributed workers simply never offer those.
+		for i := range c.items {
+			c.items[i] = knapsack.Item{}
+		}
+		offered := make(map[int]float64, len(live))
+		for _, id := range live {
+			wc := c.workers[id]
+			if wc.dead {
+				continue
+			}
+			f, ok := c.await(wc, fCandidates)
+			if !ok {
+				continue
+			}
+			msg, err := decodeCandidates(f.body)
+			if err != nil {
+				c.markDead(wc, err)
+				continue
+			}
+			if msg.round != r {
+				c.markDead(wc, fmt.Errorf("candidates for round %d during round %d", msg.round, r))
+				continue
+			}
+			for _, cand := range msg.cands {
+				if cand.stream < 0 || cand.stream >= c.cfg.Streams || c.owners[cand.stream] != id {
+					c.markDead(wc, fmt.Errorf("candidate for unowned stream %d", cand.stream))
+					break
+				}
+				c.items[cand.stream] = knapsack.Item{Value: cand.value, Cost: cand.cost}
+			}
+			offered[id] = msg.offered
+			c.rc.observeDemand(id, msg.offered)
+		}
+
+		// Global solve: the exact greedy a single giant gate runs, over
+		// the exact dense array it would build.
+		c.sel = c.greedy.SelectAppend(c.sel[:0], c.items, bEff)
+		c.hashRound(r, c.sel)
+		c.rep.Decoded += int64(len(c.sel))
+
+		// Scatter grants in global selection order, filtered per owner.
+		granted := make(map[int]float64, len(live))
+		for _, id := range live {
+			wc := c.workers[id]
+			if wc.dead {
+				continue
+			}
+			var mine []int
+			var cost float64
+			for _, s := range c.sel {
+				if c.owners[s] == id {
+					mine = append(mine, s)
+					cost += c.items[s].Cost
+				}
+			}
+			granted[id] = cost
+			c.grantsB = encodeGrant(c.grantsB[:0], r, mine)
+			if err := wc.send(fGrant, c.grantsB); err != nil {
+				c.markDead(wc, err)
+			}
+		}
+
+		// Gather reports; the cluster round is as slow as its slowest
+		// worker. A LatencyModel substitutes deterministic virtual
+		// latencies so governed chaos runs stay seed-reproducible.
+		var roundLat time.Duration
+		for _, id := range live {
+			wc := c.workers[id]
+			if wc.dead {
+				continue
+			}
+			f, ok := c.await(wc, fReport)
+			if !ok {
+				continue
+			}
+			msg, err := decodeReport(f.body)
+			if err != nil || msg.round != r {
+				c.markDead(wc, fmt.Errorf("bad report (round %d): %v", msg.round, err))
+				continue
+			}
+			lat := msg.latency
+			if c.cfg.LatencyModel != nil {
+				lat = c.cfg.LatencyModel(id, granted[id], offered[id])
+			}
+			c.rc.observeLatency(id, lat, 1)
+			if lat > roundLat {
+				roundLat = lat
+			}
+		}
+		c.view.observeRound(roundLat, mode)
+		c.rep.Rounds++
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(r, c.sel)
+		}
+		if c.cfg.OnRoundEnd != nil {
+			c.cfg.OnRoundEnd(r)
+		}
+	}
+
+	c.shutdown()
+	c.finish()
+	return c.rep, nil
+}
+
+func (c *Coordinator) liveSet() map[int]bool {
+	s := make(map[int]bool, len(c.workers))
+	for id, wc := range c.workers {
+		if !wc.dead {
+			s[id] = true
+		}
+	}
+	return s
+}
+
+// shutdown says goodbye to every live worker and merges their finals.
+func (c *Coordinator) shutdown() {
+	for _, id := range c.live() {
+		wc := c.workers[id]
+		if err := wc.send(fGoodbye, nil); err != nil {
+			c.markDead(wc, err)
+		}
+	}
+	for _, id := range c.live() {
+		wc := c.workers[id]
+		f, ok := c.await(wc, fFinal)
+		if !ok {
+			continue
+		}
+		var fin WorkerFinal
+		if err := gobDecode(f.body, &fin); err != nil {
+			continue
+		}
+		c.rep.Finals[id] = fin
+	}
+}
+
+// finish folds the merged finals into the cluster report.
+func (c *Coordinator) finish() {
+	rep := &c.rep
+	for _, fin := range rep.Finals {
+		rep.NegRounds += fin.NegRounds
+		rep.NegCorrect += fin.NegCorrect
+		rep.PosRounds += fin.PosRounds
+		rep.PosCorrect += fin.PosCorrect
+		rep.DecodeFailed += fin.DecodeFailed
+	}
+	if total := rep.NegRounds + rep.PosRounds; total > 0 {
+		rep.Accuracy = float64(rep.NegCorrect+rep.PosCorrect) / float64(total)
+	}
+	var sum float64
+	n := 0
+	if rep.NegRounds > 0 {
+		sum += float64(rep.NegCorrect) / float64(rep.NegRounds)
+		n++
+	}
+	if rep.PosRounds > 0 {
+		rep.Recall = float64(rep.PosCorrect) / float64(rep.PosRounds)
+		sum += rep.Recall
+		n++
+	}
+	if n > 0 {
+		rep.BalancedAccuracy = sum / float64(n)
+	}
+	rep.P99 = c.view.p99()
+	rep.SLOMisses = c.view.misses
+	rep.ModeRounds = c.view.modeAcc
+}
+
+// admit welcomes one pending worker at round r: assign the next ID, ship
+// the config, add its ring points, and migrate the streams whose arcs it
+// now owns. Admissions at round 0 skip migration entirely — nothing has
+// state yet, and a fresh slot at clock 0 is exactly the oracle's state.
+func (c *Coordinator) admit(p *pendingConn, r int64) error {
+	id := c.nextID
+	c.nextID++
+	c.epoch++
+	wel := Welcome{WorkerID: id, Epoch: c.epoch, CurrentRound: r, Cfg: c.clusterConfig()}
+	body, err := gobEncode(&wel)
+	if err != nil {
+		return err
+	}
+	wc := &wconn{id: id, name: p.name, conn: p.conn, bw: p.bw, frames: make(chan inFrame, 16)}
+	wc.lastSeen.Store(time.Now().UnixNano())
+	if err := wc.send(fWelcome, body); err != nil {
+		p.conn.Close()
+		return nil // failed admission, not a cluster error
+	}
+	c.workers[id] = wc
+	go c.readWorker(wc, p.br)
+	if err := c.rc.addWorker(id); err != nil {
+		return err
+	}
+	c.rep.Workers++
+	if r > 0 {
+		c.rep.Joins++
+	}
+
+	prev := append([]int(nil), c.owners...)
+	c.ring.Add(id)
+	c.ring.Owners(c.owners)
+	if c.rep.Workers == 1 || r == 0 {
+		// Round 0: every slot on every worker is fresh at clock 0; the
+		// placement is pure routing, no state exists to move.
+		c.notifyMembership(r, []int{id}, nil)
+		return nil
+	}
+
+	// Migrate exactly the streams whose arcs moved — consistent hashing
+	// guarantees they all moved TO the newcomer.
+	moved := map[int][]int{} // donor → streams
+	var orphans []int        // no live donor: fresh-adopt
+	for i := range c.owners {
+		if c.owners[i] == prev[i] {
+			continue
+		}
+		donor := prev[i]
+		dwc := c.workers[donor]
+		if dwc == nil || dwc.dead {
+			orphans = append(orphans, i)
+			continue
+		}
+		moved[donor] = append(moved[donor], i)
+	}
+	donors := make([]int, 0, len(moved))
+	for d := range moved {
+		donors = append(donors, d)
+	}
+	sort.Ints(donors)
+	for _, d := range donors {
+		blobs, ok := c.retireFrom(c.workers[d], moved[d])
+		if !ok {
+			// Donor died mid-retire: its streams lost their state.
+			orphans = append(orphans, moved[d]...)
+			continue
+		}
+		kept, lost := c.faultTransfers(blobs)
+		if len(kept) > 0 {
+			if err := c.shipState(wc, kept); err != nil {
+				return err
+			}
+		}
+		orphans = append(orphans, lost...)
+	}
+	if len(orphans) > 0 {
+		sort.Ints(orphans)
+		if err := c.shipFresh(wc, orphans); err != nil {
+			return err
+		}
+	}
+	c.notifyMembership(r, []int{id}, nil)
+	return nil
+}
+
+// retireFrom asks a donor to export and reset the given streams.
+func (c *Coordinator) retireFrom(dwc *wconn, streams []int) ([]StreamBlob, bool) {
+	sort.Ints(streams)
+	c.seq++
+	body, err := encodeCtrl(c.seq, &streams)
+	if err != nil {
+		return nil, false
+	}
+	if err := dwc.send(fRetire, body); err != nil {
+		c.markDead(dwc, err)
+		return nil, false
+	}
+	f, ok := c.await(dwc, fState)
+	if !ok {
+		return nil, false
+	}
+	var blobs []StreamBlob
+	seq, err := decodeCtrl(f.body, &blobs)
+	if err != nil || seq != c.seq {
+		c.markDead(dwc, fmt.Errorf("bad retire reply: %v", err))
+		return nil, false
+	}
+	return blobs, true
+}
+
+// faultTransfers runs each blob through the transfer-fault injector with
+// bounded retry/backoff; exhausted streams are returned as lost.
+func (c *Coordinator) faultTransfers(blobs []StreamBlob) (kept []StreamBlob, lost []int) {
+	for _, b := range blobs {
+		delivered := false
+		for attempt := 1; attempt <= c.cfg.MaxTransferAttempts; attempt++ {
+			if c.cfg.TransferFault != nil && c.cfg.TransferFault(b.Stream, attempt) {
+				c.rep.TransfersLost++
+				time.Sleep(c.cfg.TransferBackoff)
+				continue
+			}
+			delivered = true
+			break
+		}
+		if delivered {
+			kept = append(kept, b)
+			c.rep.Transfers++
+		} else {
+			lost = append(lost, b.Stream)
+		}
+	}
+	return kept, lost
+}
+
+// shipState delivers a state batch to its new owner and awaits the ack.
+func (c *Coordinator) shipState(wc *wconn, blobs []StreamBlob) error {
+	c.seq++
+	body, err := encodeCtrl(c.seq, &blobs)
+	if err != nil {
+		return err
+	}
+	if err := wc.send(fState, body); err != nil {
+		c.markDead(wc, err)
+		return nil
+	}
+	c.awaitAck(wc, c.seq)
+	return nil
+}
+
+// shipFresh tells the new owner to adopt streams with honest zero state.
+func (c *Coordinator) shipFresh(wc *wconn, streams []int) error {
+	c.seq++
+	body, err := encodeCtrl(c.seq, &streams)
+	if err != nil {
+		return err
+	}
+	if err := wc.send(fImportFresh, body); err != nil {
+		c.markDead(wc, err)
+		return nil
+	}
+	c.awaitAck(wc, c.seq)
+	c.rep.FreshAdoptions += int64(len(streams))
+	return nil
+}
+
+func (c *Coordinator) awaitAck(wc *wconn, seq uint64) {
+	f, ok := c.await(wc, fStateAck)
+	if !ok {
+		return
+	}
+	got, err := decodeCtrl(f.body, nil)
+	if err != nil || got != seq {
+		c.markDead(wc, fmt.Errorf("bad state ack: %v", err))
+	}
+}
+
+// reap removes dead workers from the ring and fresh-adopts their streams on
+// the survivors. Their in-flight learned state died with them; fresh
+// adoption is the fail-safe (never fabricated) recovery. Loops until the
+// membership is stable — an adopter may itself die mid-reap.
+func (c *Coordinator) reap(r int64) error {
+	for {
+		var dead []int
+		for id, wc := range c.workers {
+			if wc.dead {
+				dead = append(dead, id)
+			}
+		}
+		if len(dead) == 0 {
+			return nil
+		}
+		sort.Ints(dead)
+		prev := append([]int(nil), c.owners...)
+		for _, id := range dead {
+			c.ring.Remove(id)
+			c.rc.removeWorker(id)
+			delete(c.workers, id)
+			c.epoch++
+		}
+		if len(c.live()) == 0 {
+			return fmt.Errorf("cluster: all workers dead at round %d (reasons: %v)", r, c.rep.DeadReasons)
+		}
+		c.ring.Owners(c.owners)
+		adopted := map[int][]int{} // new owner → streams
+		for i := range c.owners {
+			if c.owners[i] != prev[i] {
+				adopted[c.owners[i]] = append(adopted[c.owners[i]], i)
+			}
+		}
+		ids := make([]int, 0, len(adopted))
+		for id := range adopted {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			wc := c.workers[id]
+			if wc == nil || wc.dead {
+				continue // next pass of the loop handles it
+			}
+			if err := c.shipFresh(wc, adopted[id]); err != nil {
+				return err
+			}
+		}
+		c.notifyMembership(r, nil, dead)
+	}
+}
+
+func (c *Coordinator) notifyMembership(r int64, joined, died []int) {
+	if c.cfg.OnMembership != nil {
+		c.cfg.OnMembership(r, joined, died)
+	}
+}

@@ -1,0 +1,500 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/container"
+	"packetgame/internal/core"
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+	"packetgame/internal/overload"
+	"packetgame/internal/predictor"
+)
+
+// PGCP — the PacketGame cluster protocol — runs over one TCP connection per
+// worker. After a handshake ("PGCP" + version), both sides exchange frames:
+//
+//	type(u8) · bodyLen(u32) · crc32(u32, IEEE over body) · body
+//
+// Control frames (welcome, state transfer, finals) carry gob bodies: they
+// are rare and their payloads are deep config/state structs. The per-round
+// hot frames (round, candidates, grant, report) are hand-encoded big-endian
+// so a 10k-stream round does not pay reflection per packet.
+const (
+	protoMagic   = "PGCP"
+	protoVersion = 1
+)
+
+// Frame types.
+const (
+	fJoin uint8 = iota + 1
+	fWelcome
+	fRetire      // coordinator→worker: export+reset these streams, reply fState
+	fState       // either direction: serialized stream states
+	fStateAck    // worker→coordinator: state batch applied
+	fImportFresh // coordinator→worker: adopt these streams with no state
+	fRound       // coordinator→worker: round packets + plan
+	fCandidates  // worker→coordinator: scored candidates for the global solve
+	fGrant       // coordinator→worker: selected streams, global order
+	fReport      // worker→coordinator: round settled, observed latency
+	fHeartbeat   // worker→coordinator: liveness
+	fFinal       // worker→coordinator: end-of-run stats
+	fGoodbye     // either direction: orderly shutdown
+)
+
+// maxFrameBody bounds one frame body (a 10k-stream round of ~1KB packets
+// fits with wide margin).
+const maxFrameBody = 256 << 20
+
+var crcTable = crc32.IEEETable
+
+// writeFrame writes one frame and flushes.
+func writeFrame(bw *bufio.Writer, typ uint8, body []byte) error {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.Checksum(body, crcTable))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(body); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readFrame reads one frame, verifying the body checksum.
+func readFrame(br *bufio.Reader) (uint8, []byte, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > maxFrameBody {
+		return 0, nil, fmt.Errorf("cluster: frame body %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return 0, nil, err
+	}
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(hdr[5:9]) {
+		return 0, nil, fmt.Errorf("cluster: frame CRC mismatch (type %d, %d bytes)", hdr[0], n)
+	}
+	return hdr[0], body, nil
+}
+
+// writeHandshake / readHandshake exchange the protocol preamble.
+func writeHandshake(bw *bufio.Writer) error {
+	if _, err := bw.WriteString(protoMagic); err != nil {
+		return err
+	}
+	var v [2]byte
+	binary.BigEndian.PutUint16(v[:], protoVersion)
+	if _, err := bw.Write(v[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readHandshake(br *bufio.Reader) error {
+	var buf [6]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return err
+	}
+	if string(buf[:4]) != protoMagic {
+		return fmt.Errorf("cluster: bad magic %q", buf[:4])
+	}
+	if v := binary.BigEndian.Uint16(buf[4:6]); v != protoVersion {
+		return fmt.Errorf("cluster: protocol version %d, want %d", v, protoVersion)
+	}
+	return nil
+}
+
+// JoinInfo is the worker's join request (gob).
+type JoinInfo struct {
+	// Name is a diagnostic label; placement and identity use the
+	// coordinator-assigned worker ID.
+	Name string
+}
+
+// ClusterConfig is the shared gate configuration every worker must agree on,
+// shipped in the welcome frame. Predictor weights are never transferred:
+// predictor construction is deterministic from the config (seeded init), so
+// every worker — and the single-gate oracle — materializes identical
+// weights locally.
+type ClusterConfig struct {
+	Streams     int
+	Window      int
+	Budget      float64
+	Costs       decode.CostModel
+	Breaker     *core.BreakerConfig
+	UsePred     bool
+	Predictor   predictor.Config
+	TaskIndex   int
+	UseTemporal bool
+	Task        string
+	Retry       decode.RetryPolicy
+	// HeartbeatEvery is the worker's heartbeat period; LeaseNs is the
+	// coordinator's silence tolerance.
+	HeartbeatEvery time.Duration
+}
+
+// Welcome is the coordinator's admission reply (gob).
+type Welcome struct {
+	WorkerID     int
+	Epoch        uint64
+	CurrentRound int64
+	Cfg          ClusterConfig
+}
+
+// StreamBlob is one migrating stream's complete state (gob): the gate state
+// (estimator window, feature row, tracker, breaker phase) plus the
+// inference-monitor state.
+type StreamBlob struct {
+	Stream  int
+	Gate    core.StreamState
+	Monitor infer.MonitorState
+}
+
+// WorkerFinal is the worker's end-of-run accounting (gob).
+type WorkerFinal struct {
+	Rounds       int64
+	Decoded      int64
+	DecodeFailed int64
+	NegRounds    int64
+	NegCorrect   int64
+	PosRounds    int64
+	PosCorrect   int64
+	Shed         int64
+	Deferred     int64
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// MarshalBlob serializes one stream blob. A fresh encoder per blob makes the
+// bytes a pure function of the value, so migration tests can byte-compare
+// pre- and post-transfer state.
+func MarshalBlob(b StreamBlob) ([]byte, error) { return gobEncode(&b) }
+
+// UnmarshalBlob parses a serialized stream blob.
+func UnmarshalBlob(body []byte) (StreamBlob, error) {
+	var b StreamBlob
+	err := gobDecode(body, &b)
+	return b, err
+}
+
+// ctrlFrame is a control body carrying a sequence number plus a gob payload:
+// seq(u64) · gob. Retire/state/ack/fresh frames use it so the coordinator
+// can match replies to requests.
+func encodeCtrl(seq uint64, v any) ([]byte, error) {
+	payload, err := gobEncode(v)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint64(body, seq)
+	return append(body, payload...), nil
+}
+
+func binaryPutUint64(dst []byte, v uint64) { binary.BigEndian.PutUint64(dst, v) }
+
+func decodeCtrl(body []byte, v any) (uint64, error) {
+	if len(body) < 8 {
+		return 0, fmt.Errorf("cluster: control frame too short")
+	}
+	seq := binary.BigEndian.Uint64(body[:8])
+	if v == nil {
+		return seq, nil
+	}
+	return seq, gobDecode(body[8:], v)
+}
+
+// --- round frame (coordinator → worker) ---
+//
+// round(u64) · bEff(f64) · mode(u8) · count(u32) · count × {
+//   stream(u32) · codec(u8) · truthFlag(u8) · [truth 37B] · packet
+// }
+//
+// The packet encoding is container.MarshalPacket's (self-delimiting).
+// Ground truth rides along for recall accounting only: the redundancy
+// feedback ("necessary") depends solely on decoded scenes, so decision
+// equality never depends on the truth relay.
+
+const sceneLen = 37
+
+func appendScene(dst []byte, s codec.Scene) []byte {
+	var b [sceneLen]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(s.Frame))
+	binary.BigEndian.PutUint64(b[8:16], math.Float64bits(s.Richness))
+	binary.BigEndian.PutUint64(b[16:24], math.Float64bits(s.Motion))
+	binary.BigEndian.PutUint32(b[24:28], uint32(s.PersonCount))
+	var fl byte
+	if s.Anomaly {
+		fl |= 1
+	}
+	if s.Fire {
+		fl |= 2
+	}
+	if s.QualityDrop {
+		fl |= 4
+	}
+	b[28] = fl
+	binary.BigEndian.PutUint64(b[29:37], math.Float64bits(s.Activity))
+	return append(dst, b[:]...)
+}
+
+func parseScene(b []byte) (codec.Scene, error) {
+	if len(b) < sceneLen {
+		return codec.Scene{}, fmt.Errorf("cluster: truncated scene")
+	}
+	fl := b[28]
+	return codec.Scene{
+		Frame:       int64(binary.BigEndian.Uint64(b[0:8])),
+		Richness:    math.Float64frombits(binary.BigEndian.Uint64(b[8:16])),
+		Motion:      math.Float64frombits(binary.BigEndian.Uint64(b[16:24])),
+		PersonCount: int(int32(binary.BigEndian.Uint32(b[24:28]))),
+		Anomaly:     fl&1 != 0,
+		Fire:        fl&2 != 0,
+		QualityDrop: fl&4 != 0,
+		Activity:    math.Float64frombits(binary.BigEndian.Uint64(b[29:37])),
+	}, nil
+}
+
+type roundPacket struct {
+	stream int
+	pkt    *codec.Packet
+	truth  codec.Scene
+	hasT   bool
+}
+
+func encodeRound(dst []byte, round int64, bEff float64, mode overload.Mode, pkts []roundPacket) []byte {
+	var hdr [21]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
+	binary.BigEndian.PutUint64(hdr[8:16], math.Float64bits(bEff))
+	hdr[16] = uint8(mode)
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(pkts)))
+	dst = append(dst, hdr[:]...)
+	for _, rp := range pkts {
+		var ph [6]byte
+		binary.BigEndian.PutUint32(ph[0:4], uint32(rp.stream))
+		ph[4] = uint8(rp.pkt.Codec)
+		if rp.hasT {
+			ph[5] = 1
+		}
+		dst = append(dst, ph[:]...)
+		if rp.hasT {
+			dst = appendScene(dst, rp.truth)
+		}
+		dst = container.MarshalPacket(dst, rp.pkt)
+	}
+	return dst
+}
+
+type roundMsg struct {
+	round   int64
+	bEff    float64
+	mode    overload.Mode
+	pkts    []*codec.Packet
+	truth   []codec.Scene
+	hasT    []bool
+	nonIdle []int32
+}
+
+func decodeRound(body []byte, m int) (*roundMsg, error) {
+	if len(body) < 21 {
+		return nil, fmt.Errorf("cluster: truncated round frame")
+	}
+	msg := &roundMsg{
+		round: int64(binary.BigEndian.Uint64(body[0:8])),
+		bEff:  math.Float64frombits(binary.BigEndian.Uint64(body[8:16])),
+		mode:  overload.Mode(body[16]),
+		pkts:  make([]*codec.Packet, m),
+		truth: make([]codec.Scene, m),
+		hasT:  make([]bool, m),
+	}
+	count := int(binary.BigEndian.Uint32(body[17:21]))
+	off := 21
+	for k := 0; k < count; k++ {
+		if len(body)-off < 6 {
+			return nil, fmt.Errorf("cluster: truncated round entry %d", k)
+		}
+		stream := int(binary.BigEndian.Uint32(body[off : off+4]))
+		cdc := codec.Codec(body[off+4])
+		hasT := body[off+5] == 1
+		off += 6
+		if stream < 0 || stream >= m {
+			return nil, fmt.Errorf("cluster: round entry stream %d out of range", stream)
+		}
+		if hasT {
+			sc, err := parseScene(body[off:])
+			if err != nil {
+				return nil, err
+			}
+			msg.truth[stream] = sc
+			msg.hasT[stream] = true
+			off += sceneLen
+		}
+		p, n, err := container.UnmarshalPacket(body[off:])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: round entry %d: %w", k, err)
+		}
+		p.StreamID = stream
+		p.Codec = cdc
+		off += n
+		msg.pkts[stream] = p
+	}
+	// The coordinator demuxes in ascending stream order, so nonIdle can be
+	// rebuilt with one pass over the entries' range — but entries arrive
+	// already ascending; collect during the scan above would need a sort
+	// guarantee, so rebuild defensively here.
+	for i, p := range msg.pkts {
+		if p != nil {
+			msg.nonIdle = append(msg.nonIdle, int32(i))
+		}
+	}
+	return msg, nil
+}
+
+// --- candidates frame (worker → coordinator) ---
+//
+// round(u64) · offeredCost(f64) · count(u32) · count × {
+//   stream(u32) · value(f64 bits) · cost(f64 bits)
+// }
+
+type candidate struct {
+	stream int
+	value  float64
+	cost   float64
+}
+
+func encodeCandidates(dst []byte, round int64, offered float64, cands []candidate) []byte {
+	var hdr [20]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
+	binary.BigEndian.PutUint64(hdr[8:16], math.Float64bits(offered))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(cands)))
+	dst = append(dst, hdr[:]...)
+	for _, c := range cands {
+		var b [20]byte
+		binary.BigEndian.PutUint32(b[0:4], uint32(c.stream))
+		binary.BigEndian.PutUint64(b[4:12], math.Float64bits(c.value))
+		binary.BigEndian.PutUint64(b[12:20], math.Float64bits(c.cost))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+type candidatesMsg struct {
+	round   int64
+	offered float64
+	cands   []candidate
+}
+
+func decodeCandidates(body []byte) (candidatesMsg, error) {
+	var msg candidatesMsg
+	if len(body) < 20 {
+		return msg, fmt.Errorf("cluster: truncated candidates frame")
+	}
+	msg.round = int64(binary.BigEndian.Uint64(body[0:8]))
+	msg.offered = math.Float64frombits(binary.BigEndian.Uint64(body[8:16]))
+	count := int(binary.BigEndian.Uint32(body[16:20]))
+	if len(body) != 20+count*20 {
+		return msg, fmt.Errorf("cluster: candidates frame length %d for %d entries", len(body), count)
+	}
+	msg.cands = make([]candidate, count)
+	for k := 0; k < count; k++ {
+		off := 20 + k*20
+		msg.cands[k] = candidate{
+			stream: int(binary.BigEndian.Uint32(body[off : off+4])),
+			value:  math.Float64frombits(binary.BigEndian.Uint64(body[off+4 : off+12])),
+			cost:   math.Float64frombits(binary.BigEndian.Uint64(body[off+12 : off+20])),
+		}
+	}
+	return msg, nil
+}
+
+// --- grant frame (coordinator → worker) ---
+//
+// round(u64) · count(u32) · count × stream(u32), in global selection order.
+
+func encodeGrant(dst []byte, round int64, streams []int) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(streams)))
+	dst = append(dst, hdr[:]...)
+	for _, s := range streams {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(s))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+type grantMsg struct {
+	round   int64
+	streams []int
+}
+
+func decodeGrant(body []byte) (grantMsg, error) {
+	var msg grantMsg
+	if len(body) < 12 {
+		return msg, fmt.Errorf("cluster: truncated grant frame")
+	}
+	msg.round = int64(binary.BigEndian.Uint64(body[0:8]))
+	count := int(binary.BigEndian.Uint32(body[8:12]))
+	if len(body) != 12+count*4 {
+		return msg, fmt.Errorf("cluster: grant frame length %d for %d entries", len(body), count)
+	}
+	msg.streams = make([]int, count)
+	for k := 0; k < count; k++ {
+		msg.streams[k] = int(binary.BigEndian.Uint32(body[12+k*4 : 16+k*4]))
+	}
+	return msg, nil
+}
+
+// --- report frame (worker → coordinator) ---
+//
+// round(u64) · latencyNs(u64) · decodedTotal(u64)
+
+func encodeReport(round int64, latency time.Duration, decoded int64) []byte {
+	var b [24]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(round))
+	binary.BigEndian.PutUint64(b[8:16], uint64(latency))
+	binary.BigEndian.PutUint64(b[16:24], uint64(decoded))
+	return b[:]
+}
+
+type reportMsg struct {
+	round   int64
+	latency time.Duration
+	decoded int64
+}
+
+func decodeReport(body []byte) (reportMsg, error) {
+	if len(body) != 24 {
+		return reportMsg{}, fmt.Errorf("cluster: report frame length %d", len(body))
+	}
+	return reportMsg{
+		round:   int64(binary.BigEndian.Uint64(body[0:8])),
+		latency: time.Duration(binary.BigEndian.Uint64(body[8:16])),
+		decoded: int64(binary.BigEndian.Uint64(body[16:24])),
+	}, nil
+}

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"packetgame/internal/overload"
+)
+
+// demandAlpha is the EWMA weight of the newest per-worker offered-cost
+// sample in the demand estimate.
+const demandAlpha = 0.3
+
+// reconciler splits the global decode budget across workers proportional to
+// observed demand and reconciles the per-worker AIMD governors into one
+// cluster-level plan: each worker runs its own governor (fed that worker's
+// observed round latency), and the cluster's effective budget is the
+// demand-weighted sum of the per-worker effective budgets. The mode is the
+// most degraded of any worker's — one overloaded worker brownouts the whole
+// round, because the solve is global and a partial-mode round would not
+// match any single-gate behavior.
+//
+// With no SLO configured the reconciler is a constant: (Budget, ModeFull)
+// every round, exactly the plan a fixed-budget single gate runs — which is
+// what keeps the oracle-equality property unconditional in ungoverned runs.
+type reconciler struct {
+	slo    time.Duration
+	budget float64
+	govs   map[int]*overload.Governor
+	demand map[int]float64
+	ids    []int // sorted scratch: float accumulation order must be stable
+}
+
+func newReconciler(slo time.Duration, budget float64) *reconciler {
+	return &reconciler{
+		slo:    slo,
+		budget: budget,
+		govs:   make(map[int]*overload.Governor),
+		demand: make(map[int]float64),
+	}
+}
+
+// addWorker registers a worker's governor lazily.
+func (rc *reconciler) addWorker(id int) error {
+	if rc.slo == 0 {
+		return nil
+	}
+	if _, ok := rc.govs[id]; ok {
+		return nil
+	}
+	gov, err := overload.NewGovernor(overload.Config{SLO: rc.slo, Budget: rc.budget})
+	if err != nil {
+		return err
+	}
+	rc.govs[id] = gov
+	return nil
+}
+
+// removeWorker drops a dead worker's governor and demand share.
+func (rc *reconciler) removeWorker(id int) {
+	delete(rc.govs, id)
+	delete(rc.demand, id)
+}
+
+// observeDemand folds one round's offered decode cost into the worker's
+// demand estimate.
+func (rc *reconciler) observeDemand(id int, offered float64) {
+	if d, ok := rc.demand[id]; ok {
+		rc.demand[id] = d + demandAlpha*(offered-d)
+	} else {
+		rc.demand[id] = offered
+	}
+}
+
+// observeLatency feeds one worker's settled-round latency into its
+// governor.
+func (rc *reconciler) observeLatency(id int, lat time.Duration, depth int) {
+	if gov, ok := rc.govs[id]; ok {
+		gov.Observe(lat, depth)
+	}
+}
+
+// plan returns the cluster's effective budget and degradation mode for the
+// next round over the given live workers. Iteration is in sorted worker-ID
+// order: float accumulation order is part of the determinism contract.
+func (rc *reconciler) plan(live map[int]bool) (float64, overload.Mode) {
+	if rc.slo == 0 {
+		return rc.budget, overload.ModeFull
+	}
+	rc.ids = rc.ids[:0]
+	for id := range live {
+		rc.ids = append(rc.ids, id)
+	}
+	sort.Ints(rc.ids)
+	var total float64
+	for _, id := range rc.ids {
+		total += rc.demand[id]
+	}
+	var bEff float64
+	mode := overload.ModeFull
+	for _, id := range rc.ids {
+		gov := rc.govs[id]
+		if gov == nil {
+			continue
+		}
+		bw, mw := gov.Plan()
+		share := 1.0 / float64(len(rc.ids))
+		if total > 0 {
+			share = rc.demand[id] / total
+		}
+		bEff += share * bw
+		if mw > mode {
+			mode = mw
+		}
+	}
+	if bEff > rc.budget {
+		bEff = rc.budget
+	}
+	if bEff == 0 {
+		bEff = rc.budget
+	}
+	return bEff, mode
+}
+
+// sloView aggregates the cluster's per-round latency observations into the
+// SLO summary reported at run end.
+type sloView struct {
+	slo       time.Duration
+	latencies []time.Duration
+	misses    int64
+	modeAcc   [4]int64
+}
+
+// observeRound records one cluster round: latency is the max over the
+// workers that settled it (the round is as slow as its slowest worker).
+func (v *sloView) observeRound(lat time.Duration, mode overload.Mode) {
+	v.latencies = append(v.latencies, lat)
+	if v.slo > 0 && lat > v.slo {
+		v.misses++
+	}
+	if int(mode) < len(v.modeAcc) {
+		v.modeAcc[mode]++
+	}
+}
+
+// p99 returns the 99th-percentile round latency.
+func (v *sloView) p99() time.Duration {
+	if len(v.latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), v.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*99 + 99) / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

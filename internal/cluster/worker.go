@@ -1,0 +1,595 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/core"
+	"packetgame/internal/decode"
+	"packetgame/internal/infer"
+	"packetgame/internal/knapsack"
+	"packetgame/internal/metrics"
+	"packetgame/internal/overload"
+	"packetgame/internal/pipeline"
+	"packetgame/internal/predictor"
+)
+
+// WorkerOptions tunes one data-plane worker.
+type WorkerOptions struct {
+	// Name is a diagnostic label sent in the join frame.
+	Name string
+	// WrapDecoder injects decode faults (same hook as pipeline.Config).
+	WrapDecoder func(decode.PacketDecoder) decode.PacketDecoder
+	// DecodeWorkers is the local decode parallelism (default 2).
+	DecodeWorkers int
+	// CrashAfter, when > 0, makes the worker abruptly close its connection
+	// after fully settling that round (its report for the round is never
+	// sent) — the chaos hook. Crashes land exactly on a round boundary, so
+	// same-seed chaos runs are deterministic.
+	CrashAfter int64
+}
+
+// errCrashed marks an injected crash (distinguished from real failures in
+// Wait's error).
+var errCrashed = errors.New("cluster: injected worker crash")
+
+// Worker is one data-plane process: it runs the full sharded gate over the
+// global stream-ID space — scoring only the streams the coordinator routes
+// to it — and defers the knapsack solve to the coordinator through a remote
+// selector that trades candidate frames for grant frames inside Decide.
+type Worker struct {
+	opts WorkerOptions
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	wmu  sync.Mutex // serializes frame writes (main loop, reader replies, heartbeat)
+
+	id    int
+	epoch uint64
+	ccfg  ClusterConfig
+
+	gate  *core.Gate
+	fleet *infer.Fleet
+	eng   *pipeline.Engine
+	src   *clusterSource
+	over  *metrics.OverloadStats
+
+	stop     chan struct{} // closed on fatal error or crash: unblocks everything
+	stopOnce sync.Once
+	bye      chan struct{} // closed on orderly goodbye from the coordinator
+	byeOnce  sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	readErr error
+
+	grantCh chan grantMsg
+	roundCh chan *roundMsg
+}
+
+// Dial connects to the coordinator, performs the PGCP handshake and join,
+// builds the gate from the welcomed cluster config, and starts the worker's
+// engine, reader, and heartbeat goroutines. It returns once the worker is
+// admitted (the coordinator may still be transferring state to it).
+func Dial(addr string, opts WorkerOptions) (*Worker, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		opts:    opts,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 1<<20),
+		bw:      bufio.NewWriterSize(conn, 1<<20),
+		stop:    make(chan struct{}),
+		bye:     make(chan struct{}),
+		done:    make(chan struct{}),
+		grantCh: make(chan grantMsg, 1),
+		roundCh: make(chan *roundMsg, 1),
+		over:    &metrics.OverloadStats{},
+	}
+	if err := writeHandshake(w.bw); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	join, err := gobEncode(&JoinInfo{Name: opts.Name})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := w.send(fJoin, join); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, body, err := readFrame(w.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: awaiting welcome: %w", err)
+	}
+	if typ != fWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: expected welcome, got frame type %d", typ)
+	}
+	var wel Welcome
+	if err := gobDecode(body, &wel); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := w.build(wel); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go w.readLoop()
+	go w.heartbeatLoop()
+	go w.run()
+	return w, nil
+}
+
+// build materializes the gate, fleet, and engine from the welcomed config.
+// Every worker builds the predictor locally from the shared config: seeded
+// init makes the weights bit-identical across workers and the single-gate
+// oracle, so no weight tensors ever cross the wire.
+func (w *Worker) build(wel Welcome) error {
+	w.id = wel.WorkerID
+	w.epoch = wel.Epoch
+	w.ccfg = wel.Cfg
+	cfg := wel.Cfg
+
+	task, err := infer.ByName(cfg.Task)
+	if err != nil {
+		return fmt.Errorf("cluster: worker task: %w", err)
+	}
+	var pred *predictor.Predictor
+	if cfg.UsePred {
+		pred, err = predictor.New(cfg.Predictor)
+		if err != nil {
+			return fmt.Errorf("cluster: worker predictor: %w", err)
+		}
+	}
+	w.src = &clusterSource{w: w, m: cfg.Streams}
+	sel := &remoteSelector{w: w}
+	gate, err := core.NewGate(core.Config{
+		Streams:     cfg.Streams,
+		Window:      cfg.Window,
+		Budget:      cfg.Budget,
+		Costs:       cfg.Costs,
+		Predictor:   pred,
+		TaskIndex:   cfg.TaskIndex,
+		UseTemporal: cfg.UseTemporal,
+		Breaker:     cfg.Breaker,
+		Selector:    sel,
+		Planner:     w.src,
+		Overload:    w.over,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: worker gate: %w", err)
+	}
+	if wel.CurrentRound > 0 {
+		if err := gate.AdvanceTo(wel.CurrentRound); err != nil {
+			return fmt.Errorf("cluster: worker clock: %w", err)
+		}
+	}
+	w.gate = gate
+	workers := w.opts.DecodeWorkers
+	if workers <= 0 {
+		workers = 2
+	}
+	eng, err := pipeline.New(pipeline.Config{
+		Source:      w.src,
+		Gate:        gate,
+		Task:        task,
+		Costs:       cfg.Costs,
+		Workers:     workers,
+		Retry:       cfg.Retry,
+		WrapDecoder: w.opts.WrapDecoder,
+		MaxInFlight: 1,
+		Overload:    w.over,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: worker engine: %w", err)
+	}
+	w.eng = eng
+	// The fleet must exist before the first round: a worker joining
+	// mid-run receives state-transfer frames (which import monitor state)
+	// before its first round frame.
+	w.fleet = eng.EnsureFleet(cfg.Streams)
+	return nil
+}
+
+// send writes one frame under the write lock.
+func (w *Worker) send(typ uint8, body []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.bw, typ, body)
+}
+
+// fail records the first fatal error and unblocks every waiter.
+func (w *Worker) fail(err error) {
+	w.mu.Lock()
+	if w.readErr == nil {
+		w.readErr = err
+	}
+	w.mu.Unlock()
+	w.stopOnce.Do(func() { close(w.stop) })
+}
+
+// Wait blocks until the worker's run ends and returns its final error (nil
+// on an orderly goodbye, errCrashed after an injected crash).
+func (w *Worker) Wait() error {
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if errors.Is(w.readErr, io.EOF) {
+		return nil
+	}
+	return w.readErr
+}
+
+// Crashed reports whether the worker ended via the injected-crash hook.
+func (w *Worker) Crashed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return errors.Is(w.readErr, errCrashed)
+}
+
+// ID returns the coordinator-assigned worker ID.
+func (w *Worker) ID() int { return w.id }
+
+// Gate exposes the worker's gate (tests inspect warming/breaker state).
+func (w *Worker) Gate() *core.Gate { return w.gate }
+
+// Fleet exposes the worker's inference monitors.
+func (w *Worker) Fleet() *infer.Fleet { return w.fleet }
+
+// run drives the engine until the source EOFs (goodbye) or fails, then
+// sends the final accounting frame.
+func (w *Worker) run() {
+	defer close(w.done)
+	defer w.conn.Close()
+	rep, err := w.eng.Run(0)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	select {
+	case <-w.stop:
+		// Crash or connection loss: no final frame.
+		return
+	case <-w.bye:
+		// Orderly goodbye: report the final accounting below.
+	default:
+		return
+	}
+	nr, nc, pr, pc := w.fleet.ClassTotals()
+	snap := w.over.Snapshot()
+	fin := WorkerFinal{
+		Rounds:       rep.Rounds,
+		Decoded:      rep.Decoded,
+		DecodeFailed: rep.DecodeFailed,
+		NegRounds:    nr,
+		NegCorrect:   nc,
+		PosRounds:    pr,
+		PosCorrect:   pc,
+		Shed:         snap.Shed,
+		Deferred:     snap.Deferred,
+	}
+	body, err := gobEncode(&fin)
+	if err != nil {
+		w.fail(err)
+		return
+	}
+	if err := w.send(fFinal, body); err != nil {
+		w.fail(err)
+		return
+	}
+	_ = w.send(fGoodbye, nil)
+}
+
+// crash abruptly severs the connection (the chaos hook): no goodbye, no
+// final frame — the coordinator learns of the death from the broken pipe.
+func (w *Worker) crash() {
+	w.fail(errCrashed)
+	w.conn.Close()
+}
+
+// readLoop is the worker's only frame reader. Control frames that mutate
+// gate state (retire, import, fresh-adopt) are handled inline: the
+// coordinator only sends them while this worker is blocked awaiting its
+// next round frame, at which point the engine has released all due feedback
+// and the gate is quiescent.
+func (w *Worker) readLoop() {
+	for {
+		typ, body, err := readFrame(w.br)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		switch typ {
+		case fRound:
+			msg, err := decodeRound(body, w.ccfg.Streams)
+			if err != nil {
+				w.fail(err)
+				return
+			}
+			select {
+			case w.roundCh <- msg:
+			case <-w.stop:
+				return
+			}
+		case fGrant:
+			g, err := decodeGrant(body)
+			if err != nil {
+				w.fail(err)
+				return
+			}
+			select {
+			case w.grantCh <- g:
+			case <-w.stop:
+				return
+			}
+		case fRetire:
+			var ids []int
+			seq, err := decodeCtrl(body, &ids)
+			if err == nil {
+				err = w.retire(seq, ids)
+			}
+			if err != nil {
+				w.fail(err)
+				return
+			}
+		case fState:
+			var blobs []StreamBlob
+			seq, err := decodeCtrl(body, &blobs)
+			if err == nil {
+				err = w.adopt(seq, blobs)
+			}
+			if err != nil {
+				w.fail(err)
+				return
+			}
+		case fImportFresh:
+			var ids []int
+			seq, err := decodeCtrl(body, &ids)
+			if err == nil {
+				err = w.adoptFresh(seq, ids)
+			}
+			if err != nil {
+				w.fail(err)
+				return
+			}
+		case fGoodbye:
+			w.byeOnce.Do(func() { close(w.bye) })
+			return
+		case fHeartbeat:
+			// Coordinator does not heartbeat; tolerate and ignore.
+		default:
+			w.fail(fmt.Errorf("cluster: worker got unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+// retire exports the named streams (gate + monitor), resets their local
+// slots, and replies with the serialized state batch.
+func (w *Worker) retire(seq uint64, ids []int) error {
+	blobs := make([]StreamBlob, 0, len(ids))
+	for _, i := range ids {
+		st, err := w.gate.ExportStream(i)
+		if err != nil {
+			return fmt.Errorf("cluster: retire export %d: %w", i, err)
+		}
+		mon := w.fleet.Stream(i).Export()
+		if err := w.gate.RetireStream(i); err != nil {
+			return fmt.Errorf("cluster: retire %d: %w", i, err)
+		}
+		w.fleet.Stream(i).Reset()
+		blobs = append(blobs, StreamBlob{Stream: i, Gate: st, Monitor: mon})
+	}
+	body, err := encodeCtrl(seq, &blobs)
+	if err != nil {
+		return err
+	}
+	return w.send(fState, body)
+}
+
+// adopt imports transferred stream states and acks the batch.
+func (w *Worker) adopt(seq uint64, blobs []StreamBlob) error {
+	for _, b := range blobs {
+		if err := w.gate.ImportStream(b.Stream, b.Gate); err != nil {
+			return fmt.Errorf("cluster: adopt %d: %w", b.Stream, err)
+		}
+		w.fleet.Stream(b.Stream).Import(b.Monitor)
+	}
+	return w.ack(seq)
+}
+
+// adoptFresh adopts streams whose state transfer was lost: honest zero
+// state, breaker clock pinned to now, temporal-only until windows refill.
+func (w *Worker) adoptFresh(seq uint64, ids []int) error {
+	for _, i := range ids {
+		if err := w.gate.ImportFreshStream(i); err != nil {
+			return fmt.Errorf("cluster: fresh adopt %d: %w", i, err)
+		}
+		w.fleet.Stream(i).Reset()
+	}
+	return w.ack(seq)
+}
+
+func (w *Worker) ack(seq uint64) error {
+	var body [8]byte
+	binaryPutUint64(body[:], seq)
+	return w.send(fStateAck, body[:])
+}
+
+// heartbeatLoop sends liveness beacons so the coordinator's lease survives
+// long decode stalls between reports.
+func (w *Worker) heartbeatLoop() {
+	every := w.ccfg.HeartbeatEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.bye:
+			return
+		case <-tick.C:
+			w.src.mu.Lock()
+			last := w.src.lastRound
+			w.src.mu.Unlock()
+			if err := w.send(fHeartbeat, encodeReport(last, 0, 0)); err != nil {
+				// A beacon racing the orderly goodbye (the conn closes
+				// right after the final frame) is not a failure; real
+				// connection loss also breaks the read loop, which
+				// reports it.
+				select {
+				case <-w.bye:
+				case <-w.stop:
+				default:
+					w.fail(err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// clusterSource adapts the round frames into the pipeline's RoundSource /
+// RoundLister and the gate's overload.Planner: NextRound reports the
+// previous round's settlement, then blocks for the next round frame; Plan
+// serves the coordinator-planned effective budget and mode for the round in
+// flight.
+type clusterSource struct {
+	w *Worker
+	m int
+
+	mu        sync.Mutex // guards lastRound against the heartbeat goroutine
+	lastRound int64
+
+	started bool
+	t0      time.Time
+	cur     *roundMsg
+}
+
+// NextRound implements pipeline.RoundSource.
+func (s *clusterSource) NextRound() ([]*codec.Packet, error) {
+	w := s.w
+	if s.started {
+		if w.opts.CrashAfter > 0 && s.cur.round >= w.opts.CrashAfter {
+			w.crash()
+			return nil, errCrashed
+		}
+		rep := encodeReport(s.cur.round, time.Since(s.t0), w.gate.Stats().Decoded)
+		if err := w.send(fReport, rep); err != nil {
+			w.fail(err)
+			return nil, err
+		}
+	}
+	select {
+	case msg := <-s.roundCh():
+		s.cur = msg
+		s.started = true
+		s.t0 = time.Now()
+		s.mu.Lock()
+		s.lastRound = msg.round
+		s.mu.Unlock()
+		return msg.pkts, nil
+	case <-w.bye:
+		return nil, io.EOF
+	case <-w.stop:
+		w.mu.Lock()
+		err := w.readErr
+		w.mu.Unlock()
+		if err == nil {
+			err = io.EOF
+		}
+		return nil, err
+	}
+}
+
+func (s *clusterSource) roundCh() chan *roundMsg { return s.w.roundCh }
+
+// Truth implements pipeline.RoundSource: ground truth relayed with the
+// round frame (accuracy accounting only — redundancy feedback never reads
+// it, so decision equality does not depend on the relay).
+func (s *clusterSource) Truth(i int) (codec.Scene, bool) {
+	if s.cur == nil || !s.cur.hasT[i] {
+		return codec.Scene{}, false
+	}
+	return s.cur.truth[i], true
+}
+
+// NonIdle implements pipeline.RoundLister.
+func (s *clusterSource) NonIdle() []int32 { return s.cur.nonIdle }
+
+// Plan implements overload.Planner: the coordinator's reconciler already
+// planned this round's effective budget and degradation mode; the worker
+// only obeys.
+func (s *clusterSource) Plan() (float64, overload.Mode) {
+	return s.cur.bEff, s.cur.mode
+}
+
+// remoteSelector implements knapsack.Selector by deferring the solve to the
+// coordinator: it ships this worker's scored candidates and blocks until
+// the grant (this worker's slice of the global selection, in global
+// selection order) arrives. Distributing the *solve* could never be
+// bit-identical to a single gate; distributing only the scoring is.
+type remoteSelector struct {
+	w     *Worker
+	cands []candidate
+	buf   []byte
+}
+
+// Name implements knapsack.Selector.
+func (*remoteSelector) Name() string { return "cluster-remote" }
+
+// Select implements knapsack.Selector.
+func (r *remoteSelector) Select(items []knapsack.Item, budget float64) []int {
+	return r.SelectAppend(nil, items, budget)
+}
+
+// SelectAppend implements knapsack.SelectAppender. items is the gate's
+// dense per-stream array: zero entries are idle/quarantined/shed streams (a
+// single gate would not offer them either), everything else is offered to
+// the global solve verbatim.
+func (r *remoteSelector) SelectAppend(dst []int, items []knapsack.Item, budget float64) []int {
+	w := r.w
+	r.cands = r.cands[:0]
+	var offered float64
+	for i, it := range items {
+		if it.Value == 0 && it.Cost == 0 {
+			continue
+		}
+		r.cands = append(r.cands, candidate{stream: i, value: it.Value, cost: it.Cost})
+		offered += it.Cost
+	}
+	round := w.src.cur.round
+	r.buf = encodeCandidates(r.buf[:0], round, offered, r.cands)
+	if err := w.send(fCandidates, r.buf); err != nil {
+		w.fail(err)
+		return dst
+	}
+	select {
+	case g := <-w.grantCh:
+		if g.round != round {
+			w.fail(fmt.Errorf("cluster: grant for round %d while deciding round %d", g.round, round))
+			return dst
+		}
+		return append(dst, g.streams...)
+	case <-w.stop:
+		// Dying mid-decide: settle the round empty; the engine then
+		// surfaces the failure out of NextRound.
+		return dst
+	case <-w.bye:
+		return dst
+	}
+}

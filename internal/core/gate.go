@@ -339,6 +339,12 @@ type Gate struct {
 	tiers    []uint8
 	numTiers int
 
+	// warmTarget, when allocated (first fresh import), marks streams
+	// adopted without transferred state: entry i > 0 degrades stream i to
+	// the temporal-only estimate until its feature store reaches that many
+	// pushes (decideMu).
+	warmTarget []int64
+
 	// Feedback scratch (ackMu). reward is m-length, all-zero between
 	// rounds: entries are set for a feedback's selections and cleared
 	// again after the estimator push lists are built.
@@ -665,6 +671,19 @@ func (g *Gate) decideLocked(pkts []*codec.Packet, nonIdle []int32) error {
 				g.degraded[i] = true
 				g.conf[i] = g.temporal[i]
 				continue
+			}
+			// Streams adopted without transferred state (fresh import
+			// after a lost migration) stay temporal-only until their
+			// feature windows refill: the predictor never scores cold
+			// windows.
+			if g.warmTarget != nil && g.warmTarget[i] > 0 {
+				if sh.store.Pushes(li) >= g.warmTarget[i] {
+					g.warmTarget[i] = 0
+				} else {
+					g.degraded[i] = true
+					g.conf[i] = g.temporal[i]
+					continue
+				}
 			}
 			t := 0.0
 			if g.cfg.UseTemporal {

@@ -82,6 +82,7 @@ func Registry() []Experiment {
 		{"chaos", "Robustness: gating under injected faults, breakers, and self-healing ingest", Chaos},
 		{"overload", "Overload soak: diurnal+chaos load vs the budget governor and degradation ladder", Overload},
 		{"replay", "pgcap corpus: decision-trace determinism audits and timestamp-preserving replay fidelity", Replay},
+		{"cluster", "Distributed gating cluster: chaos kill/rejoin vs stable recall, SLO, and determinism", Cluster},
 	}
 }
 

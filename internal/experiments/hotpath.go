@@ -89,6 +89,7 @@ func Hotpath(o Options) error {
 	}
 
 	if o.Scale >= 1 {
+		report.Meta = benchMeta("hotpath")
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -117,6 +118,7 @@ type hotpathForward struct {
 }
 
 type hotpathReport struct {
+	Meta         BenchMeta        `json:"meta"`
 	DecideRounds []hotpathEntry   `json:"decide_rounds"`
 	ForwardMicro []hotpathForward `json:"forward_micro"`
 }

@@ -163,7 +163,8 @@ func Overload(o Options) error {
 
 	if o.Scale >= 1 {
 		rep := overloadReport{
-			M: m, Rounds: rounds, SLOMs: float64(overloadSLO) / 1e6,
+			Meta: benchMeta("overload"),
+			M:    m, Rounds: rounds, SLOMs: float64(overloadSLO) / 1e6,
 			Budget: budget, Seed: o.Seed, Chaos: chaosProf.Name,
 			Incident: withIncident, DeterminismOK: deterministic,
 			Governed:    gov.toLeg(true),
@@ -480,6 +481,7 @@ type overloadLeg struct {
 }
 
 type overloadReport struct {
+	Meta          BenchMeta   `json:"meta"`
 	M             int         `json:"m"`
 	Rounds        int         `json:"rounds"`
 	SLOMs         float64     `json:"slo_ms"`

@@ -143,6 +143,7 @@ func Replay(o Options) error {
 	}
 
 	if o.Scale >= 1 {
+		report.Meta = benchMeta("replay")
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -246,6 +247,7 @@ type replayFlat struct {
 }
 
 type replayReport struct {
+	Meta   BenchMeta     `json:"meta"`
 	Audits []replayAudit `json:"audits"`
 	Timing replayTiming  `json:"timing"`
 	Flat   replayFlat    `json:"flat"`

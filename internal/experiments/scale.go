@@ -60,7 +60,39 @@ func Scale(o Options) error {
 		}
 	}
 
+	o.printf("\n=== Idle-fleet activity sweep (only an activity slice delivers packets) ===\n")
+	o.printf("%-8s %-9s %12s %14s %12s %12s\n", "m", "activity", "ns/round", "rounds/s", "mallocs/rd", "ns/active")
+	for _, m := range []int{o.scaled(1000, 64), o.scaled(10000, 128), o.scaled(100000, 256)} {
+		nsByAct := map[float64]float64{}
+		for _, activity := range []float64{0.01, 0.10, 1.00} {
+			cell, err := timeIdleCell(m, activity, o.Seed)
+			if err != nil {
+				return err
+			}
+			nsByAct[activity] = cell.NsPerRound
+			report.Idle = append(report.Idle, cell)
+			active := float64(int(float64(m) * activity))
+			if active < 1 {
+				active = 1
+			}
+			o.printf("%-8d %-9s %12.0f %14.1f %12.1f %12.1f\n",
+				m, fmt.Sprintf("%.0f%%", activity*100), cell.NsPerRound, 1e9/cell.NsPerRound,
+				cell.MallocsPerRound, cell.NsPerRound/active)
+			if cell.MallocsPerRound > scaleAllocCeiling {
+				return fmt.Errorf("scale: m=%d activity=%.0f%% allocates %.1f times/round, ceiling %d",
+					m, activity*100, cell.MallocsPerRound, scaleAllocCeiling)
+			}
+		}
+		// The O(m) residue of a sparse round: a purely O(active) gate would
+		// make a 1%-activity round ~100x cheaper than a full one; the gap
+		// from that ideal is the per-round fixed cost that still scales
+		// with the configured fleet size.
+		o.printf("%-8d 1%% vs 100%% activity: %.1fx cheaper per round (ideal 100x)\n",
+			m, nsByAct[1.00]/nsByAct[0.01])
+	}
+
 	if o.Scale >= 1 {
+		report.Meta = benchMeta("scale")
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			return err
@@ -77,7 +109,8 @@ func Scale(o Options) error {
 
 type scaleCell struct {
 	M               int     `json:"m"`
-	Churn           float64 `json:"churn"`
+	Churn           float64 `json:"churn,omitempty"`
+	Activity        float64 `json:"activity,omitempty"`
 	NsPerRound      float64 `json:"ns_per_round"`
 	RoundsPerSec    float64 `json:"rounds_per_sec"`
 	MallocsPerRound float64 `json:"mallocs_per_round"`
@@ -90,7 +123,9 @@ type scaleSpeedup struct {
 }
 
 type scaleReport struct {
+	Meta     BenchMeta      `json:"meta"`
 	Cells    []scaleCell    `json:"cells"`
+	Idle     []scaleCell    `json:"idle_cells"`
 	Speedups []scaleSpeedup `json:"speedups"`
 }
 
@@ -186,5 +221,116 @@ func timeScaleCell(m int, churn float64, seed int64) (scaleCell, error) {
 	if scored := hits1.Scored - hits0.Scored; scored > 0 {
 		cell.CacheHitRate = float64(hits1.CacheHits-hits0.CacheHits) / float64(scored)
 	}
+	return cell, nil
+}
+
+// timeIdleCell measures one (m, activity) cell of the sparse-fleet sweep:
+// each round only an `activity` slice of the fleet delivers a packet — the
+// window of active streams rotates across the fleet so every stream takes
+// turns — and the rest are idle (no packet, not in nonIdle). The gate
+// promises O(non-idle) rounds when handed the non-idle list; this cell
+// makes the remaining O(m) residue measurable as ns/active versus the
+// dense 100% row.
+func timeIdleCell(m int, activity float64, seed int64) (scaleCell, error) {
+	pcfg := predictor.Config{UseIView: true, UsePView: true, Seed: seed}
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		return scaleCell{}, err
+	}
+	active := int(float64(m) * activity)
+	if active < 1 {
+		active = 1
+	}
+	budget := float64(active) / 25
+	if budget < 4 {
+		budget = 4
+	}
+	no := false
+	g, err := core.NewGate(core.Config{
+		Streams: m, Budget: budget, Predictor: p,
+		UseTemporal: false, Explore: &no, DependencyAware: &no,
+	})
+	if err != nil {
+		return scaleCell{}, err
+	}
+
+	// One persistent packet per stream; the round view holds pool[i] for
+	// the active window and nil everywhere else.
+	pool := make([]*codec.Packet, m)
+	for i := range pool {
+		pool[i] = &codec.Packet{StreamID: i, Type: codec.PictureP, Size: 1000 + i%777, GOPSize: 25, GOPIndex: 1}
+	}
+	pkts := make([]*codec.Packet, m)
+	nonIdle := make([]int32, 0, active)
+	start := 0
+	lcg := uint64(seed)*6364136223846793005 + 1442695040888963407
+
+	necessary := make([]bool, m)
+	var sel []int
+	oneRound := func() error {
+		for _, i := range nonIdle {
+			pkts[i] = nil
+		}
+		nonIdle = nonIdle[:0]
+		// Active window [start, start+active) mod m, listed ascending:
+		// the wrapped run first, then the tail run.
+		if end := start + active - m; end > 0 {
+			for i := 0; i < end; i++ {
+				nonIdle = append(nonIdle, int32(i))
+			}
+			for i := start; i < m; i++ {
+				nonIdle = append(nonIdle, int32(i))
+			}
+		} else {
+			for i := start; i < start+active; i++ {
+				nonIdle = append(nonIdle, int32(i))
+			}
+		}
+		for _, i := range nonIdle {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			pool[i].Size = 200 + int(lcg>>40)%60000
+			pkts[i] = pool[i]
+		}
+		start = (start + active) % m
+		var err error
+		sel, err = g.DecideRoundAppend(pkts, nonIdle, sel[:0])
+		if err != nil {
+			return err
+		}
+		return g.Feedback(sel, necessary[:len(sel)])
+	}
+
+	for r := 0; r < p.Config().Window+4; r++ {
+		if err := oneRound(); err != nil {
+			return scaleCell{}, err
+		}
+	}
+
+	rounds := 400000 / m
+	if rounds < 4 {
+		rounds = 4
+	}
+	if rounds > 200 {
+		rounds = 200
+	}
+	runtime.GC()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := oneRound(); err != nil {
+			return scaleCell{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&msAfter)
+
+	cell := scaleCell{
+		M:               m,
+		Activity:        activity,
+		NsPerRound:      float64(elapsed.Nanoseconds()) / float64(rounds),
+		MallocsPerRound: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rounds),
+	}
+	cell.RoundsPerSec = 1e9 / cell.NsPerRound
 	return cell, nil
 }

@@ -287,6 +287,18 @@ func (e *Engine) closed() bool {
 // round). Read it only after Run returns.
 func (e *Engine) Fleet() *infer.Fleet { return e.fleet }
 
+// EnsureFleet builds the per-stream inference monitors for m streams before
+// the first round, and returns them. The run loops normally build the fleet
+// lazily from the first round's width; a cluster worker that must import
+// migrated monitor state before its engine sees a round calls this first.
+// Idempotent once built (m is then ignored).
+func (e *Engine) EnsureFleet(m int) *infer.Fleet {
+	if e.fleet == nil {
+		e.fleet = e.newFleet(m)
+	}
+	return e.fleet
+}
+
 // newDecoder builds the configured decode model, wrapped by the fault hook
 // and the retry layer (innermost to outermost: model → WrapDecoder → retry).
 func (e *Engine) newDecoder() decode.PacketDecoder {
@@ -420,6 +432,18 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		if e.closed() {
 			break
 		}
+		// Release feedback due under the lag schedule: Decide(t) must
+		// observe rounds 0..t−k. This runs before NextRound so a blocking
+		// source (a cluster worker awaiting its round frame) blocks with
+		// the gate quiescent — no pending feedback — which is what lets
+		// stream state migrate between rounds. The decisions are
+		// unchanged: NextRound never touches the gate, so Decide(t) sees
+		// exactly the same released set either side of it.
+		for len(acks)-ackHead >= k {
+			if err := release(); err != nil {
+				return rep, err
+			}
+		}
 		pkts, err := e.cfg.Source.NextRound()
 		if err == io.EOF {
 			break
@@ -429,13 +453,6 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		}
 		if e.fleet == nil {
 			e.fleet = e.newFleet(len(pkts))
-		}
-		// Release feedback due under the lag schedule: Decide(t) must
-		// observe rounds 0..t−k.
-		for len(acks)-ackHead >= k {
-			if err := release(); err != nil {
-				return rep, err
-			}
 		}
 
 		var nonIdle []int32

@@ -61,12 +61,22 @@ type Resilient struct {
 	outages    uint64
 	reconnects int64
 	crcDropped int64
+
+	// backoff is the starting delay of the NEXT outage's dial loop. It
+	// escalates across sessions that die before delivering a single round
+	// (a flapping server must not be re-dialed at base rate forever) and
+	// resets to BaseBackoff only once a session proves healthy by
+	// delivering a round.
+	backoff   time.Duration
+	gotRound  bool
+	needDelay bool
 }
 
 // NewResilient connects to the server (with the same retry policy used for
 // reconnects) and performs the handshake.
 func NewResilient(cfg ResilientConfig) (*Resilient, error) {
 	r := &Resilient{cfg: cfg.withDefaults()}
+	r.backoff = r.cfg.BaseBackoff
 	if err := r.connect(); err != nil {
 		return nil, err
 	}
@@ -116,6 +126,12 @@ func (r *Resilient) NextRound() ([]*codec.Packet, error) {
 		}
 		pkts, err := r.cur.NextRound()
 		if err == nil {
+			if !r.gotRound {
+				// The session is healthy: the next outage is a new incident
+				// and starts its backoff from the base delay again.
+				r.gotRound = true
+				r.backoff = r.cfg.BaseBackoff
+			}
 			return pkts, nil
 		}
 		if err == io.EOF && r.cur.SawGoodbye() {
@@ -123,7 +139,12 @@ func (r *Resilient) NextRound() ([]*codec.Packet, error) {
 			return nil, io.EOF
 		}
 		// Outage: reset, mid-frame cut, or framing desync. Drop the session
-		// and heal.
+		// and heal. A session that died without delivering a single round
+		// is a flap, not a fresh incident: the next dial must wait out the
+		// (escalating) backoff even if TCP connects instantly.
+		if !r.gotRound {
+			r.needDelay = true
+		}
 		r.retire()
 		r.outages++
 	}
@@ -140,12 +161,15 @@ func (r *Resilient) retire() {
 }
 
 // connect dials with jittered exponential backoff until a session
-// handshakes or MaxAttempts is exhausted.
+// handshakes or MaxAttempts is exhausted. The starting delay is r.backoff —
+// base after a healthy session, carried forward (inflated) while
+// consecutive sessions die without a round — and the escalated value is
+// persisted so a flapping server keeps being dialed ever more slowly.
 func (r *Resilient) connect() error {
-	backoff := r.cfg.BaseBackoff
+	backoff := r.backoff
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.MaxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 || r.needDelay {
 			time.Sleep(r.jittered(backoff, attempt))
 			backoff *= 2
 			if backoff > r.cfg.MaxBackoff {
@@ -174,6 +198,11 @@ func (r *Resilient) connect() error {
 			r.reconnects++
 		}
 		r.cur = c
+		// A handshake alone is not health: keep the escalated delay until
+		// the session delivers a round.
+		r.gotRound = false
+		r.needDelay = false
+		r.backoff = backoff
 		return nil
 	}
 	return fmt.Errorf("stream: connect to %s failed after %d attempts: %w", r.cfg.Addr, r.cfg.MaxAttempts, lastErr)

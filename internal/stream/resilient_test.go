@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -202,6 +203,144 @@ func TestResilientSurvivesReset(t *testing.T) {
 	}
 }
 
+// scriptedServer serves one scripted behavior per accepted connection, in
+// order, then stops accepting.
+func scriptedServer(t *testing.T, sessions ...func(net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for _, fn := range sessions {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fn(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// refuseSession drops the connection before the handshake.
+func refuseSession(conn net.Conn) { conn.Close() }
+
+// flapSession handshakes and then dies before delivering any round.
+func flapSession(conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if writeHandshake(bw, mkFactory(1, 9)()) != nil {
+		return
+	}
+	bw.Flush()
+}
+
+// servedSession handshakes and serves n full rounds; cleanly with a goodbye,
+// or cut after an extra round-boundary frame so the last round still flushes.
+func servedSession(n int, goodbye bool) func(net.Conn) {
+	return func(conn net.Conn) {
+		defer conn.Close()
+		fleet := mkFactory(1, 9)()
+		bw := bufio.NewWriter(conn)
+		if writeHandshake(bw, fleet) != nil {
+			return
+		}
+		for r := 0; r < n; r++ {
+			bw.Write(appendFrame(nil, uint64(r), 0, container.MarshalPacket(nil, fleet[0].Next())))
+		}
+		if goodbye {
+			bw.Write(appendGoodbye(nil, uint64(n)))
+		} else {
+			// A cut mid-frame: the boundary header flushes round n−1, the
+			// truncated body means round n never completes.
+			frame := appendFrame(nil, uint64(n), 0, container.MarshalPacket(nil, fleet[0].Next()))
+			bw.Write(frame[:len(frame)-3])
+		}
+		bw.Flush()
+	}
+}
+
+// TestReconnectBackoffEscalatesAcrossFlaps is the flapping-server
+// regression: sessions that die before delivering a round must not be
+// re-dialed at base rate forever — the persistent backoff escalates across
+// them even though each individual dial succeeds instantly — and the first
+// delivered round resets it to base.
+func TestReconnectBackoffEscalatesAcrossFlaps(t *testing.T) {
+	const base = 20 * time.Millisecond
+	addr := scriptedServer(t,
+		servedSession(1, false), // healthy, then cut
+		flapSession, flapSession,
+		servedSession(1, true),
+	)
+	r, err := NewResilient(ResilientConfig{Addr: addr, BaseBackoff: base, MaxBackoff: time.Second, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.NextRound(); err != nil {
+		t.Fatal(err)
+	}
+	if r.backoff != base {
+		t.Fatalf("backoff after a healthy round = %v, want base %v", r.backoff, base)
+	}
+	// Healing crosses two flaps: the dials succeed instantly, so only the
+	// escalating pre-dial delays (≥ base, then ≥ 2·base, minus 25% jitter)
+	// separate them. The pre-fix behavior slept 0.
+	t0 := time.Now()
+	if _, err := r.NextRound(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 40*time.Millisecond {
+		t.Fatalf("healed through two flaps in %v: the backoff never escalated", elapsed)
+	}
+	if r.backoff != base {
+		t.Fatalf("backoff after the healing round = %v, want base %v", r.backoff, base)
+	}
+	if r.Reconnects() != 3 {
+		t.Fatalf("reconnects = %d, want 3", r.Reconnects())
+	}
+}
+
+// TestReconnectBackoffResetsAfterSession is the carried-delay regression:
+// an outage that inflates the backoff across failed dials must not bleed
+// that delay into the next outage once a session has delivered rounds —
+// the reconnect after a healthy session dials immediately again.
+func TestReconnectBackoffResetsAfterSession(t *testing.T) {
+	const base = 200 * time.Millisecond
+	addr := scriptedServer(t,
+		servedSession(1, false), // healthy, then cut
+		refuseSession, refuseSession, // inflate the backoff mid-outage
+		servedSession(1, false), // healthy again, then cut
+		servedSession(1, true),  // final clean session
+	)
+	r, err := NewResilient(ResilientConfig{Addr: addr, BaseBackoff: base, MaxBackoff: time.Minute, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.NextRound(); err != nil { // session 1
+		t.Fatal(err)
+	}
+	if _, err := r.NextRound(); err != nil { // heals through the refusals
+		t.Fatal(err)
+	}
+	if r.backoff != base {
+		t.Fatalf("backoff after the healed session's round = %v, want base %v", r.backoff, base)
+	}
+	// Session 4 cuts after its round; the next outage is a fresh incident
+	// after a healthy session, so the re-dial happens without any carried
+	// delay (the pre-fix bug slept the inflated value here).
+	t0 := time.Now()
+	if _, err := r.NextRound(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 150*time.Millisecond {
+		t.Fatalf("reconnect after a healthy session took %v: inflated backoff carried into the next outage", elapsed)
+	}
+}
+
 func TestResilientGivesUpEventually(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -212,6 +351,70 @@ func TestResilientGivesUpEventually(t *testing.T) {
 	_, err = NewResilient(ResilientConfig{Addr: addr, MaxAttempts: 2, BaseBackoff: time.Millisecond})
 	if err == nil {
 		t.Fatal("connecting to a dead address must eventually fail")
+	}
+}
+
+// TestShutdownNoLeakOnMidFrameDisconnect races Server.Shutdown against
+// clients that vanish mid-frame: each client consumes the handshake plus a
+// few bytes of a frame header and then drops the connection with an RST
+// while the server is still streaming. Shutdown must reap every serving
+// goroutine — none may stay blocked writing into a dead peer.
+func TestShutdownNoLeakOnMidFrameDisconnect(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(ln, ServerConfig{
+		NewStreams: mkFactory(4, 33), // unlimited rounds
+		Realtime:   true, FPS: 200, // paced, so disconnects land mid-session
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients.Add(1)
+		go func(conn net.Conn, n int) {
+			defer clients.Done()
+			// Read up to mid-header: the 4-byte magic, version, stream
+			// table, and a ragged few bytes of the first frame.
+			buf := make([]byte, 40+n)
+			io.ReadFull(conn, buf)
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetLinger(0) // RST, not FIN: the hard-vanish case
+			}
+			conn.Close()
+		}(conn, i)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(5 * time.Second) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown never returned with mid-frame disconnected clients")
+	}
+	clients.Wait()
+	// Every serving goroutine must be gone; poll briefly since goroutine
+	// exits trail the WaitGroup release.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after Shutdown: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 
