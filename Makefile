@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify verify-quick vet fuzz bench chaos soak alloc-smoke corpus replay scale cluster
+.PHONY: build test race verify verify-quick vet fuzz bench chaos soak alloc-smoke corpus replay scale cluster benchdiff
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,14 @@ alloc-smoke:
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke replay soak scale cluster
+verify: build vet test race alloc-smoke replay soak scale cluster benchdiff
+
+# Headline-regression gate: after `make scale`/`make cluster` rewrite the
+# BENCH files, compare their headline speedups against the copies committed
+# at HEAD and fail if any fell below 85% of its baseline. Skips (with a
+# note) when a baseline is missing or the bench schema version changed.
+benchdiff:
+	$(GO) run ./cmd/benchdiff
 
 # The inner-loop gate: build, vet, and unraced unit tests only — no race
 # sweep, soak, or paper-scale experiment runs. Seconds, not minutes.
@@ -100,6 +107,7 @@ fuzz:
 	$(GO) test ./internal/container -fuzz FuzzUnmarshalPacket -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stream -fuzz FuzzPGSPFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/capture -fuzz FuzzCaptureContainer -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -fuzz FuzzPGCPRoundFrame -fuzztime $(FUZZTIME)
 
 # The chaos experiment under the race detector: deterministic fault
 # injection, circuit-breaker quarantine, and the self-healing PGSP ingest,

@@ -37,6 +37,9 @@ func main() {
 		slo       = flag.Duration("slo", 0, "per-round latency SLO arming the per-worker governors (0 = exact oracle mode)")
 		lease     = flag.Duration("lease", 10*time.Second, "worker lease: silence longer than this reaps the worker")
 		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat period (0 = lease/4)")
+		pipelined = flag.Bool("pipelined", false, "overlap rounds: gather round r's reports while round r+1 runs (bit-identical to lockstep at equal -lag)")
+		lag       = flag.Int("lag", 1, "feedback lag k: rounds granted but not yet observed when a round is planned")
+		rtt       = flag.Duration("rtt", 0, "deterministic report-delivery delay model (lockstep serializes it into every round; -pipelined hides it)")
 		verbose   = flag.Bool("v", false, "log membership changes")
 	)
 	flag.Parse()
@@ -56,8 +59,9 @@ func main() {
 		UseTemporal: true,
 		Breaker:     &core.BreakerConfig{},
 		Task:        *taskName, Rounds: *rounds, MinWorkers: *workers,
-		Source: pipeline.NewLocalSource(fleet, *rounds),
-		SLO:    *slo, Lease: *lease, Heartbeat: *heartbeat,
+		Source:    pipeline.NewLocalSource(fleet, *rounds),
+		SLO:       *slo, Lease: *lease, Heartbeat: *heartbeat,
+		Pipelined: *pipelined, MaxInFlight: *lag, ReportDelay: *rtt,
 	}
 	if *verbose {
 		cfg.OnMembership = func(round int64, joined, died []int) {

@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"packetgame/internal/codec"
 	"packetgame/internal/core"
 	"packetgame/internal/decode"
 	"packetgame/internal/knapsack"
+	"packetgame/internal/overload"
 	"packetgame/internal/pipeline"
 	"packetgame/internal/predictor"
 )
@@ -60,6 +62,25 @@ type CoordConfig struct {
 	// latencies with a deterministic virtual latency (chaos benchmarks
 	// need governed runs to be seed-reproducible).
 	LatencyModel func(worker int, grantedCost, offeredCost float64) time.Duration
+	// Pipelined overlaps successive rounds: round r+1 is planned, solved,
+	// and granted while round r's reports are still in flight, so the
+	// report leg of the RTT is hidden instead of serialized into every
+	// round. Decisions are bit-identical to a non-pipelined run at the same
+	// MaxInFlight lag: the only thing pipelining changes is when the
+	// coordinator *blocks* for reports, never which rounds' feedback a plan
+	// has seen.
+	Pipelined bool
+	// MaxInFlight is the feedback lag k (default 1): before round r is
+	// planned, all rounds ≤ r−k have been observed (latency fed to the
+	// governors), and at most k granted rounds are unobserved at any time.
+	// k=1 reproduces strict lockstep feedback timing exactly.
+	MaxInFlight int
+	// ReportDelay, when > 0, delays the delivery of every worker report by
+	// this amount after it arrives — a deterministic one-way network-delay
+	// model for the report leg. Lockstep runs serialize this delay into
+	// every round; pipelined runs hide it. Decision sequences are
+	// unaffected (reports carry feedback, not decisions).
+	ReportDelay time.Duration
 	// TransferFault, when non-nil, injects state-transfer loss: attempt
 	// n of moving a stream is dropped when it returns true. Exhausted
 	// transfers fall back to fresh adoption on the new owner.
@@ -127,6 +148,24 @@ type wconn struct {
 	frames   chan inFrame
 	lastSeen atomic.Int64 // unix nanos, updated by the reader on any frame
 	dead     bool         // coordinator-loop only
+	// prev is the delta-coding membership state of this connection's round
+	// frames: the ascending stream ids sent in the last round frame.
+	prev []int32
+	// reports stashes report frames that arrive while the coordinator is
+	// awaiting another frame type from this worker — with pipelined rounds,
+	// a report for an earlier in-flight round legitimately precedes the
+	// current round's candidates on the wire. FIFO, coordinator-loop only.
+	reports []inFrame
+	// delayCh, when non-nil, routes this worker's report frames through the
+	// ReportDelay delivery model.
+	delayCh chan delayedReport
+}
+
+// delayedReport is one report frame held back by the ReportDelay model until
+// its virtual delivery time.
+type delayedReport struct {
+	f   inFrame
+	due time.Time
 }
 
 func (wc *wconn) send(typ uint8, body []byte) error {
@@ -161,12 +200,19 @@ type Coordinator struct {
 
 	rep Report
 
+	// inflight is the FIFO of granted-but-unobserved rounds, oldest first;
+	// it never exceeds cfg.MaxInFlight entries across a round boundary.
+	inflight []flight
+
 	// round scratch
-	items   []knapsack.Item
-	sel     []int
-	perPkts map[int][]roundPacket
-	grantsB []byte
-	roundB  []byte
+	cands    []knapsack.Candidate // global compact candidate list, ascending by stream
+	candMsg  candidatesMsg
+	sel      []int
+	perPkts  map[int][]roundPacket
+	grantsB  []byte
+	roundB   []byte
+	pktBuf   []byte
+	denseRnd codec.Round // adapter scratch for non-sparse sources
 }
 
 // NewCoordinator binds the listen socket and starts accepting joins.
@@ -198,6 +244,9 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.MaxTransferAttempts <= 0 {
 		cfg.MaxTransferAttempts = 4
 	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1
+	}
 	if cfg.TransferBackoff <= 0 {
 		cfg.TransferBackoff = 2 * time.Millisecond
 	}
@@ -215,7 +264,6 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		owners:  make([]int, cfg.Streams),
 		rc:      newReconciler(cfg.SLO, cfg.Budget),
 		view:    &sloView{slo: cfg.SLO},
-		items:   make([]knapsack.Item, cfg.Streams),
 		perPkts: make(map[int][]roundPacket),
 		rep: Report{DecisionHash: fnvOffset, Finals: make(map[int]WorkerFinal),
 			DeadReasons: make(map[int]string)},
@@ -284,7 +332,8 @@ func (c *Coordinator) clusterConfig() ClusterConfig {
 }
 
 // readWorker pumps one worker's frames into its channel. Heartbeats are
-// folded into lastSeen here so they never clog the round machinery.
+// folded into lastSeen here so they never clog the round machinery; reports
+// detour through the ReportDelay delivery model when one is configured.
 func (c *Coordinator) readWorker(wc *wconn, br *bufio.Reader) {
 	for {
 		typ, body, err := readFrame(br)
@@ -296,7 +345,41 @@ func (c *Coordinator) readWorker(wc *wconn, br *bufio.Reader) {
 		if typ == fHeartbeat {
 			continue
 		}
+		if typ == fReport && wc.delayCh != nil {
+			select {
+			case wc.delayCh <- delayedReport{f: inFrame{typ: typ, body: body}, due: time.Now().Add(c.cfg.ReportDelay)}:
+			case <-c.accept:
+				return
+			}
+			continue
+		}
 		wc.frames <- inFrame{typ: typ, body: body}
+	}
+}
+
+// delayReports forwards one worker's reports at their virtual delivery time.
+// A single goroutine per connection keeps the per-worker report order FIFO.
+func (c *Coordinator) delayReports(wc *wconn) {
+	for {
+		select {
+		case dr := <-wc.delayCh:
+			if d := time.Until(dr.due); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-c.accept:
+					t.Stop()
+					return
+				}
+			}
+			select {
+			case wc.frames <- dr.f:
+			case <-c.accept:
+				return
+			}
+		case <-c.accept:
+			return
+		}
 	}
 }
 
@@ -321,6 +404,12 @@ func (c *Coordinator) await(wc *wconn, want uint8) (inFrame, bool) {
 				c.markDead(wc, f.err)
 				return inFrame{}, false
 			}
+			if f.typ == fReport && want != fReport {
+				// Pipelined rounds: a report for an earlier in-flight round
+				// can precede the frame we want; stash it for awaitReport.
+				wc.reports = append(wc.reports, f)
+				continue
+			}
 			if f.typ != want {
 				c.markDead(wc, fmt.Errorf("expected frame %d, got %d", want, f.typ))
 				return inFrame{}, false
@@ -331,6 +420,20 @@ func (c *Coordinator) await(wc *wconn, want uint8) (inFrame, bool) {
 			// while we slept.
 		}
 	}
+}
+
+// awaitReport returns the worker's next report frame, consuming the stash of
+// reports that overtook other awaited frames before blocking for new ones.
+func (c *Coordinator) awaitReport(wc *wconn) (inFrame, bool) {
+	if wc.dead {
+		return inFrame{}, false
+	}
+	if len(wc.reports) > 0 {
+		f := wc.reports[0]
+		wc.reports = append(wc.reports[:0], wc.reports[1:]...)
+		return f, true
+	}
+	return c.await(wc, fReport)
 }
 
 func (c *Coordinator) markDead(wc *wconn, err error) {
@@ -376,9 +479,99 @@ func (c *Coordinator) hashRound(round int64, sel []int) {
 	c.rep.DecisionHash = h
 }
 
-// Run drives the cluster: quorum, then lockstep rounds (admit → reap →
-// plan → scatter round → gather candidates → global solve → scatter grants
-// → gather reports), then an orderly goodbye. It returns the merged report.
+// flight is one granted-but-unobserved round: everything needed to gather
+// its reports later and feed the governors in the exact order a lockstep
+// run would.
+type flight struct {
+	round    int64
+	ids      []int // live workers at grant time, sorted
+	mode     overload.Mode
+	granted  map[int]float64
+	offered  map[int]float64
+	lats     map[int]time.Duration
+	gathered bool
+}
+
+// gatherFlight collects the flight's reports (idempotent). Lockstep mode
+// calls it at the end of the flight's own round — blocking through the full
+// report delay; pipelined mode defers it until the flight falls due, by
+// which time the reports have usually already arrived.
+func (c *Coordinator) gatherFlight(f *flight) {
+	if f.gathered {
+		return
+	}
+	f.gathered = true
+	for _, id := range f.ids {
+		wc := c.workers[id]
+		if wc == nil || wc.dead {
+			continue
+		}
+		fr, ok := c.awaitReport(wc)
+		if !ok {
+			continue
+		}
+		msg, err := decodeReport(fr.body)
+		if err != nil || msg.round != f.round {
+			c.markDead(wc, fmt.Errorf("bad report (round %d, want %d): %v", msg.round, f.round, err))
+			continue
+		}
+		lat := msg.latency
+		if c.cfg.LatencyModel != nil {
+			lat = c.cfg.LatencyModel(id, f.granted[id], f.offered[id])
+		}
+		f.lats[id] = lat
+	}
+}
+
+// observeFlight feeds the gathered latencies into the governors and closes
+// the round out — per worker in the flight's sorted id order, so governor
+// updates happen in exactly the lockstep order.
+func (c *Coordinator) observeFlight(f *flight) {
+	var roundLat time.Duration
+	for _, id := range f.ids {
+		lat, ok := f.lats[id]
+		if !ok {
+			continue
+		}
+		c.rc.observeLatency(id, lat, 1)
+		if lat > roundLat {
+			roundLat = lat
+		}
+	}
+	c.view.observeRound(roundLat, f.mode)
+	c.rep.Rounds++
+	if c.cfg.OnRoundEnd != nil {
+		c.cfg.OnRoundEnd(f.round)
+	}
+}
+
+// drainAll gathers and observes every in-flight round, oldest first. After
+// it returns, every live worker has settled everything it was granted and is
+// quiescent (blocked awaiting its next round frame) — the precondition for
+// membership changes and shutdown.
+func (c *Coordinator) drainAll() {
+	for i := range c.inflight {
+		c.gatherFlight(&c.inflight[i])
+		c.observeFlight(&c.inflight[i])
+	}
+	c.inflight = c.inflight[:0]
+}
+
+// anyDead reports whether any tracked worker has been marked dead.
+func (c *Coordinator) anyDead() bool {
+	for _, wc := range c.workers {
+		if wc.dead {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives the cluster: quorum, then rounds (admit → reap → plan →
+// scatter round → gather candidates → global solve → scatter grants →
+// gather/observe due reports), then an orderly goodbye. With Pipelined the
+// report leg overlaps the next round; either way at most MaxInFlight rounds
+// are unobserved when a round is planned. It returns the merged report.
 func (c *Coordinator) Run() (Report, error) {
 	defer func() {
 		close(c.accept)
@@ -405,28 +598,33 @@ func (c *Coordinator) Run() (Report, error) {
 
 	var r int64
 	for ; c.cfg.Rounds == 0 || r < int64(c.cfg.Rounds); r++ {
-		// Membership changes land exactly on round boundaries: every live
-		// worker is quiescent (blocked awaiting this round's frame), so
-		// stream state can move without racing a decision.
-		for drained := false; !drained; {
-			select {
-			case p := <-c.joinCh:
-				if err := c.admit(p, r); err != nil {
-					return c.rep, err
+		// Membership changes land exactly on round boundaries, and only
+		// after every in-flight round has been drained: each live worker is
+		// then quiescent (blocked awaiting this round's frame), so stream
+		// state can move without racing a decision. Steady state skips the
+		// drain entirely — that is what lets pipelined rounds overlap.
+		if len(c.joinCh) > 0 || c.anyDead() {
+			c.drainAll()
+			for drained := false; !drained; {
+				select {
+				case p := <-c.joinCh:
+					if err := c.admit(p, r); err != nil {
+						return c.rep, err
+					}
+				default:
+					drained = true
 				}
-			default:
-				drained = true
 			}
-		}
-		if err := c.reap(r); err != nil {
-			return c.rep, err
+			if err := c.reap(r); err != nil {
+				return c.rep, err
+			}
 		}
 		live := c.live()
 		if len(live) == 0 {
 			return c.rep, fmt.Errorf("cluster: no live workers at round %d", r)
 		}
 
-		pkts, err := c.cfg.Source.NextRound()
+		rnd, err := c.nextRound()
 		if err == io.EOF {
 			break
 		}
@@ -436,21 +634,21 @@ func (c *Coordinator) Run() (Report, error) {
 
 		bEff, mode := c.rc.plan(c.liveSet())
 
-		// Scatter: demux packets to owners. Every live worker receives
-		// the round frame — an empty round still advances its clocks.
+		// Scatter: demux the active streams to their owners — O(active), not
+		// O(m). Every live worker receives the round frame (delta-coded
+		// against what it got last round): an empty round still advances its
+		// clocks.
 		for _, id := range live {
 			c.perPkts[id] = c.perPkts[id][:0]
 		}
-		for i, p := range pkts {
-			if p == nil {
-				continue
-			}
+		for k, id32 := range rnd.IDs {
+			i := int(id32)
 			own := c.owners[i]
 			wc := c.workers[own]
 			if wc == nil || wc.dead {
 				continue // orphaned this round; reassigned at next boundary
 			}
-			rp := roundPacket{stream: i, pkt: p}
+			rp := roundPacket{stream: i, pkt: rnd.Pkts[k]}
 			if t, ok := c.cfg.Source.Truth(i); ok {
 				rp.truth, rp.hasT = t, true
 			}
@@ -458,18 +656,23 @@ func (c *Coordinator) Run() (Report, error) {
 		}
 		for _, id := range live {
 			wc := c.workers[id]
-			c.roundB = encodeRound(c.roundB[:0], r, bEff, mode, c.perPkts[id])
+			c.roundB = encodeRoundDelta(c.roundB[:0], r, bEff, mode, c.perPkts[id], wc.prev, &c.pktBuf)
+			wc.prev = wc.prev[:0]
+			for _, rp := range c.perPkts[id] {
+				wc.prev = append(wc.prev, int32(rp.stream))
+			}
 			if err := wc.send(fRound, c.roundB); err != nil {
 				c.markDead(wc, err)
 			}
 		}
 
-		// Gather candidates and rebuild the dense global item array: a
-		// single gate's solve sees zero items for idle, quarantined, and
-		// shed streams; distributed workers simply never offer those.
-		for i := range c.items {
-			c.items[i] = knapsack.Item{}
-		}
+		// Gather candidates into the global compact list: a single gate's
+		// solve sees zero items for idle, quarantined, and shed streams;
+		// distributed workers simply never offer those, so the gathered
+		// list holds exactly the non-zero slots of the dense array a single
+		// gate would build. Workers own disjoint stream sets — sorting by
+		// stream merges their ascending runs into the dense index order.
+		c.cands = c.cands[:0]
 		offered := make(map[int]float64, len(live))
 		for _, id := range live {
 			wc := c.workers[id]
@@ -480,31 +683,41 @@ func (c *Coordinator) Run() (Report, error) {
 			if !ok {
 				continue
 			}
-			msg, err := decodeCandidates(f.body)
-			if err != nil {
+			if err := decodeCandidates(f.body, c.cfg.Streams, &c.candMsg); err != nil {
 				c.markDead(wc, err)
 				continue
 			}
-			if msg.round != r {
-				c.markDead(wc, fmt.Errorf("candidates for round %d during round %d", msg.round, r))
+			if c.candMsg.round != r {
+				c.markDead(wc, fmt.Errorf("candidates for round %d during round %d", c.candMsg.round, r))
 				continue
 			}
-			for _, cand := range msg.cands {
-				if cand.stream < 0 || cand.stream >= c.cfg.Streams || c.owners[cand.stream] != id {
-					c.markDead(wc, fmt.Errorf("candidate for unowned stream %d", cand.stream))
+			owned := true
+			for _, cand := range c.candMsg.cands {
+				if c.owners[cand.Stream] != id {
+					c.markDead(wc, fmt.Errorf("candidate for unowned stream %d", cand.Stream))
+					owned = false
 					break
 				}
-				c.items[cand.stream] = knapsack.Item{Value: cand.value, Cost: cand.cost}
 			}
-			offered[id] = msg.offered
-			c.rc.observeDemand(id, msg.offered)
+			if !owned {
+				continue
+			}
+			c.cands = append(c.cands, c.candMsg.cands...)
+			offered[id] = c.candMsg.offered
+			c.rc.observeDemand(id, c.candMsg.offered)
 		}
+		sort.Sort(candsByStream(c.cands))
 
-		// Global solve: the exact greedy a single giant gate runs, over
-		// the exact dense array it would build.
-		c.sel = c.greedy.SelectAppend(c.sel[:0], c.items, bEff)
+		// Global solve: the exact greedy a single giant gate runs. Over the
+		// ascending compact list, positional tie-breaks equal the dense
+		// index tie-breaks, so the selection is bit-identical to the dense
+		// solve — in O(active log active).
+		c.sel = c.greedy.SelectSparseAppend(c.sel[:0], c.cands, bEff)
 		c.hashRound(r, c.sel)
 		c.rep.Decoded += int64(len(c.sel))
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(r, c.sel)
+		}
 
 		// Scatter grants in global selection order, filtered per owner.
 		granted := make(map[int]float64, len(live))
@@ -518,7 +731,7 @@ func (c *Coordinator) Run() (Report, error) {
 			for _, s := range c.sel {
 				if c.owners[s] == id {
 					mine = append(mine, s)
-					cost += c.items[s].Cost
+					cost += candCost(c.cands, s)
 				}
 			}
 			granted[id] = cost
@@ -528,46 +741,64 @@ func (c *Coordinator) Run() (Report, error) {
 			}
 		}
 
-		// Gather reports; the cluster round is as slow as its slowest
-		// worker. A LatencyModel substitutes deterministic virtual
-		// latencies so governed chaos runs stay seed-reproducible.
-		var roundLat time.Duration
-		for _, id := range live {
-			wc := c.workers[id]
-			if wc.dead {
-				continue
-			}
-			f, ok := c.await(wc, fReport)
-			if !ok {
-				continue
-			}
-			msg, err := decodeReport(f.body)
-			if err != nil || msg.round != r {
-				c.markDead(wc, fmt.Errorf("bad report (round %d): %v", msg.round, err))
-				continue
-			}
-			lat := msg.latency
-			if c.cfg.LatencyModel != nil {
-				lat = c.cfg.LatencyModel(id, granted[id], offered[id])
-			}
-			c.rc.observeLatency(id, lat, 1)
-			if lat > roundLat {
-				roundLat = lat
-			}
+		// Push the round into the in-flight window. Lockstep gathers its
+		// reports right here — serializing the report leg of the RTT into
+		// every round; pipelined defers the gather until the flight falls
+		// due, overlapping it with the next round's plan/solve. Either way
+		// a flight is *observed* (latency fed to the governors) exactly
+		// when it leaves the MaxInFlight window, so the decision sequence
+		// depends only on the lag k, never on Pipelined.
+		c.inflight = append(c.inflight, flight{
+			round: r, ids: live, mode: mode,
+			granted: granted, offered: offered,
+			lats: make(map[int]time.Duration, len(live)),
+		})
+		if !c.cfg.Pipelined {
+			c.gatherFlight(&c.inflight[len(c.inflight)-1])
 		}
-		c.view.observeRound(roundLat, mode)
-		c.rep.Rounds++
-		if c.cfg.OnRound != nil {
-			c.cfg.OnRound(r, c.sel)
-		}
-		if c.cfg.OnRoundEnd != nil {
-			c.cfg.OnRoundEnd(r)
+		for len(c.inflight) >= c.cfg.MaxInFlight {
+			c.gatherFlight(&c.inflight[0])
+			c.observeFlight(&c.inflight[0])
+			c.inflight = c.inflight[:copy(c.inflight, c.inflight[1:])]
 		}
 	}
 
+	// Observe whatever is still in flight before saying goodbye.
+	c.drainAll()
 	c.shutdown()
 	c.finish()
 	return c.rep, nil
+}
+
+// nextRound pulls the next global round from the source in sparse form:
+// sparse-capable sources hand it over in O(active); plain sources are
+// adapted through a dense gather.
+func (c *Coordinator) nextRound() (*codec.Round, error) {
+	if ss, ok := c.cfg.Source.(pipeline.SparseRoundSource); ok {
+		return ss.NextRoundSparse()
+	}
+	pkts, err := c.cfg.Source.NextRound()
+	if err != nil {
+		return nil, err
+	}
+	c.denseRnd.FromDense(pkts)
+	return &c.denseRnd, nil
+}
+
+// candsByStream sorts the gathered candidate list ascending by stream.
+type candsByStream []knapsack.Candidate
+
+func (s candsByStream) Len() int           { return len(s) }
+func (s candsByStream) Less(a, b int) bool { return s[a].Stream < s[b].Stream }
+func (s candsByStream) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+
+// candCost looks up a stream's offered cost in the sorted candidate list.
+func candCost(cands []knapsack.Candidate, stream int) float64 {
+	k := sort.Search(len(cands), func(i int) bool { return int(cands[i].Stream) >= stream })
+	if k < len(cands) && int(cands[k].Stream) == stream {
+		return cands[k].Cost
+	}
+	return 0
 }
 
 func (c *Coordinator) liveSet() map[int]bool {
@@ -654,6 +885,10 @@ func (c *Coordinator) admit(p *pendingConn, r int64) error {
 		return nil // failed admission, not a cluster error
 	}
 	c.workers[id] = wc
+	if c.cfg.ReportDelay > 0 {
+		wc.delayCh = make(chan delayedReport, 64)
+		go c.delayReports(wc)
+	}
 	go c.readWorker(wc, p.br)
 	if err := c.rc.addWorker(id); err != nil {
 		return err

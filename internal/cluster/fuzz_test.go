@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/overload"
+)
+
+// fuzzRoundPkts builds a small ascending roundPacket batch for seeding.
+func fuzzRoundPkts(ids ...int32) []roundPacket {
+	pkts := make([]roundPacket, 0, len(ids))
+	for k, id := range ids {
+		p := &codec.Packet{
+			StreamID: int(id),
+			Seq:      int64(k),
+			PTS:      int64(k) * 40,
+			Type:     codec.PictureP,
+			Size:     64,
+			Codec:    codec.H264,
+			Payload:  []byte{0x41, 0x9A, byte(id)},
+		}
+		rp := roundPacket{stream: int(id), pkt: p}
+		if k%2 == 0 {
+			rp.truth = codec.Scene{Frame: int64(k), Richness: 0.5, Motion: 0.25, PersonCount: 2}
+			rp.hasT = true
+		}
+		pkts = append(pkts, rp)
+	}
+	return pkts
+}
+
+// FuzzPGCPRoundFrame throws arbitrary bodies — and arbitrary prev-membership
+// state — at the delta round-frame decoder. The invariant is the codec
+// contract: malformed deltas (gone ids that were never members, added ids
+// that already are), duplicate or out-of-range stream ids, hostile varints,
+// truncated scenes/packets, and trailing garbage must all return an error;
+// nothing may panic. Valid decodes must satisfy the sparse Round invariants
+// and keep truth/hasT parallel to the membership.
+func FuzzPGCPRoundFrame(f *testing.F) {
+	const m = 64
+
+	var pktBuf []byte
+	// Fresh connection: everything is an add.
+	seed1 := encodeRoundDelta(nil, 0, 8.5, overload.Mode(1), fuzzRoundPkts(0, 3, 7, 63), nil, &pktBuf)
+	f.Add(uint16(0), seed1)
+	// Steady state: identical membership, zero-length deltas.
+	seed2 := encodeRoundDelta(nil, 1, 8.5, overload.Mode(0), fuzzRoundPkts(0, 3, 7, 63), []int32{0, 3, 7, 63}, &pktBuf)
+	f.Add(uint16(4), seed2)
+	// Churn: one gone, one added.
+	seed3 := encodeRoundDelta(nil, 2, 4.0, overload.Mode(2), fuzzRoundPkts(3, 7, 12, 63), []int32{0, 3, 7, 63}, &pktBuf)
+	f.Add(uint16(4), seed3)
+	// Empty round against empty membership.
+	f.Add(uint16(0), encodeRoundDelta(nil, 3, 1.0, overload.Mode(0), nil, nil, &pktBuf))
+	// Truncations and mutations of a valid frame.
+	f.Add(uint16(0), seed1[:17])
+	f.Add(uint16(0), seed1[:len(seed1)/2])
+	mut := append([]byte(nil), seed1...)
+	mut[18] ^= 0xFF
+	f.Add(uint16(0), mut)
+	f.Add(uint16(0), []byte{})
+	// Hostile varints: max-length gaps and counts.
+	f.Add(uint16(2), []byte{
+		0, 0, 0, 0, 0, 0, 0, 0, // round
+		0, 0, 0, 0, 0, 0, 0, 0, // bEff
+		0,                                                          // mode
+		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01, // gone count ≈ 2^63
+	})
+
+	f.Fuzz(func(t *testing.T, prevBits uint16, body []byte) {
+		// Derive a deterministic ascending prev membership from prevBits:
+		// bit k set → stream 4k+1 was a member last round.
+		var prev []int32
+		for k := 0; k < 16; k++ {
+			if prevBits&(1<<k) != 0 {
+				prev = append(prev, int32(4*k+1))
+			}
+		}
+		var msg roundMsg
+		if err := decodeRoundDelta(body, m, prev, &msg); err != nil {
+			return // rejected — the only acceptable failure mode
+		}
+		if err := msg.rnd.Validate(); err != nil {
+			t.Fatalf("accepted round violates invariants: %v", err)
+		}
+		if len(msg.truth) != msg.rnd.Len() || len(msg.hasT) != msg.rnd.Len() {
+			t.Fatalf("truth/hasT length %d/%d for %d members",
+				len(msg.truth), len(msg.hasT), msg.rnd.Len())
+		}
+		// Decoding the same body again against the same prev must agree:
+		// the decoder is stateless between calls apart from scratch reuse.
+		var again roundMsg
+		if err := decodeRoundDelta(body, m, prev, &again); err != nil {
+			t.Fatalf("second decode of accepted body failed: %v", err)
+		}
+		if again.rnd.Len() != msg.rnd.Len() || again.round != msg.round {
+			t.Fatalf("second decode disagrees: %d/%d members, round %d/%d",
+				again.rnd.Len(), msg.rnd.Len(), again.round, msg.round)
+		}
+	})
+}
+
+// TestRoundDeltaRejects pins the decoder's hard-error cases with
+// deterministic frames (the fuzz target's invariants, minus the fuzzing).
+func TestRoundDeltaRejects(t *testing.T) {
+	const m = 16
+	var pktBuf []byte
+	prev := []int32{2, 5, 9}
+
+	t.Run("gone-not-member", func(t *testing.T) {
+		// Encode against a membership that includes 3, decode against one
+		// that does not: gone=3 was never a member.
+		body := encodeRoundDelta(nil, 0, 1, 0, fuzzRoundPkts(2, 5, 9), []int32{2, 3, 5, 9}, &pktBuf)
+		var msg roundMsg
+		if err := decodeRoundDelta(body, m, prev, &msg); err == nil {
+			t.Fatal("gone id outside membership must error")
+		}
+	})
+	t.Run("added-already-member", func(t *testing.T) {
+		// Encode against empty membership (everything added), decode against
+		// prev: added=2 collides with the kept member 2.
+		body := encodeRoundDelta(nil, 0, 1, 0, fuzzRoundPkts(2, 5, 9), nil, &pktBuf)
+		var msg roundMsg
+		if err := decodeRoundDelta(body, m, prev, &msg); err == nil {
+			t.Fatal("added id already a member must error")
+		}
+	})
+	t.Run("out-of-range", func(t *testing.T) {
+		body := encodeRoundDelta(nil, 0, 1, 0, fuzzRoundPkts(2, 5, 9), prev, &pktBuf)
+		var msg roundMsg
+		if err := decodeRoundDelta(body, 9, prev[:2], &msg); err == nil {
+			t.Fatal("stream id beyond fleet width must error")
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		body := encodeRoundDelta(nil, 0, 1, 0, fuzzRoundPkts(2, 5, 9), prev, &pktBuf)
+		body = append(body, 0xAB)
+		var msg roundMsg
+		if err := decodeRoundDelta(body, m, prev, &msg); err == nil {
+			t.Fatal("trailing bytes must error")
+		}
+	})
+	t.Run("roundtrip", func(t *testing.T) {
+		pkts := fuzzRoundPkts(1, 2, 5, 9, 15)
+		body := encodeRoundDelta(nil, 7, 3.25, overload.Mode(1), pkts, prev, &pktBuf)
+		var msg roundMsg
+		if err := decodeRoundDelta(body, m, prev, &msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg.round != 7 || msg.bEff != 3.25 || msg.mode != overload.Mode(1) {
+			t.Fatalf("header mismatch: %+v", msg)
+		}
+		if msg.rnd.Len() != len(pkts) {
+			t.Fatalf("members %d, want %d", msg.rnd.Len(), len(pkts))
+		}
+		for k, rp := range pkts {
+			if int(msg.rnd.IDs[k]) != rp.stream {
+				t.Fatalf("member %d is stream %d, want %d", k, msg.rnd.IDs[k], rp.stream)
+			}
+			got := msg.rnd.Pkts[k]
+			if got.Seq != rp.pkt.Seq || string(got.Payload) != string(rp.pkt.Payload) || got.Codec != rp.pkt.Codec {
+				t.Fatalf("member %d packet mismatch", k)
+			}
+			if msg.hasT[k] != rp.hasT {
+				t.Fatalf("member %d truth flag %v, want %v", k, msg.hasT[k], rp.hasT)
+			}
+			if rp.hasT && msg.truth[k] != rp.truth {
+				t.Fatalf("member %d truth mismatch", k)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"packetgame/internal/core"
 	"packetgame/internal/decode"
 	"packetgame/internal/infer"
+	"packetgame/internal/knapsack"
 	"packetgame/internal/overload"
 	"packetgame/internal/predictor"
 )
@@ -30,8 +31,12 @@ import (
 // hot frames (round, candidates, grant, report) are hand-encoded big-endian
 // so a 10k-stream round does not pay reflection per packet.
 const (
-	protoMagic   = "PGCP"
-	protoVersion = 1
+	protoMagic = "PGCP"
+	// Version 2 made the hot frames sparse: round frames delta-code their
+	// membership against the previous round on the same connection, and
+	// candidates/grant frames carry gap-coded varint stream ids. A 1%-active
+	// fleet pays O(active) bytes and decode work per round instead of O(m).
+	protoVersion = 2
 )
 
 // Frame types.
@@ -228,16 +233,28 @@ func decodeCtrl(body []byte, v any) (uint64, error) {
 	return seq, gobDecode(body[8:], v)
 }
 
-// --- round frame (coordinator → worker) ---
+// --- round frame (coordinator → worker, v2 sparse/delta) ---
 //
-// round(u64) · bEff(f64) · mode(u8) · count(u32) · count × {
-//   stream(u32) · codec(u8) · truthFlag(u8) · [truth 37B] · packet
-// }
+// round(u64) · bEff(f64) · mode(u8) ·
+// gone(uvarint count, then gap-coded ascending ids)  ·
+// added(uvarint count, then gap-coded ascending ids) ·
+// then one entry per *current* member, in ascending stream order:
+//   codec(u8) · truthFlag(u8) · [truth 37B] · plen(uvarint) · packet[plen]
 //
-// The packet encoding is container.MarshalPacket's (self-delimiting).
-// Ground truth rides along for recall accounting only: the redundancy
-// feedback ("necessary") depends solely on decoded scenes, so decision
-// equality never depends on the truth relay.
+// Membership (which streams this worker receives) is delta-coded against
+// the previous round frame on the same connection; a fresh connection
+// starts from the empty set. Gap coding (id minus previous id minus 1,
+// first id verbatim) makes ascending order and uniqueness structural within
+// each list; the decoder still validates gone ⊆ previous and added ∩ kept
+// = ∅, so a corrupt peer yields an error, never a panic or a silent skew.
+// A stable fleet therefore pays two zero-count varints plus the active
+// entries — O(active) bytes — and the decoder touches no O(m) state.
+//
+// The packet encoding is container.MarshalPacket's, length-prefixed here so
+// the decoder can bound each entry before parsing it. Ground truth rides
+// along for recall accounting only: the redundancy feedback ("necessary")
+// depends solely on decoded scenes, so decision equality never depends on
+// the truth relay.
 
 const sceneLen = 37
 
@@ -286,117 +303,293 @@ type roundPacket struct {
 	hasT   bool
 }
 
-func encodeRound(dst []byte, round int64, bEff float64, mode overload.Mode, pkts []roundPacket) []byte {
-	var hdr [21]byte
-	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
-	binary.BigEndian.PutUint64(hdr[8:16], math.Float64bits(bEff))
-	hdr[16] = uint8(mode)
-	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(pkts)))
-	dst = append(dst, hdr[:]...)
-	for _, rp := range pkts {
-		var ph [6]byte
-		binary.BigEndian.PutUint32(ph[0:4], uint32(rp.stream))
-		ph[4] = uint8(rp.pkt.Codec)
-		if rp.hasT {
-			ph[5] = 1
-		}
-		dst = append(dst, ph[:]...)
-		if rp.hasT {
-			dst = appendScene(dst, rp.truth)
-		}
-		dst = container.MarshalPacket(dst, rp.pkt)
+// readUvarint decodes one uvarint at off, returning the value and the new
+// offset; truncated or overlong varints are errors.
+func readUvarint(body []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("cluster: bad varint at offset %d", off)
+	}
+	return v, off + n, nil
+}
+
+// appendGapIDs gap-codes an ascending id list: first id verbatim, then each
+// id minus its predecessor minus one.
+func appendGapIDs(dst []byte, ids []int32) []byte {
+	prev := int32(-1)
+	for _, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(id-prev-1))
+		prev = id
 	}
 	return dst
 }
 
-type roundMsg struct {
-	round   int64
-	bEff    float64
-	mode    overload.Mode
-	pkts    []*codec.Packet
-	truth   []codec.Scene
-	hasT    []bool
-	nonIdle []int32
+// readGapIDs decodes count gap-coded ids into dst[:0]; every id must land in
+// [0, m). Gap coding makes the result strictly ascending by construction.
+func readGapIDs(dst []int32, body []byte, off, count, m int) ([]int32, int, error) {
+	dst = dst[:0]
+	prev := int64(-1)
+	for k := 0; k < count; k++ {
+		gap, noff, err := readUvarint(body, off)
+		if err != nil {
+			return dst, off, err
+		}
+		off = noff
+		if gap >= uint64(m) {
+			return dst, off, fmt.Errorf("cluster: delta id gap %d out of range", gap)
+		}
+		id := prev + 1 + int64(gap)
+		if id >= int64(m) {
+			return dst, off, fmt.Errorf("cluster: delta stream id %d out of range [0,%d)", id, m)
+		}
+		prev = id
+		dst = append(dst, int32(id))
+	}
+	return dst, off, nil
 }
 
-func decodeRound(body []byte, m int) (*roundMsg, error) {
-	if len(body) < 21 {
-		return nil, fmt.Errorf("cluster: truncated round frame")
-	}
-	msg := &roundMsg{
-		round: int64(binary.BigEndian.Uint64(body[0:8])),
-		bEff:  math.Float64frombits(binary.BigEndian.Uint64(body[8:16])),
-		mode:  overload.Mode(body[16]),
-		pkts:  make([]*codec.Packet, m),
-		truth: make([]codec.Scene, m),
-		hasT:  make([]bool, m),
-	}
-	count := int(binary.BigEndian.Uint32(body[17:21]))
-	off := 21
-	for k := 0; k < count; k++ {
-		if len(body)-off < 6 {
-			return nil, fmt.Errorf("cluster: truncated round entry %d", k)
+// encodeRoundDelta encodes one round frame against prev, the ascending
+// membership sent on this connection's previous round frame (empty for a
+// fresh connection). pkts must be ascending by stream — the coordinator's
+// demux emits them that way. pktBuf is a reusable marshal scratch.
+func encodeRoundDelta(dst []byte, round int64, bEff float64, mode overload.Mode, pkts []roundPacket, prev []int32, pktBuf *[]byte) []byte {
+	var hdr [17]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
+	binary.BigEndian.PutUint64(hdr[8:16], math.Float64bits(bEff))
+	hdr[16] = uint8(mode)
+	dst = append(dst, hdr[:]...)
+
+	// First merge pass counts the deltas (uvarint counts precede the lists);
+	// the next two passes emit them. All three are O(prev + cur).
+	nGone, nAdded := 0, 0
+	pi := 0
+	for _, rp := range pkts {
+		id := int32(rp.stream)
+		for pi < len(prev) && prev[pi] < id {
+			nGone++
+			pi++
 		}
-		stream := int(binary.BigEndian.Uint32(body[off : off+4]))
-		cdc := codec.Codec(body[off+4])
-		hasT := body[off+5] == 1
-		off += 6
-		if stream < 0 || stream >= m {
-			return nil, fmt.Errorf("cluster: round entry stream %d out of range", stream)
+		if pi < len(prev) && prev[pi] == id {
+			pi++
+		} else {
+			nAdded++
 		}
-		if hasT {
-			sc, err := parseScene(body[off:])
-			if err != nil {
-				return nil, err
+	}
+	nGone += len(prev) - pi
+
+	dst = binary.AppendUvarint(dst, uint64(nGone))
+	pi = 0
+	last := int32(-1)
+	for _, rp := range pkts {
+		id := int32(rp.stream)
+		for pi < len(prev) && prev[pi] < id {
+			dst = binary.AppendUvarint(dst, uint64(prev[pi]-last-1))
+			last = prev[pi]
+			pi++
+		}
+		if pi < len(prev) && prev[pi] == id {
+			pi++
+		}
+	}
+	for ; pi < len(prev); pi++ {
+		dst = binary.AppendUvarint(dst, uint64(prev[pi]-last-1))
+		last = prev[pi]
+	}
+
+	dst = binary.AppendUvarint(dst, uint64(nAdded))
+	pi, last = 0, -1
+	for _, rp := range pkts {
+		id := int32(rp.stream)
+		for pi < len(prev) && prev[pi] < id {
+			pi++
+		}
+		if pi < len(prev) && prev[pi] == id {
+			pi++
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(id-last-1))
+		last = id
+	}
+
+	for _, rp := range pkts {
+		dst = append(dst, uint8(rp.pkt.Codec))
+		if rp.hasT {
+			dst = append(dst, 1)
+			dst = appendScene(dst, rp.truth)
+		} else {
+			dst = append(dst, 0)
+		}
+		*pktBuf = container.MarshalPacket((*pktBuf)[:0], rp.pkt)
+		dst = binary.AppendUvarint(dst, uint64(len(*pktBuf)))
+		dst = append(dst, *pktBuf...)
+	}
+	return dst
+}
+
+// roundMsg is one decoded round frame. rnd holds the active streams sparsely;
+// truth/hasT are parallel to rnd.IDs. gone/added are decode scratch.
+type roundMsg struct {
+	round int64
+	bEff  float64
+	mode  overload.Mode
+	rnd   codec.Round
+	truth []codec.Scene
+	hasT  []bool
+
+	gone, added []int32
+}
+
+// decodeRoundDelta decodes a round frame against prev, this connection's
+// membership after the previous round frame. On success msg.rnd.IDs is the
+// new membership (the caller persists a copy as the next prev); on error the
+// frame is rejected wholesale and prev must be kept. Every malformed input —
+// truncated varints or entries, out-of-range ids, a gone id that was not a
+// member, an added id that already was, trailing bytes — is an error, never
+// a panic.
+func decodeRoundDelta(body []byte, m int, prev []int32, msg *roundMsg) error {
+	if len(body) < 17 {
+		return fmt.Errorf("cluster: truncated round frame")
+	}
+	msg.round = int64(binary.BigEndian.Uint64(body[0:8]))
+	msg.bEff = math.Float64frombits(binary.BigEndian.Uint64(body[8:16]))
+	msg.mode = overload.Mode(body[16])
+	off := 17
+
+	nGone, off, err := readUvarint(body, off)
+	if err != nil {
+		return err
+	}
+	if nGone > uint64(len(prev)) {
+		return fmt.Errorf("cluster: %d gone ids exceed membership %d", nGone, len(prev))
+	}
+	msg.gone, off, err = readGapIDs(msg.gone, body, off, int(nGone), m)
+	if err != nil {
+		return err
+	}
+	nAdded, off, err := readUvarint(body, off)
+	if err != nil {
+		return err
+	}
+	if nAdded > uint64(m) {
+		return fmt.Errorf("cluster: %d added ids exceed fleet width %d", nAdded, m)
+	}
+	msg.added, off, err = readGapIDs(msg.added, body, off, int(nAdded), m)
+	if err != nil {
+		return err
+	}
+
+	msg.rnd.Reset(m)
+	msg.truth = msg.truth[:0]
+	msg.hasT = msg.hasT[:0]
+	gone, added := msg.gone, msg.added
+	pi, gi, ai := 0, 0, 0
+	for {
+		// Drop prev members named in gone; a gone id smaller than the next
+		// surviving prev id was never a member.
+		for pi < len(prev) && gi < len(gone) {
+			if gone[gi] < prev[pi] {
+				return fmt.Errorf("cluster: gone stream %d is not a member", gone[gi])
 			}
-			msg.truth[stream] = sc
-			msg.hasT[stream] = true
+			if gone[gi] > prev[pi] {
+				break
+			}
+			pi++
+			gi++
+		}
+		var id int32
+		switch {
+		case pi < len(prev) && ai < len(added):
+			if added[ai] == prev[pi] {
+				return fmt.Errorf("cluster: added stream %d is already a member", added[ai])
+			}
+			if added[ai] < prev[pi] {
+				id = added[ai]
+				ai++
+			} else {
+				id = prev[pi]
+				pi++
+			}
+		case pi < len(prev):
+			id = prev[pi]
+			pi++
+		case ai < len(added):
+			id = added[ai]
+			ai++
+		default:
+			if gi < len(gone) {
+				return fmt.Errorf("cluster: gone stream %d is not a member", gone[gi])
+			}
+			if off != len(body) {
+				return fmt.Errorf("cluster: %d trailing bytes after round frame", len(body)-off)
+			}
+			return nil
+		}
+
+		if len(body)-off < 2 {
+			return fmt.Errorf("cluster: truncated round entry for stream %d", id)
+		}
+		cdc := codec.Codec(body[off])
+		tflag := body[off+1]
+		off += 2
+		if tflag > 1 {
+			return fmt.Errorf("cluster: bad truth flag %d for stream %d", tflag, id)
+		}
+		var sc codec.Scene
+		if tflag == 1 {
+			sc, err = parseScene(body[off:])
+			if err != nil {
+				return err
+			}
 			off += sceneLen
 		}
-		p, n, err := container.UnmarshalPacket(body[off:])
+		plen, noff, err := readUvarint(body, off)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: round entry %d: %w", k, err)
+			return err
 		}
-		p.StreamID = stream
+		off = noff
+		if plen > uint64(len(body)-off) {
+			return fmt.Errorf("cluster: packet length %d exceeds frame for stream %d", plen, id)
+		}
+		p, n, err := container.UnmarshalPacket(body[off : off+int(plen)])
+		if err != nil {
+			return fmt.Errorf("cluster: round entry for stream %d: %w", id, err)
+		}
+		if n != int(plen) {
+			return fmt.Errorf("cluster: packet length mismatch for stream %d: %d declared, %d parsed", id, plen, n)
+		}
+		p.StreamID = int(id)
 		p.Codec = cdc
-		off += n
-		msg.pkts[stream] = p
+		off += int(plen)
+		msg.rnd.Append(id, p)
+		msg.truth = append(msg.truth, sc)
+		msg.hasT = append(msg.hasT, tflag == 1)
 	}
-	// The coordinator demuxes in ascending stream order, so nonIdle can be
-	// rebuilt with one pass over the entries' range — but entries arrive
-	// already ascending; collect during the scan above would need a sort
-	// guarantee, so rebuild defensively here.
-	for i, p := range msg.pkts {
-		if p != nil {
-			msg.nonIdle = append(msg.nonIdle, int32(i))
-		}
-	}
-	return msg, nil
 }
 
-// --- candidates frame (worker → coordinator) ---
+// --- candidates frame (worker → coordinator, v2 sparse) ---
 //
-// round(u64) · offeredCost(f64) · count(u32) · count × {
-//   stream(u32) · value(f64 bits) · cost(f64 bits)
-// }
+// round(u64) · offeredCost(f64) · count(uvarint) ·
+// count × gap-coded stream id (uvarint, ascending) ·
+// count × { value(f64 bits) · cost(f64 bits) }
+//
+// A worker's candidates are its active streams only, ascending by id (the
+// gate walks its active set in order), so gap coding applies directly.
 
-type candidate struct {
-	stream int
-	value  float64
-	cost   float64
-}
-
-func encodeCandidates(dst []byte, round int64, offered float64, cands []candidate) []byte {
-	var hdr [20]byte
+func encodeCandidates(dst []byte, round int64, offered float64, cands []knapsack.Candidate) []byte {
+	var hdr [16]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
 	binary.BigEndian.PutUint64(hdr[8:16], math.Float64bits(offered))
-	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(cands)))
 	dst = append(dst, hdr[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(cands)))
+	prev := int32(-1)
 	for _, c := range cands {
-		var b [20]byte
-		binary.BigEndian.PutUint32(b[0:4], uint32(c.stream))
-		binary.BigEndian.PutUint64(b[4:12], math.Float64bits(c.value))
-		binary.BigEndian.PutUint64(b[12:20], math.Float64bits(c.cost))
+		dst = binary.AppendUvarint(dst, uint64(c.Stream-prev-1))
+		prev = c.Stream
+	}
+	for _, c := range cands {
+		var b [16]byte
+		binary.BigEndian.PutUint64(b[0:8], math.Float64bits(c.Value))
+		binary.BigEndian.PutUint64(b[8:16], math.Float64bits(c.Cost))
 		dst = append(dst, b[:]...)
 	}
 	return dst
@@ -405,45 +598,58 @@ func encodeCandidates(dst []byte, round int64, offered float64, cands []candidat
 type candidatesMsg struct {
 	round   int64
 	offered float64
-	cands   []candidate
+	cands   []knapsack.Candidate
+
+	ids []int32 // decode scratch
 }
 
-func decodeCandidates(body []byte) (candidatesMsg, error) {
-	var msg candidatesMsg
-	if len(body) < 20 {
-		return msg, fmt.Errorf("cluster: truncated candidates frame")
+// decodeCandidates decodes into msg, reusing its slices (the coordinator
+// holds one scratch msg and folds each worker's candidates out of it before
+// the next decode).
+func decodeCandidates(body []byte, m int, msg *candidatesMsg) error {
+	if len(body) < 16 {
+		return fmt.Errorf("cluster: truncated candidates frame")
 	}
 	msg.round = int64(binary.BigEndian.Uint64(body[0:8]))
 	msg.offered = math.Float64frombits(binary.BigEndian.Uint64(body[8:16]))
-	count := int(binary.BigEndian.Uint32(body[16:20]))
-	if len(body) != 20+count*20 {
-		return msg, fmt.Errorf("cluster: candidates frame length %d for %d entries", len(body), count)
+	count, off, err := readUvarint(body, 16)
+	if err != nil {
+		return err
 	}
-	msg.cands = make([]candidate, count)
-	for k := 0; k < count; k++ {
-		off := 20 + k*20
-		msg.cands[k] = candidate{
-			stream: int(binary.BigEndian.Uint32(body[off : off+4])),
-			value:  math.Float64frombits(binary.BigEndian.Uint64(body[off+4 : off+12])),
-			cost:   math.Float64frombits(binary.BigEndian.Uint64(body[off+12 : off+20])),
-		}
+	if count > uint64(m) {
+		return fmt.Errorf("cluster: %d candidates exceed fleet width %d", count, m)
 	}
-	return msg, nil
+	msg.ids, off, err = readGapIDs(msg.ids, body, off, int(count), m)
+	if err != nil {
+		return err
+	}
+	if len(body)-off != int(count)*16 {
+		return fmt.Errorf("cluster: candidates frame %d value bytes for %d entries", len(body)-off, count)
+	}
+	msg.cands = msg.cands[:0]
+	for _, id := range msg.ids {
+		msg.cands = append(msg.cands, knapsack.Candidate{
+			Stream: id,
+			Value:  math.Float64frombits(binary.BigEndian.Uint64(body[off : off+8])),
+			Cost:   math.Float64frombits(binary.BigEndian.Uint64(body[off+8 : off+16])),
+		})
+		off += 16
+	}
+	return nil
 }
 
-// --- grant frame (coordinator → worker) ---
+// --- grant frame (coordinator → worker, v2 sparse) ---
 //
-// round(u64) · count(u32) · count × stream(u32), in global selection order.
+// round(u64) · count(uvarint) · count × stream(uvarint), in global selection
+// order (ratio-ranked, not ascending — so ids are plain varints, not gaps).
 
 func encodeGrant(dst []byte, round int64, streams []int) []byte {
-	var hdr [12]byte
-	binary.BigEndian.PutUint64(hdr[0:8], uint64(round))
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(streams)))
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(round))
 	dst = append(dst, hdr[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(streams)))
 	for _, s := range streams {
-		var b [4]byte
-		binary.BigEndian.PutUint32(b[:], uint32(s))
-		dst = append(dst, b[:]...)
+		dst = binary.AppendUvarint(dst, uint64(s))
 	}
 	return dst
 }
@@ -453,19 +659,33 @@ type grantMsg struct {
 	streams []int
 }
 
-func decodeGrant(body []byte) (grantMsg, error) {
+func decodeGrant(body []byte, m int) (grantMsg, error) {
 	var msg grantMsg
-	if len(body) < 12 {
+	if len(body) < 8 {
 		return msg, fmt.Errorf("cluster: truncated grant frame")
 	}
 	msg.round = int64(binary.BigEndian.Uint64(body[0:8]))
-	count := int(binary.BigEndian.Uint32(body[8:12]))
-	if len(body) != 12+count*4 {
-		return msg, fmt.Errorf("cluster: grant frame length %d for %d entries", len(body), count)
+	count, off, err := readUvarint(body, 8)
+	if err != nil {
+		return msg, err
 	}
-	msg.streams = make([]int, count)
-	for k := 0; k < count; k++ {
-		msg.streams[k] = int(binary.BigEndian.Uint32(body[12+k*4 : 16+k*4]))
+	if count > uint64(m) {
+		return msg, fmt.Errorf("cluster: %d grants exceed fleet width %d", count, m)
+	}
+	msg.streams = make([]int, 0, count)
+	for k := uint64(0); k < count; k++ {
+		var s uint64
+		s, off, err = readUvarint(body, off)
+		if err != nil {
+			return msg, err
+		}
+		if s >= uint64(m) {
+			return msg, fmt.Errorf("cluster: granted stream %d out of range [0,%d)", s, m)
+		}
+		msg.streams = append(msg.streams, int(s))
+	}
+	if off != len(body) {
+		return msg, fmt.Errorf("cluster: %d trailing bytes after grant frame", len(body)-off)
 	}
 	return msg, nil
 }

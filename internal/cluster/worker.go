@@ -71,6 +71,10 @@ type Worker struct {
 
 	grantCh chan grantMsg
 	roundCh chan *roundMsg
+
+	// prevIDs is the delta-coding membership state of the round-frame stream
+	// (readLoop-owned): the ascending stream ids of the last decoded round.
+	prevIDs []int32
 }
 
 // Dial connects to the coordinator, performs the PGCP handshake and join,
@@ -312,18 +316,24 @@ func (w *Worker) readLoop() {
 		}
 		switch typ {
 		case fRound:
-			msg, err := decodeRound(body, w.ccfg.Streams)
-			if err != nil {
+			// A fresh roundMsg per round: the engine holds the previous round
+			// until it asks for the next one, and a queued frame may sit in
+			// roundCh behind it, so buffers cannot be recycled in place. The
+			// allocation is O(active) — the sparse round only materializes
+			// the streams present in the frame.
+			msg := new(roundMsg)
+			if err := decodeRoundDelta(body, w.ccfg.Streams, w.prevIDs, msg); err != nil {
 				w.fail(err)
 				return
 			}
+			w.prevIDs = append(w.prevIDs[:0], msg.rnd.IDs...)
 			select {
 			case w.roundCh <- msg:
 			case <-w.stop:
 				return
 			}
 		case fGrant:
-			g, err := decodeGrant(body)
+			g, err := decodeGrant(body, w.ccfg.Streams)
 			if err != nil {
 				w.fail(err)
 				return
@@ -464,10 +474,10 @@ func (w *Worker) heartbeatLoop() {
 }
 
 // clusterSource adapts the round frames into the pipeline's RoundSource /
-// RoundLister and the gate's overload.Planner: NextRound reports the
-// previous round's settlement, then blocks for the next round frame; Plan
-// serves the coordinator-planned effective budget and mode for the round in
-// flight.
+// SparseRoundSource / RoundLister and the gate's overload.Planner: each
+// next-round call reports the previous round's settlement, then blocks for
+// the next round frame; Plan serves the coordinator-planned effective budget
+// and mode for the round in flight.
 type clusterSource struct {
 	w *Worker
 	m int
@@ -478,10 +488,11 @@ type clusterSource struct {
 	started bool
 	t0      time.Time
 	cur     *roundMsg
+	dense   []*codec.Packet // NextRound scatter scratch
 }
 
-// NextRound implements pipeline.RoundSource.
-func (s *clusterSource) NextRound() ([]*codec.Packet, error) {
+// next reports the settled round (if any) and blocks for the next frame.
+func (s *clusterSource) next() (*roundMsg, error) {
 	w := s.w
 	if s.started {
 		if w.opts.CrashAfter > 0 && s.cur.round >= w.opts.CrashAfter {
@@ -495,14 +506,14 @@ func (s *clusterSource) NextRound() ([]*codec.Packet, error) {
 		}
 	}
 	select {
-	case msg := <-s.roundCh():
+	case msg := <-w.roundCh:
 		s.cur = msg
 		s.started = true
 		s.t0 = time.Now()
 		s.mu.Lock()
 		s.lastRound = msg.round
 		s.mu.Unlock()
-		return msg.pkts, nil
+		return msg, nil
 	case <-w.bye:
 		return nil, io.EOF
 	case <-w.stop:
@@ -516,20 +527,50 @@ func (s *clusterSource) NextRound() ([]*codec.Packet, error) {
 	}
 }
 
-func (s *clusterSource) roundCh() chan *roundMsg { return s.w.roundCh }
+// NextRoundSparse implements pipeline.SparseRoundSource: the frame is
+// already sparse, so the engine's fast path gets it wholesale.
+func (s *clusterSource) NextRoundSparse() (*codec.Round, error) {
+	msg, err := s.next()
+	if err != nil {
+		return nil, err
+	}
+	return &msg.rnd, nil
+}
+
+// NextRound implements pipeline.RoundSource: the dense compatibility view,
+// used only when the engine runs with DenseRounds. The O(m) clear is the
+// price of the dense representation itself.
+func (s *clusterSource) NextRound() ([]*codec.Packet, error) {
+	msg, err := s.next()
+	if err != nil {
+		return nil, err
+	}
+	if s.dense == nil {
+		s.dense = make([]*codec.Packet, s.m)
+	}
+	for i := range s.dense {
+		s.dense[i] = nil
+	}
+	msg.rnd.Scatter(s.dense)
+	return s.dense, nil
+}
 
 // Truth implements pipeline.RoundSource: ground truth relayed with the
 // round frame (accuracy accounting only — redundancy feedback never reads
 // it, so decision equality does not depend on the relay).
 func (s *clusterSource) Truth(i int) (codec.Scene, bool) {
-	if s.cur == nil || !s.cur.hasT[i] {
+	if s.cur == nil {
 		return codec.Scene{}, false
 	}
-	return s.cur.truth[i], true
+	k := s.cur.rnd.Find(int32(i))
+	if k < 0 || !s.cur.hasT[k] {
+		return codec.Scene{}, false
+	}
+	return s.cur.truth[k], true
 }
 
 // NonIdle implements pipeline.RoundLister.
-func (s *clusterSource) NonIdle() []int32 { return s.cur.nonIdle }
+func (s *clusterSource) NonIdle() []int32 { return s.cur.rnd.IDs }
 
 // Plan implements overload.Planner: the coordinator's reconciler already
 // planned this round's effective budget and degradation mode; the worker
@@ -545,7 +586,7 @@ func (s *clusterSource) Plan() (float64, overload.Mode) {
 // bit-identical to a single gate; distributing only the scoring is.
 type remoteSelector struct {
 	w     *Worker
-	cands []candidate
+	cands []knapsack.Candidate
 	buf   []byte
 }
 
@@ -562,15 +603,39 @@ func (r *remoteSelector) Select(items []knapsack.Item, budget float64) []int {
 // single gate would not offer them either), everything else is offered to
 // the global solve verbatim.
 func (r *remoteSelector) SelectAppend(dst []int, items []knapsack.Item, budget float64) []int {
-	w := r.w
 	r.cands = r.cands[:0]
-	var offered float64
 	for i, it := range items {
 		if it.Value == 0 && it.Cost == 0 {
 			continue
 		}
-		r.cands = append(r.cands, candidate{stream: i, value: it.Value, cost: it.Cost})
-		offered += it.Cost
+		r.cands = append(r.cands, knapsack.Candidate{Stream: int32(i), Value: it.Value, Cost: it.Cost})
+	}
+	return r.solve(dst)
+}
+
+// SelectSparseAppend implements knapsack.SparseSelector: the gate's sparse
+// decide path hands the active candidates directly. The zero-value/zero-cost
+// skip mirrors SelectAppend's so both paths put bit-identical candidate
+// frames on the wire.
+func (r *remoteSelector) SelectSparseAppend(dst []int, cands []knapsack.Candidate, budget float64) []int {
+	r.cands = r.cands[:0]
+	for _, c := range cands {
+		if c.Value == 0 && c.Cost == 0 {
+			continue
+		}
+		r.cands = append(r.cands, c)
+	}
+	return r.solve(dst)
+}
+
+// solve ships r.cands to the coordinator and blocks for the grant. The local
+// budget argument is ignored by design: the coordinator's reconciler already
+// planned the global effective budget this round.
+func (r *remoteSelector) solve(dst []int) []int {
+	w := r.w
+	var offered float64
+	for _, c := range r.cands {
+		offered += c.Cost
 	}
 	round := w.src.cur.round
 	r.buf = encodeCandidates(r.buf[:0], round, offered, r.cands)

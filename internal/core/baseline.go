@@ -32,6 +32,7 @@ type BaselineGate struct {
 	budget   float64
 	items    []knapsack.Item
 	selected []bool
+	costs    []float64
 	stats    Stats
 }
 
@@ -59,7 +60,8 @@ func (b *BaselineGate) Decide(pkts []*codec.Packet) ([]int, error) {
 	if len(pkts) != len(b.selected) {
 		return nil, fmt.Errorf("core: %d packets for %d streams", len(pkts), len(b.selected))
 	}
-	costs, err := b.tracker.Costs(pkts)
+	costs, err := b.tracker.CostsAppend(b.costs[:0], pkts)
+	b.costs = costs
 	if err != nil {
 		return nil, err
 	}

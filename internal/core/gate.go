@@ -318,6 +318,9 @@ type Gate struct {
 	shed       []bool    // streams refused admission by the brownout mode this round
 	tasks      int       // predictor head count (0 without a predictor)
 	selApp     knapsack.SelectAppender // non-nil when Selector supports append
+	selSparse  knapsack.SparseSelector // non-nil when Selector supports sparse candidates
+	cands      []knapsack.Candidate    // sparse candidate scratch (active streams only)
+	pktAt      []*codec.Packet         // sparse-round scatter scratch (m-length, nil between rounds)
 
 	// Incremental machinery. ranked is the persistent score-ordered
 	// candidate structure (nil with NoIncremental or a custom Selector);
@@ -415,6 +418,7 @@ func NewGate(cfg Config) (*Gate, error) {
 		g.ranked = knapsack.NewRanked(cfg.Streams)
 	}
 	g.selApp, _ = cfg.Selector.(knapsack.SelectAppender)
+	g.selSparse, _ = cfg.Selector.(knapsack.SparseSelector)
 	if cfg.OnlineLR > 0 {
 		g.trainer = predictor.NewTrainer(cfg.Predictor, cfg.OnlineLR)
 		g.trainSlab = &predictor.Slab{}
@@ -523,6 +527,33 @@ func (g *Gate) DecideRoundAppend(pkts []*codec.Packet, nonIdle []int32, dst []in
 		last = i
 	}
 	if err := g.decideLocked(pkts, nonIdle); err != nil {
+		return nil, err
+	}
+	return append(dst, g.selOut...), nil
+}
+
+// DecideSparseAppend is DecideRoundAppend over a sparse round: only the
+// streams in r exist this round. The round's packets are scattered into a
+// persistent m-length array (so the scoring core keeps its by-stream
+// indexing) and un-scattered afterwards — both O(active) — which makes the
+// whole call O(active) for a mostly-idle fleet while remaining bit-identical
+// to handing the dense equivalent to Decide.
+func (g *Gate) DecideSparseAppend(r *codec.Round, dst []int) ([]int, error) {
+	g.decideMu.Lock()
+	defer g.decideMu.Unlock()
+	if r.M != g.cfg.Streams {
+		return nil, fmt.Errorf("core: sparse round width %d for %d streams", r.M, g.cfg.Streams)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if g.pktAt == nil {
+		g.pktAt = make([]*codec.Packet, g.cfg.Streams)
+	}
+	r.Scatter(g.pktAt)
+	err := g.decideLocked(g.pktAt, r.IDs)
+	r.ClearScatter(g.pktAt)
+	if err != nil {
 		return nil, err
 	}
 	return append(dst, g.selOut...), nil
@@ -786,6 +817,16 @@ func (g *Gate) decideLocked(pkts []*codec.Packet, nonIdle []int32) error {
 			g.ranked.Offer(i, g.conf[i], g.costs[i], tier)
 		}
 		g.selOut = g.ranked.SelectAppend(g.selOut[:0], nt, bEff)
+	} else if g.selSparse != nil && g.tiered == nil && !g.cfg.NoIncremental {
+		// Sparse custom selectors (the cluster worker's remote solve) get a
+		// compact candidate list instead of the O(m) dense item build: the
+		// active list is ascending by stream id, so positional tie-breaks in
+		// the selector match dense index tie-breaks exactly.
+		g.cands = g.cands[:0]
+		for _, i := range g.active {
+			g.cands = append(g.cands, knapsack.Candidate{Stream: int32(i), Value: g.conf[i], Cost: g.costs[i]})
+		}
+		g.selOut = g.selSparse.SelectSparseAppend(g.selOut[:0], g.cands, bEff)
 	} else {
 		for i := range g.items {
 			g.items[i] = knapsack.Item{}

@@ -25,9 +25,10 @@ type Simulation struct {
 	costs    *decode.MultiTracker
 	trueCost float64
 
-	pkts  []*codec.Packet
-	truth []codec.Scene
-	vals  []float64
+	pkts     []*codec.Packet
+	truth    []codec.Scene
+	vals     []float64
+	costsBuf []float64
 
 	// Fast-slow path probing (§4.1): every probeEvery rounds the slow path
 	// virtually decodes everything to measure how many necessary packets
@@ -169,7 +170,8 @@ func (s *Simulation) Run(rounds, segments int) (Result, error) {
 		for _, i := range sel {
 			selFlags[i] = true
 		}
-		trueCosts, err := s.costs.Costs(s.pkts)
+		trueCosts, err := s.costs.CostsAppend(s.costsBuf[:0], s.pkts)
+		s.costsBuf = trueCosts
 		if err != nil {
 			return res, fmt.Errorf("core: round %d cost tracking: %w", t, err)
 		}

@@ -191,6 +191,50 @@ func (mt *MultiTracker) Costs(pkts []*codec.Packet) ([]float64, error) {
 	return costs, nil
 }
 
+// CostsAppend is Costs into caller-owned scratch: the per-stream costs are
+// appended to dst (which may be nil), so a caller that recycles its buffer
+// pays no allocation per round. dst is returned truncated-then-extended by
+// exactly len(pkts) entries.
+func (mt *MultiTracker) CostsAppend(dst []float64, pkts []*codec.Packet) ([]float64, error) {
+	if len(pkts) != len(mt.trackers) {
+		return dst, fmt.Errorf("decode: %d packets for %d streams", len(pkts), len(mt.trackers))
+	}
+	for i, p := range pkts {
+		if p == nil {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, mt.trackers[i].Cost(p))
+	}
+	return dst, nil
+}
+
+// CostsRound computes dependency-inclusive costs for a sparse round: one
+// appended entry per active stream, parallel to r.IDs. O(active).
+func (mt *MultiTracker) CostsRound(dst []float64, r *codec.Round) ([]float64, error) {
+	if r.M != len(mt.trackers) {
+		return dst, fmt.Errorf("decode: round width %d for %d streams", r.M, len(mt.trackers))
+	}
+	for k, id := range r.IDs {
+		dst = append(dst, mt.trackers[id].Cost(r.Pkts[k]))
+	}
+	return dst, nil
+}
+
+// CommitRound records a sparse round's decisions: selected[k] reports
+// whether stream r.IDs[k]'s packet was decoded. Idle streams carry no
+// dependency update (exactly as the dense Commit skips nil packets), so a
+// sparse commit is bit-identical to a dense one over the scattered round.
+func (mt *MultiTracker) CommitRound(r *codec.Round, selected []bool) error {
+	if r.M != len(mt.trackers) || len(selected) != r.Len() {
+		return fmt.Errorf("decode: sparse commit length mismatch")
+	}
+	for k, id := range r.IDs {
+		mt.trackers[id].Commit(r.Pkts[k], selected[k])
+	}
+	return nil
+}
+
 // Commit records the round's decisions. selected[i] reports whether stream
 // i's packet was decoded.
 func (mt *MultiTracker) Commit(pkts []*codec.Packet, selected []bool) error {

@@ -9,6 +9,8 @@ import (
 
 	"packetgame/internal/codec"
 	"packetgame/internal/core"
+	"packetgame/internal/infer"
+	"packetgame/internal/pipeline"
 	"packetgame/internal/predictor"
 )
 
@@ -91,6 +93,46 @@ func Scale(o Options) error {
 			m, nsByAct[1.00]/nsByAct[0.01])
 	}
 
+	o.printf("\n=== End-to-end pipeline: dense vs sparse round representation (1%% activity) ===\n")
+	o.printf("%-8s %-7s %12s %14s %14s %12s\n", "m", "repr", "ns/round", "alloc B/rd", "mallocs/rd", "decoded")
+	for _, m := range []int{o.scaled(10000, 128), o.scaled(100000, 256)} {
+		var legs [2]scaleE2ECell
+		for li, dense := range []bool{true, false} {
+			cell, err := timeE2ELeg(m, 0.01, dense, o.Seed)
+			if err != nil {
+				return err
+			}
+			legs[li] = cell
+			report.E2E = append(report.E2E, cell)
+			repr := "sparse"
+			if dense {
+				repr = "dense"
+			}
+			o.printf("%-8d %-7s %12.0f %14.0f %14.1f %12d\n",
+				m, repr, cell.NsPerRound, cell.AllocBytesPerRound, cell.MallocsPerRound, cell.Decoded)
+		}
+		if legs[0].Decoded != legs[1].Decoded {
+			return fmt.Errorf("scale e2e: m=%d dense decoded %d, sparse %d — representations diverged",
+				m, legs[0].Decoded, legs[1].Decoded)
+		}
+		sp := scaleE2ESpeedup{
+			M:            m,
+			WallSpeedup:  legs[0].NsPerRound / legs[1].NsPerRound,
+			AllocSpeedup: legs[0].AllocBytesPerRound / legs[1].AllocBytesPerRound,
+		}
+		report.E2ESpeedups = append(report.E2ESpeedups, sp)
+		o.printf("%-8d sparse vs dense: %.1fx faster, %.1fx fewer allocated bytes per round\n",
+			m, sp.WallSpeedup, sp.AllocSpeedup)
+		if o.Scale >= 1 && m >= 100000 {
+			if sp.WallSpeedup < 10 {
+				return fmt.Errorf("scale e2e: m=%d sparse wall speedup %.1fx below the 10x acceptance floor", m, sp.WallSpeedup)
+			}
+			if sp.AllocSpeedup < 10 {
+				return fmt.Errorf("scale e2e: m=%d sparse alloc speedup %.1fx below the 10x acceptance floor", m, sp.AllocSpeedup)
+			}
+		}
+	}
+
 	if o.Scale >= 1 {
 		report.Meta = benchMeta("scale")
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -122,11 +164,29 @@ type scaleSpeedup struct {
 	LowChurnSpeedup float64 `json:"speedup_1pct_vs_100pct"`
 }
 
+type scaleE2ECell struct {
+	M                  int     `json:"m"`
+	Activity           float64 `json:"activity"`
+	Dense              bool    `json:"dense"`
+	NsPerRound         float64 `json:"ns_per_round"`
+	AllocBytesPerRound float64 `json:"alloc_bytes_per_round"`
+	MallocsPerRound    float64 `json:"mallocs_per_round"`
+	Decoded            int64   `json:"decoded"`
+}
+
+type scaleE2ESpeedup struct {
+	M            int     `json:"m"`
+	WallSpeedup  float64 `json:"wall_speedup"`
+	AllocSpeedup float64 `json:"alloc_speedup"`
+}
+
 type scaleReport struct {
-	Meta     BenchMeta      `json:"meta"`
-	Cells    []scaleCell    `json:"cells"`
-	Idle     []scaleCell    `json:"idle_cells"`
-	Speedups []scaleSpeedup `json:"speedups"`
+	Meta        BenchMeta         `json:"meta"`
+	Cells       []scaleCell       `json:"cells"`
+	Idle        []scaleCell       `json:"idle_cells"`
+	Speedups    []scaleSpeedup    `json:"speedups"`
+	E2E         []scaleE2ECell    `json:"e2e_cells"`
+	E2ESpeedups []scaleE2ESpeedup `json:"e2e_speedups"`
 }
 
 // timeScaleCell measures one (m, churn) cell: mean wall-clock nanoseconds
@@ -333,4 +393,127 @@ func timeIdleCell(m int, activity float64, seed int64) (scaleCell, error) {
 	}
 	cell.RoundsPerSec = 1e9 / cell.NsPerRound
 	return cell, nil
+}
+
+// e2eSource is the end-to-end leg's synthetic fleet at its sparse steady
+// state: a fixed `active` slice of the fleet delivers a packet with frozen
+// metadata every round (so the gate serves it from the score cache) and the
+// rest are idle. The source itself is O(1) per round in both views — the
+// dense nil-padded array and the sparse round are built once — so any O(m)
+// cost a leg observes comes from the engine's round representation, not
+// from the source. Packets are never mutated, making the shared references
+// safe while rounds overlap in the pipelined engine.
+type e2eSource struct {
+	pkts    []*codec.Packet // dense round view (nil-padded)
+	nonIdle []int32
+	round   codec.Round
+}
+
+func newE2ESource(m int, activity float64, seed int64) *e2eSource {
+	active := int(float64(m) * activity)
+	if active < 1 {
+		active = 1
+	}
+	// One valid payload shared by every packet: decode only reads the scene
+	// header, and the scene payload is immutable once encoded.
+	st := codec.NewStream(
+		codec.SceneConfig{BaseActivity: 0.5, PersonRate: 0.4},
+		codec.EncoderConfig{StreamID: 0, GOPSize: 12}, seed)
+	var payload []byte
+	for payload == nil {
+		if p := st.Next(); p != nil {
+			payload = p.Payload
+		}
+	}
+	s := &e2eSource{pkts: make([]*codec.Packet, m)}
+	s.round.Reset(m)
+	for i := 0; i < active; i++ {
+		p := &codec.Packet{StreamID: i, Type: codec.PictureP, Seq: 1, PTS: 40,
+			Size: 1000 + i%777, GOPSize: 25, GOPIndex: 1, Payload: payload}
+		s.pkts[i] = p
+		s.nonIdle = append(s.nonIdle, int32(i))
+		s.round.Append(int32(i), p)
+	}
+	return s
+}
+
+// NextRound implements pipeline.RoundSource (the dense leg's entry).
+func (s *e2eSource) NextRound() ([]*codec.Packet, error) { return s.pkts, nil }
+
+// NextRoundSparse implements pipeline.SparseRoundSource (the sparse leg's).
+func (s *e2eSource) NextRoundSparse() (*codec.Round, error) { return &s.round, nil }
+
+// Truth implements pipeline.RoundSource: the perf leg carries no ground
+// truth (accuracy is not what it measures).
+func (s *e2eSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }
+
+// NonIdle implements pipeline.RoundLister.
+func (s *e2eSource) NonIdle() []int32 { return s.nonIdle }
+
+// timeE2ELeg runs the full pipelined engine — producer, gate, decode pool,
+// settle — over the rotating-activity source in one of the two round
+// representations and measures steady-state per-round wall time and heap
+// traffic. The dense leg pins Config.DenseRounds, so the engine pulls
+// nil-padded O(m) rounds and settles with the dense walks; decisions are
+// bit-identical either way (asserted via the decode counters), so the delta
+// is purely the representation.
+func timeE2ELeg(m int, activity float64, dense bool, seed int64) (scaleE2ECell, error) {
+	pcfg := predictor.Config{UseIView: true, UsePView: true, Seed: seed}
+	p, err := predictor.New(pcfg)
+	if err != nil {
+		return scaleE2ECell{}, err
+	}
+	active := int(float64(m) * activity)
+	if active < 1 {
+		active = 1
+	}
+	budget := float64(active) / 25
+	if budget < 4 {
+		budget = 4
+	}
+	no := false
+	g, err := core.NewGate(core.Config{
+		Streams: m, Budget: budget, Predictor: p,
+		UseTemporal: false, Explore: &no, DependencyAware: &no,
+	})
+	if err != nil {
+		return scaleE2ECell{}, err
+	}
+	eng, err := pipeline.New(pipeline.Config{
+		Source:      newE2ESource(m, activity, seed),
+		Gate:        g,
+		Task:        infer.PersonCounting{},
+		Workers:     4,
+		MaxInFlight: 2,
+		Pipelined:   true,
+		DenseRounds: dense,
+	})
+	if err != nil {
+		return scaleE2ECell{}, err
+	}
+
+	// Warmup: fill the feature windows and the engine's roundWork free list.
+	if _, err := eng.Run(p.Config().Window + 12); err != nil {
+		return scaleE2ECell{}, err
+	}
+
+	rounds := 120
+	runtime.GC()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	rep, err := eng.Run(rounds)
+	if err != nil {
+		return scaleE2ECell{}, err
+	}
+	runtime.ReadMemStats(&msAfter)
+
+	return scaleE2ECell{
+		M:                  m,
+		Activity:           activity,
+		Dense:              dense,
+		NsPerRound:         float64(rep.Elapsed.Nanoseconds()) / float64(rounds),
+		AllocBytesPerRound: float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(rounds),
+		MallocsPerRound:    float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rounds),
+		Decoded:            rep.Decoded,
+	}, nil
 }

@@ -34,6 +34,28 @@ type SelectAppender interface {
 	SelectAppend(dst []int, items []Item, budget float64) []int
 }
 
+// Candidate is one sparse knapsack candidate: the stream it stands for plus
+// its gating value and dependency-inclusive cost. It is the compact form of
+// a dense []Item slot — an Item array is indexed by stream, a Candidate
+// carries its stream with it.
+type Candidate struct {
+	Stream int32
+	Value  float64
+	Cost   float64
+}
+
+// SparseSelector is an optional Selector extension for sparse fleets: the
+// candidate list names only the streams in play this round (strictly
+// ascending by Stream), so the selector touches O(active) state instead of
+// an O(m) dense item array. Selected stream ids are appended to dst in
+// selection order. Because candidates arrive in ascending stream order, a
+// ratio sort with positional tie-break over the compact array selects
+// exactly the streams the dense Greedy would (dense index order == compact
+// position order), so sparse and dense paths stay bit-identical.
+type SparseSelector interface {
+	SelectSparseAppend(dst []int, cands []Candidate, budget float64) []int
+}
+
 // TotalValue sums the values of the selected indices.
 func TotalValue(items []Item, sel []int) float64 {
 	var v float64
@@ -100,6 +122,23 @@ func (g *Greedy) SelectAppend(dst []int, items []Item, budget float64) []int {
 	return dst
 }
 
+// SelectSparseAppend implements SparseSelector: the compact-candidate form
+// of SelectAppend. Candidates arrive in ascending stream order, so the
+// positional tie-break reproduces the dense index tie-break exactly and the
+// appended stream ids match SelectAppend's on the equivalent dense array
+// (zero slots omitted) in selection order.
+func (g *Greedy) SelectSparseAppend(dst []int, cands []Candidate, budget float64) []int {
+	g.rank.sortSparseByRatio(cands)
+	remaining := budget
+	for _, k := range g.rank.order {
+		if cands[k].Cost <= remaining {
+			dst = append(dst, int(cands[k].Stream))
+			remaining -= cands[k].Cost
+		}
+	}
+	return dst
+}
+
 // ratioRank is the shared ratio-ordering scratch: positive-value candidates
 // ranked by descending value/cost ratio (zero-cost first), index tie-break.
 // Ratios are precomputed so the sort comparator is two loads, and the sorter
@@ -132,6 +171,19 @@ func (r *ratioRank) sortByRatio(items []Item) {
 		if it.Value > 0 {
 			r.order = append(r.order, i)
 			r.ratios[i] = ratio(it)
+		}
+	}
+	sort.Sort(r)
+}
+
+func (r *ratioRank) sortSparseByRatio(cands []Candidate) {
+	r.ensure(len(cands))
+	r.order = r.order[:0]
+	r.ratios = r.ratios[:len(cands)]
+	for k, c := range cands {
+		if c.Value > 0 {
+			r.order = append(r.order, k)
+			r.ratios[k] = ratio(Item{Value: c.Value, Cost: c.Cost})
 		}
 	}
 	sort.Sort(r)

@@ -207,19 +207,26 @@ func (pr *Reader) Next() (*codec.Packet, error) {
 
 // ParseAll parses a complete in-memory bitstream.
 func ParseAll(data []byte, opts Options) ([]*codec.Packet, error) {
+	return ParseAllAppend(nil, data, opts)
+}
+
+// ParseAllAppend is ParseAll into caller-owned scratch: parsed packets are
+// appended to dst (which may be nil). A caller that parses many bitstreams —
+// the ingest loop re-parsing one stream per round — recycles one slice
+// instead of re-growing a fresh one per call.
+func ParseAllAppend(dst []*codec.Packet, data []byte, opts Options) ([]*codec.Packet, error) {
 	p := New(opts)
 	if _, err := p.Feed(data); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if _, err := p.Flush(); err != nil {
-		return nil, err
+		return dst, err
 	}
-	var pkts []*codec.Packet
 	for {
 		pkt := p.Next()
 		if pkt == nil {
-			return pkts, nil
+			return dst, nil
 		}
-		pkts = append(pkts, pkt)
+		dst = append(dst, pkt)
 	}
 }

@@ -56,10 +56,28 @@ type RoundLister interface {
 	NonIdle() []int32
 }
 
+// SparseRoundSource is optionally implemented by sources that can hand the
+// round over in sparse form — active ids plus packets, no nil padding. The
+// engine prefers it (unless Config.DenseRounds pins the dense oracle path),
+// which makes the whole producer side O(active) per round: a source that
+// knows its activity never materializes the idle streams at all. The
+// returned Round is valid until the next NextRoundSparse call; Truth is
+// still indexed by stream id.
+type SparseRoundSource interface {
+	RoundSource
+	NextRoundSparse() (*codec.Round, error)
+}
+
 // sparseDecider is optionally implemented by gates (a *core.Gate) that
 // accept the round's non-idle list directly.
 type sparseDecider interface {
 	DecideRoundAppend(pkts []*codec.Packet, nonIdle []int32, dst []int) ([]int, error)
+}
+
+// roundDecider is optionally implemented by gates (a *core.Gate) that accept
+// a sparse round directly.
+type roundDecider interface {
+	DecideSparseAppend(r *codec.Round, dst []int) ([]int, error)
 }
 
 // decide routes one round to the gate, handing over the non-idle list when
@@ -71,6 +89,24 @@ func (e *Engine) decide(pkts []*codec.Packet, nonIdle []int32) ([]int, error) {
 		}
 	}
 	return e.cfg.Gate.Decide(pkts)
+}
+
+// decideSparse routes a sparse round to the gate. Gates without a sparse
+// entry point (baselines) get the round scattered into a persistent dense
+// scratch — correctness for every Decider, O(active) only for gates that
+// understand rounds.
+func (e *Engine) decideSparse(r *codec.Round) ([]int, error) {
+	if rd, ok := e.cfg.Gate.(roundDecider); ok {
+		return rd.DecideSparseAppend(r, nil)
+	}
+	if cap(e.scatter) < r.M {
+		e.scatter = make([]*codec.Packet, r.M)
+	}
+	dense := e.scatter[:r.M]
+	r.Scatter(dense)
+	sel, err := e.decide(dense, r.IDs)
+	r.ClearScatter(dense)
+	return sel, err
 }
 
 // Config parameterizes an Engine.
@@ -121,6 +157,13 @@ type Config struct {
 	MaxInFlight int
 	// Pipelined selects the concurrent staged engine.
 	Pipelined bool
+	// DenseRounds disables the sparse round path: even when the Source
+	// implements SparseRoundSource, rounds are pulled dense (nil-padded
+	// m-length arrays) and settled with the dense O(m) walks, exactly like
+	// the pre-sparse engine. Decisions are bit-identical either way — the
+	// sparse property tests use this knob as their oracle — so the only
+	// reason to set it is A/B benchmarking the representation itself.
+	DenseRounds bool
 	// FreshFeedback (pipelined only) applies each round's redundancy
 	// feedback the moment the round completes, instead of deferring it to
 	// the gate stage's deterministic lag-k schedule. Decisions become
@@ -195,12 +238,23 @@ type Engine struct {
 	closeOnce sync.Once
 
 	// selMask is settleRound scratch (settles are serial in both engines).
+	// The sparse settle path keeps it all-false between rounds (set and
+	// cleared per selection) so it never pays an O(m) wipe.
 	selMask []bool
+	// scatter is decideSparse's dense scratch for gates without a sparse
+	// entry point (all-nil between rounds).
+	scatter []*codec.Packet
 	// freeMasks recycles per-round necessary masks between settleRound and
 	// the feedback release sites, which may run on different goroutines in
 	// the pipelined engine.
 	maskMu    sync.Mutex
 	freeMasks [][]bool
+
+	// rwMu guards the pipelined engine's roundWork free list: sparse rounds
+	// recycle their id/packet/truth/frame buffers through it, so a
+	// steady-state in-flight round allocates O(active), not O(m).
+	rwMu   sync.Mutex
+	rwFree []*roundWork
 }
 
 // getMask returns a zeroed n-element mask, recycled when possible.
@@ -427,6 +481,10 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 	var frames []decode.Frame
 	var errs []error
 	sem := make(chan struct{}, e.cfg.Workers)
+	sparseSrc, _ := e.cfg.Source.(SparseRoundSource)
+	if e.cfg.DenseRounds {
+		sparseSrc = nil
+	}
 
 	for rounds := 0; maxRounds == 0 || rounds < maxRounds; rounds++ {
 		if e.closed() {
@@ -444,7 +502,14 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 				return rep, err
 			}
 		}
-		pkts, err := e.cfg.Source.NextRound()
+		var pkts []*codec.Packet
+		var rnd *codec.Round
+		var err error
+		if sparseSrc != nil {
+			rnd, err = sparseSrc.NextRoundSparse()
+		} else {
+			pkts, err = e.cfg.Source.NextRound()
+		}
 		if err == io.EOF {
 			break
 		}
@@ -452,16 +517,27 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 			return rep, fmt.Errorf("pipeline: source: %w", err)
 		}
 		if e.fleet == nil {
-			e.fleet = e.newFleet(len(pkts))
+			if rnd != nil {
+				e.fleet = e.newFleet(rnd.M)
+			} else {
+				e.fleet = e.newFleet(len(pkts))
+			}
 		}
 
 		var nonIdle []int32
-		if rl, ok := e.cfg.Source.(RoundLister); ok {
-			nonIdle = rl.NonIdle()
+		if rnd == nil {
+			if rl, ok := e.cfg.Source.(RoundLister); ok {
+				nonIdle = rl.NonIdle()
+			}
 		}
 		metrics.StageEnter(e.cfg.Stages.GateStage())
 		t0 := time.Now()
-		sel, err := e.decide(pkts, nonIdle)
+		var sel []int
+		if rnd != nil {
+			sel, err = e.decideSparse(rnd)
+		} else {
+			sel, err = e.decide(pkts, nonIdle)
+		}
 		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
 		if err != nil {
 			return rep, fmt.Errorf("pipeline: gate: %w", err)
@@ -485,13 +561,19 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		}
 		var wg sync.WaitGroup
 		for k, i := range sel {
+			var p *codec.Packet
+			if rnd != nil {
+				p = rnd.Get(int32(i))
+			} else {
+				p = pkts[i]
+			}
 			wg.Add(1)
-			go func(k, i int) {
+			go func(k int, p *codec.Packet) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				frames[k], errs[k] = decoder.Decode(pkts[i])
-			}(k, i)
+				frames[k], errs[k] = decoder.Decode(p)
+			}(k, p)
 		}
 		wg.Wait()
 		metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(t1).Nanoseconds())
@@ -509,7 +591,12 @@ func (e *Engine) runSequential(maxRounds int) (Report, error) {
 		// decode; the fleet monitors are not concurrency-safe).
 		metrics.StageEnter(e.cfg.Stages.InferStage())
 		t2 := time.Now()
-		necessary := e.settleRound(&rep, pkts, sel, frames, failed, nil, e.cfg.Source.Truth)
+		var necessary []bool
+		if rnd != nil {
+			necessary = e.settleRoundSparse(&rep, rnd.IDs, rnd.Pkts, nil, sel, frames, failed, nil, e.cfg.Source.Truth)
+		} else {
+			necessary = e.settleRound(&rep, pkts, sel, frames, failed, nil, e.cfg.Source.Truth)
+		}
 		metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t2).Nanoseconds())
 		if e.cfg.Governor != nil {
 			// Sequential rounds never queue: depth is the feedback backlog,
@@ -560,9 +647,87 @@ func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frame
 	for i := range isSel {
 		isSel[i] = false
 	}
+	for _, i := range sel {
+		isSel[i] = true
+	}
+	aborted := e.settleSelected(rep, necessary, sel, frames, failed, deferred, truth)
+	for i, p := range pkts {
+		if p == nil || isSel[i] {
+			continue
+		}
+		if t, ok := truth(i); ok {
+			e.sawTruth = true
+			e.fleet.Stream(i).ObserveSkipped(t)
+		}
+		rep.Packets++
+	}
+	rep.Packets += int64(len(sel))
+	rep.Decoded += int64(len(sel)) - aborted
+	rep.DeadlineAborted += aborted
+	e.cfg.Overload.AddAborted(aborted)
+	rep.Rounds++
+	return necessary
+}
+
+// settleRoundSparse is settleRound for a sparse round (ids + parallel
+// packets): the skipped-stream walk visits only the round's active ids and
+// the selection mask is set and cleared per selection, so settling costs
+// O(active) instead of O(m). Identical accounting, identical feedback.
+func (e *Engine) settleRoundSparse(rep *Report, ids []int32, pkts []*codec.Packet, truths []truthVal, sel []int, frames []decode.Frame, failed, deferred []bool, truth func(int) (codec.Scene, bool)) []bool {
+	necessary := e.getMask(len(sel))
+	m := 0
+	if n := len(ids); n > 0 {
+		m = int(ids[n-1]) + 1
+	}
+	if cap(e.selMask) < m {
+		grown := make([]bool, m)
+		e.selMask = grown
+	}
+	// selMask is all-false between rounds: set exactly the selections, clear
+	// them again below.
+	isSel := e.selMask[:cap(e.selMask)]
+	for _, i := range sel {
+		isSel[i] = true
+	}
+	aborted := e.settleSelected(rep, necessary, sel, frames, failed, deferred, truth)
+	// Non-selected actives read their captured truth positionally — the
+	// parallel truths slice — instead of re-searching the id list per
+	// stream. The sequential engine settles straight from the source
+	// (truths == nil) and falls back to the by-id lookup.
+	for k, id := range ids {
+		if pkts[k] == nil || isSel[id] {
+			continue
+		}
+		var tv truthVal
+		if truths != nil {
+			tv = truths[k]
+		} else {
+			tv.scene, tv.ok = truth(int(id))
+		}
+		if tv.ok {
+			e.sawTruth = true
+			e.fleet.Stream(int(id)).ObserveSkipped(tv.scene)
+		}
+		rep.Packets++
+	}
+	for _, i := range sel {
+		isSel[i] = false
+	}
+	rep.Packets += int64(len(sel))
+	rep.Decoded += int64(len(sel)) - aborted
+	rep.DeadlineAborted += aborted
+	e.cfg.Overload.AddAborted(aborted)
+	rep.Rounds++
+	return necessary
+}
+
+// settleSelected settles the selected slots of one round — deferred, failed,
+// filtered, or inferred — filling the per-selection feedback mask. Shared by
+// the dense and sparse settle paths; it never touches the round's packet
+// array.
+func (e *Engine) settleSelected(rep *Report, necessary []bool, sel []int, frames []decode.Frame, failed, deferred []bool, truth func(int) (codec.Scene, bool)) int64 {
 	var aborted int64
 	for k, i := range sel {
-		isSel[i] = true
 		if deferred != nil && deferred[k] {
 			aborted++
 			if t, ok := truth(i); ok {
@@ -600,20 +765,5 @@ func (e *Engine) settleRound(rep *Report, pkts []*codec.Packet, sel []int, frame
 			rep.NecessaryDecoded++
 		}
 	}
-	for i, p := range pkts {
-		if p == nil || isSel[i] {
-			continue
-		}
-		if t, ok := truth(i); ok {
-			e.sawTruth = true
-			e.fleet.Stream(i).ObserveSkipped(t)
-		}
-		rep.Packets++
-	}
-	rep.Packets += int64(len(sel))
-	rep.Decoded += int64(len(sel)) - aborted
-	rep.DeadlineAborted += aborted
-	e.cfg.Overload.AddAborted(aborted)
-	rep.Rounds++
-	return necessary
+	return aborted
 }

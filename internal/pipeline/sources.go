@@ -17,6 +17,7 @@ type LocalSource struct {
 	pkts    []*codec.Packet
 	truth   []codec.Scene
 	nonIdle []int32
+	round   codec.Round
 }
 
 // NewLocalSource wraps a fleet; rounds caps the run (0 = unlimited).
@@ -44,6 +45,23 @@ func (s *LocalSource) NextRound() ([]*codec.Packet, error) {
 	}
 	s.done++
 	return s.pkts, nil
+}
+
+// NextRoundSparse implements SparseRoundSource.
+func (s *LocalSource) NextRoundSparse() (*codec.Round, error) {
+	if s.rounds > 0 && s.done >= s.rounds {
+		return nil, io.EOF
+	}
+	s.round.Reset(len(s.streams))
+	for i, st := range s.streams {
+		p := st.Next()
+		s.truth[i] = st.LastScene
+		if p != nil {
+			s.round.Append(int32(i), p)
+		}
+	}
+	s.done++
+	return &s.round, nil
 }
 
 // Truth implements RoundSource.
@@ -75,6 +93,7 @@ type CameraSource struct {
 	pkts    []*codec.Packet
 	truth   []truthVal
 	nonIdle []int32
+	round   codec.Round
 }
 
 // NewCameraSource wraps a camera fleet; rounds caps the run (0 = unlimited).
@@ -108,6 +127,27 @@ func (s *CameraSource) NextRound() ([]*codec.Packet, error) {
 	return s.pkts, nil
 }
 
+// NextRoundSparse implements SparseRoundSource.
+func (s *CameraSource) NextRoundSparse() (*codec.Round, error) {
+	if s.rounds > 0 && s.done >= s.rounds {
+		return nil, io.EOF
+	}
+	s.round.Reset(len(s.cams))
+	for i, cam := range s.cams {
+		p := cam.Next()
+		s.truth[i] = truthVal{}
+		if ct, ok := cam.(CameraTruth); ok {
+			sc, tok := ct.Truth()
+			s.truth[i] = truthVal{scene: sc, ok: tok}
+		}
+		if p != nil {
+			s.round.Append(int32(i), p)
+		}
+	}
+	s.done++
+	return &s.round, nil
+}
+
 // Truth implements RoundSource.
 func (s *CameraSource) Truth(i int) (codec.Scene, bool) {
 	return s.truth[i].scene, s.truth[i].ok
@@ -122,10 +162,17 @@ type RoundClient interface {
 	NextRound() ([]*codec.Packet, error)
 }
 
+// SparseRoundClient is the optional sparse extension of RoundClient;
+// *stream.Client satisfies it.
+type SparseRoundClient interface {
+	NextRoundSparse() (*codec.Round, error)
+}
+
 // NetSource adapts a PGSP client into a RoundSource. Ground truth is not
 // available over the network.
 type NetSource struct {
 	client RoundClient
+	round  codec.Round
 }
 
 // NewNetSource wraps a connected PGSP client.
@@ -133,6 +180,21 @@ func NewNetSource(c RoundClient) *NetSource { return &NetSource{client: c} }
 
 // NextRound implements RoundSource.
 func (s *NetSource) NextRound() ([]*codec.Packet, error) { return s.client.NextRound() }
+
+// NextRoundSparse implements SparseRoundSource: clients speaking the sparse
+// wire format pass rounds through in O(active); plain clients gather a
+// dense round and compact it here.
+func (s *NetSource) NextRoundSparse() (*codec.Round, error) {
+	if sc, ok := s.client.(SparseRoundClient); ok {
+		return sc.NextRoundSparse()
+	}
+	pkts, err := s.client.NextRound()
+	if err != nil {
+		return nil, err
+	}
+	s.round.FromDense(pkts)
+	return &s.round, nil
+}
 
 // Truth implements RoundSource: network sources have none.
 func (s *NetSource) Truth(i int) (codec.Scene, bool) { return codec.Scene{}, false }
@@ -144,6 +206,7 @@ type FileSource struct {
 	pkts    []*codec.Packet
 	eof     []bool
 	nonIdle []int32
+	round   codec.Round
 }
 
 // NewFileSource wraps PGV readers. Stream IDs are reassigned to the reader
@@ -185,6 +248,32 @@ func (s *FileSource) NextRound() ([]*codec.Packet, error) {
 		return nil, io.EOF
 	}
 	return s.pkts, nil
+}
+
+// NextRoundSparse implements SparseRoundSource.
+func (s *FileSource) NextRoundSparse() (*codec.Round, error) {
+	alive := false
+	s.round.Reset(len(s.readers))
+	for i, r := range s.readers {
+		if s.eof[i] {
+			continue
+		}
+		p, err := r.Next()
+		if err == io.EOF {
+			s.eof[i] = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.StreamID = i
+		s.round.Append(int32(i), p)
+		alive = true
+	}
+	if !alive {
+		return nil, io.EOF
+	}
+	return &s.round, nil
 }
 
 // Truth implements RoundSource: container files carry no side-channel truth.

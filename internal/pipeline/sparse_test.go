@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"fmt"
+	"testing"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/core"
+	"packetgame/internal/infer"
+)
+
+// churnCam wraps a synthetic stream with seeded random idleness: each round
+// it emits nothing with probability idlePct/100. Rebuilding with the same
+// seed replays the identical activity pattern, which is what lets the twin
+// engines below consume the same rounds through different representations.
+type churnCam struct {
+	st      *codec.Stream
+	rng     uint64
+	idlePct uint64
+	last    codec.Scene
+	ok      bool
+}
+
+func (c *churnCam) Next() *codec.Packet {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	if (c.rng>>33)%100 < c.idlePct {
+		c.ok = false
+		return nil
+	}
+	p := c.st.Next()
+	c.last = c.st.LastScene
+	c.ok = true
+	return p
+}
+
+func (c *churnCam) Truth() (codec.Scene, bool) { return c.last, c.ok }
+
+func mkChurnFleet(m int, seed int64, idlePct uint64) []Camera {
+	cams := make([]Camera, m)
+	for i := range cams {
+		cams[i] = &churnCam{
+			st: codec.NewStream(
+				codec.SceneConfig{BaseActivity: 0.5, PersonRate: 0.4},
+				codec.EncoderConfig{StreamID: i, GOPSize: 10},
+				seed+int64(i)*31),
+			rng:     uint64(seed)*2862933555777941757 + uint64(i)*3037000493 + 1,
+			idlePct: idlePct,
+		}
+	}
+	return cams
+}
+
+// runChurn runs one engine over a seeded churn fleet. dense forces the
+// DenseRounds oracle knob — the byte-for-byte pre-sparse code path — so any
+// divergence from a dense=false twin is a sparse-representation bug.
+func runChurn(t *testing.T, dense, pipelined bool, k, workers, m, rounds int, budget float64, seed int64, idlePct uint64) ([][]int, Report, core.Stats) {
+	t.Helper()
+	g, err := core.NewGate(core.Config{Streams: m, Budget: budget, UseTemporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions [][]int
+	eng, err := New(Config{
+		Source:      NewCameraSource(mkChurnFleet(m, seed, idlePct), rounds),
+		Gate:        g,
+		Task:        infer.PersonCounting{},
+		Workers:     workers,
+		MaxInFlight: k,
+		Pipelined:   pipelined,
+		DenseRounds: dense,
+		OnRound: func(round int64, sel []int) {
+			if int64(len(decisions)) != round {
+				t.Errorf("OnRound out of order: round %d after %d rounds", round, len(decisions))
+			}
+			decisions = append(decisions, sel)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decisions, rep, g.Stats()
+}
+
+// TestSparseRoundsMatchDense is the sparse-representation property test:
+// across randomized activity levels (including heavy idleness and fully
+// dense rounds) and both engine modes, the sparse round path must be
+// bit-identical to the DenseRounds oracle — same per-round decode sets,
+// same report counters, same gate statistics.
+func TestSparseRoundsMatchDense(t *testing.T) {
+	cases := []struct {
+		pipelined bool
+		k         int
+		idlePct   uint64
+		seed      int64
+	}{
+		{pipelined: false, k: 1, idlePct: 0, seed: 101},
+		{pipelined: false, k: 2, idlePct: 35, seed: 102},
+		{pipelined: false, k: 1, idlePct: 90, seed: 103},
+		{pipelined: true, k: 1, idlePct: 35, seed: 104},
+		{pipelined: true, k: 3, idlePct: 60, seed: 105},
+		{pipelined: true, k: 4, idlePct: 95, seed: 106},
+	}
+	const m, rounds = 24, 140
+	for _, tc := range cases {
+		name := fmt.Sprintf("pipelined=%v/k=%d/idle=%d", tc.pipelined, tc.k, tc.idlePct)
+		t.Run(name, func(t *testing.T) {
+			selD, repD, stD := runChurn(t, true, tc.pipelined, tc.k, 6, m, rounds, 8, tc.seed, tc.idlePct)
+			selS, repS, stS := runChurn(t, false, tc.pipelined, tc.k, 6, m, rounds, 8, tc.seed, tc.idlePct)
+			if repD.Rounds != int64(rounds) {
+				t.Fatalf("dense oracle ran %d rounds, want %d", repD.Rounds, rounds)
+			}
+			compareRuns(t, name, selD, selS, repD, repS, stD, stS)
+		})
+	}
+}
+
+// TestSparsePipelinedMatchesSparseSequential closes the square: with both
+// twins on the sparse path, the pipelined engine at lag k must still match
+// the sequential engine at the same lag (the pre-sparse determinism
+// guarantee carries over to recycled roundWorks).
+func TestSparsePipelinedMatchesSparseSequential(t *testing.T) {
+	const m, rounds = 20, 120
+	for _, k := range []int{1, 3} {
+		name := fmt.Sprintf("k%d", k)
+		t.Run(name, func(t *testing.T) {
+			selSeq, repSeq, stSeq := runChurn(t, false, false, k, 5, m, rounds, 7, 201, 50)
+			selPipe, repPipe, stPipe := runChurn(t, false, true, k, 5, m, rounds, 7, 201, 50)
+			compareRuns(t, name, selSeq, selPipe, repSeq, repPipe, stSeq, stPipe)
+		})
+	}
+}
+
+// TestSparseLocalAndFileSources smoke-tests the remaining SparseRoundSource
+// implementations end to end: a LocalSource fleet (never idle) must settle
+// every packet, matching its dense twin exactly.
+func TestSparseLocalSourceMatchesDense(t *testing.T) {
+	const m, rounds = 12, 100
+	run := func(dense bool) ([][]int, Report, core.Stats) {
+		g, err := core.NewGate(core.Config{Streams: m, Budget: 5, UseTemporal: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decisions [][]int
+		eng, err := New(Config{
+			Source:      NewLocalSource(mkFleet(m, 55), rounds),
+			Gate:        g,
+			Task:        infer.PersonCounting{},
+			DenseRounds: dense,
+			OnRound:     func(_ int64, sel []int) { decisions = append(decisions, sel) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return decisions, rep, g.Stats()
+	}
+	selD, repD, stD := run(true)
+	selS, repS, stS := run(false)
+	if repS.Packets != int64(m*rounds) {
+		t.Errorf("sparse local packets = %d, want %d", repS.Packets, m*rounds)
+	}
+	compareRuns(t, "local", selD, selS, repD, repS, stD, stS)
+}

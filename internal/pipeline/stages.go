@@ -49,13 +49,91 @@ type truthVal struct {
 // collector needs to settle it. cancel is non-nil only under a round
 // deadline: the collector sets it when the round is abandoned, and queued
 // decode jobs carrying it short-circuit with decode.ErrAborted.
+//
+// Two representations share the struct: dense rounds (ids == nil) index
+// pkts/truth by stream id, exactly the pre-sparse layout; sparse rounds
+// carry the active id list with pkts/truth packed parallel to it. Sparse
+// roundWorks recycle through the engine's free list — ids, pkts, truth, and
+// the settle-time frames scratch all reach steady-state capacity — so an
+// in-flight round costs O(active) allocations, not O(m).
 type roundWork struct {
 	round    int64
+	m        int     // fleet width the round was drawn from
+	ids      []int32 // nil = dense round
 	pkts     []*codec.Packet
 	truth    []truthVal
+	frames   []decode.Frame // sparse settle scratch (collector-owned)
 	sel      []int
 	enqueued time.Time
 	cancel   *atomic.Bool
+}
+
+// pktOf returns stream i's packet in either representation.
+func (rw *roundWork) pktOf(i int) *codec.Packet {
+	if rw.ids == nil {
+		return rw.pkts[i]
+	}
+	if k := findID(rw.ids, int32(i)); k >= 0 {
+		return rw.pkts[k]
+	}
+	return nil
+}
+
+// truthOf returns stream i's captured truth in either representation.
+func (rw *roundWork) truthOf(i int) truthVal {
+	if rw.ids == nil {
+		return rw.truth[i]
+	}
+	if k := findID(rw.ids, int32(i)); k >= 0 {
+		return rw.truth[k]
+	}
+	return truthVal{}
+}
+
+// findID binary-searches a strictly-ascending id list.
+func findID(ids []int32, id int32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// getRW pulls a recycled roundWork (sparse path only); putRW returns one
+// after settle. The sel slice is never recycled here — it travels onward in
+// the round's ack.
+func (e *Engine) getRW() *roundWork {
+	e.rwMu.Lock()
+	defer e.rwMu.Unlock()
+	if n := len(e.rwFree); n > 0 {
+		rw := e.rwFree[n-1]
+		e.rwFree = e.rwFree[:n-1]
+		return rw
+	}
+	return &roundWork{}
+}
+
+func (e *Engine) putRW(rw *roundWork) {
+	rw.ids = rw.ids[:0]
+	for i := range rw.pkts {
+		rw.pkts[i] = nil // drop packet refs so the pool does not pin payloads
+	}
+	rw.pkts = rw.pkts[:0]
+	rw.truth = rw.truth[:0]
+	rw.frames = rw.frames[:0]
+	rw.sel = nil
+	rw.cancel = nil
+	e.rwMu.Lock()
+	e.rwFree = append(e.rwFree, rw)
+	e.rwMu.Unlock()
 }
 
 // roundAck is one settled round's redundancy feedback, traveling from the
@@ -100,7 +178,12 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 	}()
 
 	var runErr error
-	var nonIdle []int32 // per-round scratch, rebuilt while capturing truth
+	var nonIdle []int32         // per-round scratch, rebuilt while capturing truth
+	var jobPkts []*codec.Packet // per-round scratch for decode-job submission
+	sparseSrc, _ := e.cfg.Source.(SparseRoundSource)
+	if e.cfg.DenseRounds {
+		sparseSrc = nil
+	}
 	inflight := 0
 	applyDue := func(min int) {
 		for inflight > min && runErr == nil {
@@ -117,7 +200,14 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 		if e.closed() {
 			break
 		}
-		pkts, err := e.cfg.Source.NextRound()
+		var pkts []*codec.Packet
+		var rnd *codec.Round
+		var err error
+		if sparseSrc != nil {
+			rnd, err = sparseSrc.NextRoundSparse()
+		} else {
+			pkts, err = e.cfg.Source.NextRound()
+		}
 		if err == io.EOF {
 			break
 		}
@@ -138,26 +228,48 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 			}
 		}
 
-		// The source may reuse its packet and truth storage each round,
-		// so copy the round and capture truth before overlapping with
-		// the next NextRound call. The non-idle list falls out of the
-		// same walk and feeds the gate's churn-scaled entry point.
-		cp := append([]*codec.Packet(nil), pkts...)
-		truth := make([]truthVal, len(pkts))
-		nonIdle = nonIdle[:0]
-		for i, p := range cp {
-			if p == nil {
-				continue
+		// The source may reuse its packet and truth storage each round, so
+		// copy the round and capture truth before overlapping with the next
+		// NextRound call. Sparse rounds copy into a recycled roundWork —
+		// three O(active) appends; dense rounds keep the pre-sparse O(m)
+		// copies. The non-idle list feeds the gate's churn-scaled entry.
+		var rw *roundWork
+		var sel []int
+		if rnd != nil {
+			rw = e.getRW()
+			rw.round = next
+			rw.m = rnd.M
+			rw.ids = append(rw.ids[:0], rnd.IDs...)
+			rw.pkts = append(rw.pkts[:0], rnd.Pkts...)
+			rw.truth = rw.truth[:0]
+			for _, id := range rnd.IDs {
+				s, ok := e.cfg.Source.Truth(int(id))
+				rw.truth = append(rw.truth, truthVal{scene: s, ok: ok})
 			}
-			nonIdle = append(nonIdle, int32(i))
-			s, ok := e.cfg.Source.Truth(i)
-			truth[i] = truthVal{scene: s, ok: ok}
-		}
 
-		metrics.StageEnter(e.cfg.Stages.GateStage())
-		t0 := time.Now()
-		sel, err := e.decide(cp, nonIdle)
-		metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
+			metrics.StageEnter(e.cfg.Stages.GateStage())
+			t0 := time.Now()
+			sel, err = e.decideSparse(rnd)
+			metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
+		} else {
+			cp := append([]*codec.Packet(nil), pkts...)
+			truth := make([]truthVal, len(pkts))
+			nonIdle = nonIdle[:0]
+			for i, p := range cp {
+				if p == nil {
+					continue
+				}
+				nonIdle = append(nonIdle, int32(i))
+				s, ok := e.cfg.Source.Truth(i)
+				truth[i] = truthVal{scene: s, ok: ok}
+			}
+			rw = &roundWork{round: next, m: len(cp), pkts: cp, truth: truth}
+
+			metrics.StageEnter(e.cfg.Stages.GateStage())
+			t0 := time.Now()
+			sel, err = e.decide(cp, nonIdle)
+			metrics.StageExit(e.cfg.Stages.GateStage(), time.Since(t0).Nanoseconds())
+		}
 		if err != nil {
 			runErr = fmt.Errorf("pipeline: gate: %w", err)
 			if fresh {
@@ -169,14 +281,24 @@ func (e *Engine) runPipelined(maxRounds int) (Report, error) {
 			e.cfg.OnRound(next, append([]int(nil), sel...))
 		}
 
-		rw := &roundWork{round: next, pkts: cp, truth: truth, sel: sel, enqueued: time.Now()}
+		rw.sel = sel
+		rw.enqueued = time.Now()
+		var cancel *atomic.Bool
 		if e.cfg.Deadline > 0 {
-			rw.cancel = new(atomic.Bool)
+			cancel = new(atomic.Bool)
+			rw.cancel = cancel
+		}
+		// Capture job packets before publishing rw: a deadline abort can
+		// settle and recycle a sparse roundWork while this loop is still
+		// submitting, so jobs must not read rw afterwards.
+		jobPkts = jobPkts[:0]
+		for _, i := range sel {
+			jobPkts = append(jobPkts, rw.pktOf(i))
 		}
 		metrics.StageEnter(e.cfg.Stages.DecodeStage())
 		roundsCh <- rw
-		for slot, i := range sel {
-			pool.Submit(decode.Job{Round: next, Slot: slot, Pkt: cp[i], Cancel: rw.cancel})
+		for slot := range sel {
+			pool.Submit(decode.Job{Round: next, Slot: slot, Pkt: jobPkts[slot], Cancel: cancel})
 		}
 		inflight++
 	}
@@ -332,9 +454,21 @@ func (c *collector) settle(st *pendingCollect, aborted bool, depth int) {
 	rw := st.work
 	metrics.StageExit(e.cfg.Stages.DecodeStage(), time.Since(rw.enqueued).Nanoseconds())
 	if e.fleet == nil {
-		e.fleet = e.newFleet(len(rw.pkts))
+		e.fleet = e.newFleet(rw.m)
 	}
-	frames := make([]decode.Frame, len(rw.sel))
+	var frames []decode.Frame
+	if rw.ids != nil {
+		// Sparse rounds settle from the roundWork's recycled scratch.
+		if cap(rw.frames) < len(rw.sel) {
+			rw.frames = make([]decode.Frame, len(rw.sel))
+		}
+		frames = rw.frames[:len(rw.sel)]
+		for i := range frames {
+			frames[i] = decode.Frame{}
+		}
+	} else {
+		frames = make([]decode.Frame, len(rw.sel))
+	}
 	var failed, deferred []bool
 	if aborted {
 		// Every slot starts deferred; slots with a real completion below
@@ -366,14 +500,24 @@ func (c *collector) settle(st *pendingCollect, aborted bool, depth int) {
 	}
 	metrics.StageEnter(e.cfg.Stages.InferStage())
 	t0 := time.Now()
-	necessary := e.settleRound(&c.rep, rw.pkts, rw.sel, frames, failed, deferred, func(i int) (codec.Scene, bool) {
-		return rw.truth[i].scene, rw.truth[i].ok
-	})
+	truth := func(i int) (codec.Scene, bool) {
+		tv := rw.truthOf(i)
+		return tv.scene, tv.ok
+	}
+	var necessary []bool
+	if rw.ids != nil {
+		necessary = e.settleRoundSparse(&c.rep, rw.ids, rw.pkts, rw.truth, rw.sel, frames, failed, deferred, truth)
+	} else {
+		necessary = e.settleRound(&c.rep, rw.pkts, rw.sel, frames, failed, deferred, truth)
+	}
 	metrics.StageExit(e.cfg.Stages.InferStage(), time.Since(t0).Nanoseconds())
 	if e.cfg.Governor != nil {
 		e.cfg.Governor.Observe(time.Since(rw.enqueued), depth)
 	}
 	a := roundAck{sel: rw.sel, necessary: necessary, failed: failed, deferred: deferred}
+	if rw.ids != nil {
+		e.putRW(rw) // sel travels on in the ack; buffers recycle now
+	}
 	if c.fresh {
 		if err := feedbackFull(e.cfg.Gate, a.sel, a.necessary, a.failed, a.deferred); err != nil && c.err == nil {
 			c.err = fmt.Errorf("pipeline: feedback: %w", err)

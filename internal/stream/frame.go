@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"packetgame/internal/codec"
+	"packetgame/internal/container"
 )
 
 // PGSP v2 frame layout (all big-endian):
@@ -27,6 +30,21 @@ const frameHeaderLen = 20
 
 // goodbyeStream is the reserved stream slot of the end-of-session marker.
 const goodbyeStream = ^uint32(0)
+
+// sparseRoundStream is the reserved stream slot carrying a whole sparse
+// round in one frame (ServerConfig.SparseRounds). The body packs only the
+// active streams:
+//
+//	count  uvarint   // number of active streams this round
+//	repeat count times, in ascending stream order:
+//	  gap    uvarint // stream id minus previous id minus 1 (first: the id)
+//	  plen   uvarint // marshaled packet length
+//	  packet [plen]byte // container.MarshalPacket encoding
+//
+// Gap coding makes ascending order and uniqueness structural: a decoder can
+// reconstruct ids without sorting and duplicates cannot be expressed. An
+// idle fleet costs one ~1-byte body per round instead of m frame headers.
+const sparseRoundStream = ^uint32(0) - 1
 
 // maxFrameBody bounds a frame body; larger lengths mean a corrupt or hostile
 // header (framing is unrecoverable at that point, so it is an error, not a
@@ -67,6 +85,73 @@ func appendFrame(dst []byte, round uint64, stream uint32, body []byte) []byte {
 // appendGoodbye appends the end-of-session marker.
 func appendGoodbye(dst []byte, round uint64) []byte {
 	return appendFrame(dst, round, goodbyeStream, nil)
+}
+
+// appendSparseRoundBody appends the sparse round body for the given active
+// packets (ids ascending, pkts parallel). scratch recycles the per-packet
+// marshal buffer across calls.
+func appendSparseRoundBody(dst []byte, ids []int32, pkts []*codec.Packet, scratch *[]byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ids)))
+	prev := int32(-1)
+	for k, id := range ids {
+		dst = binary.AppendUvarint(dst, uint64(id-prev-1))
+		prev = id
+		*scratch = container.MarshalPacket((*scratch)[:0], pkts[k])
+		dst = binary.AppendUvarint(dst, uint64(len(*scratch)))
+		dst = append(dst, *scratch...)
+	}
+	return dst
+}
+
+// decodeSparseRoundBody decodes a sparse round body into r, which is Reset
+// to width m. Stream ids beyond m, truncated bodies, or trailing bytes are
+// errors — the frame CRC already passed, so any of these means a peer bug,
+// not wire noise.
+func decodeSparseRoundBody(body []byte, m int, r *codec.Round) error {
+	r.Reset(m)
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return errors.New("stream: sparse round: bad count")
+	}
+	body = body[n:]
+	if count > uint64(m) {
+		return fmt.Errorf("stream: sparse round: %d entries for %d streams", count, m)
+	}
+	prev := int64(-1)
+	for i := uint64(0); i < count; i++ {
+		gap, n := binary.Uvarint(body)
+		if n <= 0 {
+			return errors.New("stream: sparse round: bad id gap")
+		}
+		body = body[n:]
+		id := prev + 1 + int64(gap)
+		if id >= int64(m) {
+			return fmt.Errorf("stream: sparse round: stream %d out of range", id)
+		}
+		prev = id
+		plen, n := binary.Uvarint(body)
+		if n <= 0 {
+			return errors.New("stream: sparse round: bad packet length")
+		}
+		body = body[n:]
+		if plen > uint64(len(body)) {
+			return errors.New("stream: sparse round: truncated packet")
+		}
+		p, used, err := container.UnmarshalPacket(body[:plen])
+		if err != nil {
+			return fmt.Errorf("stream: sparse round: %w", err)
+		}
+		if used != int(plen) {
+			return errors.New("stream: sparse round: packet has trailing bytes")
+		}
+		body = body[plen:]
+		p.StreamID = int(id)
+		r.Append(int32(id), p)
+	}
+	if len(body) != 0 {
+		return errors.New("stream: sparse round: trailing bytes")
+	}
+	return nil
 }
 
 // readFrame reads one v2 frame. On ErrFrameCRC the body was consumed and the

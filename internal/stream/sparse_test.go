@@ -1,0 +1,123 @@
+package stream
+
+import (
+	"io"
+	"testing"
+
+	"packetgame/internal/codec"
+)
+
+// collectRounds drains a client via NextRound into per-round packet copies.
+func collectRounds(t *testing.T, c *Client) [][]*codec.Packet {
+	t.Helper()
+	var all [][]*codec.Packet
+	for {
+		round, err := c.NextRound()
+		if err == io.EOF {
+			return all
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, append([]*codec.Packet(nil), round...))
+	}
+}
+
+func samePacket(a, b *codec.Packet) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.StreamID == b.StreamID && a.Seq == b.Seq && a.PTS == b.PTS &&
+		a.Type == b.Type && a.Size == b.Size && a.Codec == b.Codec &&
+		string(a.Payload) == string(b.Payload)
+}
+
+// TestSparseWireMatchesDenseWire streams the same seeded fleet over both
+// wire formats and checks the demuxed rounds are identical — the sparse
+// frame is a transport optimization, not a semantic change.
+func TestSparseWireMatchesDenseWire(t *testing.T) {
+	const m, rounds = 5, 16
+	dense := startServer(t, ServerConfig{NewStreams: mkFactory(m, 11), Rounds: rounds})
+	sparse := startServer(t, ServerConfig{NewStreams: mkFactory(m, 11), Rounds: rounds, SparseRounds: true})
+
+	cd, err := Dial(dense.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cd.Close()
+	cs, err := Dial(sparse.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+
+	rd, rs := collectRounds(t, cd), collectRounds(t, cs)
+	if len(rd) != rounds || len(rs) != rounds {
+		t.Fatalf("rounds: dense %d, sparse %d, want %d", len(rd), len(rs), rounds)
+	}
+	for r := range rd {
+		for i := range rd[r] {
+			if !samePacket(rd[r][i], rs[r][i]) {
+				t.Fatalf("round %d stream %d: packets differ", r, i)
+			}
+		}
+	}
+	if !cd.SawGoodbye() || !cs.SawGoodbye() {
+		t.Error("both sessions should end with goodbye")
+	}
+}
+
+// TestNextRoundSparseBothFormats checks NextRoundSparse against NextRound on
+// both wire formats: same membership, same packets, compacted layout.
+func TestNextRoundSparseBothFormats(t *testing.T) {
+	const m, rounds = 4, 10
+	for _, sparseWire := range []bool{false, true} {
+		name := "dense-wire"
+		if sparseWire {
+			name = "sparse-wire"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := startServer(t, ServerConfig{NewStreams: mkFactory(m, 23), Rounds: rounds, SparseRounds: sparseWire})
+			srv := startServer(t, ServerConfig{NewStreams: mkFactory(m, 23), Rounds: rounds, SparseRounds: sparseWire})
+
+			cref, err := Dial(ref.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cref.Close()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			want := collectRounds(t, cref)
+			for r := 0; ; r++ {
+				rnd, err := c.NextRoundSparse()
+				if err == io.EOF {
+					if r != len(want) {
+						t.Fatalf("sparse EOF after %d rounds, want %d", r, len(want))
+					}
+					return
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rnd.Validate(); err != nil {
+					t.Fatalf("round %d invalid: %v", r, err)
+				}
+				if rnd.M != m {
+					t.Fatalf("round %d width %d, want %d", r, rnd.M, m)
+				}
+				for i := 0; i < m; i++ {
+					if !samePacket(want[r][i], rnd.Get(int32(i))) {
+						t.Fatalf("round %d stream %d: packets differ", r, i)
+					}
+				}
+			}
+		})
+	}
+}

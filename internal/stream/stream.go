@@ -49,6 +49,14 @@ type ServerConfig struct {
 	// negative disables): a stalled client is disconnected instead of
 	// wedging its serving goroutine forever.
 	WriteTimeout time.Duration
+	// SparseRounds packs each round into one frame carrying only the active
+	// streams (see sparseRoundStream in frame.go) instead of one frame per
+	// stream. Rounds demux identically on a current Client — packets, round
+	// grouping, and NextRound results are unchanged — but the per-round wire
+	// cost drops from m frame headers to one, and NextRoundSparse consumes
+	// the round with O(active) work. Opt-in: clients predating the sparse
+	// frame reject the reserved stream id.
+	SparseRounds bool
 	// Record, when non-nil, taps every packet of the first accepted
 	// session, invoked synchronously from the serving goroutine with the
 	// round index, stream slot, and packet. Only the first session is
@@ -174,7 +182,9 @@ func (s *Server) serveConn(conn net.Conn) error {
 		return err
 	}
 	interval := time.Second / time.Duration(s.cfg.FPS)
-	var body, frame []byte
+	var body, frame, rbody []byte
+	var ids []int32
+	var pkts []*codec.Packet
 	next := time.Now()
 	round := int64(0)
 	for ; s.cfg.Rounds == 0 || round < int64(s.cfg.Rounds); round++ {
@@ -186,15 +196,35 @@ func (s *Server) serveConn(conn net.Conn) error {
 		if s.cfg.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		}
-		for i, st := range streams {
-			p := st.Next()
-			if record != nil {
-				record(round, i, p)
+		if s.cfg.SparseRounds {
+			ids, pkts = ids[:0], pkts[:0]
+			for i, st := range streams {
+				p := st.Next()
+				if record != nil {
+					record(round, i, p)
+				}
+				if p == nil {
+					continue
+				}
+				ids = append(ids, int32(i))
+				pkts = append(pkts, p)
 			}
-			body = container.MarshalPacket(body[:0], p)
-			frame = appendFrame(frame[:0], uint64(round), uint32(i), body)
+			rbody = appendSparseRoundBody(rbody[:0], ids, pkts, &body)
+			frame = appendFrame(frame[:0], uint64(round), sparseRoundStream, rbody)
 			if _, err := bw.Write(frame); err != nil {
 				return err
+			}
+		} else {
+			for i, st := range streams {
+				p := st.Next()
+				if record != nil {
+					record(round, i, p)
+				}
+				body = container.MarshalPacket(body[:0], p)
+				frame = appendFrame(frame[:0], uint64(round), uint32(i), body)
+				if _, err := bw.Write(frame); err != nil {
+					return err
+				}
 			}
 		}
 		if err := bw.Flush(); err != nil {
@@ -285,6 +315,17 @@ type Client struct {
 	round        int64
 	eof          bool
 
+	// sparse round frames: sparseIn holds the last decoded round while it
+	// is live (undelivered, or being drained packet-by-packet through Next).
+	sparseIn   codec.Round
+	sparseRnd  int64
+	sparseLive bool
+	sparsePos  int // Next()'s drain cursor into sparseIn
+
+	// NextRoundSparse scratch for sessions on the per-stream wire format.
+	sparseOut    codec.Round
+	denseScratch []*codec.Packet
+
 	goodbye    bool
 	crcDropped int64
 }
@@ -362,10 +403,11 @@ func (c *Client) CorruptDropped() int64 { return c.crcDropped }
 // next reads one message from the wire. Frames failing their CRC are
 // dropped (counted in CorruptDropped) and reading continues: the length
 // field kept the reader frame-aligned, so one corrupt body must not kill
-// the session.
-func (c *Client) next() (*codec.Packet, int64, error) {
+// the session. isRound reports a sparse round frame: the round now lives in
+// c.sparseIn (sparseLive set) and the returned packet is nil.
+func (c *Client) next() (p *codec.Packet, round int64, isRound bool, err error) {
 	for {
-		round, id, body, err := readFrame(c.br)
+		rnd, id, body, err := readFrame(c.br)
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrFrameCRC):
@@ -373,36 +415,133 @@ func (c *Client) next() (*codec.Packet, int64, error) {
 			continue
 		case errors.Is(err, errGoodbye):
 			c.goodbye = true
-			return nil, 0, io.EOF
+			return nil, 0, false, io.EOF
 		case err == io.EOF, errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed):
-			return nil, 0, io.EOF
+			return nil, 0, false, io.EOF
 		default:
-			return nil, 0, err
+			return nil, 0, false, err
+		}
+		if id == sparseRoundStream {
+			if err := decodeSparseRoundBody(body, len(c.infos), &c.sparseIn); err != nil {
+				return nil, 0, false, err
+			}
+			for k, sid := range c.sparseIn.IDs {
+				c.sparseIn.Pkts[k].Codec = c.infos[sid].Codec
+			}
+			c.sparseRnd, c.sparseLive, c.sparsePos = int64(rnd), true, 0
+			return nil, int64(rnd), true, nil
 		}
 		p, used, err := container.UnmarshalPacket(body)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, false, err
 		}
 		if used != len(body) {
-			return nil, 0, fmt.Errorf("stream: message has trailing bytes")
+			return nil, 0, false, fmt.Errorf("stream: message has trailing bytes")
 		}
 		if int(id) >= len(c.infos) {
-			return nil, 0, fmt.Errorf("stream: message for unknown stream %d", id)
+			return nil, 0, false, fmt.Errorf("stream: message for unknown stream %d", id)
 		}
 		p.StreamID = int(id)
 		p.Codec = c.infos[id].Codec
-		return p, int64(round), nil
+		return p, int64(rnd), false, nil
 	}
 }
 
 // Next returns the next packet in arrival order along with its round index.
-// It returns io.EOF when the server is done.
+// It returns io.EOF when the server is done. Sparse round frames demux
+// transparently: their packets drain one per call in ascending stream
+// order, so round grouping downstream behaves exactly as on the per-stream
+// wire format.
 func (c *Client) Next() (*codec.Packet, int64, error) {
 	if c.havePending {
 		c.havePending = false
 		return c.pending, c.pendingRound, nil
 	}
-	return c.next()
+	for {
+		if c.sparseLive {
+			if c.sparsePos < c.sparseIn.Len() {
+				p := c.sparseIn.Pkts[c.sparsePos]
+				c.sparsePos++
+				return p, c.sparseRnd, nil
+			}
+			c.sparseLive = false // empty or exhausted round
+		}
+		p, round, isRound, err := c.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if isRound {
+			continue // drain it above
+		}
+		return p, round, nil
+	}
+}
+
+// NextRoundSparse gathers one full round as a sparse codec.Round holding
+// only the active streams. On a SparseRounds session this is O(active) —
+// one frame decode, no per-stream scan — and empty rounds are preserved;
+// on the per-stream wire format it gathers exactly like NextRound and
+// compacts. The returned round is valid until the next call.
+func (c *Client) NextRoundSparse() (*codec.Round, error) {
+	// Fast path: a sparse round frame maps to one call wholesale.
+	if !c.havePending && !c.sparseLive {
+		if c.eof {
+			return nil, io.EOF
+		}
+		p, round, isRound, err := c.next()
+		if err == io.EOF {
+			c.eof = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		if isRound {
+			c.sparseLive = false
+			return &c.sparseIn, nil
+		}
+		// Per-stream wire format: stash and gather below.
+		c.pending, c.pendingRound, c.havePending = p, round, true
+	}
+	// Compatibility path: gather through the packet-wise demux (which also
+	// drains a partially-consumed sparse round) and compact.
+	if cap(c.denseScratch) < len(c.infos) {
+		c.denseScratch = make([]*codec.Packet, len(c.infos))
+	}
+	dense := c.denseScratch[:len(c.infos)]
+	for i := range dense {
+		dense[i] = nil
+	}
+	got := 0
+	for {
+		if c.eof {
+			if got > 0 {
+				break
+			}
+			return nil, io.EOF
+		}
+		p, r, err := c.Next()
+		if err == io.EOF {
+			c.eof = true
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if got == 0 {
+			c.round = r
+		} else if r != c.round {
+			c.pending, c.pendingRound, c.havePending = p, r, true
+			break
+		}
+		if dense[p.StreamID] != nil {
+			return nil, fmt.Errorf("stream: duplicate packet for stream %d in round %d", p.StreamID, r)
+		}
+		dense[p.StreamID] = p
+		got++
+	}
+	c.sparseOut.FromDense(dense)
+	return &c.sparseOut, nil
 }
 
 // NextRound gathers one full round: a slice indexed by stream ID with nil

@@ -119,6 +119,12 @@ func ParseAll(data []byte, opts ParserOptions) ([]*Packet, error) {
 	return parser.ParseAll(data, opts)
 }
 
+// ParseAllAppend is ParseAll into caller-owned scratch: packets are appended
+// to dst so per-round re-parses recycle one slice.
+func ParseAllAppend(dst []*Packet, data []byte, opts ParserOptions) ([]*Packet, error) {
+	return parser.ParseAllAppend(dst, data, opts)
+}
+
 // Decoding.
 type (
 	// CostModel gives per-picture-type decode costs.
