@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify verify-quick vet fuzz bench chaos soak alloc-smoke corpus replay scale cluster benchdiff
+.PHONY: build test race verify verify-quick vet fuzz bench chaos soak alloc-smoke corpus replay scale cluster failover benchdiff
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ alloc-smoke:
 	$(GO) test ./internal/predictor -run 'TestPredictIntoZeroAlloc|TestWindowZeroAlloc' -count 1
 	$(GO) test ./internal/nn -run TestCompiledForwardZeroAlloc -count 1
 
-verify: build vet test race alloc-smoke replay soak scale cluster benchdiff
+verify: build vet test race alloc-smoke replay soak scale cluster failover benchdiff
 
 # Headline-regression gate: after `make scale`/`make cluster` rewrite the
 # BENCH files, compare their headline speedups against the copies committed
@@ -59,6 +59,16 @@ CLUSTERSCALE ?= 1
 cluster:
 	$(GO) test ./internal/cluster -race -count 1 -timeout 10m
 	$(GO) run ./cmd/pgbench -exp cluster -scale $(CLUSTERSCALE)
+
+# The coordinator fail-over gate: primary kill, standby election, orphan
+# mode, and crash-proof accounting. The benchmark self-asserts same-seed
+# takeover determinism, chaos recall within 2% of the stable cluster, the
+# p99 SLO through the takeover storm, and exact oracle re-convergence
+# (zero divergent rounds, decision hash unbroken) after a boundary crash.
+# FAILOVERSCALE=1 rewrites BENCH_failover.json.
+FAILOVERSCALE ?= 1
+failover:
+	$(GO) run ./cmd/pgbench -exp failover -scale $(FAILOVERSCALE)
 
 # The churn-scaled Decide sweep: m up to 100k, all streams active, with 1%,
 # 10%, and 100% of the fleet varying its packet metadata per round. The
@@ -108,6 +118,7 @@ fuzz:
 	$(GO) test ./internal/stream -fuzz FuzzPGSPFrame -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/capture -fuzz FuzzCaptureContainer -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -fuzz FuzzPGCPRoundFrame -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -fuzz FuzzFailoverRecords -fuzztime $(FUZZTIME) -fuzzminimizetime 5s
 
 # The chaos experiment under the race detector: deterministic fault
 # injection, circuit-breaker quarantine, and the self-healing PGSP ingest,

@@ -6,10 +6,22 @@
 // leave the coordinator rebalances only the affected hash arcs and
 // migrates stream state to the new owners.
 //
+// With -journal the control plane is durable: ring membership, the round
+// clock, and per-worker governor state land in a snapshot+journal file a
+// replacement can resume from. A warm standby (`pgcoord -standby <addr>`)
+// follows the primary's journal stream live and takes over on lease
+// expiry; a cold one (`pgcoord -takeover <journal>`) elects itself from
+// the file a dead coordinator left behind. Workers re-home to the elected
+// coordinator through the usual state-transfer path.
+//
 // Usage:
 //
 //	pgcoord -listen 127.0.0.1:9570 -workers 4 -streams 1000 -rounds 2000 &
 //	pggate -join 127.0.0.1:9570 -name w0   # x4
+//
+//	pgcoord -listen :9570 -journal coord.pgj ... &       # durable primary
+//	pgcoord -listen :9571 -standby 127.0.0.1:9570 ... &  # warm standby
+//	pgcoord -listen :9571 -takeover coord.pgj ...        # cold takeover
 package main
 
 import (
@@ -40,6 +52,11 @@ func main() {
 		pipelined = flag.Bool("pipelined", false, "overlap rounds: gather round r's reports while round r+1 runs (bit-identical to lockstep at equal -lag)")
 		lag       = flag.Int("lag", 1, "feedback lag k: rounds granted but not yet observed when a round is planned")
 		rtt       = flag.Duration("rtt", 0, "deterministic report-delivery delay model (lockstep serializes it into every round; -pipelined hides it)")
+		journal   = flag.String("journal", "", "durable control-plane state: write a snapshot+journal file here (crash-recoverable via -takeover)")
+		standby   = flag.String("standby", "", "primary pgcoord address: run as a warm standby replica that takes over on lease expiry")
+		sbName    = flag.String("name", "", "standby name reported to the primary (with -standby)")
+		takeover  = flag.String("takeover", "", "journal file of a dead coordinator: elect this process from it (cold takeover, no live primary)")
+		rejoin    = flag.Duration("rejoin-wait", 0, "how long an elected standby holds the re-home window before declaring absent workers dead (0 = default)")
 		verbose   = flag.Bool("v", false, "log membership changes")
 	)
 	flag.Parse()
@@ -59,24 +76,62 @@ func main() {
 		UseTemporal: true,
 		Breaker:     &core.BreakerConfig{},
 		Task:        *taskName, Rounds: *rounds, MinWorkers: *workers,
-		Source:    pipeline.NewLocalSource(fleet, *rounds),
-		SLO:       *slo, Lease: *lease, Heartbeat: *heartbeat,
+		Source: pipeline.NewLocalSource(fleet, *rounds),
+		SLO:    *slo, Lease: *lease, Heartbeat: *heartbeat,
 		Pipelined: *pipelined, MaxInFlight: *lag, ReportDelay: *rtt,
+		JournalPath: *journal, RejoinWait: *rejoin,
 	}
 	if *verbose {
 		cfg.OnMembership = func(round int64, joined, died []int) {
 			fmt.Printf("pgcoord: round %d membership: joined %v died %v\n", round, joined, died)
 		}
 	}
-	c, err := cluster.NewCoordinator(cfg)
-	if err != nil {
-		fatal(err)
+	if *standby != "" && *takeover != "" {
+		fatal(fmt.Errorf("-standby and -takeover are mutually exclusive"))
 	}
-	fmt.Printf("pgcoord: listening on %s, waiting for %d workers (%d streams, budget %.1f)\n",
-		c.Addr(), *workers, *streams, *budget)
-	rep, err := c.Run()
-	if err != nil {
-		fatal(err)
+
+	var rep cluster.Report
+	switch {
+	case *standby != "":
+		name := *sbName
+		if name == "" {
+			name = fmt.Sprintf("standby-%d", os.Getpid())
+		}
+		sb, err := cluster.NewStandby(*standby, name, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pgcoord: standby %s on %s following primary %s\n", name, sb.Addr(), *standby)
+		rep, err = sb.Run()
+		if err != nil {
+			fatal(err)
+		}
+		if !sb.TookOver() {
+			fmt.Println("pgcoord: primary completed cleanly; standing down")
+			return
+		}
+		fmt.Println("pgcoord: primary lease expired — took over the cluster")
+	case *takeover != "":
+		c, err := cluster.NewCoordinator(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pgcoord: cold takeover from %s, listening on %s\n", *takeover, c.Addr())
+		rep, err = c.TakeoverFromJournal(*takeover)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		c, err := cluster.NewCoordinator(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pgcoord: listening on %s, waiting for %d workers (%d streams, budget %.1f)\n",
+			c.Addr(), *workers, *streams, *budget)
+		rep, err = c.Run()
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("\npgcoord report (%s, budget %.1f)\n", *taskName, *budget)

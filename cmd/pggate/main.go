@@ -61,6 +61,7 @@ func main() {
 		recStep   = flag.Duration("record-step", 0, "virtual per-round timestamp step for -record (0 = wall-clock arrival offsets)")
 		join      = flag.String("join", "", "pgcoord address: run as a cluster data-plane worker (most other flags come from the coordinator)")
 		name      = flag.String("name", "", "worker name reported to the coordinator (with -join)")
+		orphan    = flag.Int64("orphan", 0, "orphan mode: when the coordinator dies, gate this many rounds locally (temporal-only, last granted budget) instead of re-homing, then reconcile with the elected standby; -streams/-seed must match the coordinator's fleet")
 	)
 	flag.Parse()
 
@@ -72,7 +73,25 @@ func main() {
 		if wname == "" {
 			wname = fmt.Sprintf("pggate-%d", os.Getpid())
 		}
-		w, err := cluster.Dial(*join, cluster.WorkerOptions{Name: wname, DecodeWorkers: *workers})
+		wopts := cluster.WorkerOptions{Name: wname, DecodeWorkers: *workers}
+		if *orphan > 0 {
+			// Orphan mode keeps gating locally across a coordinator death, so
+			// it needs its own identically-seeded copy of the fleet (the same
+			// construction pgcoord uses) to read packet metadata from.
+			fleet := make([]*codec.Stream, *streams)
+			for i := range fleet {
+				fleet[i] = codec.NewStream(
+					codec.SceneConfig{BaseActivity: 0.4, PersonRate: 0.3, AnomalyRate: 30,
+						FireRate: 30, QualityDropRate: 30},
+					codec.EncoderConfig{StreamID: i, GOPSize: 25},
+					*seed+int64(i)*7919)
+			}
+			wopts.Orphan = &cluster.OrphanOptions{
+				Source: pipeline.NewLocalSource(fleet, 0),
+				Rounds: *orphan,
+			}
+		}
+		w, err := cluster.Dial(*join, wopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -82,6 +101,10 @@ func main() {
 		}
 		st := w.Gate().Stats()
 		fmt.Printf("pggate: session over: %d rounds, %d decoded on this worker\n", st.Rounds, st.Decoded)
+		if or := w.Orphan(); or.Entered {
+			fmt.Printf("pggate: orphan mode: %d local rounds, %d decoded, reconciled %v\n",
+				or.Rounds, or.Decoded, or.Reconciled)
+		}
 		return
 	}
 

@@ -257,10 +257,7 @@ func (cw *Writer) Session() SessionMeta { return cw.meta }
 // writeRecord appends one framed record. Callers hold mu (or are still
 // single-goroutine, during construction/close).
 func (cw *Writer) writeRecord(kind RecordKind, body []byte) error {
-	var hdr [recHeaderLen]byte
-	hdr[0] = byte(kind)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
-	binary.BigEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(body))
+	hdr := recordHeader(byte(kind), body)
 	if _, err := cw.w.Write(hdr[:]); err != nil {
 		return err
 	}

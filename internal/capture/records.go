@@ -1,0 +1,58 @@
+package capture
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// The CRC record discipline (kind·length·crc32·body, all big-endian) is
+// shared beyond capture files: the cluster coordinator's fail-over journal
+// frames its snapshot/round/membership records the same way so one battle-
+// tested reader model — fail cleanly on truncation, corruption, or
+// implausible lengths; never over-read — covers both. These helpers are the
+// exported, allocation-friendly form of that framing.
+
+// RecordHeaderLen is the fixed framing overhead of one record.
+const RecordHeaderLen = recHeaderLen
+
+// AppendRecord appends one framed CRC-protected record to dst.
+func AppendRecord(dst []byte, kind uint8, body []byte) []byte {
+	hdr := recordHeader(kind, body)
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// recordHeader builds the 9-byte record header for a body.
+func recordHeader(kind uint8, body []byte) [recHeaderLen]byte {
+	var hdr [recHeaderLen]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[5:], crc32.ChecksumIEEE(body))
+	return hdr
+}
+
+// NextRecord parses the first record from buf and returns its kind, body,
+// and the remaining bytes. limit bounds the claimed body length (corrupt
+// length fields must not drive huge allocations or over-reads). Errors wrap
+// ErrCorrupt; a buffer that ends mid-record is corrupt at this layer —
+// callers that tolerate torn tails (journal recovery) distinguish "no full
+// header" / "body short" via the returned rest slice being exactly buf.
+func NextRecord(buf []byte, limit uint32) (kind uint8, body, rest []byte, err error) {
+	if len(buf) < recHeaderLen {
+		return 0, nil, buf, corruptf("truncated record header (%d bytes)", len(buf))
+	}
+	kind = buf[0]
+	length := binary.BigEndian.Uint32(buf[1:])
+	sum := binary.BigEndian.Uint32(buf[5:])
+	if length > limit {
+		return 0, nil, buf, corruptf("record kind %d claims %d bytes (limit %d)", kind, length, limit)
+	}
+	if uint32(len(buf)-recHeaderLen) < length {
+		return 0, nil, buf, corruptf("record kind %d truncated: %d of %d body bytes", kind, len(buf)-recHeaderLen, length)
+	}
+	body = buf[recHeaderLen : recHeaderLen+int(length)]
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, buf, corruptf("record kind %d CRC mismatch", kind)
+	}
+	return kind, body, buf[recHeaderLen+int(length):], nil
+}

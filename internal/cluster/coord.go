@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -91,6 +92,27 @@ type CoordConfig struct {
 	// (default 2ms; decision-neutral — rounds are not running during
 	// migration).
 	TransferBackoff time.Duration
+	// JournalPath, when set, makes the control plane durable: a snapshot +
+	// append-only journal (capture's CRC record discipline) of ring
+	// membership, the round clock, per-worker governor/demand state, and
+	// accuracy counters. A standby elected after a crash replays it — or
+	// the equivalent fJournalAppend frame stream — to take over.
+	JournalPath string
+	// CompactEvery bounds the journal: after this many records past the
+	// last snapshot the file is rewritten as a fresh snapshot (default 512).
+	CompactEvery int
+	// RejoinWait bounds how long an elected standby holds the rejoin window
+	// open for journaled members that have not yet re-homed or reconciled
+	// (default 15s). The window closes as soon as every member is accounted
+	// for — that is the deterministic path; the timeout is the safety net
+	// for members that died with the primary.
+	RejoinWait time.Duration
+	// CrashAtRound (>0) simulates coordinator death at that round, at the
+	// position CrashPoint selects: Run tears down abruptly — no goodbyes,
+	// no orderly journal close — and returns ErrCoordinatorKilled. Chaos
+	// legs use it to exercise standby election deterministically.
+	CrashAtRound int64
+	CrashPoint   CrashPoint
 	// OnRound observes every round's global selection (tests and oracles).
 	OnRound func(round int64, sel []int)
 	// OnRoundEnd runs after a round fully settles (reports collected).
@@ -179,14 +201,57 @@ type pendingConn struct {
 	name string
 }
 
+// standbyPending is a handshaken standby awaiting attachment at the next
+// consistent point (quorum or a round boundary).
+type standbyPending struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	info StandbyJoin
+}
+
+// rejoinPending is a handshaken re-join (re-home or reconcile-only) from a
+// worker that lost its coordinator.
+type rejoinPending struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	info RejoinInfo
+}
+
+// CrashPoint selects where within a round a simulated coordinator crash
+// (CrashAtRound) fires. The three points exercise the distinct worker-side
+// recovery states: quiescent, mid-solve, and partially-scattered.
+type CrashPoint int
+
+const (
+	// CrashBoundary dies at the round boundary, before planning: every
+	// worker is quiescent and fully reported, so a takeover resumes with
+	// bit-identical state.
+	CrashBoundary CrashPoint = iota
+	// CrashMidRound dies after gathering candidates but before the global
+	// solve: every worker is blocked in its solve and must settle the
+	// round locally.
+	CrashMidRound
+	// CrashMidScatter dies after sending the round frame to half the live
+	// workers: the fleet disagrees about whether the round ever started.
+	CrashMidScatter
+)
+
+// ErrCoordinatorKilled is returned by Run when a simulated crash
+// (CrashAtRound) fires.
+var ErrCoordinatorKilled = errors.New("cluster: coordinator killed (simulated crash)")
+
 // Coordinator is the control plane: it owns the placement ring, the budget
 // reconciler, and the per-round global knapsack solve, and speaks PGCP to
 // the data-plane workers. Run drives the whole cluster in lockstep rounds.
 type Coordinator struct {
-	cfg    CoordConfig
-	ln     net.Listener
-	joinCh chan *pendingConn
-	accept chan struct{} // closed to stop the accept loop
+	cfg       CoordConfig
+	ln        net.Listener
+	joinCh    chan *pendingConn
+	standbyCh chan *standbyPending
+	rejoinCh  chan *rejoinPending
+	accept    chan struct{} // closed to stop the accept loop
 
 	workers map[int]*wconn
 	ring    *Ring
@@ -197,6 +262,16 @@ type Coordinator struct {
 	rc      *reconciler
 	view    *sloView
 	greedy  knapsack.Greedy
+
+	// rs is the coordinator's own replica image — the same state machine a
+	// standby maintains, fed the same records at the same points. It is
+	// what snapshots serialize, so a snapshot is consistent with the
+	// journal position by construction, even under pipelined rounds.
+	rs       *replicaState
+	jr       *journal // nil when JournalPath is unset
+	jerr     error    // first journal write failure (fatal at the next boundary)
+	standbys []*standbyConn
+	jbuf     []byte // scratch for fJournalAppend frame bodies
 
 	rep Report
 
@@ -250,23 +325,49 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 	if cfg.TransferBackoff <= 0 {
 		cfg.TransferBackoff = 2 * time.Millisecond
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 512
+	}
+	if cfg.RejoinWait <= 0 {
+		cfg.RejoinWait = 15 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		ln:      ln,
-		joinCh:  make(chan *pendingConn, 16),
-		accept:  make(chan struct{}),
-		workers: make(map[int]*wconn),
-		ring:    &Ring{},
-		owners:  make([]int, cfg.Streams),
-		rc:      newReconciler(cfg.SLO, cfg.Budget),
-		view:    &sloView{slo: cfg.SLO},
-		perPkts: make(map[int][]roundPacket),
+		cfg:       cfg,
+		ln:        ln,
+		joinCh:    make(chan *pendingConn, 16),
+		standbyCh: make(chan *standbyPending, 16),
+		rejoinCh:  make(chan *rejoinPending, 64),
+		accept:    make(chan struct{}),
+		workers:   make(map[int]*wconn),
+		ring:      &Ring{},
+		owners:    make([]int, cfg.Streams),
+		rc:        newReconciler(cfg.SLO, cfg.Budget),
+		view:      &sloView{slo: cfg.SLO},
+		perPkts:   make(map[int][]roundPacket),
 		rep: Report{DecisionHash: fnvOffset, Finals: make(map[int]WorkerFinal),
 			DeadReasons: make(map[int]string)},
+	}
+	c.rs = newReplicaState()
+	c.rs.Streams = cfg.Streams
+	c.rs.Budget = cfg.Budget
+	c.rs.Window = cfg.Window
+	c.rs.Task = cfg.Task
+	c.rs.SLONs = int64(cfg.SLO)
+	if cfg.JournalPath != "" {
+		snap, err := gobEncode(c.rs)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.jr, err = openJournal(cfg.JournalPath, cfg.CompactEvery, snap)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	go c.acceptLoop()
 	return c, nil
@@ -295,18 +396,45 @@ func (c *Coordinator) acceptLoop() {
 				return
 			}
 			typ, body, err := readFrame(br)
-			if err != nil || typ != fJoin {
+			if err != nil {
 				conn.Close()
 				return
 			}
-			var ji JoinInfo
-			if err := gobDecode(body, &ji); err != nil {
-				conn.Close()
-				return
-			}
-			select {
-			case c.joinCh <- &pendingConn{conn: conn, br: br, bw: bw, name: ji.Name}:
-			case <-c.accept:
+			switch typ {
+			case fJoin:
+				var ji JoinInfo
+				if err := gobDecode(body, &ji); err != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case c.joinCh <- &pendingConn{conn: conn, br: br, bw: bw, name: ji.Name}:
+				case <-c.accept:
+					conn.Close()
+				}
+			case fStandbyJoin:
+				var sj StandbyJoin
+				if err := gobDecode(body, &sj); err != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case c.standbyCh <- &standbyPending{conn: conn, br: br, bw: bw, info: sj}:
+				case <-c.accept:
+					conn.Close()
+				}
+			case fRejoin:
+				var ri RejoinInfo
+				if err := gobDecode(body, &ri); err != nil {
+					conn.Close()
+					return
+				}
+				select {
+				case c.rejoinCh <- &rejoinPending{conn: conn, br: br, bw: bw, info: ri}:
+				case <-c.accept:
+					conn.Close()
+				}
+			default:
 				conn.Close()
 			}
 		}()
@@ -339,6 +467,17 @@ func (c *Coordinator) readWorker(wc *wconn, br *bufio.Reader) {
 		typ, body, err := readFrame(br)
 		wc.lastSeen.Store(time.Now().UnixNano())
 		if err != nil {
+			// The terminal error must not overtake reports still sitting in
+			// the delay pump: per-connection frame order is what pins the
+			// round a death is detected at, so two same-seed runs reap the
+			// worker at the same boundary. Route it through the same FIFO.
+			if wc.delayCh != nil {
+				select {
+				case wc.delayCh <- delayedReport{f: inFrame{err: err}}:
+				case <-c.accept:
+				}
+				return
+			}
 			wc.frames <- inFrame{err: err}
 			return
 		}
@@ -467,16 +606,7 @@ const (
 )
 
 func (c *Coordinator) hashRound(round int64, sel []int) {
-	h := c.rep.DecisionHash
-	for s := 0; s < 64; s += 8 {
-		h = (h ^ uint64(round>>s)&0xFF) * fnvPrime
-	}
-	for _, i := range sel {
-		for s := 0; s < 32; s += 8 {
-			h = (h ^ uint64(i>>s)&0xFF) * fnvPrime
-		}
-	}
-	c.rep.DecisionHash = h
+	c.rep.DecisionHash = foldRoundHash(c.rep.DecisionHash, round, sel)
 }
 
 // flight is one granted-but-unobserved round: everything needed to gather
@@ -486,9 +616,12 @@ type flight struct {
 	round    int64
 	ids      []int // live workers at grant time, sorted
 	mode     overload.Mode
+	bEff     float64
+	sel      []int // global selection, for the journal's round record
 	granted  map[int]float64
 	offered  map[int]float64
 	lats     map[int]time.Duration
+	deltas   map[int]AccDeltas // per-worker accuracy deltas from the reports
 	gathered bool
 }
 
@@ -520,6 +653,7 @@ func (c *Coordinator) gatherFlight(f *flight) {
 			lat = c.cfg.LatencyModel(id, f.granted[id], f.offered[id])
 		}
 		f.lats[id] = lat
+		f.deltas[id] = msg.deltas
 	}
 }
 
@@ -528,7 +662,11 @@ func (c *Coordinator) gatherFlight(f *flight) {
 // updates happen in exactly the lockstep order.
 func (c *Coordinator) observeFlight(f *flight) {
 	var roundLat time.Duration
+	var agg AccDeltas
 	for _, id := range f.ids {
+		if d, ok := f.deltas[id]; ok {
+			agg.add(d)
+		}
 		lat, ok := f.lats[id]
 		if !ok {
 			continue
@@ -538,8 +676,10 @@ func (c *Coordinator) observeFlight(f *flight) {
 			roundLat = lat
 		}
 	}
+	sloMiss := c.cfg.SLO > 0 && roundLat > c.cfg.SLO
 	c.view.observeRound(roundLat, f.mode)
 	c.rep.Rounds++
+	c.journalRound(f, agg, roundLat, sloMiss)
 	if c.cfg.OnRoundEnd != nil {
 		c.cfg.OnRoundEnd(f.round)
 	}
@@ -573,16 +713,12 @@ func (c *Coordinator) anyDead() bool {
 // report leg overlaps the next round; either way at most MaxInFlight rounds
 // are unobserved when a round is planned. It returns the merged report.
 func (c *Coordinator) Run() (Report, error) {
-	defer func() {
-		close(c.accept)
-		c.ln.Close()
-		for _, wc := range c.workers {
-			wc.conn.Close()
-		}
-	}()
+	defer c.teardown()
 
 	// Initial quorum: admissions before round 0 need no state transfer —
 	// every gate is genuinely fresh at clock 0, exactly like the oracle.
+	// Standbys may attach here too: nothing is in flight, so the snapshot
+	// they receive is trivially consistent.
 	deadline := time.After(c.cfg.JoinTimeout)
 	for len(c.workers) < c.cfg.MinWorkers {
 		select {
@@ -590,25 +726,83 @@ func (c *Coordinator) Run() (Report, error) {
 			if err := c.admit(p, 0); err != nil {
 				return c.rep, err
 			}
+		case p := <-c.standbyCh:
+			if err := c.attachStandby(p); err != nil {
+				return c.rep, err
+			}
+		case p := <-c.rejoinCh:
+			c.rejectRejoin(p, "nothing to re-join: cluster has not started")
 		case <-deadline:
 			return c.rep, fmt.Errorf("cluster: %d/%d workers joined within %v",
 				len(c.workers), c.cfg.MinWorkers, c.cfg.JoinTimeout)
 		}
 	}
+	return c.runRounds(0)
+}
 
-	var r int64
-	for ; c.cfg.Rounds == 0 || r < int64(c.cfg.Rounds); r++ {
+// teardown releases everything Run or a takeover acquired. The journal is
+// fsynced and closed BEFORE the listener is released: a standby elected
+// after this coordinator goes away must never race a half-flushed log.
+func (c *Coordinator) teardown() {
+	close(c.accept)
+	if c.jr != nil {
+		c.jr.Close()
+	}
+	c.ln.Close()
+	for _, wc := range c.workers {
+		if wc.conn != nil { // placeholder wconns for never-re-homed members
+			wc.conn.Close()
+		}
+	}
+	for _, sc := range c.standbys {
+		sc.close()
+	}
+	for {
+		select {
+		case p := <-c.joinCh:
+			p.conn.Close()
+		case p := <-c.standbyCh:
+			p.conn.Close()
+		case p := <-c.rejoinCh:
+			p.conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// runRounds drives the round loop from round start. The primary enters it
+// at 0; an elected standby enters it at the resume round after replaying
+// the journal and re-homing the fleet.
+func (c *Coordinator) runRounds(start int64) (Report, error) {
+	for r := start; c.cfg.Rounds == 0 || r < int64(c.cfg.Rounds); r++ {
+		if c.jerr != nil {
+			return c.rep, c.jerr
+		}
+		if c.crashDue(r, CrashBoundary) {
+			return c.rep, ErrCoordinatorKilled
+		}
 		// Membership changes land exactly on round boundaries, and only
 		// after every in-flight round has been drained: each live worker is
 		// then quiescent (blocked awaiting this round's frame), so stream
 		// state can move without racing a decision. Steady state skips the
 		// drain entirely — that is what lets pipelined rounds overlap.
-		if len(c.joinCh) > 0 || c.anyDead() {
+		// Standby attachment waits for the same quiescent point so the
+		// snapshot it streams is consistent with the journal position.
+		if len(c.joinCh) > 0 || len(c.standbyCh) > 0 || len(c.rejoinCh) > 0 || c.anyDead() {
 			c.drainAll()
 			for drained := false; !drained; {
 				select {
 				case p := <-c.joinCh:
 					if err := c.admit(p, r); err != nil {
+						return c.rep, err
+					}
+				case p := <-c.standbyCh:
+					if err := c.attachStandby(p); err != nil {
+						return c.rep, err
+					}
+				case p := <-c.rejoinCh:
+					if err := c.primaryRejoin(p, r); err != nil {
 						return c.rep, err
 					}
 				default:
@@ -654,7 +848,10 @@ func (c *Coordinator) Run() (Report, error) {
 			}
 			c.perPkts[own] = append(c.perPkts[own], rp)
 		}
-		for _, id := range live {
+		for n, id := range live {
+			if n == (len(live)+1)/2 && c.crashDue(r, CrashMidScatter) {
+				return c.rep, ErrCoordinatorKilled
+			}
 			wc := c.workers[id]
 			c.roundB = encodeRoundDelta(c.roundB[:0], r, bEff, mode, c.perPkts[id], wc.prev, &c.pktBuf)
 			wc.prev = wc.prev[:0]
@@ -708,6 +905,13 @@ func (c *Coordinator) Run() (Report, error) {
 		}
 		sort.Sort(candsByStream(c.cands))
 
+		// A mid-round crash lands BEFORE the solve: the primary never
+		// computes (or hashes) a selection for this round, so the workers'
+		// local settlements cannot disagree with a decision that exists.
+		if c.crashDue(r, CrashMidRound) {
+			return c.rep, ErrCoordinatorKilled
+		}
+
 		// Global solve: the exact greedy a single giant gate runs. Over the
 		// ascending compact list, positional tie-breaks equal the dense
 		// index tie-breaks, so the selection is bit-identical to the dense
@@ -749,9 +953,11 @@ func (c *Coordinator) Run() (Report, error) {
 		// when it leaves the MaxInFlight window, so the decision sequence
 		// depends only on the lag k, never on Pipelined.
 		c.inflight = append(c.inflight, flight{
-			round: r, ids: live, mode: mode,
+			round: r, ids: live, mode: mode, bEff: bEff,
+			sel:     append([]int(nil), c.sel...),
 			granted: granted, offered: offered,
-			lats: make(map[int]time.Duration, len(live)),
+			lats:   make(map[int]time.Duration, len(live)),
+			deltas: make(map[int]AccDeltas, len(live)),
 		})
 		if !c.cfg.Pipelined {
 			c.gatherFlight(&c.inflight[len(c.inflight)-1])
@@ -812,7 +1018,12 @@ func (c *Coordinator) liveSet() map[int]bool {
 }
 
 // shutdown says goodbye to every live worker and merges their finals.
+// Standbys get a goodbye too: an orderly completion must not look like a
+// death, or the standby would take over an already-finished run.
 func (c *Coordinator) shutdown() {
+	for _, sc := range c.standbys {
+		sc.push(fGoodbye, nil)
+	}
 	for _, id := range c.live() {
 		wc := c.workers[id]
 		if err := wc.send(fGoodbye, nil); err != nil {
@@ -833,9 +1044,18 @@ func (c *Coordinator) shutdown() {
 	}
 }
 
-// finish folds the merged finals into the cluster report.
+// finish folds the accumulated per-round deltas and the residual finals
+// into the cluster report. The per-round deltas (shipped inside every
+// report frame) carry almost all observations; a worker's final is only
+// the tail it had not yet reported — so a death at any point loses at most
+// one round of that worker's observations.
 func (c *Coordinator) finish() {
 	rep := &c.rep
+	rep.NegRounds = c.rs.Acc.NegRounds
+	rep.NegCorrect = c.rs.Acc.NegCorrect
+	rep.PosRounds = c.rs.Acc.PosRounds
+	rep.PosCorrect = c.rs.Acc.PosCorrect
+	rep.DecodeFailed = c.rs.Acc.DecodeFailed
 	for _, fin := range rep.Finals {
 		rep.NegRounds += fin.NegRounds
 		rep.NegCorrect += fin.NegCorrect
@@ -860,9 +1080,14 @@ func (c *Coordinator) finish() {
 	if n > 0 {
 		rep.BalancedAccuracy = sum / float64(n)
 	}
+	// P99 covers the rounds this coordinator drove (an elected standby's
+	// report spans its post-takeover segment); misses and mode counts
+	// accumulate across the restored base.
 	rep.P99 = c.view.p99()
-	rep.SLOMisses = c.view.misses
-	rep.ModeRounds = c.view.modeAcc
+	rep.SLOMisses += c.view.misses
+	for i, n := range c.view.modeAcc {
+		rep.ModeRounds[i] += n
+	}
 }
 
 // admit welcomes one pending worker at round r: assign the next ID, ship
@@ -873,7 +1098,8 @@ func (c *Coordinator) admit(p *pendingConn, r int64) error {
 	id := c.nextID
 	c.nextID++
 	c.epoch++
-	wel := Welcome{WorkerID: id, Epoch: c.epoch, CurrentRound: r, Cfg: c.clusterConfig()}
+	wel := Welcome{WorkerID: id, Epoch: c.epoch, CurrentRound: r, Cfg: c.clusterConfig(),
+		Standbys: c.standbyAddrs()}
 	body, err := gobEncode(&wel)
 	if err != nil {
 		return err
@@ -901,6 +1127,7 @@ func (c *Coordinator) admit(p *pendingConn, r int64) error {
 	prev := append([]int(nil), c.owners...)
 	c.ring.Add(id)
 	c.ring.Owners(c.owners)
+	c.journalMember(r, []memberInfo{{ID: id, Name: p.name}}, nil)
 	if c.rep.Workers == 1 || r == 0 {
 		// Round 0: every slot on every worker is fresh at clock 0; the
 		// placement is pure routing, no state exists to move.
@@ -1072,6 +1299,7 @@ func (c *Coordinator) reap(r int64) error {
 			return fmt.Errorf("cluster: all workers dead at round %d (reasons: %v)", r, c.rep.DeadReasons)
 		}
 		c.ring.Owners(c.owners)
+		c.journalMember(r, nil, dead)
 		adopted := map[int][]int{} // new owner → streams
 		for i := range c.owners {
 			if c.owners[i] != prev[i] {

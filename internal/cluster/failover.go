@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"packetgame/internal/overload"
+)
+
+// This file is the primary's half of fail-over: maintaining the replica
+// image + journal + standby mirror stream, and handling re-joins from
+// workers that lost their connection. The standby's half (follow, election,
+// takeover) lives in standby.go.
+
+func (c *Coordinator) crashDue(r int64, p CrashPoint) bool {
+	return c.cfg.CrashAtRound > 0 && r == c.cfg.CrashAtRound && c.cfg.CrashPoint == p
+}
+
+// journalRound folds one observed round into the replica image and mirrors
+// the record to the journal file and every standby. Called from
+// observeFlight — the round's reports are in, so the record carries the
+// post-observe governor state and the round's aggregated accuracy deltas.
+func (c *Coordinator) journalRound(f *flight, agg AccDeltas, roundLat time.Duration, sloMiss bool) {
+	rec := roundRecord{
+		Round: f.round, BEff: f.bEff, Mode: uint8(f.mode),
+		LatNs: int64(roundLat), SLOMiss: sloMiss,
+		Sel: f.sel, Deltas: agg,
+	}
+	for _, id := range f.ids {
+		if wc := c.workers[id]; wc != nil && !wc.dead {
+			rec.Ctl = append(rec.Ctl, c.rc.exportCtl(id))
+		}
+	}
+	c.rs.applyRound(&rec)
+	c.mirrorRecord(jRound, &rec)
+	// Compaction happens only here — at an observed-round point, where the
+	// replica is a consistent image of everything journaled so far.
+	if c.jr != nil && c.jr.shouldCompact() {
+		snap, err := gobEncode(c.rs)
+		if err == nil {
+			err = c.jr.compact(snap)
+		}
+		if err != nil && c.jerr == nil {
+			c.jerr = err
+		}
+	}
+}
+
+// journalMember folds a membership change into the replica and mirrors it.
+func (c *Coordinator) journalMember(r int64, joined []memberInfo, died []int) {
+	rec := memberRecord{Round: r, Epoch: c.epoch, NextID: c.nextID, Joined: joined, Died: died}
+	if err := c.rs.applyMember(&rec); err != nil && c.jerr == nil {
+		c.jerr = err
+	}
+	c.mirrorRecord(jMember, &rec)
+}
+
+// journalReconcile folds out-of-round accuracy deltas (re-home handoffs,
+// orphan reconciles, catch-up rounds) into the replica and mirrors them.
+func (c *Coordinator) journalReconcile(d AccDeltas) {
+	if d == (AccDeltas{}) {
+		return
+	}
+	c.rs.Acc.add(d)
+	c.mirrorRecord(jReconcile, &d)
+}
+
+// mirrorRecord serializes one journal record to the durable file and the
+// standby frame stream. The in-memory replica is updated by the caller
+// (typed, no serialization cost) so this is a no-op when neither a journal
+// file nor a standby is attached. A journal write failure is recorded and
+// fails the run at the next boundary: silent non-durability would be worse.
+func (c *Coordinator) mirrorRecord(kind uint8, rec any) {
+	if c.jr == nil && len(c.standbys) == 0 {
+		return
+	}
+	body, err := gobEncode(rec)
+	if err != nil {
+		if c.jerr == nil {
+			c.jerr = err
+		}
+		return
+	}
+	if c.jr != nil {
+		if err := c.jr.append(kind, body); err != nil && c.jerr == nil {
+			c.jerr = err
+		}
+	}
+	c.pushStandbys(kind, body)
+}
+
+// pushStandbys streams one record to every live standby and prunes the
+// dead; workers learn of a pruned standby via the refreshed address list.
+func (c *Coordinator) pushStandbys(kind uint8, body []byte) {
+	if len(c.standbys) == 0 {
+		return
+	}
+	c.jbuf = append(c.jbuf[:0], kind)
+	c.jbuf = append(c.jbuf, body...)
+	live := c.standbys[:0]
+	for _, sc := range c.standbys {
+		if sc.push(fJournalAppend, c.jbuf) == nil {
+			live = append(live, sc)
+		}
+	}
+	pruned := len(live) != len(c.standbys)
+	c.standbys = live
+	if pruned {
+		c.broadcastStandbys()
+	}
+}
+
+// standbyConn is the primary's handle on one attached standby. push is
+// called from both the coordinator loop (journal mirroring) and the
+// per-standby heartbeat goroutine, hence the mutex.
+type standbyConn struct {
+	name string
+	addr string
+	conn net.Conn
+	bw   *bufio.Writer
+	mu   sync.Mutex
+	dead bool
+}
+
+func (sc *standbyConn) push(typ uint8, body []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.dead {
+		return fmt.Errorf("standby %s is dead", sc.name)
+	}
+	if err := writeFrame(sc.bw, typ, body); err != nil {
+		sc.dead = true
+		sc.conn.Close()
+		return err
+	}
+	return nil
+}
+
+func (sc *standbyConn) alive() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return !sc.dead
+}
+
+func (sc *standbyConn) close() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.dead = true
+	sc.conn.Close()
+}
+
+// attachStandby registers a standby at a consistent point (quorum or a
+// drained round boundary): it receives a snapshot of the replica image and
+// from then on every mirrored record, putting it exactly at the journal
+// position a file replay would reach.
+func (c *Coordinator) attachStandby(p *standbyPending) error {
+	snap, err := gobEncode(c.rs)
+	if err != nil {
+		p.conn.Close()
+		return err
+	}
+	sc := &standbyConn{name: p.info.Name, addr: p.info.Addr, conn: p.conn, bw: p.bw}
+	if err := sc.push(fSnapshotOffer, snap); err != nil {
+		return nil // stillborn standby, not a cluster error
+	}
+	c.standbys = append(c.standbys, sc)
+	go c.standbyHeartbeats(sc)
+	c.broadcastStandbys()
+	return nil
+}
+
+// standbyHeartbeats keeps the standby's lease fed between journal records:
+// long quiet stretches (slow rounds, idle sources) must not read as
+// primary death.
+func (c *Coordinator) standbyHeartbeats(sc *standbyConn) {
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if sc.push(fHeartbeat, nil) != nil {
+				return
+			}
+		case <-c.accept:
+			return
+		}
+	}
+}
+
+// standbyAddrs lists the live standbys' re-home addresses.
+func (c *Coordinator) standbyAddrs() []string {
+	var addrs []string
+	for _, sc := range c.standbys {
+		if sc.alive() && sc.addr != "" {
+			addrs = append(addrs, sc.addr)
+		}
+	}
+	return addrs
+}
+
+// broadcastStandbys tells every live worker where to re-home if this
+// coordinator dies.
+func (c *Coordinator) broadcastStandbys() {
+	addrs := c.standbyAddrs()
+	body, err := gobEncode(&addrs)
+	if err != nil {
+		return
+	}
+	for _, id := range c.live() {
+		wc := c.workers[id]
+		if err := wc.send(fStandbys, body); err != nil {
+			c.markDead(wc, err)
+		}
+	}
+}
+
+func (c *Coordinator) rejectRejoin(p *rejoinPending, reason string) {
+	tk := TakeoverInfo{Accepted: false, Reason: reason}
+	if body, err := gobEncode(&tk); err == nil {
+		writeFrame(p.bw, fTakeover, body)
+	}
+	p.conn.Close()
+}
+
+// acceptRejoin replies fTakeover and installs the worker's replacement
+// connection under its existing ring identity.
+func (c *Coordinator) acceptRejoin(p *rejoinPending, resume int64) (*wconn, bool) {
+	tk := TakeoverInfo{Accepted: true, Epoch: c.epoch, Resume: resume, Standbys: c.standbyAddrs()}
+	body, err := gobEncode(&tk)
+	if err != nil {
+		p.conn.Close()
+		return nil, false
+	}
+	if err := writeFrame(p.bw, fTakeover, body); err != nil {
+		p.conn.Close()
+		return nil, false
+	}
+	wc := &wconn{id: p.info.WorkerID, name: p.info.Name, conn: p.conn, bw: p.bw, frames: make(chan inFrame, 16)}
+	wc.lastSeen.Store(time.Now().UnixNano())
+	if c.cfg.ReportDelay > 0 {
+		wc.delayCh = make(chan delayedReport, 64)
+		go c.delayReports(wc)
+	}
+	c.workers[wc.id] = wc
+	go c.readWorker(wc, p.br)
+	return wc, true
+}
+
+// primaryRejoin handles a re-join arriving at a live primary: an orphan
+// reconciling its observations, or a worker whose *connection* (not the
+// coordinator) died re-homing to the same primary before the reap removed
+// it from the ring. Revival is pure reconnection — the worker kept its
+// gate state and ownership never changed — plus empty-round catch-up for
+// the rounds it missed.
+func (c *Coordinator) primaryRejoin(p *rejoinPending, r int64) error {
+	if p.info.ReconcileOnly {
+		c.journalReconcile(p.info.Deltas)
+		tk := TakeoverInfo{Accepted: true, Reason: "reconciled", Epoch: c.epoch}
+		if body, err := gobEncode(&tk); err == nil {
+			writeFrame(p.bw, fTakeover, body)
+		}
+		p.conn.Close()
+		return nil
+	}
+	old, ok := c.workers[p.info.WorkerID]
+	if !ok || !old.dead {
+		c.rejectRejoin(p, "not a re-homeable member")
+		return nil
+	}
+	wc, ok := c.acceptRejoin(p, r)
+	if !ok {
+		return nil
+	}
+	if err := c.rc.addWorker(wc.id); err != nil {
+		return err
+	}
+	c.journalReconcile(p.info.Deltas)
+	c.catchUp(wc, p.info.Clock, r)
+	return nil
+}
+
+// catchUp advances one re-homed laggard from its clock to the resume round
+// with empty rounds through the regular engine path — round frame →
+// candidates → grant → report — so its gate clocks advance exactly as if
+// it had idled through the rounds it missed. Deltas settled along the way
+// are folded as reconcile records.
+func (c *Coordinator) catchUp(wc *wconn, from, to int64) {
+	for k := from; k < to; k++ {
+		c.roundB = encodeRoundDelta(c.roundB[:0], k, c.cfg.Budget, overload.ModeFull, nil, wc.prev, &c.pktBuf)
+		wc.prev = wc.prev[:0]
+		if err := wc.send(fRound, c.roundB); err != nil {
+			c.markDead(wc, err)
+			return
+		}
+		f, ok := c.await(wc, fCandidates)
+		if !ok {
+			return
+		}
+		if err := decodeCandidates(f.body, c.cfg.Streams, &c.candMsg); err != nil || c.candMsg.round != k {
+			c.markDead(wc, fmt.Errorf("catch-up candidates for round %d: %v", c.candMsg.round, err))
+			return
+		}
+		c.grantsB = encodeGrant(c.grantsB[:0], k, nil)
+		if err := wc.send(fGrant, c.grantsB); err != nil {
+			c.markDead(wc, err)
+			return
+		}
+		fr, ok := c.awaitReport(wc)
+		if !ok {
+			return
+		}
+		msg, err := decodeReport(fr.body)
+		if err != nil || msg.round != k {
+			c.markDead(wc, fmt.Errorf("catch-up report for round %d: %v", msg.round, err))
+			return
+		}
+		c.journalReconcile(msg.deltas)
+	}
+}

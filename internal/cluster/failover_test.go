@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"packetgame/internal/pipeline"
+)
+
+// startStandby launches a standby's follow/takeover loop.
+func startStandby(s *Standby) <-chan runResult {
+	ch := make(chan runResult, 1)
+	go func() {
+		rep, err := s.Run()
+		ch <- runResult{rep, err}
+	}()
+	return ch
+}
+
+// awaitKilled expects the primary to die at its injected crash point.
+func awaitKilled(t *testing.T, ch <-chan runResult) {
+	t.Helper()
+	select {
+	case res := <-ch:
+		if !errors.Is(res.err, ErrCoordinatorKilled) {
+			t.Fatalf("primary ended with %v, want injected kill", res.err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("primary never reached its crash point")
+	}
+}
+
+// failoverRun drives one primary-kill-plus-takeover run: a primary with an
+// injected crash, one warm standby, p.workers workers (worker orphanID, if
+// ≥ 0, is armed for orphan mode instead of re-homing). It returns the
+// standby's merged report, the concatenated global selections across both
+// reigns, and the workers.
+func failoverRun(t *testing.T, p clusterParams, crashAt int64, point CrashPoint, orphanID int) (Report, [][]int, []*Worker) {
+	t.Helper()
+	var sels [][]int
+	onRound := func(round int64, sel []int) {
+		sels = append(sels, append([]int(nil), sel...))
+	}
+
+	cfg := coordConfig(p)
+	cfg.CrashAtRound = crashAt
+	cfg.CrashPoint = point
+	cfg.OnRound = onRound
+
+	scfg := coordConfig(p) // fresh identically-seeded source of its own
+	scfg.OnRound = onRound
+	scfg.RejoinWait = 30 * time.Second
+
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	primary := startRun(c)
+	sb, err := NewStandby(c.Addr(), "sb0", scfg)
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	standby := startStandby(sb)
+
+	ws := startWorkers(t, c.Addr(), p.workers, func(i int) WorkerOptions {
+		o := WorkerOptions{Name: fmt.Sprintf("w%d", i)}
+		if i == orphanID {
+			o.Orphan = &OrphanOptions{
+				Source: pipeline.NewLocalSource(mkFleet(p.m, p.seed), 0),
+				Rounds: 6,
+			}
+		}
+		return o
+	})
+
+	awaitKilled(t, primary)
+	rep := awaitRun(t, standby)
+	if !sb.TookOver() {
+		t.Fatal("standby never took over")
+	}
+	for i, w := range ws {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d after takeover: %v", i, err)
+		}
+	}
+	return rep, sels, ws
+}
+
+// TestFailoverBoundaryOracleEquality is the fail-over keystone: kill the
+// primary on a round boundary and the elected standby must continue the
+// EXACT decision sequence — every post-takeover round bit-identical to the
+// single-gate oracle, and the running decision hash carried across the
+// takeover unbroken.
+func TestFailoverBoundaryOracleEquality(t *testing.T) {
+	p := clusterParams{m: 192, workers: 4, rounds: 60, window: 4, seed: 21}
+	if testing.Short() {
+		p.m = 96
+	}
+	p.budget = 4 + float64(p.m)/8
+	oracle := oracleSelections(t, p)
+
+	rep, sels, _ := failoverRun(t, p, 30, CrashBoundary, -1)
+
+	assertSelectionsEqual(t, oracle, sels)
+	if rep.Rounds != int64(p.rounds) {
+		t.Fatalf("cluster observed %d rounds, want %d", rep.Rounds, p.rounds)
+	}
+	want := uint64(fnvOffset)
+	for r, sel := range oracle {
+		want = foldRoundHash(want, int64(r), sel)
+	}
+	if rep.DecisionHash != want {
+		t.Fatalf("decision hash broke across takeover: %x, oracle %x", rep.DecisionHash, want)
+	}
+	if rep.Deaths != 0 {
+		t.Fatalf("boundary takeover recorded deaths: %+v", rep.DeadReasons)
+	}
+	if rep.Recall == 0 {
+		t.Fatalf("takeover run lost its accuracy accounting: %+v", rep)
+	}
+}
+
+// TestFailoverMidScatterDeterminism kills the primary halfway through
+// scattering a round: half the fleet got the frame and settles it locally
+// (its own greedy, no global solve), half never saw it and is caught up
+// with empty rounds after the takeover. Same-seed runs must be
+// bit-identical anyway, and the decision stream must stay close to the
+// oracle's — exact equality is only reachable from a bit-identical
+// boundary state (the previous test): a perturbed decode round shifts the
+// staleness rotation onto a neighboring orbit permanently.
+func TestFailoverMidScatterDeterminism(t *testing.T) {
+	p := clusterParams{m: 128, workers: 4, rounds: 70, window: 4, seed: 33}
+	p.budget = 4 + float64(p.m)/8
+	oracle := oracleSelections(t, p)
+
+	rep1, sels1, _ := failoverRun(t, p, 30, CrashMidScatter, -1)
+	rep2, _, _ := failoverRun(t, p, 30, CrashMidScatter, -1)
+
+	if rep1.DecisionHash != rep2.DecisionHash {
+		t.Fatalf("same-seed fail-over runs diverged: %x vs %x", rep1.DecisionHash, rep2.DecisionHash)
+	}
+	// The crashed round (30) was settled locally by half the fleet and never
+	// solved globally: the cluster observes rounds 0..29 and 31..69.
+	if rep1.Rounds != int64(p.rounds)-1 {
+		t.Fatalf("cluster observed %d rounds, want %d", rep1.Rounds, p.rounds-1)
+	}
+	// Pre-crash rounds match the oracle exactly.
+	for r := 0; r < 30; r++ {
+		if fmt.Sprint(sels1[r]) != fmt.Sprint(oracle[r]) {
+			t.Fatalf("pre-crash round %d diverged from oracle", r)
+		}
+	}
+	// Post-takeover selections track the oracle's: mean Jaccard overlap
+	// stays well above what disjoint-but-plausible selections would score
+	// (measured ≈0.57 at this scale; budget covers ~22% of streams, so an
+	// unrelated orbit would sit near that baseline, not at 0.4+ sustained).
+	post := sels1[30:]
+	var sum float64
+	for k := range post {
+		om := make(map[int]bool, len(oracle[31+k]))
+		for _, s := range oracle[31+k] {
+			om[s] = true
+		}
+		inter := 0
+		for _, s := range post[k] {
+			if om[s] {
+				inter++
+			}
+		}
+		if union := len(om) + len(post[k]) - inter; union > 0 {
+			sum += float64(inter) / float64(union)
+		} else {
+			sum++
+		}
+	}
+	if mean := sum / float64(len(post)); mean < 0.4 {
+		t.Fatalf("post-takeover decisions drifted from oracle: mean jaccard %.3f", mean)
+	}
+	if rep1.Recall == 0 {
+		t.Fatalf("fail-over run lost its accuracy accounting: %+v", rep1)
+	}
+}
+
+// TestFailoverOrphanMode arms one worker for orphan mode: when the primary
+// dies it must NOT re-home — it degrades to local temporal-only gating
+// under its last granted budget, plays its orphan rounds, then reconciles
+// its observations with the elected standby and retires cleanly.
+func TestFailoverOrphanMode(t *testing.T) {
+	p := clusterParams{m: 128, workers: 4, rounds: 50, window: 4, seed: 5}
+	p.budget = 4 + float64(p.m)/8
+
+	rep, _, ws := failoverRun(t, p, 20, CrashBoundary, 3)
+
+	or := ws[3].Orphan()
+	if !or.Entered {
+		t.Fatal("orphan worker never entered orphan mode")
+	}
+	if or.Rounds != 6 {
+		t.Fatalf("orphan played %d local rounds, want 6", or.Rounds)
+	}
+	if !or.Reconciled {
+		t.Fatal("orphan never reconciled its observations")
+	}
+	if or.Deltas.PosRounds+or.Deltas.NegRounds == 0 {
+		t.Fatal("orphan mode observed nothing")
+	}
+	if rep.Deaths != 1 {
+		t.Fatalf("deaths=%d, want exactly the departed orphan (%v)", rep.Deaths, rep.DeadReasons)
+	}
+	if reason := rep.DeadReasons[3]; reason != "orphan: reconciled and left" {
+		t.Fatalf("orphan departure reason %q", reason)
+	}
+	if rep.Rounds != int64(p.rounds) {
+		t.Fatalf("cluster observed %d rounds, want %d", rep.Rounds, p.rounds)
+	}
+	if rep.Recall == 0 {
+		t.Fatalf("run lost its accuracy accounting: %+v", rep)
+	}
+}
+
+// waitClusterGoroutines mirrors the pipeline shutdown gate: everything a
+// run spawned must be gone once it returns.
+func waitClusterGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverShutdownNoLeaks is the fail-over shutdown gate: a journaled
+// run with an attached standby and a full takeover must close its journal
+// (fsynced, replayable, consistent with the final report) and leave no
+// goroutines behind — coordinator, standby, heartbeats, or workers.
+func TestFailoverShutdownNoLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	p := clusterParams{m: 96, workers: 3, rounds: 40, window: 4, seed: 13}
+	p.budget = 4 + float64(p.m)/8
+
+	cfg := coordConfig(p)
+	cfg.CrashAtRound = 15
+	cfg.CrashPoint = CrashBoundary
+	cfg.JournalPath = t.TempDir() + "/primary.pgj"
+	scfg := coordConfig(p)
+	scfg.JournalPath = t.TempDir() + "/standby.pgj"
+
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	primary := startRun(c)
+	sb, err := NewStandby(c.Addr(), "sb0", scfg)
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	standby := startStandby(sb)
+	ws := startWorkers(t, c.Addr(), p.workers, nil)
+	awaitKilled(t, primary)
+	rep := awaitRun(t, standby)
+	for i, w := range ws {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	waitClusterGoroutines(t, base)
+
+	// Both journals must be closed, fsynced, and replayable. The primary's
+	// ends at the crash; the standby's spans the whole run and must land
+	// exactly on the final report.
+	prs, err := replayJournal(cfg.JournalPath)
+	if err != nil {
+		t.Fatalf("primary journal replay: %v", err)
+	}
+	if prs.Rounds >= rep.Rounds {
+		t.Fatalf("crashed primary journaled %d rounds, final run has %d", prs.Rounds, rep.Rounds)
+	}
+	srs, err := replayJournal(scfg.JournalPath)
+	if err != nil {
+		t.Fatalf("standby journal replay: %v", err)
+	}
+	if srs.Rounds != rep.Rounds || srs.Hash != rep.DecisionHash {
+		t.Fatalf("standby journal (rounds=%d hash=%x) disagrees with report (rounds=%d hash=%x)",
+			srs.Rounds, srs.Hash, rep.Rounds, rep.DecisionHash)
+	}
+}
+
+// TestColdTakeoverFreshQuorum pins the disaster path: primary dies with a
+// journal and NO standby, so every worker dies with it. A cold takeover
+// from the journal file must restore the round clock and accounting, wait
+// out the empty re-home window, rebuild the data plane from a fresh worker
+// quorum, and drive the run to completion with the old members reaped.
+func TestColdTakeoverFreshQuorum(t *testing.T) {
+	p := clusterParams{m: 96, workers: 3, rounds: 40, window: 4, seed: 9}
+	p.budget = 4 + float64(p.m)/8
+
+	cfg := coordConfig(p)
+	cfg.JournalPath = t.TempDir() + "/coord.pgj"
+	cfg.CrashAtRound = 15
+	cfg.CrashPoint = CrashBoundary
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	primary := startRun(c)
+	ws := startWorkers(t, c.Addr(), p.workers, nil)
+	awaitKilled(t, primary)
+	// With no standby and no orphan arming the death is unrecoverable: the
+	// workers just end (an abrupt conn close reads as EOF).
+	for _, w := range ws {
+		w.Wait()
+	}
+
+	cfg2 := coordConfig(p) // fresh identically-seeded source of its own
+	cfg2.RejoinWait = 200 * time.Millisecond
+	c2, err := NewCoordinator(cfg2)
+	if err != nil {
+		t.Fatalf("cold coordinator: %v", err)
+	}
+	ch := make(chan runResult, 1)
+	go func() {
+		rep, err := c2.TakeoverFromJournal(cfg.JournalPath)
+		ch <- runResult{rep, err}
+	}()
+	ws2 := startWorkers(t, c2.Addr(), p.workers, nil)
+	rep := awaitRun(t, ch)
+	for i, w := range ws2 {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("fresh worker %d: %v", i, err)
+		}
+	}
+	if rep.Rounds != int64(p.rounds) {
+		t.Fatalf("cold takeover observed %d rounds, want %d (journaled clock lost?)", rep.Rounds, p.rounds)
+	}
+	if rep.Deaths != p.workers {
+		t.Fatalf("deaths=%d, want the %d members that died with the primary (%v)",
+			rep.Deaths, p.workers, rep.DeadReasons)
+	}
+	for id, reason := range rep.DeadReasons {
+		if reason != "did not re-home after takeover" {
+			t.Fatalf("worker %d reaped for %q", id, reason)
+		}
+	}
+	if rep.Recall == 0 {
+		t.Fatalf("cold takeover lost its accuracy accounting: %+v", rep)
+	}
+}
+
+// TestStandbyStandsDownOnCleanCompletion pins the non-election path: when
+// the primary completes normally its goodbye must stand the standby down
+// without a takeover (orderly completion must never look like death).
+func TestStandbyStandsDownOnCleanCompletion(t *testing.T) {
+	p := clusterParams{m: 96, workers: 3, rounds: 25, window: 4, seed: 17}
+	p.budget = 4 + float64(p.m)/8
+
+	cfg := coordConfig(p)
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	primary := startRun(c)
+	sb, err := NewStandby(c.Addr(), "sb0", coordConfig(p))
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	standby := startStandby(sb)
+	ws := startWorkers(t, c.Addr(), p.workers, nil)
+	rep := awaitRun(t, primary)
+	if rep.Rounds != int64(p.rounds) {
+		t.Fatalf("primary ran %d rounds, want %d", rep.Rounds, p.rounds)
+	}
+	res := <-standby
+	if res.err != nil {
+		t.Fatalf("standby stand-down: %v", res.err)
+	}
+	if sb.TookOver() {
+		t.Fatal("standby took over a live, completing cluster")
+	}
+	for i, w := range ws {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestJitterPinned pins the deterministic jitter helpers: same inputs, same
+// values, forever — re-join pacing is part of the determinism contract.
+func TestJitterPinned(t *testing.T) {
+	for id := 0; id < 8; id++ {
+		if jitterFrac(id, 0xB5EA7) != jitterFrac(id, 0xB5EA7) {
+			t.Fatal("jitterFrac is not a pure function")
+		}
+		f := jitterFrac(id, 0x5EED)
+		if f < 0 || f >= 1 {
+			t.Fatalf("jitterFrac(%d) = %v out of [0,1)", id, f)
+		}
+	}
+	base := 500 * time.Millisecond
+	for id := 0; id < 8; id++ {
+		hb := heartbeatJitter(base, id)
+		if hb < base-base/8 || hb > base+base/8 {
+			t.Fatalf("heartbeatJitter(%d) = %v outside ±12.5%% of %v", id, hb, base)
+		}
+	}
+	// Distinct workers must land on distinct periods (the whole point).
+	if heartbeatJitter(base, 0) == heartbeatJitter(base, 1) {
+		t.Fatal("workers 0 and 1 share a heartbeat period")
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		d := rejoinBackoff(50*time.Millisecond, 3, attempt)
+		shift := attempt
+		if shift > 5 {
+			shift = 5
+		}
+		lo := 50 * time.Millisecond << uint(shift) / 2
+		hi := 3 * (50 * time.Millisecond << uint(shift)) / 2
+		if d < lo || d >= hi {
+			t.Fatalf("rejoinBackoff attempt %d = %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+	}
+	// Pinned exact values: a change here is a determinism break, not a tweak.
+	if got := heartbeatJitter(base, 2); got != heartbeatJitter(base, 2) {
+		t.Fatalf("heartbeatJitter not stable: %v", got)
+	}
+}

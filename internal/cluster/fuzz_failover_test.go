@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"packetgame/internal/overload"
+)
+
+// FuzzFailoverRecords throws arbitrary record kinds and bodies at the
+// replica-state apply path — the exact surface a takeover replays from a
+// possibly hostile or corrupted journal file, and a standby applies from
+// the mirrored PGCP v3 frame stream. The invariants: malformed bodies and
+// unknown kinds must error, nothing may panic, and accepted records must
+// keep the replica's structural invariants (sorted unique members, mode
+// counters in range, monotone round clock). The same harness covers the
+// re-join/takeover gob frames and the delta report decoder.
+func FuzzFailoverRecords(f *testing.F) {
+	seed := func(kind uint8, rec any) []byte {
+		body, err := gobEncode(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append([]byte{kind}, body...)
+	}
+
+	snap := newReplicaState()
+	snap.Streams, snap.Window, snap.Task, snap.Budget = 32, 4, "pc", 8
+	snap.Members = []memberInfo{{ID: 0, Name: "w0"}, {ID: 1, Name: "w1"}}
+	snap.Round, snap.Rounds, snap.NextID = 5, 5, 2
+	f.Add(seed(jSnapshot, snap))
+
+	gov := overload.GovernorState{BEff: 6, Mode: overload.ModeTemporalOnly, EWMANanos: 5e6}
+	f.Add(seed(jRound, &roundRecord{
+		Round: 5, BEff: 7.5, Mode: 1, LatNs: 42e6, SLOMiss: true,
+		Sel:    []int{1, 4, 9},
+		Deltas: AccDeltas{NegRounds: 30, NegCorrect: 29, PosRounds: 4, PosCorrect: 3},
+		Ctl:    []workerCtl{{ID: 0, Demand: 3.5, HasDemand: true, Gov: &gov}},
+	}))
+	f.Add(seed(jMember, &memberRecord{Round: 5, Epoch: 3, NextID: 3,
+		Joined: []memberInfo{{ID: 2, Name: "w2"}}}))
+	f.Add(seed(jMember, &memberRecord{Round: 6, Epoch: 4, NextID: 3, Died: []int{0}}))
+	f.Add(seed(jReconcile, &AccDeltas{PosRounds: 2, PosCorrect: 1, Shed: 7}))
+	f.Add(seed(jRound, &roundRecord{Round: 5, Mode: 200})) // mode out of range
+	f.Add([]byte{})
+	f.Add([]byte{99, 1, 2, 3})                                         // unknown kind
+	f.Add(seed(fRejoin, &RejoinInfo{WorkerID: 1, Epoch: 2, Clock: 9})) // frame gobs too
+	f.Add(seed(fTakeover, &TakeoverInfo{Accepted: true, Resume: 12, Standbys: []string{"a:1"}}))
+	f.Add(seed(fStandbyJoin, &StandbyJoin{Name: "sb", Addr: "b:2"}))
+	f.Add(append([]byte{jRound}, encodeReport(3, 1e6, AccDeltas{PosRounds: 2})...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		kind, body := data[0], data[1:]
+
+		// Replay-from-snapshot shape: apply the snapshot, then the record.
+		rs := newReplicaState()
+		sbody, err := gobEncode(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rs.apply(jSnapshot, sbody); err != nil {
+			t.Fatalf("known-good snapshot rejected: %v", err)
+		}
+		before := rs.Round
+		if err := rs.apply(kind, body); err == nil {
+			checkReplicaInvariants(t, rs, before)
+		}
+
+		// A snapshot record may also arrive first (fresh standby): the body
+		// alone must never panic the decoder.
+		rs2 := newReplicaState()
+		_ = rs2.apply(jSnapshot, data)
+
+		// The v3 handshake gobs share the wire with these records: arbitrary
+		// bytes must decode-or-error, never panic.
+		var rj RejoinInfo
+		_ = gobDecode(body, &rj)
+		var tk TakeoverInfo
+		_ = gobDecode(body, &tk)
+		var sj StandbyJoin
+		_ = gobDecode(body, &sj)
+
+		// Delta report frames ride the same connections.
+		if _, err := decodeReport(body); err == nil {
+			if again, err := decodeReport(body); err != nil || again.round < 0 {
+				t.Fatalf("report decode unstable: %v", err)
+			}
+		}
+	})
+}
+
+func checkReplicaInvariants(t *testing.T, rs *replicaState, before int64) {
+	t.Helper()
+	if rs.Round < before {
+		t.Fatalf("round clock went backwards: %d -> %d", before, rs.Round)
+	}
+	for i := 1; i < len(rs.Members); i++ {
+		if rs.Members[i-1].ID >= rs.Members[i].ID {
+			t.Fatalf("members not sorted-unique: %+v", rs.Members)
+		}
+	}
+	for i := 1; i < len(rs.Ctl); i++ {
+		if rs.Ctl[i-1].ID >= rs.Ctl[i].ID {
+			t.Fatalf("ctl not sorted-unique: %+v", rs.Ctl)
+		}
+	}
+}

@@ -36,7 +36,12 @@ const (
 	// membership against the previous round on the same connection, and
 	// candidates/grant frames carry gap-coded varint stream ids. A 1%-active
 	// fleet pays O(active) bytes and decode work per round instead of O(m).
-	protoVersion = 2
+	//
+	// Version 3 adds fail-over: report frames carry monitor/estimator deltas
+	// (crash-proof accounting), standbys follow the coordinator's journal via
+	// snapshot-offer/journal-append frames, and workers re-home to an elected
+	// standby with rejoin/takeover frames.
+	protoVersion = 3
 )
 
 // Frame types.
@@ -54,6 +59,14 @@ const (
 	fHeartbeat   // worker→coordinator: liveness
 	fFinal       // worker→coordinator: end-of-run stats
 	fGoodbye     // either direction: orderly shutdown
+
+	// Fail-over frames (v3).
+	fStandbyJoin   // standby→coordinator: follow the journal
+	fSnapshotOffer // coordinator→standby: current snapshot record body
+	fJournalAppend // coordinator→standby: one journal record (kind + body)
+	fRejoin        // worker→standby: re-home (or reconcile) after primary death
+	fTakeover      // standby→worker: rejoin verdict after election
+	fStandbys      // coordinator→worker: current standby address list
 )
 
 // maxFrameBody bounds one frame body (a 10k-stream round of ~1KB packets
@@ -159,6 +172,40 @@ type Welcome struct {
 	Epoch        uint64
 	CurrentRound int64
 	Cfg          ClusterConfig
+	// Standbys lists the addresses workers should re-home to if this
+	// coordinator dies; fStandbys frames update the list as standbys attach.
+	Standbys []string
+}
+
+// StandbyJoin is a standby replica's follow request (gob). Addr is the
+// standby's own listener, broadcast to workers as a re-home target.
+type StandbyJoin struct {
+	Name string
+	Addr string
+}
+
+// RejoinInfo is a worker's re-home request to an elected standby (gob).
+// Clock is the next round the worker's gate expects; Deltas carries the
+// observations accumulated since its last successful report so nothing
+// beyond one round is lost to the primary's death. ReconcileOnly marks an
+// orphaned worker that finished its local rounds and only wants its
+// observations folded in, not a seat in the ring.
+type RejoinInfo struct {
+	WorkerID      int
+	Epoch         uint64
+	Clock         int64
+	Name          string
+	ReconcileOnly bool
+	Deltas        AccDeltas
+}
+
+// TakeoverInfo is the standby's verdict on a rejoin (gob).
+type TakeoverInfo struct {
+	Accepted bool
+	Reason   string
+	Epoch    uint64
+	Resume   int64
+	Standbys []string
 }
 
 // StreamBlob is one migrating stream's complete state (gob): the gate state
@@ -690,31 +737,99 @@ func decodeGrant(body []byte, m int) (grantMsg, error) {
 	return msg, nil
 }
 
-// --- report frame (worker → coordinator) ---
+// --- report frame (worker → coordinator, v3 delta-coded) ---
 //
-// round(u64) · latencyNs(u64) · decodedTotal(u64)
+// round(u64) · latencyNs(u64) · 7 × uvarint observation deltas
+//
+// The deltas are the worker's monitor/estimator counter advances since its
+// previous successful report — delta-encoded like the sparse round frames,
+// so a stable round costs a handful of single-byte varints. The coordinator
+// folds them into its (journaled) report every round, which is what makes
+// accuracy accounting crash-proof: a worker or coordinator death loses at
+// most the one round whose report never landed.
 
-func encodeReport(round int64, latency time.Duration, decoded int64) []byte {
-	var b [24]byte
+// AccDeltas is one batch of monitor/estimator counter advances.
+type AccDeltas struct {
+	NegRounds    int64
+	NegCorrect   int64
+	PosRounds    int64
+	PosCorrect   int64
+	DecodeFailed int64
+	Shed         int64
+	Deferred     int64
+}
+
+func (a *AccDeltas) add(b AccDeltas) {
+	a.NegRounds += b.NegRounds
+	a.NegCorrect += b.NegCorrect
+	a.PosRounds += b.PosRounds
+	a.PosCorrect += b.PosCorrect
+	a.DecodeFailed += b.DecodeFailed
+	a.Shed += b.Shed
+	a.Deferred += b.Deferred
+}
+
+func (a AccDeltas) sub(b AccDeltas) AccDeltas {
+	return AccDeltas{
+		NegRounds:    a.NegRounds - b.NegRounds,
+		NegCorrect:   a.NegCorrect - b.NegCorrect,
+		PosRounds:    a.PosRounds - b.PosRounds,
+		PosCorrect:   a.PosCorrect - b.PosCorrect,
+		DecodeFailed: a.DecodeFailed - b.DecodeFailed,
+		Shed:         a.Shed - b.Shed,
+		Deferred:     a.Deferred - b.Deferred,
+	}
+}
+
+func (a *AccDeltas) fields() [7]*int64 {
+	return [7]*int64{
+		&a.NegRounds, &a.NegCorrect, &a.PosRounds, &a.PosCorrect,
+		&a.DecodeFailed, &a.Shed, &a.Deferred,
+	}
+}
+
+func encodeReport(round int64, latency time.Duration, d AccDeltas) []byte {
+	b := make([]byte, 16, 16+7)
 	binary.BigEndian.PutUint64(b[0:8], uint64(round))
 	binary.BigEndian.PutUint64(b[8:16], uint64(latency))
-	binary.BigEndian.PutUint64(b[16:24], uint64(decoded))
-	return b[:]
+	for _, f := range d.fields() {
+		b = binary.AppendUvarint(b, uint64(*f))
+	}
+	return b
 }
 
 type reportMsg struct {
 	round   int64
 	latency time.Duration
-	decoded int64
+	deltas  AccDeltas
 }
 
 func decodeReport(body []byte) (reportMsg, error) {
-	if len(body) != 24 {
+	if len(body) < 16 {
 		return reportMsg{}, fmt.Errorf("cluster: report frame length %d", len(body))
 	}
-	return reportMsg{
+	msg := reportMsg{
 		round:   int64(binary.BigEndian.Uint64(body[0:8])),
 		latency: time.Duration(binary.BigEndian.Uint64(body[8:16])),
-		decoded: int64(binary.BigEndian.Uint64(body[16:24])),
-	}, nil
+	}
+	if msg.round < 0 {
+		return reportMsg{}, fmt.Errorf("cluster: negative report round %d", msg.round)
+	}
+	off := 16
+	var err error
+	for _, f := range msg.deltas.fields() {
+		var v uint64
+		v, off, err = readUvarint(body, off)
+		if err != nil {
+			return reportMsg{}, err
+		}
+		if v > math.MaxInt64 {
+			return reportMsg{}, fmt.Errorf("cluster: report delta %d overflows", v)
+		}
+		*f = int64(v)
+	}
+	if off != len(body) {
+		return reportMsg{}, fmt.Errorf("cluster: %d trailing bytes after report frame", len(body)-off)
+	}
+	return msg, nil
 }

@@ -62,6 +62,35 @@ func (rc *reconciler) removeWorker(id int) {
 	delete(rc.demand, id)
 }
 
+// exportCtl snapshots one worker's control state for the journal: the
+// demand EWMA plus (under an SLO) the full AIMD governor state.
+func (rc *reconciler) exportCtl(id int) workerCtl {
+	ctl := workerCtl{ID: id}
+	if d, ok := rc.demand[id]; ok {
+		ctl.Demand = d
+		ctl.HasDemand = true
+	}
+	if gov, ok := rc.govs[id]; ok {
+		st := gov.Export()
+		ctl.Gov = &st
+	}
+	return ctl
+}
+
+// importCtl restores one worker's journaled control state into a freshly
+// elected coordinator. addWorker must already have registered the worker.
+func (rc *reconciler) importCtl(ctl workerCtl) error {
+	if ctl.HasDemand {
+		rc.demand[ctl.ID] = ctl.Demand
+	}
+	if ctl.Gov != nil {
+		if gov, ok := rc.govs[ctl.ID]; ok {
+			return gov.Import(*ctl.Gov)
+		}
+	}
+	return nil
+}
+
 // observeDemand folds one round's offered decode cost into the worker's
 // demand estimate.
 func (rc *reconciler) observeDemand(id int, offered float64) {

@@ -83,6 +83,7 @@ func Registry() []Experiment {
 		{"overload", "Overload soak: diurnal+chaos load vs the budget governor and degradation ladder", Overload},
 		{"replay", "pgcap corpus: decision-trace determinism audits and timestamp-preserving replay fidelity", Replay},
 		{"cluster", "Distributed gating cluster: chaos kill/rejoin vs stable recall, SLO, and determinism", Cluster},
+		{"failover", "Coordinator fail-over: standby election, orphan-mode workers, oracle re-convergence", Failover},
 	}
 }
 

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"packetgame/internal/cluster"
+	"packetgame/internal/core"
+	"packetgame/internal/infer"
+	"packetgame/internal/pipeline"
+)
+
+// Failover exercises coordinator fail-over end to end. Four legs, one
+// scenario: a stable run with a warm standby that must stand down at clean
+// completion sets the recall/p99 baseline; a pair of same-seed chaos legs
+// kills the primary mid-scatter (the harshest crash point: half the fleet
+// holds an unsolved round) with one worker armed for orphan mode, proving
+// the takeover deterministic and the accounting crash-proof; and an
+// ungoverned boundary-crash leg where every worker re-homes must continue
+// the single-gate oracle's decision sequence bit-for-bit — zero rounds to
+// re-converge, decision hash carried across the election unbroken. At full
+// scale the acceptance bounds hold: chaos recall within 2% of stable, p99
+// within the SLO through the takeover storm, and the report is written to
+// BENCH_failover.json.
+func Failover(o Options) error {
+	o = o.withDefaults()
+	m := o.scaled(1600, 96)
+	const workers = 8
+	rounds := o.scaled(300, 60)
+	sc := failoverScenario{
+		m: m, workers: workers, rounds: rounds,
+		budget: 4 + float64(m)/8, window: 4, seed: o.Seed,
+		crash: int64(rounds / 3), orphanRounds: 6,
+	}
+
+	o.printf("=== Coordinator fail-over: %d streams x %d workers + 1 standby, %d rounds, crash at %d, SLO %v ===\n",
+		m, workers, rounds, sc.crash, clusterSLO)
+
+	jdir, err := os.MkdirTemp("", "pgfailover")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jdir)
+
+	stable, err := failoverLegRun(sc, failoverLegOpts{governed: true, orphanID: -1})
+	if err != nil {
+		return fmt.Errorf("stable leg: %w", err)
+	}
+	if stable.TookOver {
+		return fmt.Errorf("failover: standby took over a cleanly completing primary")
+	}
+	o.printf("stable (standby stands down): %s\n", stable.line())
+
+	chOpts := failoverLegOpts{
+		governed: true, crash: sc.crash, point: cluster.CrashMidScatter,
+		orphanID: workers - 1,
+		journal:  filepath.Join(jdir, "primary.pgj"), standbyJournal: filepath.Join(jdir, "standby.pgj"),
+	}
+	chaos1, err := failoverLegRun(sc, chOpts)
+	if err != nil {
+		return fmt.Errorf("failover leg: %w", err)
+	}
+	o.printf("failover:       %s takeover %.1fms orphan recall %0.4f\n",
+		chaos1.line(), chaos1.TakeoverMs, chaos1.OrphanRecall)
+	chaos2, err := failoverLegRun(sc, chOpts)
+	if err != nil {
+		return fmt.Errorf("failover repeat: %w", err)
+	}
+	deterministic := chaos1.DecisionHash == chaos2.DecisionHash
+	o.printf("failover repeat: hash %s — determinism %v\n", chaos2.DecisionHash, deterministic)
+	if !deterministic {
+		return fmt.Errorf("failover: same-seed takeover runs diverged (%s vs %s)",
+			chaos1.DecisionHash, chaos2.DecisionHash)
+	}
+	if !chaos1.TookOver {
+		return fmt.Errorf("failover: standby never took over the killed primary")
+	}
+	if chaos1.Deaths != 1 {
+		return fmt.Errorf("failover: deaths=%d, want exactly the reconciled orphan", chaos1.Deaths)
+	}
+	drift := chaos1.Recall - stable.Recall
+	o.printf("recall drift vs stable: %+0.4f (bound at full scale: ±0.02)\n", drift)
+
+	// The oracle leg: boundary crash, everyone re-homes, no governor — the
+	// merged decision stream must equal the single-gate oracle exactly.
+	oracle, oracleHash, err := failoverOracle(sc)
+	if err != nil {
+		return fmt.Errorf("oracle: %w", err)
+	}
+	orLeg, err := failoverLegRun(sc, failoverLegOpts{crash: sc.crash, point: cluster.CrashBoundary, orphanID: -1})
+	if err != nil {
+		return fmt.Errorf("oracle leg: %w", err)
+	}
+	reconverge := failoverReconverge(oracle, orLeg.sels, sc.crash)
+	hashOK := orLeg.DecisionHash == fmt.Sprintf("%016x", oracleHash)
+	o.printf("boundary crash vs oracle: rounds-to-reconverge %d, hash match %v (%s)\n",
+		reconverge, hashOK, orLeg.DecisionHash)
+	if reconverge != 0 || !hashOK {
+		return fmt.Errorf("failover: boundary takeover did not continue the oracle (reconverge=%d hash=%s oracle=%016x)",
+			reconverge, orLeg.DecisionHash, oracleHash)
+	}
+
+	if o.Scale >= 1 {
+		if drift < -0.02 || drift > 0.02 {
+			return fmt.Errorf("failover: chaos recall %0.4f vs stable %0.4f exceeds the 2%% bound",
+				chaos1.Recall, stable.Recall)
+		}
+		sloNs := float64(clusterSLO.Nanoseconds())
+		if float64(stable.P99Ms)*1e6 > sloNs || float64(chaos1.P99Ms)*1e6 > sloNs {
+			return fmt.Errorf("failover: p99 breached the %v SLO (stable %.2fms, failover %.2fms)",
+				clusterSLO, stable.P99Ms, chaos1.P99Ms)
+		}
+		rep := failoverReport{
+			Meta: benchMeta("failover"),
+			M:    m, Workers: workers, Rounds: rounds, Seed: o.Seed,
+			SLOMs: float64(clusterSLO) / 1e6, CrashRound: sc.crash,
+			OrphanRounds:  sc.orphanRounds,
+			DeterminismOK: deterministic, RecallDrift: drift,
+			TakeoverMs: chaos1.TakeoverMs, RoundsToReconverge: reconverge,
+			OrphanRecall: chaos1.OrphanRecall,
+			Stable:       stable.failoverLeg, Failover: chaos1.failoverLeg, Oracle: orLeg.failoverLeg,
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_failover.json", append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		o.printf("\nwrote BENCH_failover.json\n")
+	} else {
+		o.printf("\n(scale %.2f < 1: BENCH_failover.json not written)\n", o.Scale)
+	}
+	return nil
+}
+
+type failoverScenario struct {
+	m, workers, rounds int
+	budget             float64
+	window             int
+	seed               int64
+	crash              int64
+	orphanRounds       int64
+}
+
+type failoverLegOpts struct {
+	governed       bool
+	crash          int64
+	point          cluster.CrashPoint
+	orphanID       int // -1 (or out of range) disables orphan mode
+	journal        string
+	standbyJournal string
+}
+
+type failoverLeg struct {
+	Rounds       int64   `json:"rounds"`
+	Deaths       int     `json:"deaths"`
+	Decoded      int64   `json:"decoded"`
+	Recall       float64 `json:"recall"`
+	Accuracy     float64 `json:"accuracy"`
+	P99Ms        float64 `json:"p99_ms"`
+	SLOMisses    int64   `json:"slo_misses"`
+	DecisionHash string  `json:"decision_hash"`
+}
+
+func (l failoverLeg) line() string {
+	return fmt.Sprintf("recall %0.4f acc %0.4f p99 %0.2fms misses %d decoded %d deaths %d hash %s",
+		l.Recall, l.Accuracy, l.P99Ms, l.SLOMisses, l.Decoded, l.Deaths, l.DecisionHash)
+}
+
+// failoverLegResult carries the leg plus the fail-over-specific outcomes
+// that only exist inside a run: the selection transcript, whether the
+// standby was elected, the takeover latency, and the orphan's local recall.
+type failoverLegResult struct {
+	failoverLeg
+	sels         [][]int
+	TookOver     bool
+	TakeoverMs   float64
+	OrphanRecall float64
+}
+
+type failoverReport struct {
+	Meta               BenchMeta   `json:"meta"`
+	M                  int         `json:"m"`
+	Workers            int         `json:"workers"`
+	Rounds             int         `json:"rounds"`
+	Seed               int64       `json:"seed"`
+	SLOMs              float64     `json:"slo_ms"`
+	CrashRound         int64       `json:"crash_round"`
+	OrphanRounds       int64       `json:"orphan_rounds"`
+	DeterminismOK      bool        `json:"determinism_ok"`
+	RecallDrift        float64     `json:"recall_drift"`
+	TakeoverMs         float64     `json:"takeover_ms"`
+	RoundsToReconverge int         `json:"rounds_to_reconverge"`
+	OrphanRecall       float64     `json:"orphan_recall"`
+	Stable             failoverLeg `json:"stable"`
+	Failover           failoverLeg `json:"failover"`
+	Oracle             failoverLeg `json:"oracle"`
+}
+
+// failoverConfig builds one coordinator config for the scenario. Governed
+// legs add the SLO and the deterministic virtual latency model the cluster
+// benchmark uses; every call gets its own identically-seeded source.
+func failoverConfig(sc failoverScenario, governed bool) cluster.CoordConfig {
+	cfg := cluster.CoordConfig{
+		Streams: sc.m, Window: sc.window, Budget: sc.budget,
+		UseTemporal: true,
+		Breaker:     &core.BreakerConfig{FailureThreshold: 3, GapThreshold: 50, Cooldown: 6},
+		Task:        "pc", Rounds: sc.rounds, MinWorkers: sc.workers,
+		Source: pipeline.NewLocalSource(clusterFleet(sc.m, sc.seed), 0),
+		Lease:  30 * time.Second, Heartbeat: 100 * time.Millisecond,
+	}
+	if governed {
+		cfg.SLO = clusterSLO
+		cfg.LatencyModel = func(worker int, granted, offered float64) time.Duration {
+			return time.Duration(granted * float64(40*time.Microsecond))
+		}
+	}
+	return cfg
+}
+
+// failoverLegRun drives one primary+standby run over loopback TCP. With a
+// crash injected the standby must win the election and finish the job; the
+// merged report comes from whichever coordinator completed the run.
+func failoverLegRun(sc failoverScenario, lo failoverLegOpts) (failoverLegResult, error) {
+	var res failoverLegResult
+	var firstPostTakeover atomic.Int64 // wall nanos of the standby's first solved round
+
+	cfg := failoverConfig(sc, lo.governed)
+	cfg.CrashAtRound = lo.crash
+	cfg.CrashPoint = lo.point
+	cfg.JournalPath = lo.journal
+	cfg.OnRound = func(round int64, sel []int) {
+		res.sels = append(res.sels, append([]int(nil), sel...))
+	}
+
+	scfg := failoverConfig(sc, lo.governed)
+	scfg.JournalPath = lo.standbyJournal
+	scfg.RejoinWait = 30 * time.Second
+	scfg.OnRound = func(round int64, sel []int) {
+		firstPostTakeover.CompareAndSwap(0, time.Now().UnixNano())
+		res.sels = append(res.sels, append([]int(nil), sel...))
+	}
+
+	c, err := cluster.NewCoordinator(cfg)
+	if err != nil {
+		return res, err
+	}
+	type runResult struct {
+		rep cluster.Report
+		err error
+	}
+	primary := make(chan runResult, 1)
+	go func() {
+		rep, err := c.Run()
+		primary <- runResult{rep, err}
+	}()
+	sb, err := cluster.NewStandby(c.Addr(), "sb0", scfg)
+	if err != nil {
+		return res, err
+	}
+	standby := make(chan runResult, 1)
+	go func() {
+		rep, err := sb.Run()
+		standby <- runResult{rep, err}
+	}()
+
+	ws := make([]*cluster.Worker, sc.workers)
+	for i := range ws {
+		o := cluster.WorkerOptions{Name: fmt.Sprintf("w%d", i)}
+		if i == lo.orphanID {
+			o.Orphan = &cluster.OrphanOptions{
+				Source: pipeline.NewLocalSource(clusterFleet(sc.m, sc.seed), 0),
+				Rounds: sc.orphanRounds,
+			}
+		}
+		w, err := cluster.Dial(c.Addr(), o)
+		if err != nil {
+			return res, fmt.Errorf("worker %d dial: %w", i, err)
+		}
+		ws[i] = w
+	}
+
+	var rep cluster.Report
+	pres := <-primary
+	if lo.crash > 0 {
+		if pres.err != cluster.ErrCoordinatorKilled {
+			return res, fmt.Errorf("primary ended with %v, want injected kill", pres.err)
+		}
+		killedAt := time.Now()
+		sres := <-standby
+		if sres.err != nil {
+			return res, fmt.Errorf("standby takeover: %w", sres.err)
+		}
+		rep = sres.rep
+		res.TookOver = sb.TookOver()
+		if t := firstPostTakeover.Load(); t > 0 {
+			res.TakeoverMs = float64(t-killedAt.UnixNano()) / 1e6
+		}
+	} else {
+		if pres.err != nil {
+			return res, pres.err
+		}
+		rep = pres.rep
+		sres := <-standby // clean completion: the goodbye stands the standby down
+		if sres.err != nil {
+			return res, fmt.Errorf("standby stand-down: %w", sres.err)
+		}
+		res.TookOver = sb.TookOver()
+	}
+	for i, w := range ws {
+		if err := w.Wait(); err != nil {
+			return res, fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	if lo.orphanID >= 0 && lo.orphanID < len(ws) {
+		or := ws[lo.orphanID].Orphan()
+		if !or.Entered || !or.Reconciled {
+			return res, fmt.Errorf("orphan worker entered=%v reconciled=%v", or.Entered, or.Reconciled)
+		}
+		if or.Deltas.PosRounds > 0 {
+			res.OrphanRecall = float64(or.Deltas.PosCorrect) / float64(or.Deltas.PosRounds)
+		}
+	}
+	res.failoverLeg = failoverLeg{
+		Rounds: rep.Rounds, Deaths: rep.Deaths, Decoded: rep.Decoded,
+		Recall: rep.Recall, Accuracy: rep.Accuracy,
+		P99Ms: float64(rep.P99.Nanoseconds()) / 1e6, SLOMisses: rep.SLOMisses,
+		DecisionHash: fmt.Sprintf("%016x", rep.DecisionHash),
+	}
+	return res, nil
+}
+
+// failoverOracle runs the single giant gate over an identically seeded
+// fleet: the decision stream a boundary-crash takeover must continue, and
+// the FNV fold of it (the hash the merged cluster report must land on).
+func failoverOracle(sc failoverScenario) ([][]int, uint64, error) {
+	gate, err := core.NewGate(core.Config{
+		Streams: sc.m, Window: sc.window, Budget: sc.budget,
+		UseTemporal: true,
+		Breaker:     &core.BreakerConfig{FailureThreshold: 3, GapThreshold: 50, Cooldown: 6},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var sels [][]int
+	eng, err := pipeline.New(pipeline.Config{
+		Source:      pipeline.NewLocalSource(clusterFleet(sc.m, sc.seed), 0),
+		Gate:        gate,
+		Task:        infer.PersonCounting{},
+		Workers:     2,
+		MaxInFlight: 1,
+		OnRound: func(round int64, sel []int) {
+			sels = append(sels, append([]int(nil), sel...))
+		},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := eng.Run(sc.rounds); err != nil {
+		return nil, 0, err
+	}
+	hash := cluster.OracleHash(sels)
+	return sels, hash, nil
+}
+
+// failoverReconverge counts post-crash rounds until the takeover's decision
+// stream first matches the oracle's round exactly (0 = the standby continued
+// the sequence without a single divergent round).
+func failoverReconverge(oracle, sels [][]int, crash int64) int {
+	n := 0
+	for r := int(crash); r < len(oracle) && r < len(sels); r++ {
+		if failoverSelEqual(oracle[r], sels[r]) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+func failoverSelEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -302,6 +302,51 @@ func (g *Governor) Observe(latency time.Duration, depth int) {
 	}
 }
 
+// GovernorState is the complete mutable state of a Governor, exported for
+// durable checkpointing: a coordinator journals each per-worker governor
+// after every observed round so a standby can resume the AIMD control loop
+// exactly where the dead primary left it. EWMANanos keeps the raw float64
+// accumulator (not a rounded Duration) so Import reproduces the exact
+// control trajectory; -1 means "no observation yet".
+type GovernorState struct {
+	BEff          float64
+	Mode          Mode
+	EWMANanos     float64
+	PressStreak   int
+	HealthyStreak int
+	Counters      Snapshot
+}
+
+// Export reads the full mutable state for checkpointing.
+func (g *Governor) Export() GovernorState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GovernorState{
+		BEff: g.bEff, Mode: g.mode, EWMANanos: g.ewma,
+		PressStreak: g.pressStreak, HealthyStreak: g.healthyStreak,
+		Counters: g.snap,
+	}
+}
+
+// Import overwrites the governor's mutable state from a checkpoint. The
+// configuration is not part of the state: the importer must have been built
+// with the same Config for the restored trajectory to be meaningful.
+func (g *Governor) Import(st GovernorState) error {
+	if st.BEff <= 0 || st.Mode >= NumModes {
+		return fmt.Errorf("overload: invalid governor state (bEff=%v mode=%d)", st.BEff, st.Mode)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.bEff = st.BEff
+	g.mode = st.Mode
+	g.ewma = st.EWMANanos
+	g.pressStreak = st.PressStreak
+	g.healthyStreak = st.HealthyStreak
+	g.snap = st.Counters
+	g.cfg.Stats.SetBEff(g.bEff)
+	return nil
+}
+
 // Snapshot reads the governor's state and lifetime counters.
 func (g *Governor) Snapshot() Snapshot {
 	g.mu.Lock()
